@@ -1,0 +1,59 @@
+// Experiment X-BUF (EXPERIMENTS.md): buffer realizations, Sect. 7.6.
+//
+// Stream b of the polynomial product (flow 1/2) needs one interposed
+// buffer per hop; the correlation design's stream c (flow 1/3) needs two.
+// The paper remarks the buffers "may be incorporated into the computation
+// processes in a later compilation step" — the merged variant realizes
+// them as channel slack instead of separate processes. The ablation
+// compares process counts, messages and makespan for the two realizations
+// (results are verified identical by the integration tests).
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void BM_SeparateBufferProcesses_Polyprod(benchmark::State& state) {
+  static const Design design = polyprod_design1();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_SeparateBufferProcesses_Polyprod)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MergedBuffers_Polyprod(benchmark::State& state) {
+  static const Design design = polyprod_design1();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  InstantiateOptions opt;
+  opt.merge_internal_buffers = true;
+  run_and_report(state, design, prog, state.range(0), opt);
+}
+BENCHMARK(BM_MergedBuffers_Polyprod)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SeparateBufferProcesses_Correlation(benchmark::State& state) {
+  static const Design design = correlation_design();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_SeparateBufferProcesses_Correlation)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MergedBuffers_Correlation(benchmark::State& state) {
+  static const Design design = correlation_design();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  InstantiateOptions opt;
+  opt.merge_internal_buffers = true;
+  run_and_report(state, design, prog, state.range(0), opt);
+}
+BENCHMARK(BM_MergedBuffers_Correlation)->Arg(8)->Arg(16)->Arg(32);
+
+/// External buffers (PS \ CS) cannot be merged away: the Kung-Leiserson
+/// array's corner regions as a function of n.
+void BM_ExternalBuffers_KungLeiserson(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_ExternalBuffers_KungLeiserson)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Experiment X-COMP (EXPERIMENTS.md): cost of the compilation scheme
+// itself. The paper's central point against run-time generation (Sect. 8)
+// is that the symbolic derivation runs once and is independent of the
+// problem size — the `n` argument below changes nothing for compile()
+// while instantiation cost naturally grows with the array.
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void BM_CompileDesign(benchmark::State& state,
+                      const std::string& design_name) {
+  Design design = design_by_name(design_name);
+  for (auto _ : state) {
+    CompiledProgram prog = compile(design.nest, design.spec);
+    benchmark::DoNotOptimize(prog);
+  }
+  state.counters["first_clauses"] = static_cast<double>(
+      compile(design.nest, design.spec).repeater.first.size());
+}
+
+void BM_CompilePolyprod1(benchmark::State& state) {
+  BM_CompileDesign(state, "polyprod1");
+}
+void BM_CompilePolyprod2(benchmark::State& state) {
+  BM_CompileDesign(state, "polyprod2");
+}
+void BM_CompileMatmul1(benchmark::State& state) {
+  BM_CompileDesign(state, "matmul1");
+}
+void BM_CompileMatmul2(benchmark::State& state) {
+  BM_CompileDesign(state, "matmul2");
+}
+void BM_CompileConvolution(benchmark::State& state) {
+  BM_CompileDesign(state, "convolution");
+}
+void BM_CompileCorrelation(benchmark::State& state) {
+  BM_CompileDesign(state, "correlation");
+}
+
+BENCHMARK(BM_CompilePolyprod1);
+BENCHMARK(BM_CompilePolyprod2);
+BENCHMARK(BM_CompileMatmul1);
+BENCHMARK(BM_CompileMatmul2);
+BENCHMARK(BM_CompileConvolution);
+BENCHMARK(BM_CompileCorrelation);
+
+/// Compilation is problem-size independent: the symbolic result is the
+/// same object regardless of n, so the only size-dependent stage is
+/// instantiation. This benchmark times instantiate+run separately so the
+/// two stages can be compared.
+void BM_InstantiateMatmul2(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_InstantiateMatmul2)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

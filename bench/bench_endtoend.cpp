@@ -1,0 +1,111 @@
+// Experiment X-RUN (EXPERIMENTS.md): the Sect.-8 claim that the generated
+// programs execute correctly on parallel machines, reproduced on the
+// simulator substrate for every catalog design; throughput of the whole
+// compile -> instantiate -> execute -> verify pipeline.
+#include "bench_util.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void endtoend(benchmark::State& state, const std::string& name, Int n) {
+  Design design = design_by_name(name);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, n);
+  bool verified = false;
+  RunMetrics last{};
+  for (auto _ : state) {
+    IndexedStore store = seeded_store(design, sizes);
+    IndexedStore expected = store;
+    run_sequential(design.nest, sizes, expected);
+    last = execute(prog, design.nest, sizes, store, {});
+    verified = true;
+    for (const Stream& s : design.nest.streams()) {
+      if (store.elements(s.name()) != expected.elements(s.name())) {
+        verified = false;
+      }
+    }
+    benchmark::DoNotOptimize(store);
+  }
+  if (!verified) state.SkipWithError("result mismatch against sequential");
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["verified"] = verified ? 1.0 : 0.0;
+  state.counters["processes"] = static_cast<double>(last.process_count);
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+}
+
+void BM_EndToEnd_Polyprod1(benchmark::State& s) { endtoend(s, "polyprod1", 16); }
+void BM_EndToEnd_Polyprod2(benchmark::State& s) { endtoend(s, "polyprod2", 16); }
+void BM_EndToEnd_Matmul1(benchmark::State& s) { endtoend(s, "matmul1", 6); }
+void BM_EndToEnd_Matmul2(benchmark::State& s) { endtoend(s, "matmul2", 6); }
+void BM_EndToEnd_Matmul3(benchmark::State& s) { endtoend(s, "matmul3", 6); }
+void BM_EndToEnd_Convolution(benchmark::State& s) {
+  endtoend(s, "convolution", 16);
+}
+void BM_EndToEnd_Correlation(benchmark::State& s) {
+  endtoend(s, "correlation", 16);
+}
+
+BENCHMARK(BM_EndToEnd_Polyprod1);
+BENCHMARK(BM_EndToEnd_Polyprod2);
+BENCHMARK(BM_EndToEnd_Matmul1);
+BENCHMARK(BM_EndToEnd_Matmul2);
+BENCHMARK(BM_EndToEnd_Matmul3);
+BENCHMARK(BM_EndToEnd_Convolution);
+BENCHMARK(BM_EndToEnd_Correlation);
+
+/// Raw substrate throughput: rendezvous transfers per second through a
+/// long relay pipeline (sizes the simulator itself, independent of any
+/// design).
+void BM_SubstrateRelayChain(benchmark::State& state) {
+  const Int stages = state.range(0);
+  const Value values = 64;
+  Int transfers = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<Channel*> chans;
+    for (Int i = 0; i <= stages; ++i) {
+      chans.push_back(&sched.make_channel("c" + std::to_string(i)));
+    }
+    struct Bodies {
+      static Task feed(Ctx ctx, Channel* out, Value count) {
+        for (Value v = 0; v < count; ++v) co_await ctx.send(*out, v);
+      }
+      static Task relay(Ctx ctx, Channel* in, Channel* out, Value count) {
+        for (Value v = 0; v < count; ++v) {
+          Value x = 0;
+          co_await ctx.recv(*in, x);
+          co_await ctx.send(*out, x);
+        }
+      }
+      static Task sink(Ctx ctx, Channel* in, Value count) {
+        for (Value v = 0; v < count; ++v) {
+          Value x = 0;
+          co_await ctx.recv(*in, x);
+          benchmark::DoNotOptimize(x);
+        }
+      }
+    };
+    Channel* head = chans.front();
+    sched.spawn("feed", [head](Ctx c) { return Bodies::feed(c, head, values); });
+    for (Int i = 0; i < stages; ++i) {
+      Channel* in = chans[i];
+      Channel* out = chans[i + 1];
+      sched.spawn("relay" + std::to_string(i), [in, out](Ctx c) {
+        return Bodies::relay(c, in, out, values);
+      });
+    }
+    Channel* tail = chans.back();
+    sched.spawn("sink", [tail](Ctx c) { return Bodies::sink(c, tail, values); });
+    sched.run();
+    transfers = sched.total_transfers();
+  }
+  state.counters["transfers_per_run"] = static_cast<double>(transfers);
+  state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_SubstrateRelayChain)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment X-SPEC (EXPERIMENTS.md): the generation spectrum of Sect. 8.
+//
+// At one end, our scheme derives each process's statements at compile
+// time: per process the work at run time is O(1) expression evaluation.
+// At the other end, run-time generation has each process scan the loop
+// bounds to discover its own statements: the EnumerationOracle performs
+// exactly that scan, costing O(|IS|) = O((n+1)^r) once per problem size.
+// The crossover the paper predicts — compile-time generation amortizes as
+// soon as more than one size or run is needed — shows as the oracle's
+// superlinear growth against the flat evaluate() cost.
+#include "baseline/runtime_generation.hpp"
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+/// Run-time generation: scan the index space and read off every process's
+/// first/last/count (what each processor would compute for itself from
+/// the loop bounds, Sect. 8 / [3,25]).
+void BM_RuntimeGeneration(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  Env sizes = sizes_for(design, state.range(0));
+  for (auto _ : state) {
+    EnumerationOracle oracle(design.nest, design.spec, sizes);
+    benchmark::DoNotOptimize(oracle);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["index_space"] =
+      static_cast<double>(design.nest.index_space_size(sizes));
+}
+BENCHMARK(BM_RuntimeGeneration)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+/// Compile-time generation: evaluate the symbolic repeaters for every
+/// process of the array — the run-time residue of our scheme.
+void BM_CompileTimeGeneration(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, state.range(0));
+  IntVec lo = prog.ps.min.evaluate(sizes);
+  IntVec hi = prog.ps.max.evaluate(sizes);
+  for (auto _ : state) {
+    Int touched = 0;
+    for (Int col = lo[0]; col <= hi[0]; ++col) {
+      for (Int row = lo[1]; row <= hi[1]; ++row) {
+        Env env = sizes;
+        env["col"] = Rational(col);
+        env["row"] = Rational(row);
+        const AffinePoint* first = prog.repeater.first.select(env);
+        if (first != nullptr) {
+          benchmark::DoNotOptimize(first->evaluate(env));
+          ++touched;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["processes"] =
+      static_cast<double>((hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1));
+}
+BENCHMARK(BM_CompileTimeGeneration)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+/// Per-process comparison: one process discovering its own chord. The
+/// scheme evaluates two affine expressions; run-time generation scans the
+/// whole index space even for a single process.
+void BM_PerProcessScheme(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  Env env = sizes_for(design, state.range(0));
+  env["col"] = Rational(1);
+  env["row"] = Rational(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.repeater.first.select(env)->evaluate(env));
+    benchmark::DoNotOptimize(prog.repeater.last.select(env)->evaluate(env));
+  }
+}
+BENCHMARK(BM_PerProcessScheme)->Arg(8)->Arg(24);
+
+void BM_PerProcessRuntimeGen(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  Env sizes = sizes_for(design, state.range(0));
+  for (auto _ : state) {
+    EnumerationOracle oracle(design.nest, design.spec, sizes);
+    benchmark::DoNotOptimize(oracle.chord_at(IntVec{1, 0}));
+  }
+}
+BENCHMARK(BM_PerProcessRuntimeGen)->Arg(8)->Arg(24);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

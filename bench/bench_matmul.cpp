@@ -1,0 +1,36 @@
+// Experiment X-E1 / X-E2 (EXPERIMENTS.md): the two Appendix-E matrix
+// product designs (plus the catalog's third place function). Key shapes:
+// E.1 uses (n+1)^2 computation processes and a stationary c; E.2 — the
+// Kung-Leiserson array — spreads over (2n+1)^2 points, a strict superset
+// of CS whose corners are pure buffers, yet finishes in fewer synchronous
+// steps per statement executed.
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void BM_MatmulE1(benchmark::State& state) {
+  static const Design design = matmul_design1();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_MatmulE1)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MatmulE2_KungLeiserson(benchmark::State& state) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_MatmulE2_KungLeiserson)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MatmulE3_AStationary(benchmark::State& state) {
+  static const Design design = matmul_design3();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_MatmulE3_AStationary)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment X-PART (EXPERIMENTS.md): partitioning onto a bounded
+// processor array — the Sect.-8 extension ("not enough processors, either
+// in dimension or number ... partitioning [23]"). Virtual processes are
+// multiplexed onto a g x g physical grid sharing logical clocks; the
+// makespan curve against g shows the classic serialization/speedup
+// saturation shape while results stay identical (verified by tests).
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void partitioned(benchmark::State& state, Int g) {
+  static const Design design = matmul_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  const Int n = 6;
+  Env sizes = sizes_for(design, n);
+  InstantiateOptions opt;
+  if (g > 0) opt.partition_grid = IntVec{g, g};
+  RunMetrics last{};
+  for (auto _ : state) {
+    IndexedStore store = seeded_store(design, sizes);
+    last = execute(prog, design.nest, sizes, store, opt);
+    benchmark::DoNotOptimize(store);
+  }
+  state.counters["grid"] = static_cast<double>(g);
+  state.counters["physical"] = static_cast<double>(last.physical_processors);
+  state.counters["virtual"] = static_cast<double>(last.process_count);
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+  state.counters["statements"] = static_cast<double>(last.statements);
+}
+
+void BM_Partition_Full(benchmark::State& s) { partitioned(s, 0); }
+void BM_Partition_13x13(benchmark::State& s) { partitioned(s, 13); }
+void BM_Partition_8x8(benchmark::State& s) { partitioned(s, 8); }
+void BM_Partition_4x4(benchmark::State& s) { partitioned(s, 4); }
+void BM_Partition_2x2(benchmark::State& s) { partitioned(s, 2); }
+void BM_Partition_1x1(benchmark::State& s) { partitioned(s, 1); }
+
+BENCHMARK(BM_Partition_Full);
+BENCHMARK(BM_Partition_13x13);
+BENCHMARK(BM_Partition_8x8);
+BENCHMARK(BM_Partition_4x4);
+BENCHMARK(BM_Partition_2x2);
+BENCHMARK(BM_Partition_1x1);
+
+/// Channel-capacity ablation: rendezvous (the paper's model) against
+/// small per-channel slack. Slack shortens the makespan slightly (senders
+/// decouple) at identical results.
+void with_capacity(benchmark::State& state, Int cap) {
+  static const Design design = polyprod_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  const Int n = 16;
+  Env sizes = sizes_for(design, n);
+  InstantiateOptions opt;
+  opt.channel_capacity = cap;
+  RunMetrics last{};
+  for (auto _ : state) {
+    IndexedStore store = seeded_store(design, sizes);
+    last = execute(prog, design.nest, sizes, store, opt);
+    benchmark::DoNotOptimize(store);
+  }
+  state.counters["capacity"] = static_cast<double>(cap);
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+}
+
+void BM_Capacity_Rendezvous(benchmark::State& s) { with_capacity(s, 0); }
+void BM_Capacity_1(benchmark::State& s) { with_capacity(s, 1); }
+void BM_Capacity_4(benchmark::State& s) { with_capacity(s, 4); }
+
+BENCHMARK(BM_Capacity_Rendezvous);
+BENCHMARK(BM_Capacity_1);
+BENCHMARK(BM_Capacity_4);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

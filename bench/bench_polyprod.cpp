@@ -1,0 +1,28 @@
+// Experiment X-D1 / X-D2 (EXPERIMENTS.md): regenerate the two Appendix-D
+// polynomial-product programs and execute them over a size sweep. The
+// series of interest: processes (n+1 vs 2n+1), logical makespan against
+// the synchronous step count 3n+1, and message volume (D.2's soak/drain
+// halves the per-process statement count but doubles the array).
+#include "bench_util.hpp"
+
+namespace systolize::bench {
+namespace {
+
+void BM_PolyprodD1(benchmark::State& state) {
+  static const Design design = polyprod_design1();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_PolyprodD1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PolyprodD2(benchmark::State& state) {
+  static const Design design = polyprod_design2();
+  static const CompiledProgram prog = compile(design.nest, design.spec);
+  run_and_report(state, design, prog, state.range(0));
+}
+BENCHMARK(BM_PolyprodD2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace systolize::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+#include "scheme/process_space.hpp"
+
+namespace systolize::bench {
+
+inline Env sizes_for(const Design& design, Int n) {
+  Env env{{"n", Rational(n)}};
+  for (const Symbol& s : design.nest.sizes()) {
+    if (s.name() == "m") env["m"] = Rational(std::max<Int>(1, n / 2));
+  }
+  return env;
+}
+
+inline IndexedStore seeded_store(const Design& design, const Env& sizes) {
+  return make_initial_store(
+      design.nest, sizes, [](const std::string& var, const IntVec& p) {
+        Value h = 1099511628211LL * (var.empty() ? 7 : var[0]);
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
+        return h % 17 - 8;
+      });
+}
+
+/// Execute a design at size n and record the paper-shaped series as
+/// benchmark counters: logical makespan, the synchronous step-count
+/// reference, process/channel/message counts.
+inline void run_and_report(benchmark::State& state, const Design& design,
+                           const CompiledProgram& prog, Int n,
+                           const InstantiateOptions& options = {}) {
+  Env sizes = sizes_for(design, n);
+  RunMetrics last{};
+  for (auto _ : state) {
+    IndexedStore store = seeded_store(design, sizes);
+    last = execute(prog, design.nest, sizes, store, options);
+    benchmark::DoNotOptimize(store);
+  }
+  StepRange range = derive_step_range(design.nest, design.spec.step());
+  Int steps = (range.max - range.min).evaluate(sizes).to_integer() + 1;
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+  state.counters["systolic_steps"] = static_cast<double>(steps);
+  state.counters["processes"] = static_cast<double>(last.process_count);
+  state.counters["comp_procs"] =
+      static_cast<double>(last.computation_processes);
+  state.counters["buffer_procs"] = static_cast<double>(last.buffer_processes);
+  state.counters["messages"] = static_cast<double>(last.total_transfers);
+  state.counters["statements"] = static_cast<double>(last.statements);
+  state.counters["seq_statements"] =
+      static_cast<double>(design.nest.index_space_size(sizes));
+}
+
+}  // namespace systolize::bench

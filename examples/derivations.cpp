@@ -1,0 +1,26 @@
+// Dump the full derivation report — the paper's appendix walk-through,
+// regenerated mechanically — for one catalog design (argv[1], default
+// matmul2 = the Kung-Leiserson array) or for all designs with "--all".
+#include <iostream>
+
+#include "designs/catalog.hpp"
+#include "scheme/compiler.hpp"
+#include "scheme/report.hpp"
+
+using namespace systolize;
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "matmul2";
+  if (which == "--all") {
+    for (const Design& d : all_designs()) {
+      CompiledProgram prog = compile(d.nest, d.spec);
+      std::cout << derivation_report(prog, d.nest, d.spec) << "\n\n";
+    }
+    return 0;
+  }
+  Design d = design_by_name(which);
+  std::cout << d.description << "\n\n";
+  CompiledProgram prog = compile(d.nest, d.spec);
+  std::cout << derivation_report(prog, d.nest, d.spec);
+  return 0;
+}

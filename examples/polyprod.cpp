@@ -1,0 +1,66 @@
+// Polynomial product, both appendix designs side by side: the simple
+// place function (D.1, n+1 processes) against the non-simple one
+// (D.2, 2n+1 processes), with the generated programs and execution
+// metrics for each.
+#include <iomanip>
+#include <iostream>
+
+#include "ast/builder.hpp"
+#include "ast/print.hpp"
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+using namespace systolize;
+
+namespace {
+
+RunMetrics run_design(const Design& design, const CompiledProgram& prog,
+                      Int n) {
+  Env sizes{{"n", Rational(n)}};
+  IndexedStore store = make_initial_store(
+      design.nest, sizes, [](const std::string& var, const IntVec& p) {
+        return static_cast<Value>((var[0] - 'a' + 2) * (p[0] + 1) % 13);
+      });
+  IndexedStore check = store;
+  run_sequential(design.nest, sizes, check);
+  RunMetrics metrics = execute(prog, design.nest, sizes, store);
+  if (store.elements("c") != check.elements("c")) {
+    std::cerr << "MISMATCH for n=" << n << "\n";
+    std::exit(1);
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main() {
+  Design d1 = polyprod_design1();
+  Design d2 = polyprod_design2();
+  CompiledProgram p1 = compile(d1.nest, d1.spec);
+  CompiledProgram p2 = compile(d2.nest, d2.spec);
+
+  std::cout << "=== " << d1.description << " ===\n\n";
+  std::cout << ast::to_paper_notation(*ast::build_ast(p1, d1.nest)) << "\n";
+  std::cout << "=== " << d2.description << " ===\n\n";
+  std::cout << ast::to_paper_notation(*ast::build_ast(p2, d2.nest)) << "\n";
+
+  std::cout << "=== execution comparison (both verified against the "
+               "sequential source program) ===\n";
+  std::cout << std::setw(5) << "n" << std::setw(12) << "D1 procs"
+            << std::setw(12) << "D1 span" << std::setw(12) << "D2 procs"
+            << std::setw(12) << "D2 span" << "\n";
+  for (Int n : {2, 4, 8, 16}) {
+    RunMetrics m1 = run_design(d1, p1, n);
+    RunMetrics m2 = run_design(d2, p2, n);
+    std::cout << std::setw(5) << n << std::setw(12) << m1.process_count
+              << std::setw(12) << m1.makespan << std::setw(12)
+              << m2.process_count << std::setw(12) << m2.makespan << "\n";
+  }
+  std::cout << "\nD.2 uses ~2x the processes of D.1 (2n+1 vs n+1) but every\n"
+               "process executes at most n+1 statements instead of exactly\n"
+               "n+1 — the classic space/utilization trade-off between the\n"
+               "two place functions.\n";
+  return 0;
+}

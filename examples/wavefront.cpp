@@ -1,0 +1,80 @@
+// Visualize the systolic wavefront: for the Kung-Leiserson matrix-product
+// array, record the logical time of every basic statement and draw, per
+// process of the 2-D array, the time of its FIRST statement. The times
+// form diagonal bands sweeping the array — the asynchronous execution
+// reproduces the synchronous wavefront (cf. the wave-front arrays remark
+// in Sect. 4).
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+using namespace systolize;
+
+int main() {
+  Design design = matmul_design2();
+  CompiledProgram prog = compile(design.nest, design.spec);
+  const Int n = 4;
+  Env sizes{{"n", Rational(n)}};
+
+  Trace trace;
+  InstantiateOptions opt;
+  opt.trace = &trace;
+  IndexedStore store = make_initial_store(
+      design.nest, sizes,
+      [](const std::string&, const IntVec& p) { return p[0] + 1; });
+  RunMetrics metrics = execute(prog, design.nest, sizes, store, opt);
+
+  std::map<IntVec, Int, IntVecLess> first_time;
+  std::map<IntVec, Int, IntVecLess> last_time;
+  for (const StatementEvent& ev : trace.statements) {
+    auto [it, inserted] = first_time.emplace(ev.process, ev.time);
+    if (!inserted) it->second = std::min(it->second, ev.time);
+    auto [jt, fresh] = last_time.emplace(ev.process, ev.time);
+    if (!fresh) jt->second = std::max(jt->second, ev.time);
+  }
+
+  std::cout << design.description << ", n = " << n << "\n";
+  std::cout << metrics.to_string() << "\n\n";
+  std::cout << "logical time of each process's first statement\n";
+  std::cout << "('..' marks buffer-only points outside CS):\n\n     ";
+  for (Int col = -n; col <= n; ++col) {
+    std::cout << std::setw(4) << col;
+  }
+  std::cout << "  <- col\n";
+  for (Int row = n; row >= -n; --row) {
+    std::cout << std::setw(4) << row << ":";
+    for (Int col = -n; col <= n; ++col) {
+      auto it = first_time.find(IntVec{col, row});
+      if (it == first_time.end()) {
+        std::cout << "   .";
+      } else {
+        std::cout << std::setw(4) << it->second;
+      }
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nlogical time of each process's last statement:\n\n";
+  for (Int row = n; row >= -n; --row) {
+    std::cout << std::setw(4) << row << ":";
+    for (Int col = -n; col <= n; ++col) {
+      auto it = last_time.find(IntVec{col, row});
+      if (it == last_time.end()) {
+        std::cout << "   .";
+      } else {
+        std::cout << std::setw(4) << it->second;
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nThe bands advance along the anti-diagonal: the wavefront\n"
+               "of step.(i,j,k) = i+j+k projected by place.(i,j,k) =\n"
+               "(i-k, j-k), emerging purely from rendezvous ordering with\n"
+               "no global clock.\n";
+  return 0;
+}

@@ -1,0 +1,278 @@
+#include "ast/builder.hpp"
+
+#include "scheme/first_last.hpp"
+
+namespace systolize::ast {
+namespace {
+
+/// Wrap `body` in parfor loops over the given coordinate dimensions.
+NodePtr wrap_parfors(const CompiledProgram& c,
+                     const std::vector<std::size_t>& dims, NodePtr body) {
+  NodePtr node = std::move(body);
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    auto pf = std::make_unique<ParFor>();
+    pf->var = c.coords[*it];
+    pf->lo = c.ps.min[*it];
+    pf->hi = c.ps.max[*it];
+    pf->body = std::move(node);
+    node = std::move(pf);
+  }
+  return node;
+}
+
+/// Channel index of the process at `coords` (symbolic), optionally offset
+/// by the stream direction (the "send side" of the hop).
+std::vector<AffineExpr> chan_index(const CompiledProgram& c,
+                                   const IntVec* offset) {
+  std::vector<AffineExpr> idx;
+  for (std::size_t i = 0; i < c.coords.size(); ++i) {
+    AffineExpr e(c.coords[i]);
+    if (offset != nullptr) e += AffineExpr(Rational((*offset)[i]));
+    idx.push_back(std::move(e));
+  }
+  return idx;
+}
+
+/// One i/o process group (input or output) for a stream boundary set.
+NodePtr build_io_group(const CompiledProgram& c, const StreamPlan& plan,
+                       const IoProcessSet& set) {
+  const std::size_t dim = set.dim;
+  const AffineExpr boundary = set.at_min ? c.ps.min[dim] : c.ps.max[dim];
+
+  auto io = std::make_unique<IoRepeat>();
+  io->is_send = set.is_input;
+  io->stream = plan.name;
+  io->first = plan.io.first_s.substituted(c.coords[dim], boundary);
+  io->last = plan.io.last_s.substituted(c.coords[dim], boundary);
+  io->increment = plan.io.increment_s;
+  io->chan.chan = plan.name + "_chan";
+  // Inputs feed the boundary process's own channel; outputs read the
+  // channel one hop beyond the opposite boundary.
+  const IntVec* offset = set.is_input ? nullptr : &plan.motion.direction;
+  io->chan.index = chan_index(c, offset);
+  io->chan.index[dim] = boundary;
+  if (!set.is_input && plan.motion.direction[dim] != 0) {
+    io->chan.index[dim] += AffineExpr(Rational(plan.motion.direction[dim]));
+  }
+
+  std::vector<std::size_t> free_dims;
+  for (std::size_t j = 0; j < c.coords.size(); ++j) {
+    if (j != dim) free_dims.push_back(j);
+  }
+  NodePtr body = std::move(io);
+  if (!set.excluded.empty()) {
+    auto seq = std::make_unique<Seq>();
+    std::string dims_text;
+    for (const BoundaryRef& ref : set.excluded) {
+      if (!dims_text.empty()) dims_text += ", ";
+      dims_text += c.coords[ref.dim].name() + std::string(" ") +
+                   (ref.at_min ? "min" : "max");
+    }
+    auto note = std::make_unique<Comment>();
+    note->text = "duplicates on the " + dims_text + " boundaries omitted";
+    seq->items.push_back(std::move(note));
+    seq->items.push_back(std::move(body));
+    body = std::move(seq);
+  }
+  return wrap_parfors(c, free_dims, std::move(body));
+}
+
+NodePtr build_computation_group(const CompiledProgram& c,
+                                const LoopNest& nest) {
+  auto seq = std::make_unique<Seq>();
+
+  auto decl = std::make_unique<VarDecl>();
+  decl->type = "int";
+  for (const StreamPlan& plan : c.streams) decl->names.push_back(plan.name);
+  seq->items.push_back(std::move(decl));
+
+  // Prologue: loads then soaks (phase order of D.1.7).
+  for (const StreamPlan& plan : c.streams) {
+    if (!plan.motion.stationary) continue;
+    auto load = std::make_unique<Load>();
+    load->stream = plan.name;
+    load->count = plan.drain;  // loading passes = drain_s (Sect. 6.5)
+    seq->items.push_back(std::move(load));
+  }
+  for (const StreamPlan& plan : c.streams) {
+    if (plan.motion.stationary) continue;
+    auto soak = std::make_unique<Pass>();
+    soak->stream = plan.name;
+    soak->count = plan.soak;
+    seq->items.push_back(std::move(soak));
+  }
+
+  // The repeater with the basic statement.
+  auto rep = std::make_unique<CompRepeat>();
+  rep->first = c.repeater.first;
+  rep->last = c.repeater.last;
+  rep->increment = c.repeater.increment;
+  auto stmt = std::make_unique<BasicStatement>();
+  stmt->compute = nest.body_text().empty() ? "<basic statement>"
+                                           : nest.body_text();
+  for (const StreamPlan& plan : c.streams) {
+    if (plan.motion.stationary) continue;
+    Communicate recv;
+    recv.is_send = false;
+    recv.item = plan.name;
+    recv.chan.chan = plan.name + "_chan";
+    recv.chan.index = chan_index(c, nullptr);
+    stmt->receives.push_back(std::move(recv));
+    Communicate send;
+    send.is_send = true;
+    send.item = plan.name;
+    send.chan.chan = plan.name + "_chan";
+    send.chan.index = chan_index(c, &plan.motion.direction);
+    stmt->sends.push_back(std::move(send));
+  }
+  rep->body = std::move(stmt);
+  seq->items.push_back(std::move(rep));
+
+  // Epilogue: drains then recoveries.
+  for (const StreamPlan& plan : c.streams) {
+    if (plan.motion.stationary) continue;
+    auto drain = std::make_unique<Pass>();
+    drain->stream = plan.name;
+    drain->count = plan.drain;
+    seq->items.push_back(std::move(drain));
+  }
+  for (const StreamPlan& plan : c.streams) {
+    if (!plan.motion.stationary) continue;
+    auto rec = std::make_unique<Recover>();
+    rec->stream = plan.name;
+    rec->count = plan.soak;  // recovery passes = soak_s (Sect. 6.5)
+    seq->items.push_back(std::move(rec));
+  }
+
+  std::vector<std::size_t> dims;
+  for (std::size_t j = 0; j < c.coords.size(); ++j) dims.push_back(j);
+  return wrap_parfors(c, dims, std::move(seq));
+}
+
+/// Buffer process group: internal buffers for fractional flows and the
+/// external buffers of PS \ CS (each passes the whole pipeline, Eq. 10).
+NodePtr build_buffer_group(const CompiledProgram& c, bool* any) {
+  auto seq = std::make_unique<Seq>();
+  *any = false;
+  for (const StreamPlan& plan : c.streams) {
+    if (plan.motion.denominator > 1) {
+      *any = true;
+      auto note = std::make_unique<Comment>();
+      note->text =
+          "stream " + plan.name + " has flow denominator " +
+          std::to_string(plan.motion.denominator) + ": " +
+          std::to_string(plan.motion.denominator - 1) +
+          " interposed buffer(s) per hop, each passing the whole pipeline";
+      seq->items.push_back(std::move(note));
+      auto pass = std::make_unique<Pass>();
+      pass->stream = plan.name + "_buff";
+      pass->count = plan.io.count_s;
+      seq->items.push_back(std::move(pass));
+    }
+  }
+  if (!*any) return nullptr;
+  std::vector<std::size_t> dims;
+  for (std::size_t j = 0; j < c.coords.size(); ++j) dims.push_back(j);
+  return wrap_parfors(c, dims, std::move(seq));
+}
+
+NodePtr build_external_buffer_group(const CompiledProgram& c, bool* any) {
+  // External buffers exist only when some point of the PS box escapes
+  // every clause guard of `first` (decided exactly; a guarded `first`
+  // alone does not imply PS != CS — cf. D.2, whose two clauses tile the
+  // whole array).
+  *any = !cs_equals_ps(c.repeater, c.assumptions);
+  if (!*any) return nullptr;
+  auto seq = std::make_unique<Seq>();
+  auto note = std::make_unique<Comment>();
+  note->text =
+      "points where no alternative of `first` holds are outside CS: they "
+      "pass along every pipeline element (Equation 10)";
+  seq->items.push_back(std::move(note));
+  for (const StreamPlan& plan : c.streams) {
+    auto pass = std::make_unique<Pass>();
+    pass->stream = plan.name;
+    pass->count = plan.io.count_s;
+    seq->items.push_back(std::move(pass));
+  }
+  std::vector<std::size_t> dims;
+  for (std::size_t j = 0; j < c.coords.size(); ++j) dims.push_back(j);
+  return wrap_parfors(c, dims, std::move(seq));
+}
+
+}  // namespace
+
+std::unique_ptr<Program> build_ast(const CompiledProgram& compiled,
+                                   const LoopNest& nest) {
+  auto prog = std::make_unique<Program>();
+  prog->name = compiled.name;
+
+  // Channel declarations: the process grid extended one hop beyond the
+  // downstream boundary of each stream (cf. a_chan[0..n+1] in D.1.7 and
+  // c_chan[-(n+1)..n, ...] in E.2.7).
+  for (const StreamPlan& plan : compiled.streams) {
+    auto decl = std::make_unique<ChanDecl>();
+    decl->name = plan.name + "_chan";
+    for (std::size_t i = 0; i < compiled.coords.size(); ++i) {
+      AffineExpr lo = compiled.ps.min[i];
+      AffineExpr hi = compiled.ps.max[i];
+      if (plan.motion.direction[i] > 0) {
+        hi += AffineExpr(Rational(plan.motion.direction[i]));
+      } else if (plan.motion.direction[i] < 0) {
+        lo += AffineExpr(Rational(plan.motion.direction[i]));
+      }
+      decl->ranges.emplace_back(std::move(lo), std::move(hi));
+    }
+    prog->channel_decls.push_back(std::move(decl));
+    if (plan.motion.denominator > 1) {
+      auto buff = std::make_unique<ChanDecl>();
+      buff->name = plan.name + "_buff";
+      for (std::size_t i = 0; i < compiled.coords.size(); ++i) {
+        buff->ranges.emplace_back(compiled.ps.min[i], compiled.ps.max[i]);
+      }
+      prog->channel_decls.push_back(std::move(buff));
+    }
+  }
+
+  auto par = std::make_unique<Par>();
+
+  auto comment = [&par](std::string text) {
+    auto c = std::make_unique<Comment>();
+    c->text = std::move(text);
+    par->items.push_back(std::move(c));
+  };
+
+  comment("Input Processes");
+  for (const StreamPlan& plan : compiled.streams) {
+    for (const IoProcessSet& set : plan.io_sets) {
+      if (!set.is_input) continue;
+      par->items.push_back(build_io_group(compiled, plan, set));
+    }
+  }
+
+  bool any_internal = false;
+  NodePtr internal = build_buffer_group(compiled, &any_internal);
+  bool any_external = false;
+  NodePtr external = build_external_buffer_group(compiled, &any_external);
+  if (any_internal || any_external) {
+    comment("Buffer Processes");
+    if (any_internal) par->items.push_back(std::move(internal));
+    if (any_external) par->items.push_back(std::move(external));
+  }
+
+  comment("Computation Processes");
+  par->items.push_back(build_computation_group(compiled, nest));
+
+  comment("Output Processes");
+  for (const StreamPlan& plan : compiled.streams) {
+    for (const IoProcessSet& set : plan.io_sets) {
+      if (set.is_input) continue;
+      par->items.push_back(build_io_group(compiled, plan, set));
+    }
+  }
+
+  prog->body = std::move(par);
+  return prog;
+}
+
+}  // namespace systolize::ast

@@ -1,0 +1,13 @@
+// Build the abstract program tree from a compiled program — the shape of
+// the final programs in Appendices D.1.7, D.2.7, E.1.7 and E.2.7.
+#pragma once
+
+#include "ast/node.hpp"
+#include "scheme/types.hpp"
+
+namespace systolize::ast {
+
+[[nodiscard]] std::unique_ptr<Program> build_ast(
+    const CompiledProgram& compiled, const LoopNest& nest);
+
+}  // namespace systolize::ast

@@ -1,0 +1,20 @@
+#include "ast/node.hpp"
+
+namespace systolize::ast {
+
+void Seq::accept(Visitor& v) const { v.visit(*this); }
+void Par::accept(Visitor& v) const { v.visit(*this); }
+void ParFor::accept(Visitor& v) const { v.visit(*this); }
+void ChanDecl::accept(Visitor& v) const { v.visit(*this); }
+void VarDecl::accept(Visitor& v) const { v.visit(*this); }
+void Comment::accept(Visitor& v) const { v.visit(*this); }
+void Communicate::accept(Visitor& v) const { v.visit(*this); }
+void IoRepeat::accept(Visitor& v) const { v.visit(*this); }
+void Pass::accept(Visitor& v) const { v.visit(*this); }
+void Load::accept(Visitor& v) const { v.visit(*this); }
+void Recover::accept(Visitor& v) const { v.visit(*this); }
+void CompRepeat::accept(Visitor& v) const { v.visit(*this); }
+void BasicStatement::accept(Visitor& v) const { v.visit(*this); }
+void Program::accept(Visitor& v) const { v.visit(*this); }
+
+}  // namespace systolize::ast

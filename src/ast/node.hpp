@@ -1,0 +1,157 @@
+// Abstract syntax for the generated systolic programs (paper Sect. 4 and
+// Appendix C). The tree mirrors the structure of the final programs in
+// Appendices D and E: channel declarations, then a par of input, buffer,
+// computation and output process groups. Printers render it in paper
+// notation, occam-like syntax, or C-like syntax.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "symbolic/affine_point.hpp"
+#include "symbolic/piecewise.hpp"
+
+namespace systolize::ast {
+
+class Visitor;
+
+struct Node {
+  virtual ~Node() = default;
+  virtual void accept(Visitor& v) const = 0;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/// Sequential composition (vertical alignment in the paper's notation).
+struct Seq final : Node {
+  std::vector<NodePtr> items;
+  void accept(Visitor& v) const override;
+};
+
+/// par ... end par.
+struct Par final : Node {
+  std::vector<NodePtr> items;
+  void accept(Visitor& v) const override;
+};
+
+/// parfor var from lo to hi do ... end parfor.
+struct ParFor final : Node {
+  Symbol var;
+  AffineExpr lo;
+  AffineExpr hi;
+  NodePtr body;
+  void accept(Visitor& v) const override;
+};
+
+/// chan name[lo0..hi0, lo1..hi1, ...].
+struct ChanDecl final : Node {
+  std::string name;
+  std::vector<std::pair<AffineExpr, AffineExpr>> ranges;
+  void accept(Visitor& v) const override;
+};
+
+/// Local variable declarations, e.g. "int a, b, c".
+struct VarDecl final : Node {
+  std::string type;
+  std::vector<std::string> names;
+  void accept(Visitor& v) const override;
+};
+
+struct Comment final : Node {
+  std::string text;
+  void accept(Visitor& v) const override;
+};
+
+/// A channel reference chan[idx0, idx1, ...].
+struct ChanRef {
+  std::string chan;
+  std::vector<AffineExpr> index;
+};
+
+/// send item to chan[...]  /  receive item from chan[...].
+struct Communicate final : Node {
+  bool is_send = false;
+  std::string item;  ///< the local variable or stream name communicated
+  ChanRef chan;
+  void accept(Visitor& v) const override;
+};
+
+/// An i/o process repeater: send/receive s {first_s last_s increment_s}.
+struct IoRepeat final : Node {
+  bool is_send = false;
+  std::string stream;
+  Piecewise<AffinePoint> first;
+  Piecewise<AffinePoint> last;
+  IntVec increment;
+  ChanRef chan;
+  void accept(Visitor& v) const override;
+};
+
+/// pass s, count — forward `count` elements (Appendix C).
+struct Pass final : Node {
+  std::string stream;
+  Piecewise<AffineExpr> count;
+  void accept(Visitor& v) const override;
+};
+
+/// load s, count — receive own element, then pass `count` (Appendix C).
+struct Load final : Node {
+  std::string stream;
+  Piecewise<AffineExpr> count;
+  void accept(Visitor& v) const override;
+};
+
+/// recover s, count — pass `count`, then send own element (Appendix C).
+struct Recover final : Node {
+  std::string stream;
+  Piecewise<AffineExpr> count;
+  void accept(Visitor& v) const override;
+};
+
+/// The computation repeater {first last increment} wrapping the basic
+/// statement.
+struct CompRepeat final : Node {
+  Piecewise<AffinePoint> first;
+  Piecewise<AffinePoint> last;
+  IntVec increment;
+  NodePtr body;  ///< the basic statement
+  void accept(Visitor& v) const override;
+};
+
+/// The basic statement: par receives, a computation, par sends.
+struct BasicStatement final : Node {
+  std::vector<Communicate> receives;
+  std::string compute;  ///< e.g. "c := c + a * b"
+  std::vector<Communicate> sends;
+  void accept(Visitor& v) const override;
+};
+
+/// The whole program.
+struct Program final : Node {
+  std::string name;
+  std::vector<NodePtr> channel_decls;
+  NodePtr body;  ///< outermost par
+  void accept(Visitor& v) const override;
+};
+
+class Visitor {
+ public:
+  virtual ~Visitor() = default;
+  virtual void visit(const Seq&) = 0;
+  virtual void visit(const Par&) = 0;
+  virtual void visit(const ParFor&) = 0;
+  virtual void visit(const ChanDecl&) = 0;
+  virtual void visit(const VarDecl&) = 0;
+  virtual void visit(const Comment&) = 0;
+  virtual void visit(const Communicate&) = 0;
+  virtual void visit(const IoRepeat&) = 0;
+  virtual void visit(const Pass&) = 0;
+  virtual void visit(const Load&) = 0;
+  virtual void visit(const Recover&) = 0;
+  virtual void visit(const CompRepeat&) = 0;
+  virtual void visit(const BasicStatement&) = 0;
+  virtual void visit(const Program&) = 0;
+};
+
+}  // namespace systolize::ast

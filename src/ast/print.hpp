@@ -1,0 +1,18 @@
+// Render a generated program in three concrete syntaxes. The abstract
+// syntax is "easily translated to any distributed programming language"
+// (Sect. 1); these printers demonstrate that claim for the paper's own
+// notation (Appendix C), an occam-like syntax, and a C-with-communication-
+// directives syntax (the two hand-translation targets of Sect. 8).
+#pragma once
+
+#include <string>
+
+#include "ast/node.hpp"
+
+namespace systolize::ast {
+
+[[nodiscard]] std::string to_paper_notation(const Program& program);
+[[nodiscard]] std::string to_occam(const Program& program);
+[[nodiscard]] std::string to_c(const Program& program);
+
+}  // namespace systolize::ast

@@ -1,0 +1,196 @@
+// Printer for the paper's own program notation (Appendix C / the final
+// programs of Appendices D and E).
+#include "ast/print.hpp"
+#include "ast/printer_base.hpp"
+
+namespace systolize::ast {
+namespace {
+
+class PaperPrinter final : public detail::PrinterBase {
+ public:
+  void visit(const Seq& n) override {
+    for (const NodePtr& item : n.items) item->accept(*this);
+  }
+
+  void visit(const Par& n) override {
+    line("par");
+    indent();
+    for (const NodePtr& item : n.items) item->accept(*this);
+    dedent();
+    line("end par");
+  }
+
+  void visit(const ParFor& n) override {
+    line("parfor " + n.var.name() + " from " + n.lo.to_string() + " to " +
+         n.hi.to_string() + " do");
+    indent();
+    n.body->accept(*this);
+    dedent();
+    line("end parfor");
+  }
+
+  void visit(const ChanDecl& n) override {
+    std::string s = "chan " + n.name + "[";
+    for (std::size_t i = 0; i < n.ranges.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += n.ranges[i].first.to_string() + ".." +
+           n.ranges[i].second.to_string();
+    }
+    line(s + "]");
+  }
+
+  void visit(const VarDecl& n) override {
+    std::string s = n.type + " ";
+    for (std::size_t i = 0; i < n.names.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += n.names[i];
+    }
+    line(s);
+  }
+
+  void visit(const Comment& n) override {
+    line("/******* " + n.text + " *******/");
+  }
+
+  void visit(const Communicate& n) override {
+    if (n.is_send) {
+      line("send " + n.item + " to " + show_chan(n.chan));
+    } else {
+      line("receive " + n.item + " from " + show_chan(n.chan));
+    }
+  }
+
+  void visit(const IoRepeat& n) override {
+    const std::string verb = n.is_send ? "send " : "receive ";
+    const std::string link = n.is_send ? " to " : " from ";
+    auto emit = [&](const std::string& first, const std::string& last) {
+      line(verb + n.stream + " {" + first + " " + last + " " +
+           show_vec(n.increment) + "}" + link + show_chan(n.chan));
+    };
+    // Zip first/last clause-wise when their guards match; otherwise print
+    // each piecewise component separately.
+    if (n.first.size() == n.last.size()) {
+      bool zipped = true;
+      for (std::size_t i = 0; i < n.first.size(); ++i) {
+        if (!(n.first.pieces()[i].guard == n.last.pieces()[i].guard)) {
+          zipped = false;
+        }
+      }
+      if (zipped) {
+        if (n.first.size() == 1 &&
+            n.first.pieces()[0].guard.is_trivially_true()) {
+          emit(show_point(n.first.pieces()[0].value),
+               show_point(n.last.pieces()[0].value));
+          return;
+        }
+        line("if");
+        indent();
+        for (std::size_t i = 0; i < n.first.size(); ++i) {
+          line((i == 0 ? "" : "[] ") + n.first.pieces()[i].guard.to_string() +
+               "  ->");
+          indent();
+          emit(show_point(n.first.pieces()[i].value),
+               show_point(n.last.pieces()[i].value));
+          dedent();
+        }
+        line("[] else -> null");
+        dedent();
+        line("fi");
+        return;
+      }
+    }
+    line("(first_" + n.stream + ", last_" + n.stream + ") :=");
+    indent();
+    guarded(
+        n.first, [&](const AffinePoint& p) { line("first := " + show_point(p)); },
+        "if", "[]", "fi");
+    guarded(
+        n.last, [&](const AffinePoint& p) { line("last := " + show_point(p)); },
+        "if", "[]", "fi");
+    dedent();
+    emit("first_" + n.stream, "last_" + n.stream);
+  }
+
+  void visit(const Pass& n) override {
+    guarded(
+        n.count,
+        [&](const AffineExpr& e) { line("pass " + n.stream + ", " +
+                                        show_expr(e)); },
+        "if", "[]", "fi");
+  }
+
+  void visit(const Load& n) override {
+    guarded(
+        n.count,
+        [&](const AffineExpr& e) { line("load " + n.stream + ", " +
+                                        show_expr(e)); },
+        "if", "[]", "fi");
+  }
+
+  void visit(const Recover& n) override {
+    guarded(
+        n.count,
+        [&](const AffineExpr& e) { line("recover " + n.stream + ", " +
+                                        show_expr(e)); },
+        "if", "[]", "fi");
+  }
+
+  void visit(const CompRepeat& n) override {
+    auto show_pw = [&](const std::string& what,
+                       const Piecewise<AffinePoint>& pw) {
+      if (pw.size() == 1 && pw.pieces()[0].guard.is_trivially_true()) {
+        line(what + " := " + show_point(pw.pieces()[0].value));
+        return;
+      }
+      line(what + " := if");
+      indent();
+      for (std::size_t i = 0; i < pw.size(); ++i) {
+        line((i == 0 ? "" : "[] ") + pw.pieces()[i].guard.to_string() +
+             "  ->  " + show_point(pw.pieces()[i].value));
+      }
+      line("[] else -> null");
+      dedent();
+      line("fi");
+    };
+    show_pw("first", n.first);
+    show_pw("last", n.last);
+    line("{first last " + show_vec(n.increment) + "}:");
+    indent();
+    n.body->accept(*this);
+    dedent();
+  }
+
+  void visit(const BasicStatement& n) override {
+    if (!n.receives.empty()) {
+      line("par");
+      indent();
+      for (const Communicate& c : n.receives) visit(c);
+      dedent();
+      line("end par");
+    }
+    line(n.compute);
+    if (!n.sends.empty()) {
+      line("par");
+      indent();
+      for (const Communicate& c : n.sends) visit(c);
+      dedent();
+      line("end par");
+    }
+  }
+
+  void visit(const Program& n) override {
+    line("/* systolic program: " + n.name + " */");
+    for (const NodePtr& d : n.channel_decls) d->accept(*this);
+    n.body->accept(*this);
+  }
+};
+
+}  // namespace
+
+std::string to_paper_notation(const Program& program) {
+  PaperPrinter printer;
+  program.accept(printer);
+  return printer.str();
+}
+
+}  // namespace systolize::ast

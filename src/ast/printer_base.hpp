@@ -1,0 +1,63 @@
+// Internal shared machinery for the concrete-syntax printers.
+#pragma once
+
+#include <sstream>
+
+#include "ast/node.hpp"
+
+namespace systolize::ast::detail {
+
+class PrinterBase : public Visitor {
+ public:
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ protected:
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+    out_ << text << '\n';
+  }
+  void indent() { ++indent_; }
+  void dedent() { --indent_; }
+
+  static std::string show_point(const AffinePoint& p) { return p.to_string(); }
+  static std::string show_expr(const AffineExpr& e) { return e.to_string(); }
+
+  static std::string show_vec(const IntVec& v) { return v.to_string(); }
+
+  static std::string show_chan(const ChanRef& c) {
+    std::string s = c.chan + "[";
+    for (std::size_t i = 0; i < c.index.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += c.index[i].to_string();
+    }
+    return s + "]";
+  }
+
+  /// Print a guarded alternative set with a per-piece emitter; emits the
+  /// single value inline when the definition is total.
+  template <typename T, typename F>
+  void guarded(const Piecewise<T>& pw, F&& emit_value,
+               const std::string& if_kw, const std::string& alt_kw,
+               const std::string& fi_kw) {
+    if (pw.size() == 1 && pw.pieces()[0].guard.is_trivially_true()) {
+      emit_value(pw.pieces()[0].value);
+      return;
+    }
+    line(if_kw);
+    indent();
+    for (std::size_t i = 0; i < pw.size(); ++i) {
+      const auto& piece = pw.pieces()[i];
+      line((i == 0 ? "" : alt_kw + " ") + piece.guard.to_string() + "  ->");
+      indent();
+      emit_value(piece.value);
+      dedent();
+    }
+    dedent();
+    line(fi_kw);
+  }
+
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+}  // namespace systolize::ast::detail

@@ -1,0 +1,177 @@
+#include "baseline/runtime_generation.hpp"
+
+#include <algorithm>
+
+#include "scheme/increment.hpp"
+#include "scheme/io_comm.hpp"
+
+namespace systolize {
+namespace {
+
+bool in_box(const IntVec& y, const IntVec& lo, const IntVec& hi) {
+  for (std::size_t i = 0; i < y.dim(); ++i) {
+    if (y[i] < lo[i] || y[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IntVec EnumerationOracle::anchor(const IntVec& y,
+                                 const IntVec& direction) const {
+  IntVec a = y;
+  for (;;) {
+    IntVec prev = a - direction;
+    if (!in_box(prev, ps_min_, ps_max_)) return a;
+    a = prev;
+  }
+}
+
+EnumerationOracle::EnumerationOracle(const LoopNest& nest,
+                                     const ArraySpec& spec, const Env& env) {
+  const StepFunction& step = spec.step();
+  const PlaceFunction& place = spec.place();
+  increment_ = derive_increment(step, place);
+
+  std::vector<IntVec> index_space = nest.enumerate_index_space(env);
+
+  // Group statements into chords and grow the PS box.
+  std::map<IntVec, std::vector<IntVec>, IntVecLess> by_place;
+  for (const IntVec& x : index_space) {
+    IntVec y = place.apply(x);
+    if (by_place.empty()) {
+      ps_min_ = y;
+      ps_max_ = y;
+    } else {
+      for (std::size_t i = 0; i < y.dim(); ++i) {
+        ps_min_[i] = std::min(ps_min_[i], y[i]);
+        ps_max_[i] = std::max(ps_max_[i], y[i]);
+      }
+    }
+    by_place[y].push_back(x);
+  }
+  for (auto& [y, xs] : by_place) {
+    std::sort(xs.begin(), xs.end(),
+              [&step](const IntVec& a, const IntVec& b) {
+                return step.apply(a) < step.apply(b);
+              });
+    chords_[y] = Chord{xs.front(), xs.back(), static_cast<Int>(xs.size())};
+  }
+
+  // Per stream: pipelines keyed by the anchor of their carrier line.
+  for (const Stream& s : nest.streams()) {
+    StreamMotion motion = spec.motion_of(s);
+    StreamData data;
+    data.direction = motion.direction;
+    data.increment_s =
+        motion.stationary
+            ? stationary_element_increment(s, place, motion.direction,
+                                           increment_)
+            : s.index_map().apply(increment_);
+    data.index_map = s.index_map();
+
+    std::map<IntVec, std::set<IntVec, IntVecLess>, IntVecLess> elems;
+    for (const IntVec& x : index_space) {
+      IntVec key = anchor(place.apply(x), data.direction);
+      elems[key].insert(s.element_of(x));
+    }
+    for (auto& [key, set] : elems) {
+      Pipe pipe;
+      pipe.elems.assign(set.begin(), set.end());
+      std::sort(pipe.elems.begin(), pipe.elems.end(),
+                [&data](const IntVec& a, const IntVec& b) {
+                  return data.increment_s.dot(a) < data.increment_s.dot(b);
+                });
+      data.pipes[key] = std::move(pipe);
+    }
+    streams_[s.name()] = std::move(data);
+  }
+}
+
+std::vector<IntVec> EnumerationOracle::ps_points() const {
+  std::vector<IntVec> points;
+  IntVec y = ps_min_;
+  for (;;) {
+    points.push_back(y);
+    std::size_t i = y.dim();
+    while (i > 0) {
+      --i;
+      if (++y[i] <= ps_max_[i]) break;
+      y[i] = ps_min_[i];
+      if (i == 0) return points;
+    }
+  }
+}
+
+bool EnumerationOracle::in_computation_space(const IntVec& y) const {
+  return chords_.contains(y);
+}
+
+const EnumerationOracle::Chord& EnumerationOracle::chord_at(
+    const IntVec& y) const {
+  auto it = chords_.find(y);
+  if (it == chords_.end()) {
+    raise(ErrorKind::Validation,
+          "process " + y.to_string() + " is not in the computation space");
+  }
+  return it->second;
+}
+
+const EnumerationOracle::StreamData& EnumerationOracle::stream_data(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    raise(ErrorKind::Validation, "oracle has no stream '" + name + "'");
+  }
+  return it->second;
+}
+
+const IntVec& EnumerationOracle::increment_s(const std::string& stream) const {
+  return stream_data(stream).increment_s;
+}
+
+std::optional<EnumerationOracle::Pipe> EnumerationOracle::pipe_at(
+    const std::string& stream, const IntVec& y) const {
+  const StreamData& data = stream_data(stream);
+  auto it = data.pipes.find(anchor(y, data.direction));
+  if (it == data.pipes.end()) return std::nullopt;
+  return it->second;
+}
+
+Int EnumerationOracle::soak_at(const std::string& stream,
+                               const IntVec& y) const {
+  const StreamData& data = stream_data(stream);
+  const Chord& chord = chord_at(y);
+  auto pipe = pipe_at(stream, y);
+  if (!pipe.has_value()) {
+    raise(ErrorKind::Validation,
+          "no pipe of '" + stream + "' crosses " + y.to_string());
+  }
+  // Elements arriving before the first one this process uses (Sect. 6.5):
+  // count w with increment_s . w < increment_s . M.(first).
+  Int threshold = data.increment_s.dot(data.index_map.apply(chord.first));
+  Int count = 0;
+  for (const IntVec& w : pipe->elems) {
+    if (data.increment_s.dot(w) < threshold) ++count;
+  }
+  return count;
+}
+
+Int EnumerationOracle::drain_at(const std::string& stream,
+                                const IntVec& y) const {
+  const StreamData& data = stream_data(stream);
+  const Chord& chord = chord_at(y);
+  auto pipe = pipe_at(stream, y);
+  if (!pipe.has_value()) {
+    raise(ErrorKind::Validation,
+          "no pipe of '" + stream + "' crosses " + y.to_string());
+  }
+  Int threshold = data.increment_s.dot(data.index_map.apply(chord.last));
+  Int count = 0;
+  for (const IntVec& w : pipe->elems) {
+    if (data.increment_s.dot(w) > threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace systolize

@@ -1,0 +1,87 @@
+// Run-time generation baseline (the far end of the Sect.-8 spectrum):
+// determine every process's statements, pipelines and propagation counts by
+// scanning the concrete index space, exactly as a process would at run
+// time from the loop bounds and its own coordinates.
+//
+// This doubles as the *enumeration oracle*: property tests check that the
+// compile-time symbolic scheme evaluates to these brute-force answers at
+// every process and problem size, and the generation-spectrum bench
+// measures its O(|IS|) per-process cost against the scheme's O(1).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+class EnumerationOracle {
+ public:
+  /// A process's chord: its statement sequence summarized by endpoints.
+  struct Chord {
+    IntVec first;  ///< statement with minimal step
+    IntVec last;   ///< statement with maximal step
+    Int count = 0;
+  };
+
+  /// One stream pipeline: ordered element identities.
+  struct Pipe {
+    std::vector<IntVec> elems;  ///< ordered by increment_s . w
+    [[nodiscard]] const IntVec& first_s() const { return elems.front(); }
+    [[nodiscard]] const IntVec& last_s() const { return elems.back(); }
+    [[nodiscard]] Int count() const {
+      return static_cast<Int>(elems.size());
+    }
+  };
+
+  EnumerationOracle(const LoopNest& nest, const ArraySpec& spec,
+                    const Env& env);
+
+  [[nodiscard]] const IntVec& ps_min() const noexcept { return ps_min_; }
+  [[nodiscard]] const IntVec& ps_max() const noexcept { return ps_max_; }
+  [[nodiscard]] const IntVec& increment() const noexcept { return increment_; }
+
+  /// Every point of the (box) process space.
+  [[nodiscard]] std::vector<IntVec> ps_points() const;
+
+  [[nodiscard]] bool in_computation_space(const IntVec& y) const;
+  /// Chord of a computation-space point; throws for buffer points.
+  [[nodiscard]] const Chord& chord_at(const IntVec& y) const;
+
+  [[nodiscard]] const IntVec& increment_s(const std::string& stream) const;
+
+  /// The pipeline of `stream` through process y; nullopt when no element
+  /// of the stream crosses y (a null pipe).
+  [[nodiscard]] std::optional<Pipe> pipe_at(const std::string& stream,
+                                            const IntVec& y) const;
+
+  /// Soak / drain counts (Eqs. 8/9) for a computation-space point.
+  [[nodiscard]] Int soak_at(const std::string& stream, const IntVec& y) const;
+  [[nodiscard]] Int drain_at(const std::string& stream, const IntVec& y) const;
+
+ private:
+  struct StreamData {
+    IntVec direction;     ///< pipe direction in PS
+    IntVec increment_s;   ///< element ordering vector in VS
+    IntMatrix index_map;  ///< M.s, to find the element a statement uses
+    /// pipes keyed by the most-upstream box point of their line
+    std::map<IntVec, Pipe, IntVecLess> pipes;
+  };
+
+  /// Most-upstream point of the line through y along `direction` that is
+  /// still inside the PS box — the canonical pipe key.
+  [[nodiscard]] IntVec anchor(const IntVec& y, const IntVec& direction) const;
+
+  [[nodiscard]] const StreamData& stream_data(const std::string& name) const;
+
+  IntVec ps_min_;
+  IntVec ps_max_;
+  IntVec increment_;
+  std::map<IntVec, Chord, IntVecLess> chords_;
+  std::map<std::string, StreamData> streams_;
+};
+
+}  // namespace systolize

@@ -1,0 +1,33 @@
+#include "baseline/sequential.hpp"
+
+namespace systolize {
+
+void run_sequential(const LoopNest& nest, const Env& env,
+                    IndexedStore& store) {
+  for (const IntVec& x : nest.enumerate_index_space(env)) {
+    std::map<std::string, Value> vals;
+    for (const Stream& s : nest.streams()) {
+      vals[s.name()] = store.get(s.name(), s.element_of(x));
+    }
+    nest.body()(x, vals);
+    for (const Stream& s : nest.streams()) {
+      if (s.access() == StreamAccess::Update) {
+        store.set(s.name(), s.element_of(x), vals.at(s.name()));
+      }
+    }
+  }
+}
+
+IndexedStore make_initial_store(
+    const LoopNest& nest, const Env& env,
+    const std::function<Value(const std::string&, const IntVec&)>& init) {
+  IndexedStore store;
+  for (const Stream& s : nest.streams()) {
+    store.fill(s, env, [&](const IntVec& p) {
+      return s.access() == StreamAccess::Update ? 0 : init(s.name(), p);
+    });
+  }
+  return store;
+}
+
+}  // namespace systolize

@@ -1,0 +1,19 @@
+// Ground truth: execute the source program sequentially on the host store.
+#pragma once
+
+#include "runtime/host.hpp"
+#include "systolic/step_place.hpp"
+
+namespace systolize {
+
+/// Run the loop nest in its sequential order (steps honoured) at a
+/// concrete problem size, reading and updating `store` in place.
+void run_sequential(const LoopNest& nest, const Env& env, IndexedStore& store);
+
+/// Convenience: a store with every Read stream filled by `init` and every
+/// Update stream zero-initialized over its domain.
+[[nodiscard]] IndexedStore make_initial_store(
+    const LoopNest& nest, const Env& env,
+    const std::function<Value(const std::string&, const IntVec&)>& init);
+
+}  // namespace systolize

@@ -1,0 +1,200 @@
+#include "designs/catalog.hpp"
+
+namespace systolize {
+namespace {
+
+Guard n_at_least_one() {
+  Guard g;
+  g.add(Constraint{AffineExpr(1), AffineExpr(size_symbol("n"))});
+  return g;
+}
+
+/// c += a * b with the given stream names.
+StatementBody mul_accumulate(std::string a, std::string b, std::string c) {
+  return [a = std::move(a), b = std::move(b),
+          c = std::move(c)](std::map<std::string, Value>& v) {
+    v.at(c) += v.at(a) * v.at(b);
+  };
+}
+
+LoopNest polyprod_nest() {
+  Symbol n = size_symbol("n");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"j", zero, en, 1},
+  };
+  std::vector<Stream> streams = {
+      Stream("a", IntMatrix{{1, 0}}, {VarDim{zero, en}}, StreamAccess::Read),
+      Stream("b", IntMatrix{{0, 1}}, {VarDim{zero, en}}, StreamAccess::Read),
+      Stream("c", IntMatrix{{1, 1}}, {VarDim{zero, en * Rational(2)}},
+             StreamAccess::Update),
+  };
+  return LoopNest("polyprod", std::move(loops), std::move(streams), {n},
+                  n_at_least_one(), mul_accumulate("a", "b", "c"),
+                  "c := c + a * b");
+}
+
+LoopNest matmul_nest() {
+  Symbol n = size_symbol("n");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"j", zero, en, 1},
+      {"k", zero, en, 1},
+  };
+  std::vector<Stream> streams = {
+      Stream("a", IntMatrix{{1, 0, 0}, {0, 0, 1}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Read),
+      Stream("b", IntMatrix{{0, 0, 1}, {0, 1, 0}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Read),
+      Stream("c", IntMatrix{{1, 0, 0}, {0, 1, 0}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Update),
+  };
+  return LoopNest("matmul", std::move(loops), std::move(streams), {n},
+                  n_at_least_one(), mul_accumulate("a", "b", "c"),
+                  "c := c + a * b");
+}
+
+}  // namespace
+
+Design polyprod_design1() {
+  return Design{
+      polyprod_nest(),
+      ArraySpec(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, 0}}),
+                {{"a", IntVec{1}}}),
+      "polynomial product, place.(i,j) = i (Appendix D.1)"};
+}
+
+Design polyprod_design2() {
+  return Design{
+      polyprod_nest(),
+      ArraySpec(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, 1}}),
+                {{"c", IntVec{1}}}),
+      "polynomial product, place.(i,j) = i+j (Appendix D.2)"};
+}
+
+Design matmul_design1() {
+  return Design{matmul_nest(),
+                ArraySpec(StepFunction(IntVec{1, 1, 1}),
+                          PlaceFunction(IntMatrix{{1, 0, 0}, {0, 1, 0}}),
+                          {{"c", IntVec{1, 0}}}),
+                "matrix product, place.(i,j,k) = (i,j) (Appendix E.1)"};
+}
+
+Design matmul_design2() {
+  return Design{matmul_nest(),
+                ArraySpec(StepFunction(IntVec{1, 1, 1}),
+                          PlaceFunction(IntMatrix{{1, 0, -1}, {0, 1, -1}})),
+                "matrix product, place.(i,j,k) = (i-k,j-k) — the "
+                "Kung-Leiserson array (Appendix E.2)"};
+}
+
+Design matmul_design3() {
+  return Design{matmul_nest(),
+                ArraySpec(StepFunction(IntVec{1, 1, 1}),
+                          PlaceFunction(IntMatrix{{1, 0, 0}, {0, 0, 1}}),
+                          {{"a", IntVec{0, 1}}}),
+                "matrix product, place.(i,j,k) = (i,k) — a stationary"};
+}
+
+Design matmul_design4() {
+  return Design{matmul_nest(),
+                ArraySpec(StepFunction(IntVec{1, 1, 1}),
+                          PlaceFunction(IntMatrix{{0, 0, 1}, {0, 1, 0}}),
+                          {{"b", IntVec{1, 0}}}),
+                "matrix product, place.(i,j,k) = (k,j) — b stationary"};
+}
+
+Design polyprod_design3() {
+  return Design{
+      polyprod_nest(),
+      ArraySpec(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{0, 1}}),
+                {{"b", IntVec{1}}}),
+      "polynomial product, place.(i,j) = j — b stationary, c flows against "
+      "a"};
+}
+
+Design convolution_design() {
+  Symbol n = size_symbol("n");
+  Symbol m = size_symbol("m");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  AffineExpr em(m);
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"j", zero, em, 1},
+  };
+  std::vector<Stream> streams = {
+      Stream("w", IntMatrix{{0, 1}}, {VarDim{zero, em}}, StreamAccess::Read),
+      Stream("x", IntMatrix{{1, 1}}, {VarDim{zero, en + em}},
+             StreamAccess::Read),
+      Stream("y", IntMatrix{{1, 0}}, {VarDim{zero, en}}, StreamAccess::Update),
+  };
+  Guard g;
+  g.add(Constraint{AffineExpr(1), en});
+  g.add(Constraint{AffineExpr(1), em});
+  LoopNest nest("convolution", std::move(loops), std::move(streams), {n, m},
+                std::move(g), mul_accumulate("w", "x", "y"),
+                "y := y + w * x");
+  return Design{std::move(nest),
+                ArraySpec(StepFunction(IntVec{1, 2}),
+                          PlaceFunction(IntMatrix{{1, 0}}),
+                          {{"y", IntVec{1}}}),
+                "FIR convolution, place.(i,j) = i: x flows against w"};
+}
+
+Design correlation_design() {
+  Symbol n = size_symbol("n");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"j", zero, en, 1},
+  };
+  std::vector<Stream> streams = {
+      Stream("a", IntMatrix{{1, 0}}, {VarDim{zero, en}}, StreamAccess::Read),
+      Stream("b", IntMatrix{{0, 1}}, {VarDim{zero, en}}, StreamAccess::Read),
+      Stream("c", IntMatrix{{1, -1}}, {VarDim{-en, en}},
+             StreamAccess::Update),
+  };
+  LoopNest nest("correlation", std::move(loops), std::move(streams), {n},
+                n_at_least_one(), mul_accumulate("a", "b", "c"),
+                "c := c + a * b");
+  return Design{std::move(nest),
+                ArraySpec(StepFunction(IntVec{1, 2}),
+                          PlaceFunction(IntMatrix{{1, 0}}),
+                          {{"a", IntVec{1}}}),
+                "correlation c[i-j] += a[i]*b[j]: stream c has flow 1/3"};
+}
+
+std::vector<Design> all_designs() {
+  std::vector<Design> designs;
+  designs.push_back(polyprod_design1());
+  designs.push_back(polyprod_design2());
+  designs.push_back(matmul_design1());
+  designs.push_back(matmul_design2());
+  designs.push_back(matmul_design3());
+  designs.push_back(matmul_design4());
+  designs.push_back(polyprod_design3());
+  designs.push_back(convolution_design());
+  designs.push_back(correlation_design());
+  return designs;
+}
+
+Design design_by_name(const std::string& name) {
+  if (name == "polyprod1") return polyprod_design1();
+  if (name == "polyprod2") return polyprod_design2();
+  if (name == "matmul1") return matmul_design1();
+  if (name == "matmul2") return matmul_design2();
+  if (name == "matmul3") return matmul_design3();
+  if (name == "matmul4") return matmul_design4();
+  if (name == "polyprod3") return polyprod_design3();
+  if (name == "convolution") return convolution_design();
+  if (name == "correlation") return correlation_design();
+  raise(ErrorKind::Validation, "unknown design '" + name + "'");
+}
+
+}  // namespace systolize

@@ -1,0 +1,62 @@
+// Ready-made (source program, systolic array) pairs: the paper's two
+// appendix examples (two designs each) plus further classic kernels that
+// satisfy the Appendix-A restrictions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+struct Design {
+  LoopNest nest;
+  ArraySpec spec;
+  std::string description;
+};
+
+/// Appendix D.1 — polynomial product, place.(i,j) = i (simple; stream a
+/// stationary, b has flow 1/2).
+[[nodiscard]] Design polyprod_design1();
+
+/// Appendix D.2 — polynomial product, place.(i,j) = i+j (non-simple;
+/// stream c stationary).
+[[nodiscard]] Design polyprod_design2();
+
+/// Appendix E.1 — matrix product, place.(i,j,k) = (i,j) (simple; c
+/// stationary — the "collapse the inner loop" parallelization).
+[[nodiscard]] Design matmul_design1();
+
+/// Appendix E.2 — matrix product, place.(i,j,k) = (i-k,j-k): the
+/// Kung-Leiserson array; PS != CS, external buffers appear.
+[[nodiscard]] Design matmul_design2();
+
+/// Extension — matrix product, place.(i,j,k) = (i,k): a stationary, b and
+/// c moving along different axes.
+[[nodiscard]] Design matmul_design3();
+
+/// Extension — matrix product, place.(i,j,k) = (k,j): b stationary,
+/// completing the trio of which-operand-stays-resident choices.
+[[nodiscard]] Design matmul_design4();
+
+/// Extension — polynomial product, place.(i,j) = j: b stationary and the
+/// result stream c flows *against* a (flow -1 vs +1/2).
+[[nodiscard]] Design polyprod_design3();
+
+/// Extension — FIR convolution y[i] = sum_j w[j]*x[i+j] with
+/// step.(i,j) = i+2j, place.(i,j) = i: counter-flowing x (flow -1) against
+/// w (flow +1), y stationary.
+[[nodiscard]] Design convolution_design();
+
+/// Extension — correlation c[i-j] += a[i]*b[j] with step.(i,j) = i+2j,
+/// place.(i,j) = i: stream c has flow 1/3 (two internal buffers per hop).
+[[nodiscard]] Design correlation_design();
+
+/// All catalog designs, for parameterized tests and benches.
+[[nodiscard]] std::vector<Design> all_designs();
+
+/// Look up a catalog design by name ("polyprod1", "matmul2", ...).
+[[nodiscard]] Design design_by_name(const std::string& name);
+
+}  // namespace systolize

@@ -1,0 +1,134 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace systolize::frontend {
+
+std::string Token::describe() const {
+  switch (kind) {
+    case TokKind::Ident:
+      return "identifier '" + text + "'";
+    case TokKind::Integer:
+      return "integer " + std::to_string(value);
+    case TokKind::LParen:
+      return "'('";
+    case TokKind::RParen:
+      return "')'";
+    case TokKind::LBracket:
+      return "'['";
+    case TokKind::RBracket:
+      return "']'";
+    case TokKind::Comma:
+      return "','";
+    case TokKind::DotDot:
+      return "'..'";
+    case TokKind::Assign:
+      return "':='";
+    case TokKind::Equals:
+      return "'='";
+    case TokKind::Ge:
+      return "'>='";
+    case TokKind::Le:
+      return "'<='";
+    case TokKind::Plus:
+      return "'+'";
+    case TokKind::Minus:
+      return "'-'";
+    case TokKind::Star:
+      return "'*'";
+    case TokKind::End:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  auto push = [&](TokKind kind) {
+    tokens.push_back(Token{kind, "", 0, line});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          Token{TokKind::Ident, source.substr(start, i - start), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Int value = 0;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = checked_add(checked_mul(value, 10), source[i] - '0');
+        ++i;
+      }
+      tokens.push_back(Token{TokKind::Integer, "", value, line});
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('.', '.')) {
+      push(TokKind::DotDot);
+      i += 2;
+      continue;
+    }
+    if (two(':', '=')) {
+      push(TokKind::Assign);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokKind::Ge);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokKind::Le);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::LParen); break;
+      case ')': push(TokKind::RParen); break;
+      case '[': push(TokKind::LBracket); break;
+      case ']': push(TokKind::RBracket); break;
+      case ',': push(TokKind::Comma); break;
+      case '=': push(TokKind::Equals); break;
+      case '+': push(TokKind::Plus); break;
+      case '-': push(TokKind::Minus); break;
+      case '*': push(TokKind::Star); break;
+      default:
+        raise(ErrorKind::Parse, "line " + std::to_string(line) +
+                                    ": unexpected character '" +
+                                    std::string(1, c) + "'");
+    }
+    ++i;
+  }
+  tokens.push_back(Token{TokKind::End, "", 0, line});
+  return tokens;
+}
+
+}  // namespace systolize::frontend

@@ -1,0 +1,45 @@
+// Lexer for the .sa design description language.
+//
+// Tokens: identifiers, integer literals, punctuation, and the multi-char
+// operators "..", ":=", ">=". "#" starts a comment to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/checked.hpp"
+
+namespace systolize::frontend {
+
+enum class TokKind {
+  Ident,
+  Integer,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  DotDot,   // ..
+  Assign,   // :=
+  Equals,   // =
+  Ge,       // >=
+  Le,       // <=
+  Plus,
+  Minus,
+  Star,
+  End,      // end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;  ///< identifier spelling
+  Int value = 0;     ///< integer value
+  std::size_t line = 1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Tokenize; throws Error(Parse) on an unexpected character.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+}  // namespace systolize::frontend

@@ -1,0 +1,504 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+#include <memory>
+
+#include "frontend/lexer.hpp"
+
+namespace systolize::frontend {
+namespace {
+
+/// Executable expression tree for the basic statement's right-hand side.
+struct StmtExpr {
+  enum class Kind { Const, Var, Add, Sub, Mul };
+  Kind kind = Kind::Const;
+  Value constant = 0;
+  std::string var;
+  std::shared_ptr<StmtExpr> lhs;
+  std::shared_ptr<StmtExpr> rhs;
+
+  [[nodiscard]] Value eval(const std::map<std::string, Value>& env) const {
+    switch (kind) {
+      case Kind::Const:
+        return constant;
+      case Kind::Var:
+        return env.at(var);
+      case Kind::Add:
+        return lhs->eval(env) + rhs->eval(env);
+      case Kind::Sub:
+        return lhs->eval(env) - rhs->eval(env);
+      case Kind::Mul:
+        return lhs->eval(env) * rhs->eval(env);
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::string render() const {
+    switch (kind) {
+      case Kind::Const:
+        return std::to_string(constant);
+      case Kind::Var:
+        return var;
+      case Kind::Add:
+        return lhs->render() + " + " + rhs->render();
+      case Kind::Sub:
+        return lhs->render() + " - " + rhs->render();
+      case Kind::Mul:
+        return lhs->render() + " * " + rhs->render();
+    }
+    return "?";
+  }
+
+  void collect_vars(std::vector<std::string>& out) const {
+    if (kind == Kind::Var) out.push_back(var);
+    if (lhs) lhs->collect_vars(out);
+    if (rhs) rhs->collect_vars(out);
+  }
+};
+
+struct ParsedStream {
+  std::string name;
+  bool update = false;
+  std::vector<VarDim> dims;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(lex(source)) {}
+
+  Design parse() {
+    expect_keyword("design");
+    name_ = take(TokKind::Ident).text;
+    while (peek().kind != TokKind::End) {
+      const Token& t = peek();
+      if (t.kind != TokKind::Ident) fail("expected a declaration keyword");
+      if (t.text == "sizes") {
+        parse_sizes();
+      } else if (t.text == "loop") {
+        parse_loop();
+      } else if (t.text == "stream") {
+        parse_stream();
+      } else if (t.text == "body") {
+        parse_body();
+      } else if (t.text == "step") {
+        parse_step();
+      } else if (t.text == "place") {
+        parse_place();
+      } else if (t.text == "load") {
+        parse_load();
+      } else {
+        fail("unknown declaration '" + t.text + "'");
+      }
+    }
+    return finish();
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    raise(ErrorKind::Parse,
+          "line " + std::to_string(peek().line) + ": " + msg + " (got " +
+              peek().describe() + ")");
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token take(TokKind kind) {
+    if (peek().kind != kind) {
+      fail("expected " + Token{kind, "", 0, 0}.describe());
+    }
+    return tokens_[pos_++];
+  }
+
+  bool accept(TokKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    Token t = take(TokKind::Ident);
+    if (t.text != kw) {
+      raise(ErrorKind::Parse, "line " + std::to_string(t.line) +
+                                  ": expected '" + kw + "', got '" + t.text +
+                                  "'");
+    }
+  }
+
+  // ---- affine expressions over a resolver ------------------------------
+
+  AffineExpr parse_affine(
+      const std::function<AffineExpr(const std::string&)>& resolve) {
+    AffineExpr e = parse_affine_term(resolve);
+    for (;;) {
+      if (accept(TokKind::Plus)) {
+        e += parse_affine_term(resolve);
+      } else if (accept(TokKind::Minus)) {
+        e -= parse_affine_term(resolve);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  AffineExpr parse_affine_term(
+      const std::function<AffineExpr(const std::string&)>& resolve) {
+    AffineExpr e = parse_affine_factor(resolve);
+    while (accept(TokKind::Star)) {
+      AffineExpr f = parse_affine_factor(resolve);
+      // Affine expressions only multiply by constants.
+      if (e.is_constant()) {
+        e = f * e.constant();
+      } else if (f.is_constant()) {
+        e = e * f.constant();
+      } else {
+        fail("non-linear product in an affine expression");
+      }
+    }
+    return e;
+  }
+
+  AffineExpr parse_affine_factor(
+      const std::function<AffineExpr(const std::string&)>& resolve) {
+    if (accept(TokKind::Minus)) return -parse_affine_factor(resolve);
+    if (peek().kind == TokKind::Integer) {
+      return AffineExpr(Rational(take(TokKind::Integer).value));
+    }
+    if (peek().kind == TokKind::Ident) {
+      return resolve(take(TokKind::Ident).text);
+    }
+    if (accept(TokKind::LParen)) {
+      AffineExpr e = parse_affine(resolve);
+      take(TokKind::RParen);
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  AffineExpr parse_size_expr() {
+    return parse_affine([this](const std::string& id) -> AffineExpr {
+      for (const Symbol& s : sizes_) {
+        if (s.name() == id) return AffineExpr(s);
+      }
+      fail("'" + id + "' is not a declared problem-size variable");
+    });
+  }
+
+  /// Affine combination of loop indices: coefficients plus a constant.
+  std::pair<IntVec, Int> parse_loop_affine(const std::string& what) {
+    AffineExpr e = parse_affine([this](const std::string& id) -> AffineExpr {
+      for (std::size_t i = 0; i < loops_.size(); ++i) {
+        if (loops_[i].index_name == id) {
+          return AffineExpr(size_symbol("$loop" + std::to_string(i)));
+        }
+      }
+      fail("'" + id + "' is not a loop index");
+    });
+    if (!e.constant().is_integer()) {
+      raise(ErrorKind::Validation, what + " needs an integer constant");
+    }
+    IntVec coeffs(loops_.size());
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+      Rational c = e.coeff(size_symbol("$loop" + std::to_string(i)));
+      if (!c.is_integer()) {
+        raise(ErrorKind::Validation, what + " needs integer coefficients");
+      }
+      coeffs[i] = c.to_integer();
+    }
+    return {std::move(coeffs), e.constant().to_integer()};
+  }
+
+  /// Linear combination of loop indices: returns the coefficient vector;
+  /// rejects constants and non-integer coefficients (Appendix A.2).
+  IntVec parse_loop_linear(const std::string& what) {
+    auto [coeffs, constant] = parse_loop_affine(what);
+    if (constant != 0) {
+      raise(ErrorKind::Validation,
+            what + " must be linear in the loop indices (no constant term)");
+    }
+    return coeffs;
+  }
+
+  // ---- declarations -----------------------------------------------------
+
+  void parse_sizes() {
+    expect_keyword("sizes");
+    do {
+      std::string name = take(TokKind::Ident).text;
+      take(TokKind::Ge);
+      bool neg = accept(TokKind::Minus);
+      Int bound = take(TokKind::Integer).value;
+      if (neg) bound = -bound;
+      Symbol s = size_symbol(name);
+      sizes_.push_back(s);
+      assumptions_.add(Constraint{AffineExpr(bound), AffineExpr(s)});
+    } while (accept(TokKind::Comma));
+  }
+
+  void parse_loop() {
+    expect_keyword("loop");
+    LoopSpec loop;
+    loop.index_name = take(TokKind::Ident).text;
+    take(TokKind::Equals);
+    loop.lower = parse_size_expr();
+    take(TokKind::DotDot);
+    loop.upper = parse_size_expr();
+    loop.step = 1;
+    if (peek().kind == TokKind::Ident && peek().text == "by") {
+      take(TokKind::Ident);
+      bool neg = accept(TokKind::Minus);
+      Int st = take(TokKind::Integer).value;
+      loop.step = neg ? -st : st;
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  void parse_stream() {
+    expect_keyword("stream");
+    ParsedStream s;
+    s.name = take(TokKind::Ident).text;
+    take(TokKind::LBracket);
+    do {
+      // Index-map rows reference loop indices, so loops must be declared
+      // before streams.
+      index_rows_[s.name].push_back(
+          parse_loop_linear("index of stream '" + s.name + "'"));
+    } while (accept(TokKind::Comma));
+    take(TokKind::RBracket);
+    Token mode = take(TokKind::Ident);
+    if (mode.text == "read") {
+      s.update = false;
+    } else if (mode.text == "update") {
+      s.update = true;
+    } else {
+      raise(ErrorKind::Parse, "line " + std::to_string(mode.line) +
+                                  ": expected 'read' or 'update'");
+    }
+    expect_keyword("dims");
+    take(TokKind::LBracket);
+    do {
+      AffineExpr lo = parse_size_expr();
+      take(TokKind::DotDot);
+      AffineExpr hi = parse_size_expr();
+      s.dims.push_back(VarDim{std::move(lo), std::move(hi)});
+    } while (accept(TokKind::Comma));
+    take(TokKind::RBracket);
+    streams_.push_back(std::move(s));
+  }
+
+  std::shared_ptr<StmtExpr> parse_stmt_expr() {
+    auto e = parse_stmt_term();
+    for (;;) {
+      if (accept(TokKind::Plus)) {
+        auto node = std::make_shared<StmtExpr>();
+        node->kind = StmtExpr::Kind::Add;
+        node->lhs = std::move(e);
+        node->rhs = parse_stmt_term();
+        e = std::move(node);
+      } else if (accept(TokKind::Minus)) {
+        auto node = std::make_shared<StmtExpr>();
+        node->kind = StmtExpr::Kind::Sub;
+        node->lhs = std::move(e);
+        node->rhs = parse_stmt_term();
+        e = std::move(node);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::shared_ptr<StmtExpr> parse_stmt_term() {
+    auto e = parse_stmt_factor();
+    while (accept(TokKind::Star)) {
+      auto node = std::make_shared<StmtExpr>();
+      node->kind = StmtExpr::Kind::Mul;
+      node->lhs = std::move(e);
+      node->rhs = parse_stmt_factor();
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  std::shared_ptr<StmtExpr> parse_stmt_factor() {
+    auto node = std::make_shared<StmtExpr>();
+    if (accept(TokKind::Minus)) {
+      node->kind = StmtExpr::Kind::Sub;
+      node->lhs = std::make_shared<StmtExpr>();  // 0 - x
+      node->rhs = parse_stmt_factor();
+      return node;
+    }
+    if (peek().kind == TokKind::Integer) {
+      node->kind = StmtExpr::Kind::Const;
+      node->constant = take(TokKind::Integer).value;
+      return node;
+    }
+    if (peek().kind == TokKind::Ident) {
+      node->kind = StmtExpr::Kind::Var;
+      node->var = take(TokKind::Ident).text;
+      return node;
+    }
+    if (accept(TokKind::LParen)) {
+      node = parse_stmt_expr();
+      take(TokKind::RParen);
+      return node;
+    }
+    fail("expected a statement expression");
+  }
+
+  void parse_body() {
+    expect_keyword("body");
+    body_target_ = take(TokKind::Ident).text;
+    take(TokKind::Assign);
+    body_expr_ = parse_stmt_expr();
+    // Optional guard (the paper's B_j -> S_j form, Sect. 3.1):
+    //   body c := c + a * b when i >= j
+    if (peek().kind == TokKind::Ident && peek().text == "when") {
+      take(TokKind::Ident);
+      auto [lc, lk] = parse_loop_affine("guard");
+      bool ge;
+      if (accept(TokKind::Ge)) {
+        ge = true;
+      } else if (accept(TokKind::Le)) {
+        ge = false;
+      } else {
+        fail("expected '>=' or '<=' in the body guard");
+      }
+      auto [rc, rk] = parse_loop_affine("guard");
+      // Normalize to coeffs . x + constant >= 0.
+      guard_coeffs_ = ge ? lc - rc : rc - lc;
+      guard_constant_ = ge ? lk - rk : rk - lk;
+      has_guard_ = true;
+    }
+  }
+
+  void parse_step() {
+    expect_keyword("step");
+    step_ = parse_loop_linear("step");
+    have_step_ = true;
+  }
+
+  void parse_place() {
+    expect_keyword("place");
+    take(TokKind::LParen);
+    std::vector<IntVec> rows;
+    do {
+      rows.push_back(parse_loop_linear("place"));
+    } while (accept(TokKind::Comma));
+    take(TokKind::RParen);
+    place_rows_ = std::move(rows);
+    have_place_ = true;
+  }
+
+  void parse_load() {
+    expect_keyword("load");
+    std::string stream = take(TokKind::Ident).text;
+    take(TokKind::Equals);
+    take(TokKind::LParen);
+    std::vector<Int> comps;
+    do {
+      bool neg = accept(TokKind::Minus);
+      Int v = take(TokKind::Integer).value;
+      comps.push_back(neg ? -v : v);
+    } while (accept(TokKind::Comma));
+    take(TokKind::RParen);
+    loading_[stream] = IntVec(std::move(comps));
+  }
+
+  // ---- assembly -----------------------------------------------------------
+
+  Design finish() {
+    if (loops_.empty()) raise(ErrorKind::Validation, "no loops declared");
+    if (!have_step_) raise(ErrorKind::Validation, "no step function");
+    if (!have_place_) raise(ErrorKind::Validation, "no place function");
+    if (!body_expr_) raise(ErrorKind::Validation, "no body statement");
+
+    const std::size_t r = loops_.size();
+    std::vector<Stream> streams;
+    for (const ParsedStream& ps : streams_) {
+      const auto& rows = index_rows_.at(ps.name);
+      IntMatrix m(rows.size(), r);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t j = 0; j < r; ++j) m.at(i, j) = rows[i][j];
+      }
+      streams.emplace_back(ps.name, std::move(m), ps.dims,
+                           ps.update ? StreamAccess::Update
+                                     : StreamAccess::Read);
+    }
+
+    // Semantic checks on the body statement.
+    auto has_stream = [&](const std::string& v) {
+      for (const ParsedStream& ps : streams_) {
+        if (ps.name == v) return true;
+      }
+      return false;
+    };
+    if (!has_stream(body_target_)) {
+      raise(ErrorKind::Validation,
+            "body assigns to '" + body_target_ + "', which is not a stream");
+    }
+    std::vector<std::string> used;
+    body_expr_->collect_vars(used);
+    for (const std::string& v : used) {
+      if (!has_stream(v)) {
+        raise(ErrorKind::Validation,
+              "body uses '" + v + "', which is not a stream");
+      }
+    }
+
+    std::string target = body_target_;
+    std::shared_ptr<StmtExpr> expr = body_expr_;
+    StatementBody body = [target, expr](std::map<std::string, Value>& vals) {
+      vals.at(target) = expr->eval(vals);
+    };
+    std::string body_text = body_target_ + " := " + body_expr_->render();
+
+    IntMatrix place(place_rows_.size(), r);
+    for (std::size_t i = 0; i < place_rows_.size(); ++i) {
+      for (std::size_t j = 0; j < r; ++j) place.at(i, j) = place_rows_[i][j];
+    }
+
+    LoopNest nest(name_, loops_, std::move(streams), sizes_, assumptions_,
+                  std::move(body), body_text);
+    if (has_guard_) {
+      IntVec gc = guard_coeffs_;
+      Int gk = guard_constant_;
+      nest.set_indexed_body(
+          [target, expr, gc, gk](const IntVec& x,
+                                 std::map<std::string, Value>& vals) {
+            if (gc.dot(x) + gk >= 0) vals.at(target) = expr->eval(vals);
+          },
+          body_text + " when <guard>");
+    }
+    ArraySpec spec(StepFunction(step_), PlaceFunction(std::move(place)),
+                   loading_);
+    return Design{std::move(nest), std::move(spec),
+                  "parsed design '" + name_ + "'"};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  std::string name_;
+  std::vector<Symbol> sizes_;
+  Guard assumptions_;
+  std::vector<LoopSpec> loops_;
+  std::vector<ParsedStream> streams_;
+  std::map<std::string, std::vector<IntVec>> index_rows_;
+  std::string body_target_;
+  std::shared_ptr<StmtExpr> body_expr_;
+  IntVec step_;
+  bool have_step_ = false;
+  std::vector<IntVec> place_rows_;
+  bool have_place_ = false;
+  bool has_guard_ = false;
+  IntVec guard_coeffs_;
+  Int guard_constant_ = 0;
+  std::map<std::string, IntVec> loading_;
+};
+
+}  // namespace
+
+Design parse_design(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace systolize::frontend

@@ -1,0 +1,32 @@
+// Parser for the .sa design description language: a textual front end for
+// (source program, systolic array) pairs, so new designs can be defined
+// without recompiling.
+//
+// Example:
+//
+//   design polyprod1
+//   sizes n >= 1
+//   loop i = 0 .. n
+//   loop j = 0 .. n
+//   stream a[i]   read   dims [0 .. n]
+//   stream b[j]   read   dims [0 .. n]
+//   stream c[i+j] update dims [0 .. 2*n]
+//   body c := c + a * b
+//   step 2*i + j
+//   place (i)
+//   load a = (1)
+//
+// The body statement ("<target> := <affine-free expression over stream
+// names and integers>") is compiled to an executable closure, so parsed
+// designs run on the simulator exactly like catalog designs.
+#pragma once
+
+#include "designs/catalog.hpp"
+
+namespace systolize::frontend {
+
+/// Parse a .sa source text; throws Error(Parse) with a line number on
+/// syntax errors and Error(Validation) on semantic ones.
+[[nodiscard]] Design parse_design(const std::string& source);
+
+}  // namespace systolize::frontend

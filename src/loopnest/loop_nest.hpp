@@ -1,0 +1,96 @@
+// The source program (paper Sect. 3.1): r perfectly nested loops with
+// affine bounds in the problem-size variables, steps of +/-1, and a basic
+// statement that touches one element of every stream.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopnest/stream.hpp"
+#include "symbolic/guard.hpp"
+
+namespace systolize {
+
+/// One loop:  for x = lb <-st-> rb  with st in {-1, +1}.
+struct LoopSpec {
+  std::string index_name;
+  AffineExpr lower;  ///< lb, affine in the problem size
+  AffineExpr upper;  ///< rb, affine in the problem size
+  Int step = 1;      ///< +1 or -1 (execution order only; lb <= rb always)
+};
+
+/// Runtime value carried by stream elements.
+using Value = std::int64_t;
+
+/// The basic statement's computation, applied to the current element value
+/// of each stream (keyed by stream name). Values for Update streams may be
+/// re-assigned. Stream elements carry no identity inside the array (paper
+/// Sect. 4.2), but the loop body is "a procedure parameterized solely by
+/// the loop indices" (Sect. 3.1): the indexed form receives the statement's
+/// index-space point, which every process reconstructs locally as
+/// first + iteration * increment — this is how the paper's guarded
+/// statements (if B_j -> S_j) are supported.
+using StatementBody = std::function<void(std::map<std::string, Value>&)>;
+using IndexedBody =
+    std::function<void(const IntVec& x, std::map<std::string, Value>&)>;
+
+class LoopNest {
+ public:
+  LoopNest(std::string name, std::vector<LoopSpec> loops,
+           std::vector<Stream> streams, std::vector<Symbol> sizes,
+           Guard size_assumptions, StatementBody body,
+           std::string body_text = "");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// r — the nesting depth.
+  [[nodiscard]] std::size_t depth() const noexcept { return loops_.size(); }
+  [[nodiscard]] const std::vector<LoopSpec>& loops() const noexcept {
+    return loops_;
+  }
+  [[nodiscard]] const std::vector<Stream>& streams() const noexcept {
+    return streams_;
+  }
+  [[nodiscard]] const Stream& stream(const std::string& name) const;
+  [[nodiscard]] const std::vector<Symbol>& sizes() const noexcept {
+    return sizes_;
+  }
+  /// Constraints on the problem-size symbols (e.g. n >= 1) that hold for
+  /// every valid instantiation; used by the feasibility pruner.
+  [[nodiscard]] const Guard& size_assumptions() const noexcept {
+    return size_assumptions_;
+  }
+  [[nodiscard]] const IndexedBody& body() const noexcept { return body_; }
+
+  /// Replace the body with an index-aware one (guarded statements).
+  void set_indexed_body(IndexedBody body, std::string body_text);
+  /// Textual form of the basic statement's computation (for printers),
+  /// e.g. "c := c + a * b".
+  [[nodiscard]] const std::string& body_text() const noexcept {
+    return body_text_;
+  }
+
+  /// Evaluated loop bounds at a concrete problem size: (lb_i, rb_i) pairs.
+  [[nodiscard]] std::vector<std::pair<Int, Int>> concrete_bounds(
+      const Env& env) const;
+
+  /// All points of the index space IS at a concrete problem size, in
+  /// sequential execution order (respecting each loop's step sign).
+  [[nodiscard]] std::vector<IntVec> enumerate_index_space(
+      const Env& env) const;
+
+  /// Number of points of IS (product of extents) at a concrete size.
+  [[nodiscard]] Int index_space_size(const Env& env) const;
+
+ private:
+  std::string name_;
+  std::vector<LoopSpec> loops_;
+  std::vector<Stream> streams_;
+  std::vector<Symbol> sizes_;
+  Guard size_assumptions_;
+  IndexedBody body_;
+  std::string body_text_;
+};
+
+}  // namespace systolize

@@ -1,0 +1,6 @@
+#include "loopnest/stream.hpp"
+
+// Stream is currently header-only logic; this translation unit anchors the
+// class for future out-of-line growth and keeps one object file per module.
+
+namespace systolize {}  // namespace systolize

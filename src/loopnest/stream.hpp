@@ -1,0 +1,59 @@
+// Streams (paper Sect. 3.1): an indexed variable plus the linear index map
+// applied to the loop indices, e.g.  c[i+j]  ~  M.c = (λ(i,j). i+j).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/int_matrix.hpp"
+#include "symbolic/affine_expr.hpp"
+
+namespace systolize {
+
+/// Bounds of one dimension of an indexed variable's domain, e.g. 0..n.
+struct VarDim {
+  AffineExpr lower;
+  AffineExpr upper;
+};
+
+/// How the basic statement touches the stream's element; the scheme itself
+/// is agnostic, but the runtime uses it to decide which host variables the
+/// computation may rewrite.
+enum class StreamAccess {
+  Read,    ///< element is read only (a, b in the examples)
+  Update,  ///< element is read and re-assigned (c in the examples)
+};
+
+class Stream {
+ public:
+  Stream(std::string name, IntMatrix index_map, std::vector<VarDim> dims,
+         StreamAccess access)
+      : name_(std::move(name)),
+        index_map_(std::move(index_map)),
+        dims_(std::move(dims)),
+        access_(access) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The (r-1) x r matrix M of the index map.
+  [[nodiscard]] const IntMatrix& index_map() const noexcept {
+    return index_map_;
+  }
+  /// Variable-space bounds, one per dimension of the indexed variable.
+  [[nodiscard]] const std::vector<VarDim>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] StreamAccess access() const noexcept { return access_; }
+
+  /// The element identity M.x accessed by basic statement x.
+  [[nodiscard]] IntVec element_of(const IntVec& x) const {
+    return index_map_.apply(x);
+  }
+
+ private:
+  std::string name_;
+  IntMatrix index_map_;
+  std::vector<VarDim> dims_;
+  StreamAccess access_;
+};
+
+}  // namespace systolize

@@ -1,0 +1,22 @@
+// Validation of the Appendix-A requirements and restrictions on source
+// programs. Every violation raises Error(ErrorKind::Validation) with a
+// message naming the offending loop/stream.
+#pragma once
+
+#include "loopnest/loop_nest.hpp"
+
+namespace systolize {
+
+/// Check a source program against the paper's Appendix A:
+///  - r >= 2 nested loops;
+///  - every step is +1 or -1;
+///  - lb_i <= rb_i is implied by the size assumptions;
+///  - every indexed variable is (r-1)-dimensional;
+///  - every index map has rank r-1 (full pipelining);
+///  - loop bounds and variable bounds mention only problem-size symbols;
+///  - at least one stream, with distinct names.
+/// (The "no constants in index vectors" restriction is structural here:
+/// index maps are linear matrices, so constants cannot be expressed.)
+void validate_source(const LoopNest& nest);
+
+}  // namespace systolize

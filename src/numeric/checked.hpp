@@ -1,0 +1,71 @@
+// Checked 64-bit integer arithmetic.
+//
+// Every scheme computation is exact; silent wraparound would corrupt a
+// derivation, so all arithmetic on scheme integers goes through these
+// helpers, which throw Error(ErrorKind::Overflow) on overflow.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace systolize {
+
+using Int = std::int64_t;
+
+inline Int checked_add(Int a, Int b) {
+  Int r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    raise(ErrorKind::Overflow, "integer addition overflow");
+  }
+  return r;
+}
+
+inline Int checked_sub(Int a, Int b) {
+  Int r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    raise(ErrorKind::Overflow, "integer subtraction overflow");
+  }
+  return r;
+}
+
+inline Int checked_mul(Int a, Int b) {
+  Int r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    raise(ErrorKind::Overflow, "integer multiplication overflow");
+  }
+  return r;
+}
+
+inline Int checked_neg(Int a) { return checked_sub(0, a); }
+
+/// sign function per the paper's Sect. 2: -1, 0, or +1.
+inline Int sgn(Int a) noexcept { return a > 0 ? 1 : (a < 0 ? -1 : 0); }
+
+/// Non-negative gcd; gcd(0,0) == 0.
+inline Int gcd(Int a, Int b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+inline Int lcm(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  return checked_mul(a / gcd(a, b), b < 0 ? -b : b);
+}
+
+/// Exact division: throws unless b divides a.
+inline Int exact_div(Int a, Int b) {
+  if (b == 0) raise(ErrorKind::DivideByZero, "exact_div by zero");
+  if (a % b != 0) {
+    raise(ErrorKind::NotRepresentable, "exact_div: not divisible");
+  }
+  return a / b;
+}
+
+}  // namespace systolize

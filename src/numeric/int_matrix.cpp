@@ -1,0 +1,138 @@
+#include "numeric/int_matrix.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "numeric/rat_matrix.hpp"
+
+namespace systolize {
+
+IntMatrix::IntMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+IntMatrix::IntMatrix(std::initializer_list<std::initializer_list<Int>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      raise(ErrorKind::Dimension, "ragged IntMatrix initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Int IntMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    raise(ErrorKind::Dimension, "IntMatrix index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+Int& IntMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    raise(ErrorKind::Dimension, "IntMatrix index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+IntVec IntMatrix::row(std::size_t r) const {
+  IntVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = at(r, c);
+  return v;
+}
+
+IntVec IntMatrix::col(std::size_t c) const {
+  IntVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = at(r, c);
+  return v;
+}
+
+IntVec IntMatrix::apply(const IntVec& x) const {
+  if (x.dim() != cols_) {
+    raise(ErrorKind::Dimension, "IntMatrix apply dimension mismatch");
+  }
+  IntVec y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Int acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc = checked_add(acc, checked_mul(at(r, c), x[c]));
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+RatVec IntMatrix::apply(const RatVec& x) const {
+  if (x.dim() != cols_) {
+    raise(ErrorKind::Dimension, "IntMatrix apply dimension mismatch");
+  }
+  RatVec y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Rational acc;
+    for (std::size_t c = 0; c < cols_; ++c) acc += Rational(at(r, c)) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+IntMatrix IntMatrix::without_col(std::size_t drop) const {
+  if (drop >= cols_) raise(ErrorKind::Dimension, "without_col out of range");
+  IntMatrix m(rows_, cols_ - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t cc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c == drop) continue;
+      m.at(r, cc++) = at(r, c);
+    }
+  }
+  return m;
+}
+
+RatMatrix IntMatrix::to_rational() const {
+  RatMatrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) m.at(r, c) = Rational(at(r, c));
+  }
+  return m;
+}
+
+std::size_t IntMatrix::rank() const { return to_rational().rank(); }
+
+std::vector<IntVec> IntMatrix::null_space_basis() const {
+  std::vector<IntVec> basis;
+  for (const RatVec& v : to_rational().null_space_basis()) {
+    IntVec iv = v.scaled_to_integer();
+    Int g = iv.content();
+    if (g > 1) iv = iv.exact_div_by(g);
+    // Normalize orientation: first nonzero component positive.
+    for (std::size_t i = 0; i < iv.dim(); ++i) {
+      if (iv[i] != 0) {
+        if (iv[i] < 0) iv = -iv;
+        break;
+      }
+    }
+    basis.push_back(std::move(iv));
+  }
+  return basis;
+}
+
+std::string IntMatrix::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r > 0) os << "; ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ' ';
+      os << at(r, c);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntMatrix& m) {
+  return os << m.to_string();
+}
+
+}  // namespace systolize

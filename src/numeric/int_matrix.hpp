@@ -1,0 +1,61 @@
+// Integer matrices — the representation of the paper's linear functions
+// (index maps, step, place). A linear function f is identified with its
+// matrix: f.x = M * x.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/int_vec.hpp"
+#include "numeric/rat_vec.hpp"
+
+namespace systolize {
+
+class RatMatrix;
+
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(std::size_t rows, std::size_t cols);
+  /// Row-major construction: {{...row0...}, {...row1...}}.
+  IntMatrix(std::initializer_list<std::initializer_list<Int>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Int at(std::size_t r, std::size_t c) const;
+  Int& at(std::size_t r, std::size_t c);
+
+  [[nodiscard]] IntVec row(std::size_t r) const;
+  [[nodiscard]] IntVec col(std::size_t c) const;
+
+  /// Matrix-vector application M * x (function application f.x).
+  [[nodiscard]] IntVec apply(const IntVec& x) const;
+  [[nodiscard]] RatVec apply(const RatVec& x) const;
+
+  /// Drop column c (used when one loop index is fixed to a face bound).
+  [[nodiscard]] IntMatrix without_col(std::size_t c) const;
+
+  [[nodiscard]] RatMatrix to_rational() const;
+
+  /// rank over Q.
+  [[nodiscard]] std::size_t rank() const;
+
+  /// A basis of null.M as integer vectors, each gcd-normalized with its
+  /// first nonzero component positive.
+  [[nodiscard]] std::vector<IntVec> null_space_basis() const;
+
+  friend bool operator==(const IntMatrix&, const IntMatrix&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Int> data_;  // row-major
+};
+
+std::ostream& operator<<(std::ostream& os, const IntMatrix& m);
+
+}  // namespace systolize

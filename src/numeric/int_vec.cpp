@@ -1,0 +1,110 @@
+#include "numeric/int_vec.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace systolize {
+
+void IntVec::require_same_dim(const IntVec& o) const {
+  if (dim() != o.dim()) {
+    raise(ErrorKind::Dimension, "IntVec dimension mismatch: " +
+                                    std::to_string(dim()) + " vs " +
+                                    std::to_string(o.dim()));
+  }
+}
+
+bool IntVec::is_zero() const noexcept {
+  return std::all_of(comps_.begin(), comps_.end(),
+                     [](Int c) { return c == 0; });
+}
+
+IntVec IntVec::operator-() const {
+  IntVec r = *this;
+  for (Int& c : r.comps_) c = checked_neg(c);
+  return r;
+}
+
+IntVec& IntVec::operator+=(const IntVec& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    comps_[i] = checked_add(comps_[i], o.comps_[i]);
+  }
+  return *this;
+}
+
+IntVec& IntVec::operator-=(const IntVec& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    comps_[i] = checked_sub(comps_[i], o.comps_[i]);
+  }
+  return *this;
+}
+
+IntVec& IntVec::operator*=(Int k) {
+  for (Int& c : comps_) c = checked_mul(c, k);
+  return *this;
+}
+
+Int IntVec::dot(const IntVec& o) const {
+  require_same_dim(o);
+  Int acc = 0;
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    acc = checked_add(acc, checked_mul(comps_[i], o.comps_[i]));
+  }
+  return acc;
+}
+
+Int IntVec::content() const noexcept {
+  Int g = 0;
+  for (Int c : comps_) g = gcd(g, c);
+  return g;
+}
+
+IntVec IntVec::exact_div_by(Int k) const {
+  IntVec r = *this;
+  for (Int& c : r.comps_) c = exact_div(c, k);
+  return r;
+}
+
+Int IntVec::quotient_along(const IntVec& y) const {
+  require_same_dim(y);
+  if (y.is_zero()) {
+    if (is_zero()) return 0;
+    raise(ErrorKind::NotRepresentable, "x // 0 with x nonzero");
+  }
+  // Find the first nonzero component of y to propose the quotient, then
+  // verify it on every component.
+  std::size_t pivot = 0;
+  while (y.comps_[pivot] == 0) ++pivot;
+  Int m = exact_div(comps_[pivot], y.comps_[pivot]);
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (comps_[i] != checked_mul(m, y.comps_[i])) {
+      raise(ErrorKind::NotRepresentable,
+            to_string() + " is not a multiple of " + y.to_string());
+    }
+  }
+  return m;
+}
+
+bool IntVec::is_neighbour_offset() const noexcept {
+  return std::all_of(comps_.begin(), comps_.end(),
+                     [](Int c) { return c >= -1 && c <= 1; });
+}
+
+std::string IntVec::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << comps_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntVec& v) {
+  return os << v.to_string();
+}
+
+}  // namespace systolize

@@ -1,0 +1,73 @@
+// Integer points / vectors in Z^n (the paper's "points", Sect. 2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/checked.hpp"
+
+namespace systolize {
+
+/// A point in Z^n. Component i is v[i]; all arithmetic is checked.
+class IntVec {
+ public:
+  IntVec() = default;
+  explicit IntVec(std::size_t dim) : comps_(dim, 0) {}
+  IntVec(std::initializer_list<Int> comps) : comps_(comps) {}
+  explicit IntVec(std::vector<Int> comps) : comps_(std::move(comps)) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return comps_.size(); }
+  [[nodiscard]] Int operator[](std::size_t i) const { return comps_.at(i); }
+  Int& operator[](std::size_t i) { return comps_.at(i); }
+  [[nodiscard]] const std::vector<Int>& comps() const noexcept {
+    return comps_;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  IntVec operator-() const;
+  IntVec& operator+=(const IntVec& o);
+  IntVec& operator-=(const IntVec& o);
+  IntVec& operator*=(Int k);
+
+  friend IntVec operator+(IntVec a, const IntVec& b) { return a += b; }
+  friend IntVec operator-(IntVec a, const IntVec& b) { return a -= b; }
+  friend IntVec operator*(IntVec a, Int k) { return a *= k; }
+  friend IntVec operator*(Int k, IntVec a) { return a *= k; }
+  friend bool operator==(const IntVec&, const IntVec&) = default;
+
+  /// Inner product x . y (paper Sect. 2).
+  [[nodiscard]] Int dot(const IntVec& o) const;
+
+  /// gcd of the absolute component values; 0 for the zero vector.
+  [[nodiscard]] Int content() const noexcept;
+
+  /// this / k component-wise; throws unless k divides every component.
+  [[nodiscard]] IntVec exact_div_by(Int k) const;
+
+  /// The paper's x // y: the integer m with m*y == x; throws
+  /// NotRepresentable when x is not an integer multiple of y.
+  [[nodiscard]] Int quotient_along(const IntVec& y) const;
+
+  /// Neighbour predicate nb.x (Sect. 3.2): every |component| <= 1.
+  [[nodiscard]] bool is_neighbour_offset() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void require_same_dim(const IntVec& o) const;
+
+  std::vector<Int> comps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntVec& v);
+
+/// Lexicographic order, for use as map keys.
+struct IntVecLess {
+  bool operator()(const IntVec& a, const IntVec& b) const noexcept {
+    return a.comps() < b.comps();
+  }
+};
+
+}  // namespace systolize

@@ -1,0 +1,199 @@
+#include "numeric/rat_matrix.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace systolize {
+
+RatMatrix::RatMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+RatMatrix::RatMatrix(std::initializer_list<std::initializer_list<Rational>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      raise(ErrorKind::Dimension, "ragged RatMatrix initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+RatMatrix RatMatrix::identity(std::size_t n) {
+  RatMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = Rational(1);
+  return m;
+}
+
+const Rational& RatMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    raise(ErrorKind::Dimension, "RatMatrix index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+Rational& RatMatrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    raise(ErrorKind::Dimension, "RatMatrix index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+RatVec RatMatrix::row(std::size_t r) const {
+  RatVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = at(r, c);
+  return v;
+}
+
+RatVec RatMatrix::col(std::size_t c) const {
+  RatVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = at(r, c);
+  return v;
+}
+
+RatVec RatMatrix::apply(const RatVec& x) const {
+  if (x.dim() != cols_) {
+    raise(ErrorKind::Dimension, "RatMatrix apply dimension mismatch");
+  }
+  RatVec y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Rational acc;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+RatMatrix RatMatrix::multiply(const RatMatrix& o) const {
+  if (cols_ != o.rows_) {
+    raise(ErrorKind::Dimension, "RatMatrix multiply dimension mismatch");
+  }
+  RatMatrix m(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < o.cols_; ++c) {
+      Rational acc;
+      for (std::size_t k = 0; k < cols_; ++k) acc += at(r, k) * o.at(k, c);
+      m.at(r, c) = acc;
+    }
+  }
+  return m;
+}
+
+std::pair<RatMatrix, std::vector<std::size_t>> RatMatrix::rref() const {
+  RatMatrix m = *this;
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pr = 0;  // pivot row
+  for (std::size_t pc = 0; pc < cols_ && pr < rows_; ++pc) {
+    // Find a nonzero pivot in column pc at or below row pr.
+    std::size_t sel = pr;
+    while (sel < rows_ && m.at(sel, pc).is_zero()) ++sel;
+    if (sel == rows_) continue;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::swap(m.at(pr, c), m.at(sel, c));
+    }
+    Rational inv = m.at(pr, pc).reciprocal();
+    for (std::size_t c = 0; c < cols_; ++c) m.at(pr, c) *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr || m.at(r, pc).is_zero()) continue;
+      Rational f = m.at(r, pc);
+      for (std::size_t c = 0; c < cols_; ++c) {
+        m.at(r, c) -= f * m.at(pr, c);
+      }
+    }
+    pivot_cols.push_back(pc);
+    ++pr;
+  }
+  return {std::move(m), std::move(pivot_cols)};
+}
+
+std::size_t RatMatrix::rank() const { return rref().second.size(); }
+
+std::vector<RatVec> RatMatrix::null_space_basis() const {
+  auto [m, pivots] = rref();
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t pc : pivots) is_pivot[pc] = true;
+
+  std::vector<RatVec> basis;
+  for (std::size_t fc = 0; fc < cols_; ++fc) {
+    if (is_pivot[fc]) continue;
+    RatVec v(cols_);
+    v[fc] = Rational(1);
+    for (std::size_t pr = 0; pr < pivots.size(); ++pr) {
+      v[pivots[pr]] = -m.at(pr, fc);
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+RatMatrix RatMatrix::inverse() const {
+  if (rows_ != cols_) raise(ErrorKind::Dimension, "inverse of non-square");
+  // Augment with identity and row-reduce.
+  RatMatrix aug(rows_, 2 * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, cols_ + r) = Rational(1);
+  }
+  auto [m, pivots] = aug.rref();
+  if (pivots.size() < rows_ ||
+      !std::all_of(pivots.begin(), pivots.end(),
+                   [this](std::size_t p) { return p < cols_; })) {
+    raise(ErrorKind::Singular, "matrix is singular");
+  }
+  RatMatrix inv(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) inv.at(r, c) = m.at(r, cols_ + c);
+  }
+  return inv;
+}
+
+RatVec RatMatrix::solve(const RatVec& b) const {
+  if (rows_ != cols_) raise(ErrorKind::Dimension, "solve on non-square");
+  return inverse().apply(b);
+}
+
+std::optional<RatVec> RatMatrix::solve_unique(const RatVec& b) const {
+  if (b.dim() != rows_) {
+    raise(ErrorKind::Dimension, "solve_unique dimension mismatch");
+  }
+  RatMatrix aug(rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, cols_) = b[r];
+  }
+  auto [m, pivots] = aug.rref();
+  // Inconsistent if a pivot lands in the augmented column.
+  for (std::size_t p : pivots) {
+    if (p == cols_) return std::nullopt;
+  }
+  // Unique only if every variable column has a pivot.
+  if (pivots.size() != cols_) return std::nullopt;
+  RatVec x(cols_);
+  for (std::size_t pr = 0; pr < pivots.size(); ++pr) {
+    x[pivots[pr]] = m.at(pr, cols_);
+  }
+  return x;
+}
+
+std::string RatMatrix::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r > 0) os << "; ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ' ';
+      os << at(r, c).to_string();
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RatMatrix& m) {
+  return os << m.to_string();
+}
+
+}  // namespace systolize

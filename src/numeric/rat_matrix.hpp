@@ -1,0 +1,63 @@
+// Exact rational matrices: rank, null space, inverse, linear solving.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numeric/rat_vec.hpp"
+
+namespace systolize {
+
+class RatMatrix {
+ public:
+  RatMatrix() = default;
+  RatMatrix(std::size_t rows, std::size_t cols);
+  RatMatrix(std::initializer_list<std::initializer_list<Rational>> rows);
+
+  [[nodiscard]] static RatMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] const Rational& at(std::size_t r, std::size_t c) const;
+  Rational& at(std::size_t r, std::size_t c);
+
+  [[nodiscard]] RatVec row(std::size_t r) const;
+  [[nodiscard]] RatVec col(std::size_t c) const;
+
+  [[nodiscard]] RatVec apply(const RatVec& x) const;
+  [[nodiscard]] RatMatrix multiply(const RatMatrix& o) const;
+
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Basis of the null space over Q.
+  [[nodiscard]] std::vector<RatVec> null_space_basis() const;
+
+  /// Inverse of a square matrix; throws Singular if not invertible.
+  [[nodiscard]] RatMatrix inverse() const;
+
+  /// Solve M x = b for a square nonsingular M; throws Singular otherwise.
+  [[nodiscard]] RatVec solve(const RatVec& b) const;
+
+  /// Unique solution of a (possibly non-square) consistent system, or
+  /// nullopt when the system is inconsistent or underdetermined.
+  [[nodiscard]] std::optional<RatVec> solve_unique(const RatVec& b) const;
+
+  friend bool operator==(const RatMatrix&, const RatMatrix&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Gauss-Jordan on a copy; returns (rref, pivot column per pivot row).
+  [[nodiscard]] std::pair<RatMatrix, std::vector<std::size_t>> rref() const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Rational> data_;  // row-major
+};
+
+std::ostream& operator<<(std::ostream& os, const RatMatrix& m);
+
+}  // namespace systolize

@@ -1,0 +1,91 @@
+#include "numeric/rat_vec.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace systolize {
+
+RatVec::RatVec(const IntVec& v) {
+  comps_.reserve(v.dim());
+  for (std::size_t i = 0; i < v.dim(); ++i) comps_.emplace_back(v[i]);
+}
+
+void RatVec::require_same_dim(const RatVec& o) const {
+  if (dim() != o.dim()) {
+    raise(ErrorKind::Dimension, "RatVec dimension mismatch: " +
+                                    std::to_string(dim()) + " vs " +
+                                    std::to_string(o.dim()));
+  }
+}
+
+bool RatVec::is_zero() const noexcept {
+  return std::all_of(comps_.begin(), comps_.end(),
+                     [](const Rational& c) { return c.is_zero(); });
+}
+
+RatVec RatVec::operator-() const {
+  RatVec r = *this;
+  for (Rational& c : r.comps_) c = -c;
+  return r;
+}
+
+RatVec& RatVec::operator+=(const RatVec& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) comps_[i] += o.comps_[i];
+  return *this;
+}
+
+RatVec& RatVec::operator-=(const RatVec& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) comps_[i] -= o.comps_[i];
+  return *this;
+}
+
+RatVec& RatVec::operator*=(const Rational& k) {
+  for (Rational& c : comps_) c *= k;
+  return *this;
+}
+
+Int RatVec::denominator_lcm() const {
+  Int l = 1;
+  for (const Rational& c : comps_) l = lcm(l, c.den());
+  return l;
+}
+
+IntVec RatVec::scaled_to_integer() const {
+  Int l = denominator_lcm();
+  IntVec r(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    r[i] = (comps_[i] * Rational(l)).to_integer();
+  }
+  return r;
+}
+
+bool RatVec::is_integral() const noexcept {
+  return std::all_of(comps_.begin(), comps_.end(),
+                     [](const Rational& c) { return c.is_integer(); });
+}
+
+IntVec RatVec::to_int_vec() const {
+  IntVec r(dim());
+  for (std::size_t i = 0; i < dim(); ++i) r[i] = comps_[i].to_integer();
+  return r;
+}
+
+std::string RatVec::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << comps_[i].to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RatVec& v) {
+  return os << v.to_string();
+}
+
+}  // namespace systolize

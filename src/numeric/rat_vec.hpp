@@ -1,0 +1,64 @@
+// Rational vectors in Q^n (stream flows are rational, Sect. 3.2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/int_vec.hpp"
+#include "numeric/rational.hpp"
+
+namespace systolize {
+
+class RatVec {
+ public:
+  RatVec() = default;
+  explicit RatVec(std::size_t dim) : comps_(dim) {}
+  RatVec(std::initializer_list<Rational> comps) : comps_(comps) {}
+  explicit RatVec(std::vector<Rational> comps) : comps_(std::move(comps)) {}
+  explicit RatVec(const IntVec& v);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return comps_.size(); }
+  [[nodiscard]] const Rational& operator[](std::size_t i) const {
+    return comps_.at(i);
+  }
+  Rational& operator[](std::size_t i) { return comps_.at(i); }
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  RatVec operator-() const;
+  RatVec& operator+=(const RatVec& o);
+  RatVec& operator-=(const RatVec& o);
+  RatVec& operator*=(const Rational& k);
+
+  friend RatVec operator+(RatVec a, const RatVec& b) { return a += b; }
+  friend RatVec operator-(RatVec a, const RatVec& b) { return a -= b; }
+  friend RatVec operator*(RatVec a, const Rational& k) { return a *= k; }
+  friend RatVec operator*(const Rational& k, RatVec a) { return a *= k; }
+  friend bool operator==(const RatVec&, const RatVec&) = default;
+
+  /// lcm of the component denominators (1 for an integer vector). For a
+  /// flow f this is the n such that n*f is the smallest integer multiple —
+  /// the buffer depth denominator of Sect. 7.6.
+  [[nodiscard]] Int denominator_lcm() const;
+
+  /// Smallest positive integer multiple that is an integer vector.
+  [[nodiscard]] IntVec scaled_to_integer() const;
+
+  /// True when every component is an integer.
+  [[nodiscard]] bool is_integral() const noexcept;
+
+  /// Convert; throws unless is_integral().
+  [[nodiscard]] IntVec to_int_vec() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void require_same_dim(const RatVec& o) const;
+
+  std::vector<Rational> comps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RatVec& v);
+
+}  // namespace systolize

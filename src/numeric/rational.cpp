@@ -1,0 +1,98 @@
+#include "numeric/rational.hpp"
+
+#include <ostream>
+
+namespace systolize {
+
+Rational::Rational(Int num, Int den) : num_(num), den_(den) { normalize(); }
+
+void Rational::normalize() {
+  if (den_ == 0) raise(ErrorKind::DivideByZero, "rational with denominator 0");
+  if (den_ < 0) {
+    num_ = checked_neg(num_);
+    den_ = checked_neg(den_);
+  }
+  Int g = gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Int Rational::to_integer() const {
+  if (den_ != 1) {
+    raise(ErrorKind::NotRepresentable,
+          "rational " + to_string() + " is not an integer");
+  }
+  return num_;
+}
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) raise(ErrorKind::DivideByZero, "reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+Int Rational::floor() const noexcept {
+  Int q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+Int Rational::ceil() const noexcept {
+  Int q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = checked_neg(r.num_);
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d), keeping
+  // intermediates small.
+  Int l = lcm(den_, o.den_);
+  Int n = checked_add(checked_mul(num_, l / den_),
+                      checked_mul(o.num_, l / o.den_));
+  num_ = n;
+  den_ = l;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to avoid needless overflow.
+  Int g1 = gcd(num_, o.den_);
+  Int g2 = gcd(o.num_, den_);
+  num_ = checked_mul(num_ / g1, o.num_ / g2);
+  den_ = checked_mul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  return *this *= o.reciprocal();
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a/b <=> c/d  ==  a*d <=> c*b (denominators positive).
+  Int lhs = checked_mul(a.num_, b.den_);
+  Int rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace systolize

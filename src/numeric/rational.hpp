@@ -1,0 +1,63 @@
+// Exact rational numbers over checked 64-bit integers.
+//
+// Invariant: denominator > 0 and gcd(|num|, den) == 1; zero is 0/1.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "numeric/checked.hpp"
+
+namespace systolize {
+
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  Rational(Int value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor): scalars promote freely in scheme math
+  Rational(Int num, Int den);
+
+  [[nodiscard]] Int num() const noexcept { return num_; }
+  [[nodiscard]] Int den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+  /// The integer value; throws NotRepresentable unless is_integer().
+  [[nodiscard]] Int to_integer() const;
+  [[nodiscard]] Int sign() const noexcept { return sgn(num_); }
+  [[nodiscard]] Rational abs() const { return num_ < 0 ? -*this : *this; }
+  [[nodiscard]] Rational reciprocal() const;
+
+  /// Largest integer <= value / smallest integer >= value.
+  [[nodiscard]] Int floor() const noexcept;
+  [[nodiscard]] Int ceil() const noexcept;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+
+  Int num_;
+  Int den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace systolize

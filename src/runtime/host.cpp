@@ -1,0 +1,61 @@
+#include "runtime/host.hpp"
+
+namespace systolize {
+
+Value IndexedStore::get(const std::string& var, const IntVec& index) const {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) return 0;
+  auto jt = it->second.find(index);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+void IndexedStore::set(const std::string& var, const IntVec& index,
+                       Value value) {
+  vars_[var][index] = value;
+}
+
+const IndexedStore::ElementMap& IndexedStore::elements(
+    const std::string& var) const {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) {
+    raise(ErrorKind::Validation, "no variable '" + var + "' in store");
+  }
+  return it->second;
+}
+
+bool IndexedStore::has(const std::string& var) const {
+  return vars_.contains(var);
+}
+
+std::vector<IntVec> IndexedStore::domain(const Stream& s, const Env& env) {
+  std::vector<std::pair<Int, Int>> bounds;
+  for (const VarDim& d : s.dims()) {
+    Int lo = d.lower.evaluate(env).to_integer();
+    Int hi = d.upper.evaluate(env).to_integer();
+    if (lo > hi) {
+      raise(ErrorKind::Validation,
+            "variable '" + s.name() + "' has an empty dimension");
+    }
+    bounds.emplace_back(lo, hi);
+  }
+  std::vector<IntVec> points;
+  IntVec x(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) x[i] = bounds[i].first;
+  for (;;) {
+    points.push_back(x);
+    std::size_t i = bounds.size();
+    while (i > 0) {
+      --i;
+      if (++x[i] <= bounds[i].second) break;
+      x[i] = bounds[i].first;
+      if (i == 0) return points;
+    }
+  }
+}
+
+void IndexedStore::fill(const Stream& s, const Env& env,
+                        const std::function<Value(const IntVec&)>& init) {
+  for (const IntVec& p : domain(s, env)) set(s.name(), p, init(p));
+}
+
+}  // namespace systolize

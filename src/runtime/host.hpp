@@ -1,0 +1,41 @@
+// Host-side storage for indexed variables (the paper's "host" environment,
+// Sect. 4.2): data lives here as indexed variables before injection and
+// after extraction.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "loopnest/loop_nest.hpp"
+
+namespace systolize {
+
+/// Values of every indexed variable, keyed by variable name and index
+/// point. Sparse map representation: absent elements read as 0.
+class IndexedStore {
+ public:
+  using ElementMap = std::map<IntVec, Value, IntVecLess>;
+
+  [[nodiscard]] Value get(const std::string& var, const IntVec& index) const;
+  void set(const std::string& var, const IntVec& index, Value value);
+
+  [[nodiscard]] const ElementMap& elements(const std::string& var) const;
+  [[nodiscard]] bool has(const std::string& var) const;
+
+  /// Populate a stream's variable over its full (concrete) domain with
+  /// values from `init(index)`.
+  void fill(const Stream& s, const Env& env,
+            const std::function<Value(const IntVec&)>& init);
+
+  /// Enumerate a stream's full concrete domain (row-major).
+  [[nodiscard]] static std::vector<IntVec> domain(const Stream& s,
+                                                  const Env& env);
+
+  friend bool operator==(const IndexedStore&, const IndexedStore&) = default;
+
+ private:
+  std::map<std::string, ElementMap> vars_;
+};
+
+}  // namespace systolize

@@ -1,0 +1,49 @@
+// Instantiation: bind a compiled (symbolic) systolic program at a concrete
+// problem size and execute it on the message-passing substrate.
+//
+// The process network mirrors the paper's final programs: per-stream input
+// and output processes at the pipeline ends, q-1 internal buffer processes
+// per hop for a stream with flow denominator q, per-stream external buffer
+// processes at the points of PS \ CS, and one computation process per
+// point of CS. Computation processes never see element identities — a
+// stream element consists only of its value (Sect. 4.2); all loop counts
+// come from the symbolic repeaters evaluated at the process coordinates.
+#pragma once
+
+#include "runtime/host.hpp"
+#include "runtime/network.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+struct InstantiateOptions {
+  /// Rendezvous (0) by default; larger values add slack per channel.
+  Int channel_capacity = 0;
+  /// Ablation (Sect. 7.6 remark "buffers ... may be incorporated into the
+  /// computation processes in a later compilation step"): realize internal
+  /// buffers as channel capacity instead of separate processes.
+  bool merge_internal_buffers = false;
+  /// When non-null, every basic-statement execution is appended here.
+  Trace* trace = nullptr;
+  /// When non-null, the instantiated topology (processes and channels) is
+  /// recorded here for inspection / Graphviz export.
+  NetworkGraph* network = nullptr;
+  /// Partitioning (the paper's Sect.-8 extension via its ref. [23]):
+  /// number of physical processors per process-space dimension. Empty
+  /// means one processor per process. Processes in the same block are
+  /// multiplexed onto one physical processor and share its logical clock,
+  /// so the makespan reflects the serialization; results are unchanged.
+  IntVec partition_grid;
+};
+
+/// Execute the program at the problem size bound in `sizes`, reading
+/// injected stream values from `store` and writing extracted ones back.
+/// Throws Error(Runtime) on protocol failure (e.g. deadlock).
+[[nodiscard]] RunMetrics execute(const CompiledProgram& program,
+                                 const LoopNest& nest, const Env& sizes,
+                                 IndexedStore& store,
+                                 const InstantiateOptions& options = {});
+
+}  // namespace systolize

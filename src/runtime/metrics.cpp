@@ -1,0 +1,24 @@
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+
+namespace systolize {
+
+double RunMetrics::utilization() const {
+  if (computation_processes == 0 || makespan == 0) return 0.0;
+  return static_cast<double>(statements) /
+         (static_cast<double>(computation_processes) *
+          static_cast<double>(makespan));
+}
+
+std::string RunMetrics::to_string() const {
+  std::ostringstream os;
+  os << "makespan=" << makespan << " transfers=" << total_transfers
+     << " statements=" << statements << " processes=" << process_count
+     << " (comp=" << computation_processes << " io=" << io_processes
+     << " buf=" << buffer_processes << ") channels=" << channel_count
+     << " utilization=" << static_cast<int>(utilization() * 100.0) << '%';
+  return os.str();
+}
+
+}  // namespace systolize

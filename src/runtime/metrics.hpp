@@ -1,0 +1,34 @@
+// Execution metrics reported by the simulator.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "numeric/checked.hpp"
+
+namespace systolize {
+
+struct RunMetrics {
+  Int makespan = 0;          ///< logical parallel time (max local clock)
+  Int total_transfers = 0;   ///< messages moved across all channels
+  Int statements = 0;        ///< basic statements executed
+  std::size_t process_count = 0;
+  std::size_t channel_count = 0;
+  std::size_t computation_processes = 0;
+  std::size_t io_processes = 0;
+  std::size_t buffer_processes = 0;  ///< external + internal
+  /// Physical processors after partitioning (== process_count when
+  /// unpartitioned).
+  std::size_t physical_processors = 0;
+  std::map<std::string, Int> transfers_per_stream;
+
+  /// Fraction of computation-process time spent executing statements:
+  /// statements / (computation processes * makespan). D.1's processes all
+  /// run n+1 statements (high utilization); D.2 trades utilization for
+  /// array length (each process runs at most n+1 of 2n+1 possible).
+  [[nodiscard]] double utilization() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace systolize

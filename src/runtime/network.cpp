@@ -1,0 +1,72 @@
+#include "runtime/network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace systolize {
+
+void NetworkGraph::add_node(std::string name, NodeKind kind) {
+  for (const Node& n : nodes) {
+    if (n.name == name) return;  // computation nodes appear once per stream
+  }
+  nodes.push_back(Node{std::move(name), kind});
+}
+
+void NetworkGraph::add_edge(std::string from, std::string to,
+                            std::string channel, std::string stream) {
+  edges.push_back(
+      Edge{std::move(from), std::move(to), std::move(channel),
+           std::move(stream)});
+}
+
+std::size_t NetworkGraph::count(NodeKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes.begin(), nodes.end(),
+                    [kind](const Node& n) { return n.kind == kind; }));
+}
+
+std::string to_dot(const NetworkGraph& graph) {
+  // Stable colour per stream.
+  static const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                  "#9467bd", "#ff7f0e", "#8c564b"};
+  std::map<std::string, const char*> color;
+  for (const NetworkGraph::Edge& e : graph.edges) {
+    if (!color.contains(e.stream)) {
+      color[e.stream] = kColors[color.size() % 6];
+    }
+  }
+
+  std::ostringstream os;
+  os << "digraph systolic {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontsize=9];\n";
+  auto quoted = [](const std::string& s) { return '"' + s + '"'; };
+  for (const NetworkGraph::Node& n : graph.nodes) {
+    os << "  " << quoted(n.name);
+    switch (n.kind) {
+      case NetworkGraph::NodeKind::Computation:
+        os << " [shape=box, style=filled, fillcolor=\"#e8f0fe\"]";
+        break;
+      case NetworkGraph::NodeKind::Input:
+        os << " [shape=house]";
+        break;
+      case NetworkGraph::NodeKind::Output:
+        os << " [shape=invhouse]";
+        break;
+      case NetworkGraph::NodeKind::Buffer:
+        os << " [shape=circle, width=0.2, label=\"\"]";
+        break;
+    }
+    os << ";\n";
+  }
+  for (const NetworkGraph::Edge& e : graph.edges) {
+    os << "  " << quoted(e.from) << " -> " << quoted(e.to) << " [color=\""
+       << color[e.stream] << "\", tooltip=\"" << e.channel << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace systolize

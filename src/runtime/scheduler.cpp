@@ -1,0 +1,257 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace systolize {
+
+void Task::promise_type::unhandled_exception() noexcept {
+  if (proc != nullptr) proc->error = std::current_exception();
+}
+
+// ---------------------------------------------------------------- Channel
+
+void Channel::complete_counterpart(CommOp& op, Value v, Int time) {
+  // `op` is a *parked* op of another process: finish it at logical time
+  // `time` and wake its owner when its whole par set is done.
+  if (!op.is_send) {
+    op.value = v;
+    if (op.out != nullptr) *op.out = v;
+  }
+  Process& p = *op.proc;
+  p.advance_to(time);
+  op.done = true;
+  if (op.is_send) {
+    ++p.sends;
+  } else {
+    ++p.recvs;
+  }
+  if (--p.pending == 0) p.sched->make_ready(p);
+}
+
+bool Channel::try_complete(CommOp& op) {
+  Process& self = *op.proc;
+  if (op.is_send) {
+    if (!receivers_.empty()) {
+      CommOp* r = receivers_.front();
+      receivers_.pop_front();
+      // Rendezvous: both sides advance to max(issue times) + 1.
+      Int t = std::max(op.issue_time, r->issue_time) + 1;
+      self.advance_to(t);
+      ++self.sends;
+      ++transfers_;
+      op.done = true;
+      complete_counterpart(*r, op.value, t);
+      return true;
+    }
+    if (static_cast<Int>(buffer_.size()) < capacity_) {
+      // Buffered hand-off: the value leaves the sender one step later.
+      self.advance_to(op.issue_time + 1);
+      buffer_.push_back(Stamped{op.value, self.time()});
+      ++self.sends;
+      ++transfers_;
+      op.done = true;
+      return true;
+    }
+    return false;
+  }
+  // Receive.
+  if (!buffer_.empty()) {
+    Stamped s = buffer_.front();
+    buffer_.pop_front();
+    op.value = s.value;
+    if (op.out != nullptr) *op.out = s.value;
+    self.advance_to(std::max(op.issue_time + 1, s.time));
+    ++self.recvs;
+    op.done = true;
+    // A parked sender may now fit into the freed buffer slot.
+    if (!senders_.empty() && static_cast<Int>(buffer_.size()) < capacity_) {
+      CommOp* snd = senders_.front();
+      senders_.pop_front();
+      Int t = snd->issue_time + 1;
+      buffer_.push_back(Stamped{snd->value, t});
+      ++transfers_;
+      complete_counterpart(*snd, snd->value, t);
+    }
+    return true;
+  }
+  if (!senders_.empty()) {
+    CommOp* snd = senders_.front();
+    senders_.pop_front();
+    Int t = std::max(op.issue_time, snd->issue_time) + 1;
+    op.value = snd->value;
+    if (op.out != nullptr) *op.out = snd->value;
+    self.advance_to(t);
+    ++self.recvs;
+    op.done = true;
+    ++transfers_;
+    complete_counterpart(*snd, snd->value, t);
+    return true;
+  }
+  return false;
+}
+
+void Channel::park(CommOp& op) {
+  (op.is_send ? senders_ : receivers_).push_back(&op);
+}
+
+// ------------------------------------------------------------------- Ctx
+
+CommAwaiter::CommAwaiter(Ctx ctx, std::vector<CommOp> ops)
+    : ctx_(ctx), ops_(std::move(ops)) {}
+
+bool CommAwaiter::await_ready() {
+  Process& p = ctx_.process();
+  for (CommOp& op : ops_) {
+    op.proc = &p;
+    op.issue_time = p.time();
+  }
+  bool all = true;
+  for (CommOp& op : ops_) {
+    if (!op.chan->try_complete(op)) all = false;
+  }
+  if (all) return true;
+  return false;
+}
+
+void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
+  (void)h;  // the scheduler resumes via the process handle
+  Process& p = ctx_.process();
+  p.pending = 0;
+  std::ostringstream blocked;
+  for (CommOp& op : ops_) {
+    if (op.done) continue;
+    ++p.pending;
+    op.chan->park(op);
+    if (p.pending > 1) blocked << ", ";
+    blocked << (op.is_send ? "send " : "recv ") << op.chan->name();
+  }
+  p.blocked_on = blocked.str();
+  // Transfers completed after parking (by partners) decrement `pending`;
+  // the partner's completion path re-queues this process at zero.
+}
+
+void CommAwaiter::await_resume() {
+  Process& p = ctx_.process();
+  p.blocked_on.clear();
+  // A par set completes only when its slowest member does.
+  for (const CommOp& op : ops_) {
+    (void)op;  // times were already folded into the process clock per op
+  }
+}
+
+CommAwaiter Ctx::send(Channel& chan, Value v) {
+  return CommAwaiter(*this, {send_op(chan, v)});
+}
+
+CommAwaiter Ctx::recv(Channel& chan, Value& out) {
+  return CommAwaiter(*this, {recv_op(chan, out)});
+}
+
+CommAwaiter Ctx::par(std::vector<CommOp> ops) {
+  return CommAwaiter(*this, std::move(ops));
+}
+
+CommOp Ctx::send_op(Channel& chan, Value v) const {
+  CommOp op;
+  op.chan = &chan;
+  op.is_send = true;
+  op.value = v;
+  op.proc = proc_;
+  return op;
+}
+
+CommOp Ctx::recv_op(Channel& chan, Value& out) const {
+  CommOp op;
+  op.chan = &chan;
+  op.is_send = false;
+  op.out = &out;
+  op.proc = proc_;
+  return op;
+}
+
+void Ctx::tick_statement() {
+  ++proc_->clock->time;
+  ++proc_->statements;
+}
+
+// ------------------------------------------------------------- Scheduler
+
+Scheduler::~Scheduler() {
+  for (auto& p : processes_) {
+    if (p->handle) p->handle.destroy();
+  }
+}
+
+Process& Scheduler::spawn(std::string name,
+                          const std::function<Task(Ctx)>& body,
+                          Clock* clock) {
+  auto proc = std::make_unique<Process>();
+  proc->name = std::move(name);
+  proc->sched = this;
+  if (clock != nullptr) proc->clock = clock;
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  Task task = body(Ctx(this, &ref));
+  ref.handle = task.handle;
+  task.handle.promise().proc = &ref;
+  make_ready(ref);
+  return ref;
+}
+
+Channel& Scheduler::make_channel(std::string name, Int capacity) {
+  channels_.push_back(
+      std::make_unique<Channel>(std::move(name), this, capacity));
+  return *channels_.back();
+}
+
+void Scheduler::make_ready(Process& proc) {
+  if (proc.finished || proc.in_ready_queue) return;
+  proc.in_ready_queue = true;
+  ready_.push_back(&proc);
+}
+
+void Scheduler::run() {
+  while (!ready_.empty()) {
+    Process* proc = ready_.front();
+    ready_.pop_front();
+    proc->in_ready_queue = false;
+    if (proc->finished) continue;
+    proc->handle.resume();
+    if (proc->error) std::rethrow_exception(proc->error);
+    if (proc->handle.done()) proc->finished = true;
+  }
+  // All ready work drained: either everything finished or we deadlocked.
+  std::vector<const Process*> stuck;
+  for (const auto& p : processes_) {
+    if (!p->finished) stuck.push_back(p.get());
+  }
+  if (stuck.empty()) return;
+  std::ostringstream os;
+  os << "deadlock: " << stuck.size() << " process(es) blocked";
+  std::size_t shown = 0;
+  for (const Process* p : stuck) {
+    if (shown++ == 8) {
+      os << "; ...";
+      break;
+    }
+    os << "; " << p->name << " on [" << p->blocked_on << "]";
+  }
+  raise(ErrorKind::Runtime, os.str());
+}
+
+Int Scheduler::total_transfers() const {
+  Int total = 0;
+  for (const auto& c : channels_) total += c->transfers();
+  return total;
+}
+
+Int Scheduler::makespan() const {
+  Int m = 0;
+  for (const auto& p : processes_) m = std::max(m, p->time());
+  return m;
+}
+
+}  // namespace systolize

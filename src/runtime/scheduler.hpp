@@ -1,0 +1,204 @@
+// The distributed-memory substrate: asynchronously composed sequential
+// processes with synchronous (rendezvous) channels — the execution model
+// of Sect. 4, substituting for the paper's transputer networks.
+//
+// Processes are C++20 coroutines driven by a deterministic cooperative
+// scheduler (FIFO ready queue). A logical clock assigns every rendezvous
+// max(t_sender, t_receiver) + 1 and every basic statement +1, so the final
+// maximum over all processes is the parallel makespan in systolic steps.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loopnest/loop_nest.hpp"
+
+namespace systolize {
+
+class Scheduler;
+class Channel;
+struct Process;
+
+/// One pending communication of a par set. Lives in the awaiter inside the
+/// suspended coroutine frame, so its address is stable while parked.
+struct CommOp {
+  Channel* chan = nullptr;
+  bool is_send = false;
+  Value value = 0;     ///< payload (send) or received value (recv)
+  Value* out = nullptr;///< where a recv deposits its value (may be null)
+  Process* proc = nullptr;
+  Int issue_time = 0;  ///< owner's local time when the op was issued
+  bool done = false;
+};
+
+/// Coroutine return object for process bodies.
+class Task {
+ public:
+  struct promise_type {
+    Process* proc = nullptr;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept;
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle(h) {}
+  std::coroutine_handle<promise_type> handle;
+};
+
+/// A logical clock. By default every process owns one; when several
+/// processes are multiplexed onto one physical processor (partitioning,
+/// the paper's Sect.-8 extension via its ref. [23]) they share a clock, so
+/// their events serialize in the makespan model.
+struct Clock {
+  Int time = 0;
+};
+
+struct Process {
+  std::string name;
+  std::coroutine_handle<Task::promise_type> handle;
+  Scheduler* sched = nullptr;
+  Clock own_clock;
+  Clock* clock = &own_clock;
+  Int pending = 0;  ///< outstanding ops of the current par set
+  bool finished = false;
+  bool in_ready_queue = false;
+  std::exception_ptr error;
+  /// What the process is blocked on, for deadlock diagnostics.
+  std::string blocked_on;
+  Int sends = 0;
+  Int recvs = 0;
+  Int statements = 0;
+
+  [[nodiscard]] Int time() const noexcept { return clock->time; }
+  void advance_to(Int t) noexcept { clock->time = std::max(clock->time, t); }
+};
+
+class CommAwaiter;
+
+/// Handle passed to process bodies: communication and clock primitives.
+class Ctx {
+ public:
+  Ctx() = default;
+  Ctx(Scheduler* sched, Process* proc) : sched_(sched), proc_(proc) {}
+
+  [[nodiscard]] CommAwaiter send(Channel& chan, Value v);
+  [[nodiscard]] CommAwaiter recv(Channel& chan, Value& out);
+  /// Par composition of communications (the paper's `par` around the basic
+  /// statement's receives/sends).
+  [[nodiscard]] CommAwaiter par(std::vector<CommOp> ops);
+
+  [[nodiscard]] CommOp send_op(Channel& chan, Value v) const;
+  [[nodiscard]] CommOp recv_op(Channel& chan, Value& out) const;
+
+  /// Advance the local clock by one step (a basic-statement execution).
+  void tick_statement();
+
+  [[nodiscard]] Process& process() const { return *proc_; }
+
+ private:
+  Scheduler* sched_ = nullptr;
+  Process* proc_ = nullptr;
+};
+
+/// Awaitable performing a whole par set of sends/receives; completes when
+/// every op has transferred. A single-element set is an ordinary
+/// synchronous send or receive.
+class CommAwaiter {
+ public:
+  CommAwaiter(Ctx ctx, std::vector<CommOp> ops);
+  [[nodiscard]] bool await_ready();
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume();
+
+ private:
+  Ctx ctx_;
+  std::vector<CommOp> ops_;
+};
+
+/// Synchronous channel (optionally with a small FIFO buffer when
+/// `capacity > 0`; the paper's model is capacity 0 — pure rendezvous).
+class Channel {
+ public:
+  Channel(std::string name, Scheduler* sched, Int capacity = 0)
+      : name_(std::move(name)), sched_(sched), capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Int transfers() const noexcept { return transfers_; }
+
+  /// Attempt the op now; true if it completed without parking.
+  bool try_complete(CommOp& op);
+  /// Park the op until a partner arrives.
+  void park(CommOp& op);
+
+ private:
+  struct Stamped {
+    Value value;
+    Int time;
+  };
+
+  void complete_counterpart(CommOp& op, Value v, Int time);
+
+  std::string name_;
+  Scheduler* sched_;
+  Int capacity_;
+  std::deque<Stamped> buffer_;
+  std::deque<CommOp*> senders_;
+  std::deque<CommOp*> receivers_;
+  Int transfers_ = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  /// Create a process; `body` is called immediately to build the coroutine
+  /// (suspended until run()). When `clock` is non-null the process shares
+  /// it (processor multiplexing); it must outlive the scheduler run.
+  Process& spawn(std::string name, const std::function<Task(Ctx)>& body,
+                 Clock* clock = nullptr);
+
+  /// Create a channel owned by the scheduler.
+  Channel& make_channel(std::string name, Int capacity = 0);
+
+  /// Run to completion. Throws Error(Runtime) on deadlock, and rethrows
+  /// the first process exception.
+  void run();
+
+  void make_ready(Process& proc);
+
+  [[nodiscard]] const std::deque<std::unique_ptr<Process>>& processes()
+      const noexcept {
+    return processes_;
+  }
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] const std::deque<std::unique_ptr<Channel>>& channels()
+      const noexcept {
+    return channels_;
+  }
+  [[nodiscard]] Int total_transfers() const;
+  [[nodiscard]] Int makespan() const;
+
+ private:
+  std::deque<std::unique_ptr<Process>> processes_;
+  std::deque<std::unique_ptr<Channel>> channels_;
+  std::deque<Process*> ready_;
+};
+
+}  // namespace systolize

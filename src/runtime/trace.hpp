@@ -1,0 +1,29 @@
+// Execution tracing: per-statement logical timestamps.
+//
+// The paper's correctness argument leans on a theorem (its ref. [20]) that
+// relaxing the systolic array's lock-step execution to asynchronous
+// processes with synchronous channels does not change the computation.
+// The trace makes that checkable: each basic-statement execution is
+// recorded with its process, iteration number and logical time, and a
+// checker maps iterations back to index-space points via the repeater
+// (x = first.y + iteration * increment) to verify that any two statements
+// sharing a stream element execute in step order.
+#pragma once
+
+#include <vector>
+
+#include "numeric/int_vec.hpp"
+
+namespace systolize {
+
+struct StatementEvent {
+  IntVec process;     ///< process-space coordinates
+  Int iteration = 0;  ///< 0-based position within the process's repeater
+  Int time = 0;       ///< logical time immediately after the statement
+};
+
+struct Trace {
+  std::vector<StatementEvent> statements;
+};
+
+}  // namespace systolize

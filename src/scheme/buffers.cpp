@@ -1,0 +1,13 @@
+#include "scheme/buffers.hpp"
+
+namespace systolize {
+
+Int internal_buffers_per_hop(const StreamMotion& motion) {
+  return motion.denominator - 1;
+}
+
+bool is_external_buffer_point(const RepeaterSpec& repeater, const Env& env) {
+  return !repeater.first.covers(env);
+}
+
+}  // namespace systolize

@@ -1,0 +1,25 @@
+// Sect. 7.6 — buffer processes.
+//
+// Internal buffers: a stream with fractional flow p/q needs q-1 buffer
+// processes interposed on each hop (the rendezvous itself accounts for one
+// step of travel). External buffers: the points of PS \ CS pass along every
+// element of each pipeline that crosses them — Equation (10), which is the
+// io repeater's count_s; a pipeline with no elements (all count_s guards
+// false) passes nothing, which is how stream c contributes no buffer
+// traffic in Sect. E.2.7.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+/// Number of buffer processes interposed per hop for a stream (q - 1).
+[[nodiscard]] Int internal_buffers_per_hop(const StreamMotion& motion);
+
+/// True at a concrete process point iff it lies outside the computation
+/// space: no clause of the repeater's `first` covers it. (The guards of
+/// `first` define CS — Sect. 7.6.)
+[[nodiscard]] bool is_external_buffer_point(const RepeaterSpec& repeater,
+                                            const Env& env);
+
+}  // namespace systolize

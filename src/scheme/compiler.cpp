@@ -1,0 +1,57 @@
+#include "scheme/compiler.hpp"
+
+#include "loopnest/validate.hpp"
+#include "scheme/first_last.hpp"
+#include "scheme/increment.hpp"
+#include "scheme/io_comm.hpp"
+#include "scheme/io_layout.hpp"
+#include "scheme/process_space.hpp"
+#include "scheme/propagation.hpp"
+
+namespace systolize {
+
+CompiledProgram compile(const LoopNest& nest, const ArraySpec& spec,
+                        const CompileOptions& options) {
+  validate_source(nest);
+  validate_array(nest, spec);
+
+  CompiledProgram out;
+  out.name = nest.name();
+  out.depth = nest.depth();
+  out.step = spec.step();
+  out.place = spec.place();
+
+  for (std::size_t i = 0; i + 1 < nest.depth(); ++i) {
+    out.coords.push_back(canonical_coord(i));
+  }
+
+  // 7.1 — process space basis; its box membership joins the standing
+  // assumptions for all guard pruning.
+  out.ps = derive_process_space(nest, spec.place());
+  out.assumptions =
+      nest.size_assumptions().conjoined(ps_box_guard(out.ps, out.coords));
+
+  // 7.2 — increment and the computation repeater.
+  IntVec increment = derive_increment(spec.step(), spec.place());
+  out.repeater = derive_first_last(nest, spec.step(), spec.place(), increment,
+                                   out.coords, out.assumptions);
+
+  // 7.3-7.5 — per-stream i/o layout, repeaters and propagation.
+  for (const Stream& s : nest.streams()) {
+    StreamPlan plan;
+    plan.name = s.name();
+    plan.motion = spec.motion_of(s);
+    plan.io_sets = derive_io_sets(s.name(), plan.motion);
+    plan.io = derive_io_repeater(s, plan.motion, spec.place(), increment,
+                                 out.repeater.first, out.assumptions,
+                                 options.statement_clause);
+    Propagation prop =
+        derive_propagation(s, out.repeater, plan.io, out.assumptions);
+    plan.soak = std::move(prop.soak);
+    plan.drain = std::move(prop.drain);
+    out.streams.push_back(std::move(plan));
+  }
+  return out;
+}
+
+}  // namespace systolize

@@ -1,0 +1,22 @@
+// The systolizing compiler (Sect. 7): source program + systolic array in,
+// symbolic distributed program out.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+struct CompileOptions {
+  /// Which clause of the computation `first` serves as the basic statement
+  /// x in Equations (6)/(7). The result is clause-independent (tests
+  /// verify); exposed so the invariance can be exercised.
+  std::size_t statement_clause = 0;
+};
+
+/// Run the full scheme. Validates the source program (Appendix A) and the
+/// array spec first; throws Error on any violation.
+[[nodiscard]] CompiledProgram compile(const LoopNest& nest,
+                                      const ArraySpec& spec,
+                                      const CompileOptions& options = {});
+
+}  // namespace systolize

@@ -1,0 +1,193 @@
+#include "scheme/first_last.hpp"
+
+#include "symbolic/fourier_motzkin.hpp"
+
+namespace systolize {
+namespace {
+
+enum class Target { First, Last };
+
+/// Solve place.(x; i:bound) = y symbolically for the remaining components
+/// (unique by Theorem 9 since increment.i != 0) and assemble the full
+/// point in IS coordinates.
+AffinePoint solve_face(const PlaceFunction& place, std::size_t i,
+                       const AffineExpr& bound,
+                       const std::vector<Symbol>& coords) {
+  const IntMatrix& p = place.matrix();
+  const std::size_t r = p.cols();
+
+  RatMatrix reduced = p.without_col(i).to_rational();
+  RatMatrix inv = reduced.inverse();  // nonsingular by Theorem 9
+  // A fractional inverse means place.(x; i:bound) = y has non-integer
+  // solutions for some integer y — the process space would contain
+  // lattice holes. The paper defers this to future work ("non-integer
+  // solutions to the linear equations [26]", Sect. 8).
+  for (std::size_t r = 0; r < inv.rows(); ++r) {
+    for (std::size_t c = 0; c < inv.cols(); ++c) {
+      if (!inv.at(r, c).is_integer()) {
+        raise(ErrorKind::Unsupported,
+              "place function yields non-integer face solutions "
+              "(Sect. 8 future work: non-integer solutions to the linear "
+              "equations)");
+      }
+    }
+  }
+
+  // rhs = y - place_col_i * bound, with y the coordinate symbols.
+  AffinePoint rhs(r - 1);
+  for (std::size_t k = 0; k + 1 < r; ++k) {
+    rhs[k] = AffineExpr(coords[k]) - bound * Rational(p.at(k, i));
+  }
+  AffinePoint partial = rhs.applied(inv);  // components x_j for j != i
+
+  AffinePoint x(r);
+  std::size_t kk = 0;
+  for (std::size_t j = 0; j < r; ++j) {
+    x[j] = (j == i) ? bound : partial[kk++];
+  }
+  return x;
+}
+
+Piecewise<AffinePoint> derive_endpoint(const LoopNest& nest,
+                                       const PlaceFunction& place,
+                                       const IntVec& increment,
+                                       const std::vector<Symbol>& coords,
+                                       const Guard& assumptions,
+                                       Target target) {
+  const std::size_t r = nest.depth();
+  Piecewise<AffinePoint> result;
+  for (std::size_t i = 0; i < r; ++i) {
+    if (increment[i] == 0) continue;  // chord parallel to this dimension
+    const LoopSpec& loop = nest.loops()[i];
+    // For first: lb where increment.i > 0, rb where < 0; reversed for last.
+    const bool toward_lower = (increment[i] > 0) == (target == Target::First);
+    const AffineExpr& bound = toward_lower ? loop.lower : loop.upper;
+
+    AffinePoint x = solve_face(place, i, bound, coords);
+
+    // Guard: the solved components must lie within their loop bounds
+    // (the "shadow" of the face, Sect. 7.2.2).
+    Guard g;
+    for (std::size_t j = 0; j < r; ++j) {
+      if (j == i) continue;
+      g.add(between(nest.loops()[j].lower, x[j], nest.loops()[j].upper));
+    }
+    result.add(std::move(g), std::move(x));
+  }
+  return result.pruned(assumptions);
+}
+
+}  // namespace
+
+bool has_interior(const Guard& guard, const Guard& assumptions) {
+  // A rational polyhedron has empty interior iff it is infeasible or one of
+  // its defining inequalities is forced to equality everywhere on it (no
+  // Slater point). Constant-true constraints are stripped first so they
+  // cannot masquerade as pinned faces.
+  Guard g;
+  try {
+    g = guard.conjoined(assumptions).simplified();
+  } catch (const Error&) {
+    return false;  // constant-false constraint: empty region
+  }
+  if (!is_feasible(g)) return false;
+  for (const Constraint& c : g.constraints()) {
+    // Is c.lhs >= c.rhs forced (so slack == 0 on the whole region)?
+    if (implies(g, Constraint{c.rhs, c.lhs})) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Recursively pick one violated constraint per clause and test the
+/// conjunction; any feasible combination is an uncovered PS point.
+bool some_point_escapes(const std::vector<Piece<AffinePoint>>& pieces,
+                        std::size_t index, Guard violated,
+                        const Guard& assumptions) {
+  if (index == pieces.size()) {
+    return is_feasible(violated, assumptions);
+  }
+  const Guard& guard = pieces[index].guard;
+  if (guard.is_trivially_true()) return false;  // this clause covers all
+  for (const Constraint& c : guard.constraints()) {
+    Guard next = violated;
+    // not (lhs <= rhs)  ==  rhs + 1 <= lhs on integer-valued forms.
+    next.add(Constraint{c.rhs + AffineExpr(1), c.lhs});
+    if (some_point_escapes(pieces, index + 1, std::move(next), assumptions)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool cs_equals_ps(const RepeaterSpec& repeater, const Guard& assumptions) {
+  return !some_point_escapes(repeater.first.pieces(), 0, Guard{},
+                             assumptions);
+}
+
+std::optional<AffineExpr> symbolic_quotient_along(const AffinePoint& p,
+                                                  const AffinePoint& q,
+                                                  const IntVec& v) {
+  if (p.dim() != q.dim() || p.dim() != v.dim()) {
+    raise(ErrorKind::Dimension, "symbolic_quotient_along dimension mismatch");
+  }
+  std::size_t pivot = p.dim();
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (v[i] != 0) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot == p.dim()) {
+    raise(ErrorKind::NotRepresentable, "quotient along the zero vector");
+  }
+  AffineExpr m = (q[pivot] - p[pivot]) * Rational(1, v[pivot]);
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (q[i] - p[i] != m * Rational(v[i])) return std::nullopt;
+  }
+  return m;
+}
+
+RepeaterSpec derive_first_last(const LoopNest& nest, const StepFunction& step,
+                               const PlaceFunction& place,
+                               const IntVec& increment,
+                               const std::vector<Symbol>& coords,
+                               const Guard& assumptions) {
+  (void)step;  // orientation is already baked into increment
+  RepeaterSpec spec;
+  spec.increment = increment;
+  spec.simple_place = place.is_simple();
+  spec.first = derive_endpoint(nest, place, increment, coords, assumptions,
+                               Target::First);
+  spec.last = derive_endpoint(nest, place, increment, coords, assumptions,
+                              Target::Last);
+
+  // Equation (4): count = ((last - first) // increment) + 1, defined
+  // piecewise over the product of the first and last alternatives.
+  Piecewise<AffineExpr> count;
+  for (const auto& f : spec.first.pieces()) {
+    for (const auto& l : spec.last.pieces()) {
+      Guard g = f.guard.conjoined(l.guard);
+      if (!is_feasible(g, assumptions)) continue;
+      auto m = symbolic_quotient_along(f.value, l.value, increment);
+      if (!m.has_value()) {
+        // The pairing only matches on a measure-zero overlap; a
+        // full-dimensional pairing covers those points with the same value.
+        if (has_interior(g, assumptions)) {
+          raise(ErrorKind::Inconsistent,
+                "first/last clause pair is collinearity-inconsistent on a "
+                "full-dimensional region");
+        }
+        continue;
+      }
+      count.add(drop_redundant(g, assumptions), *m + AffineExpr(1));
+    }
+  }
+  spec.count = count;
+  return spec;
+}
+
+}  // namespace systolize

@@ -1,0 +1,44 @@
+// Sect. 7.2.2 — the repeater components first and last: for each face of
+// the index space not parallel to the chords, symbolically solve
+// place.(x; i:bound_i) = y and guard the solution by the face's bounds
+// projected into the process space.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+/// Add a strict-interior feasibility test used to discard degenerate
+/// clause combinations (pieces whose guard region has empty interior are
+/// always covered by a neighbouring full-dimensional piece; the paper
+/// prunes these by hand in Sect. E.2.5).
+[[nodiscard]] bool has_interior(const Guard& guard, const Guard& assumptions);
+
+/// Derive {first, last, count}; guards are pruned under `assumptions`
+/// (size assumptions conjoined with PS-box membership). For a simple place
+/// function the result degenerates to a single unguarded clause
+/// (Sect. 7.2.3), which this derivation reaches through the general path.
+[[nodiscard]] RepeaterSpec derive_first_last(const LoopNest& nest,
+                                             const StepFunction& step,
+                                             const PlaceFunction& place,
+                                             const IntVec& increment,
+                                             const std::vector<Symbol>& coords,
+                                             const Guard& assumptions);
+
+/// True iff the computation space fills the whole process-space box: no
+/// integer point of PS escapes every clause guard of `first`. Decided by
+/// Fourier-Motzkin over the clause-violation combinations (negating
+/// lhs <= rhs as rhs + 1 <= lhs, exact for the integer-valued affine
+/// forms the scheme produces). Buffer processes exist iff this is false
+/// (Sect. 7.6).
+[[nodiscard]] bool cs_equals_ps(const RepeaterSpec& repeater,
+                                const Guard& assumptions);
+
+/// The paper's (q - p) // v for symbolic points: the affine scalar m with
+/// m * v == q - p, derived from a pivot component of v and verified on all
+/// components. Returns nullopt when the identity fails componentwise
+/// (possible only for degenerate clause pairings).
+[[nodiscard]] std::optional<AffineExpr> symbolic_quotient_along(
+    const AffinePoint& p, const AffinePoint& q, const IntVec& v);
+
+}  // namespace systolize

@@ -1,0 +1,27 @@
+#include "scheme/increment.hpp"
+
+namespace systolize {
+
+IntVec derive_increment(const StepFunction& step, const PlaceFunction& place) {
+  // null_generator() is already gcd-normalized; orient it by step.
+  IntVec w = place.null_generator();
+  Int t = step.apply(w);
+  if (t == 0) {
+    raise(ErrorKind::Inconsistent,
+          "step vanishes on null.place (Theorem 3): step and place are "
+          "inconsistent");
+  }
+  IntVec inc = t > 0 ? w : -w;
+  for (std::size_t i = 0; i < inc.dim(); ++i) {
+    if (inc[i] < -1 || inc[i] > 1) {
+      raise(ErrorKind::Unsupported,
+            "increment " + inc.to_string() +
+                " has a component outside {-1,0,+1}; the scheme's boundary "
+                "analysis (Sect. 6.2 Note) does not cover this place "
+                "function");
+    }
+  }
+  return inc;
+}
+
+}  // namespace systolize

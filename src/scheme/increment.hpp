@@ -1,0 +1,16 @@
+// Sect. 7.2.1 — increment: the unit distance between consecutive basic
+// statements of a process.
+#pragma once
+
+#include "systolic/step_place.hpp"
+
+namespace systolize {
+
+/// increment = sgn.(step.w) * (1/k) * w for any w spanning null.place with
+/// k the gcd of w's components (Theorems 5-7). Raises Unsupported when a
+/// component falls outside {-1, 0, +1} (the Appendix A.2 restriction; the
+/// paper's boundary analysis is only complete in that case).
+[[nodiscard]] IntVec derive_increment(const StepFunction& step,
+                                      const PlaceFunction& place);
+
+}  // namespace systolize

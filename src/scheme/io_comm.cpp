@@ -1,0 +1,151 @@
+#include "scheme/io_comm.hpp"
+
+#include "scheme/first_last.hpp"
+#include "symbolic/fourier_motzkin.hpp"
+
+namespace systolize {
+namespace {
+
+enum class Target { First, Last };
+
+/// Equations (6)/(7): project M.x along increment_s onto face i of the
+/// variable space, then guard by the remaining variable bounds.
+Piecewise<AffinePoint> derive_io_endpoint(const Stream& s,
+                                          const IntVec& increment_s,
+                                          const AffinePoint& mx,
+                                          const Guard& assumptions,
+                                          Target target) {
+  Piecewise<AffinePoint> result;
+  for (std::size_t i = 0; i < increment_s.dim(); ++i) {
+    const Int d = increment_s[i];
+    if (d == 0) continue;
+    const VarDim& dim = s.dims()[i];
+    // first_s.i is the bound the pipeline enters through: the lower bound
+    // where increment_s.i > 0 (elements ascend), reversed for last_s.
+    const bool toward_lower = (d > 0) == (target == Target::First);
+    const AffineExpr& bound = toward_lower ? dim.lower : dim.upper;
+
+    // point = M.x - ((M.x.i - bound) / d) * increment_s   (Eq. 6)
+    //       = M.x + ((bound - M.x.i) / d) * increment_s   (Eq. 7 likewise)
+    AffineExpr t = (bound - mx[i]) * Rational(1, d);
+    AffinePoint point = mx.plus_scaled(t, increment_s);
+
+    Guard g;
+    for (std::size_t j = 0; j < increment_s.dim(); ++j) {
+      if (j == i) continue;
+      g.add(between(s.dims()[j].lower, point[j], s.dims()[j].upper));
+    }
+    result.add(std::move(g), std::move(point));
+  }
+  if (result.empty()) {
+    raise(ErrorKind::Validation,
+          "stream '" + s.name() + "': increment_s is zero — the stream's "
+          "elements would not be ordered along any pipeline");
+  }
+  return result.pruned(assumptions);
+}
+
+}  // namespace
+
+IntVec stationary_element_increment(const Stream& s,
+                                    const PlaceFunction& place,
+                                    const IntVec& direction,
+                                    const IntVec& increment) {
+  const IntMatrix& p = place.matrix();
+  const std::size_t r = p.cols();
+  // Solve place . delta = direction for one particular delta: pin the
+  // coordinate of a non-parallel dimension (increment.j != 0 makes the
+  // reduced system invertible, Theorem 9) to zero.
+  std::size_t j = r;
+  for (std::size_t i = 0; i < r; ++i) {
+    if (increment[i] != 0) {
+      j = i;
+      break;
+    }
+  }
+  if (j == r) {
+    raise(ErrorKind::Inconsistent, "increment is the zero vector");
+  }
+  RatMatrix inv = p.without_col(j).to_rational().inverse();
+  RatVec partial = inv.apply(RatVec(direction));
+  RatVec delta(r);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    delta[i] = (i == j) ? Rational(0) : partial[k++];
+  }
+  RatVec u = s.index_map().apply(delta);
+  if (!u.is_integral()) {
+    raise(ErrorKind::Unsupported,
+          "stream '" + s.name() + "': loading direction " +
+              direction.to_string() +
+              " induces a fractional element increment " + u.to_string());
+  }
+  return u.to_int_vec();
+}
+
+IoRepeaterSpec derive_io_repeater(const Stream& s, const StreamMotion& motion,
+                                  const PlaceFunction& place,
+                                  const IntVec& increment,
+                                  const Piecewise<AffinePoint>& first,
+                                  const Guard& assumptions,
+                                  std::size_t statement_clause) {
+  IoRepeaterSpec spec;
+  // Theorem 11: consecutive statements use consecutive elements, so the
+  // element-identity increment is M . increment. For a stationary stream
+  // the pipeline is ordered by the element variation along the loading &
+  // recovery direction instead.
+  spec.increment_s =
+      motion.stationary
+          ? stationary_element_increment(s, place, motion.direction,
+                                         increment)
+          : s.index_map().apply(increment);
+  if (!motion.stationary && spec.increment_s.is_zero()) {
+    raise(ErrorKind::Inconsistent,
+          "stream '" + s.name() + "': moving stream with zero M.increment");
+  }
+  if (spec.increment_s.content() > 1) {
+    // Consecutive statements would skip elements along the pipeline;
+    // the interleaving of several chords' accesses is outside the
+    // scheme's pipelining model (Sect. 6.4's total order assumes unit
+    // spacing).
+    raise(ErrorKind::Unsupported,
+          "stream '" + s.name() + "': element increment " +
+              spec.increment_s.to_string() +
+              " is non-primitive (strided pipeline access unsupported)");
+  }
+
+  if (statement_clause >= first.size()) {
+    raise(ErrorKind::Validation, "statement clause index out of range");
+  }
+  // Any basic statement x serves; we use the requested clause of first.
+  const AffinePoint& x = first.pieces()[statement_clause].value;
+  AffinePoint mx = x.applied(s.index_map());
+
+  spec.first_s = derive_io_endpoint(s, spec.increment_s, mx, assumptions,
+                                    Target::First);
+  spec.last_s =
+      derive_io_endpoint(s, spec.increment_s, mx, assumptions, Target::Last);
+
+  // Equation (10): pipeline element count, piecewise over clause pairs.
+  Piecewise<AffineExpr> count;
+  for (const auto& f : spec.first_s.pieces()) {
+    for (const auto& l : spec.last_s.pieces()) {
+      Guard g = f.guard.conjoined(l.guard);
+      if (!is_feasible(g, assumptions)) continue;
+      auto m = symbolic_quotient_along(f.value, l.value, spec.increment_s);
+      if (!m.has_value()) {
+        if (has_interior(g, assumptions)) {
+          raise(ErrorKind::Inconsistent,
+                "first_s/last_s clause pair is collinearity-inconsistent on "
+                "a full-dimensional region for stream '" + s.name() + "'");
+        }
+        continue;
+      }
+      count.add(drop_redundant(g, assumptions), *m + AffineExpr(1));
+    }
+  }
+  spec.count_s = count;
+  return spec;
+}
+
+}  // namespace systolize

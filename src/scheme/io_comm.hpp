@@ -1,0 +1,33 @@
+// Sect. 7.4 — the i/o repeaters: increment_s = M . increment (Theorem 11)
+// and the pipeline endpoints first_s / last_s via Equations (6) and (7).
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+/// Derive {increment_s, first_s, last_s, count_s} for one stream.
+///
+/// `first` is the computation repeater's first (any clause serves as the
+/// basic statement x in Equations (6)/(7) — the derived endpoints are
+/// clause-independent, a property the tests verify); for stationary
+/// streams the loading & recovery vector plays the role of increment_s
+/// (Sect. D.1.4).
+[[nodiscard]] IoRepeaterSpec derive_io_repeater(
+    const Stream& s, const StreamMotion& motion, const PlaceFunction& place,
+    const IntVec& increment, const Piecewise<AffinePoint>& first,
+    const Guard& assumptions, std::size_t statement_clause = 0);
+
+/// Element-identity increment of a *stationary* stream along its loading
+/// & recovery direction: M . delta for any delta with place . delta ==
+/// direction (well-defined because M vanishes on null.place for a
+/// stationary stream). This is what orders the loading pipeline — it
+/// coincides with the loading vector for the paper's examples but differs
+/// in general (e.g. place.(i,j) = -i makes the element index run against
+/// the loading direction). Throws Unsupported when fractional.
+[[nodiscard]] IntVec stationary_element_increment(const Stream& s,
+                                                  const PlaceFunction& place,
+                                                  const IntVec& direction,
+                                                  const IntVec& increment);
+
+}  // namespace systolize

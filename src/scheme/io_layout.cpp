@@ -1,0 +1,73 @@
+#include "scheme/io_layout.hpp"
+
+namespace systolize {
+
+std::vector<IoProcessSet> derive_io_sets(const std::string& stream,
+                                         const StreamMotion& motion) {
+  std::vector<IoProcessSet> sets;
+  std::vector<BoundaryRef> earlier_inputs;
+  std::vector<BoundaryRef> earlier_outputs;
+  for (std::size_t i = 0; i < motion.direction.dim(); ++i) {
+    const Int d = motion.direction[i];
+    if (d == 0) continue;
+    // d > 0: the stream enters at the min boundary and leaves at max.
+    IoProcessSet in;
+    in.stream = stream;
+    in.dim = i;
+    in.at_min = d > 0;
+    in.is_input = true;
+    in.excluded = earlier_inputs;
+
+    IoProcessSet out;
+    out.stream = stream;
+    out.dim = i;
+    out.at_min = d < 0;
+    out.is_input = false;
+    out.excluded = earlier_outputs;
+
+    earlier_inputs.push_back(BoundaryRef{i, in.at_min});
+    earlier_outputs.push_back(BoundaryRef{i, out.at_min});
+    sets.push_back(std::move(in));
+    sets.push_back(std::move(out));
+  }
+  if (sets.empty()) {
+    raise(ErrorKind::Validation,
+          "stream '" + stream + "' has a zero motion direction: no i/o "
+          "boundary exists");
+  }
+  return sets;
+}
+
+std::vector<IntVec> enumerate_io_points(const IoProcessSet& set,
+                                        const IntVec& ps_min,
+                                        const IntVec& ps_max) {
+  if (ps_min.dim() != ps_max.dim() || set.dim >= ps_min.dim()) {
+    raise(ErrorKind::Dimension, "io set dimension mismatch");
+  }
+  std::vector<IntVec> points;
+  IntVec y = ps_min;
+  y[set.dim] = set.at_min ? ps_min[set.dim] : ps_max[set.dim];
+  for (;;) {
+    bool excluded = false;
+    for (const BoundaryRef& ref : set.excluded) {
+      Int boundary = ref.at_min ? ps_min[ref.dim] : ps_max[ref.dim];
+      if (y[ref.dim] == boundary) excluded = true;
+    }
+    if (!excluded) points.push_back(y);
+    // Advance over the free dimensions only.
+    std::size_t i = y.dim();
+    bool done = true;
+    while (i > 0) {
+      --i;
+      if (i == set.dim) continue;
+      if (++y[i] <= ps_max[i]) {
+        done = false;
+        break;
+      }
+      y[i] = ps_min[i];
+    }
+    if (done) return points;
+  }
+}
+
+}  // namespace systolize

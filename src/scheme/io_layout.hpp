@@ -1,0 +1,25 @@
+// Sect. 7.3 — layout of the input/output processes along the process-space
+// boundaries, one set per non-zero flow component, duplicates removed in
+// order of increasing dimension.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+/// Equation (5) for one stream: boundary sets in every dimension where the
+/// motion direction is non-zero. Input processes sit on the upstream side
+/// (min boundary when the component is positive), outputs downstream. A
+/// set records which earlier dimensions' same-role boundary points it
+/// omits (the duplicate corners of Sect. E.2.3).
+[[nodiscard]] std::vector<IoProcessSet> derive_io_sets(
+    const std::string& stream, const StreamMotion& motion);
+
+/// Concrete coordinates of one boundary set at an instantiated process
+/// space: the boundary dimension pinned to its side, the free dimensions
+/// ranging over the box, the excluded same-role corners removed.
+[[nodiscard]] std::vector<IntVec> enumerate_io_points(const IoProcessSet& set,
+                                                      const IntVec& ps_min,
+                                                      const IntVec& ps_max);
+
+}  // namespace systolize

@@ -1,0 +1,49 @@
+#include "scheme/process_space.hpp"
+
+namespace systolize {
+
+ProcessSpaceBasis derive_process_space(const LoopNest& nest,
+                                       const PlaceFunction& place) {
+  const std::size_t r = nest.depth();
+  const IntMatrix& p = place.matrix();
+  ProcessSpaceBasis ps{AffinePoint(r - 1), AffinePoint(r - 1)};
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    AffineExpr lo;
+    AffineExpr hi;
+    for (std::size_t j = 0; j < r; ++j) {
+      const Int c = p.at(i, j);
+      if (c == 0) continue;
+      const LoopSpec& loop = nest.loops()[j];
+      // Minimizing: take lb_j where the coefficient is positive, rb_j where
+      // negative (lb_j <= rb_j always holds). Maximizing is the reverse.
+      lo += (c > 0 ? loop.lower : loop.upper) * Rational(c);
+      hi += (c > 0 ? loop.upper : loop.lower) * Rational(c);
+    }
+    ps.min[i] = lo;
+    ps.max[i] = hi;
+  }
+  return ps;
+}
+
+StepRange derive_step_range(const LoopNest& nest, const StepFunction& step) {
+  StepRange range;
+  for (std::size_t j = 0; j < nest.depth(); ++j) {
+    const Int c = step.coeffs()[j];
+    if (c == 0) continue;
+    const LoopSpec& loop = nest.loops()[j];
+    range.min += (c > 0 ? loop.lower : loop.upper) * Rational(c);
+    range.max += (c > 0 ? loop.upper : loop.lower) * Rational(c);
+  }
+  return range;
+}
+
+Guard ps_box_guard(const ProcessSpaceBasis& ps,
+                   const std::vector<Symbol>& coords) {
+  Guard g;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    g.add(between(ps.min[i], AffineExpr(coords[i]), ps.max[i]));
+  }
+  return g;
+}
+
+}  // namespace systolize

@@ -1,0 +1,32 @@
+// Sect. 7.1 — the process space basis via vertex/sign analysis of place.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+/// PS_min.i / PS_max.i: each component of place achieves its extrema at a
+/// vertex of the rectangular index space chosen by the coefficient signs
+/// (left bound where the coefficient is positive for the minimum, right
+/// bound where negative; reversed for the maximum).
+[[nodiscard]] ProcessSpaceBasis derive_process_space(const LoopNest& nest,
+                                                     const PlaceFunction& place);
+
+/// The guard  PS_min.i <= y.i <= PS_max.i  for the canonical coordinate
+/// symbols — membership of y in PS, used as a pruning assumption.
+[[nodiscard]] Guard ps_box_guard(const ProcessSpaceBasis& ps,
+                                 const std::vector<Symbol>& coords);
+
+/// Extremes of the step function over the index space (same vertex/sign
+/// analysis as the process-space basis). The synchronous systolic array
+/// executes in  max - min + 1  steps — the reference the simulator's
+/// logical makespan is compared against in the benches.
+struct StepRange {
+  AffineExpr min;
+  AffineExpr max;
+};
+
+[[nodiscard]] StepRange derive_step_range(const LoopNest& nest,
+                                          const StepFunction& step);
+
+}  // namespace systolize

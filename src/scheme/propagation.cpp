@@ -1,0 +1,57 @@
+#include "scheme/propagation.hpp"
+
+#include "scheme/first_last.hpp"
+#include "symbolic/fourier_motzkin.hpp"
+
+namespace systolize {
+namespace {
+
+/// Piecewise (to - from) // increment_s over the product of clause sets,
+/// with degenerate pairings discarded (the paper's by-hand pruning of
+/// inconsistent sub-alternatives, Sect. E.2.5).
+Piecewise<AffineExpr> quotient_cases(const Piecewise<AffinePoint>& from,
+                                     const Piecewise<AffinePoint>& to,
+                                     const IntVec& increment_s,
+                                     const Guard& assumptions,
+                                     const std::string& what) {
+  Piecewise<AffineExpr> out;
+  for (const auto& a : from.pieces()) {
+    for (const auto& b : to.pieces()) {
+      Guard g = a.guard.conjoined(b.guard);
+      if (!is_feasible(g, assumptions)) continue;
+      auto m = symbolic_quotient_along(a.value, b.value, increment_s);
+      if (!m.has_value()) {
+        if (has_interior(g, assumptions)) {
+          raise(ErrorKind::Inconsistent,
+                what + ": clause pair is collinearity-inconsistent on a "
+                       "full-dimensional region");
+        }
+        continue;
+      }
+      out.add(drop_redundant(g, assumptions), *m);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Propagation derive_propagation(const Stream& s, const RepeaterSpec& repeater,
+                               const IoRepeaterSpec& io,
+                               const Guard& assumptions) {
+  const IntMatrix& m = s.index_map();
+  // Project the computation endpoints into the variable space.
+  Piecewise<AffinePoint> m_first =
+      repeater.first.mapped([&m](const AffinePoint& p) { return p.applied(m); });
+  Piecewise<AffinePoint> m_last =
+      repeater.last.mapped([&m](const AffinePoint& p) { return p.applied(m); });
+
+  Propagation prop;
+  prop.soak = quotient_cases(io.first_s, m_first, io.increment_s, assumptions,
+                             "soak of stream '" + s.name() + "'");
+  prop.drain = quotient_cases(m_last, io.last_s, io.increment_s, assumptions,
+                              "drain of stream '" + s.name() + "'");
+  return prop;
+}
+
+}  // namespace systolize

@@ -1,0 +1,22 @@
+// Sect. 7.5 — soaking and draining counts for the computation processes:
+//   soak_s  = (M.first - first_s) // increment_s     (Eq. 8)
+//   drain_s = (last_s - M.last)   // increment_s     (Eq. 9)
+// For stationary streams the same numbers drive loading (passes drain_s)
+// and recovery (passes soak_s) — Sect. 6.5.
+#pragma once
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+struct Propagation {
+  Piecewise<AffineExpr> soak;
+  Piecewise<AffineExpr> drain;
+};
+
+[[nodiscard]] Propagation derive_propagation(const Stream& s,
+                                             const RepeaterSpec& repeater,
+                                             const IoRepeaterSpec& io,
+                                             const Guard& assumptions);
+
+}  // namespace systolize

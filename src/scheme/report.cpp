@@ -1,0 +1,135 @@
+#include "scheme/report.hpp"
+
+#include <sstream>
+
+#include "scheme/first_last.hpp"
+#include "scheme/process_space.hpp"
+#include "systolic/dependence.hpp"
+
+namespace systolize {
+namespace {
+
+std::string show_point_pw(const Piecewise<AffinePoint>& pw,
+                          const std::string& indent) {
+  if (pw.size() == 1 && pw.pieces()[0].guard.is_trivially_true()) {
+    return pw.pieces()[0].value.to_string() + "  (all processes)\n";
+  }
+  std::ostringstream os;
+  os << '\n';
+  for (const auto& piece : pw.pieces()) {
+    os << indent << "  " << piece.guard.to_string() << "  ->  "
+       << piece.value.to_string() << '\n';
+  }
+  os << indent << "  otherwise null\n";
+  return os.str();
+}
+
+std::string show_expr_pw(const Piecewise<AffineExpr>& pw,
+                         const std::string& indent) {
+  if (pw.size() == 1 && pw.pieces()[0].guard.is_trivially_true()) {
+    return pw.pieces()[0].value.to_string() + '\n';
+  }
+  std::ostringstream os;
+  os << '\n';
+  for (const auto& piece : pw.pieces()) {
+    os << indent << "  " << piece.guard.to_string() << "  ->  "
+       << piece.value.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string derivation_report(const CompiledProgram& program,
+                              const LoopNest& nest, const ArraySpec& spec) {
+  std::ostringstream os;
+  os << "=== derivation report: " << program.name << " ===\n\n";
+
+  os << "source program (r = " << nest.depth() << "):\n";
+  for (const LoopSpec& loop : nest.loops()) {
+    os << "  for " << loop.index_name << " = " << loop.lower.to_string()
+       << " <-" << (loop.step > 0 ? "+1" : "-1") << "-> "
+       << loop.upper.to_string() << '\n';
+  }
+  os << "  basic statement: "
+     << (nest.body_text().empty() ? "<opaque>" : nest.body_text()) << '\n';
+  for (const Stream& s : nest.streams()) {
+    os << "  stream " << s.name() << ": index map " << s.index_map()
+       << (s.access() == StreamAccess::Update ? ", update" : ", read")
+       << ", variable space";
+    for (const VarDim& d : s.dims()) {
+      os << " [" << d.lower.to_string() << ".." << d.upper.to_string() << ']';
+    }
+    os << '\n';
+  }
+  os << "  " << spec.step().to_string() << ", " << spec.place().to_string()
+     << "\n\n";
+
+  os << "process space basis (Sect. 7.1):\n  PS_min = "
+     << program.ps.min.to_string() << ", PS_max = "
+     << program.ps.max.to_string() << '\n';
+  StepRange range = derive_step_range(nest, spec.step());
+  os << "  synchronous step range: " << range.min.to_string() << " .. "
+     << range.max.to_string() << '\n';
+  os << "  dependences: "
+     << (respects_dependences(nest, spec)
+             ? "step respects the sequential update order"
+             : "step REVERSES an update chain (commutative bodies only)")
+     << "\n\n";
+
+  os << "increment (Sect. 7.2.1): " << program.repeater.increment.to_string()
+     << (program.repeater.simple_place ? "  (simple place function)" : "")
+     << "\n\n";
+
+  os << "computation repeater (Sect. 7.2.2):\n";
+  os << "  first = " << show_point_pw(program.repeater.first, "  ");
+  os << "  last  = " << show_point_pw(program.repeater.last, "  ");
+  os << "  count = " << show_expr_pw(program.repeater.count, "  ");
+  os << '\n';
+
+  for (const StreamPlan& plan : program.streams) {
+    os << "stream " << plan.name << ":\n";
+    if (plan.motion.stationary) {
+      os << "  stationary; loading & recovery vector "
+         << plan.motion.direction.to_string() << '\n';
+    } else {
+      os << "  flow = " << plan.motion.flow.to_string() << "  (direction "
+         << plan.motion.direction.to_string() << ", "
+         << plan.motion.denominator - 1
+         << " interposed buffer(s) per hop)\n";
+    }
+    os << "  i/o processes (Sect. 7.3):";
+    for (const IoProcessSet& set : plan.io_sets) {
+      os << "  [dim " << set.dim << ' ' << (set.at_min ? "min" : "max")
+         << ' ' << (set.is_input ? "input" : "output");
+      if (!set.excluded.empty()) {
+        os << ", deduped vs dim";
+        for (const BoundaryRef& ref : set.excluded) {
+          os << ' ' << ref.dim << (ref.at_min ? "min" : "max");
+        }
+      }
+      os << ']';
+    }
+    os << '\n';
+    os << "  increment_s = " << plan.io.increment_s.to_string()
+       << " (Sect. 7.4)\n";
+    os << "  first_s = " << show_point_pw(plan.io.first_s, "  ");
+    os << "  last_s  = " << show_point_pw(plan.io.last_s, "  ");
+    os << "  count_s = " << show_expr_pw(plan.io.count_s, "  ");
+    os << "  " << (plan.motion.stationary ? "recovery passes" : "soak")
+       << " = " << show_expr_pw(plan.soak, "  ");
+    os << "  " << (plan.motion.stationary ? "loading passes" : "drain")
+       << "  = " << show_expr_pw(plan.drain, "  ");
+    os << '\n';
+  }
+
+  bool external = !cs_equals_ps(program.repeater, program.assumptions);
+  os << "buffers (Sect. 7.6): "
+     << (external ? "PS strictly contains CS — external buffer processes "
+                    "pass whole pipelines (Eq. 10)"
+                  : "PS = CS — no external buffers")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace systolize

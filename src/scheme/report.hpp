@@ -1,0 +1,18 @@
+// Derivation reports: render everything the scheme derived for a design
+// in the style of the paper's appendix walk-throughs (D.1.1-D.1.6,
+// E.2.1-E.2.6) — the process space basis, increment, the guarded
+// first/last alternatives, per-stream flows, i/o layout and repeaters,
+// soaking/draining, and buffer requirements.
+#pragma once
+
+#include <string>
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+[[nodiscard]] std::string derivation_report(const CompiledProgram& program,
+                                            const LoopNest& nest,
+                                            const ArraySpec& spec);
+
+}  // namespace systolize

@@ -1,0 +1,78 @@
+#include "scheme/schedule.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace systolize {
+
+Int Schedule::width_at(Int step) const {
+  auto it = steps.find(step);
+  return it == steps.end() ? 0 : static_cast<Int>(it->second.size());
+}
+
+Int Schedule::max_width() const {
+  Int w = 0;
+  for (const auto& [step, row] : steps) {
+    w = std::max(w, static_cast<Int>(row.size()));
+  }
+  return w;
+}
+
+Schedule derive_schedule(const LoopNest& nest, const ArraySpec& spec,
+                         const Env& env) {
+  Schedule schedule;
+  bool first = true;
+  for (const IntVec& x : nest.enumerate_index_space(env)) {
+    Int t = spec.step().apply(x);
+    IntVec y = spec.place().apply(x);
+    auto [it, inserted] = schedule.steps[t].emplace(y, x);
+    if (!inserted) {
+      raise(ErrorKind::Inconsistent,
+            "Equation (1) violated: statements " + it->second.to_string() +
+                " and " + x.to_string() + " share step " + std::to_string(t) +
+                " and process " + y.to_string());
+    }
+    if (first) {
+      schedule.min_step = t;
+      schedule.max_step = t;
+      first = false;
+    } else {
+      schedule.min_step = std::min(schedule.min_step, t);
+      schedule.max_step = std::max(schedule.max_step, t);
+    }
+  }
+  if (first) {
+    raise(ErrorKind::Validation, "empty index space: no schedule");
+  }
+  return schedule;
+}
+
+std::string render_schedule_1d(const Schedule& schedule, const IntVec& ps_min,
+                               const IntVec& ps_max) {
+  if (ps_min.dim() != 1 || ps_max.dim() != 1) {
+    raise(ErrorKind::Unsupported,
+          "render_schedule_1d handles one-dimensional arrays only");
+  }
+  std::ostringstream os;
+  os << "step \\ col";
+  for (Int col = ps_min[0]; col <= ps_max[0]; ++col) {
+    os << std::setw(5) << col;
+  }
+  os << '\n';
+  for (Int t = schedule.min_step; t <= schedule.max_step; ++t) {
+    os << std::setw(10) << t;
+    auto it = schedule.steps.find(t);
+    for (Int col = ps_min[0]; col <= ps_max[0]; ++col) {
+      bool active = false;
+      if (it != schedule.steps.end()) {
+        active = it->second.contains(IntVec{col});
+      }
+      os << std::setw(5) << (active ? "*" : ".");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace systolize

@@ -1,0 +1,39 @@
+// The synchronous space-time schedule: for a concrete problem size, which
+// statement every process executes at each step — the classic systolic
+// array diagram (statements with equal step run in parallel, Sect. 3.2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+struct Schedule {
+  /// step value -> (process point -> statement point).
+  std::map<Int, std::map<IntVec, IntVec, IntVecLess>> steps;
+  Int min_step = 0;
+  Int max_step = 0;
+
+  [[nodiscard]] Int span() const { return max_step - min_step + 1; }
+  /// Statements executing at one step (parallelism profile).
+  [[nodiscard]] Int width_at(Int step) const;
+  [[nodiscard]] Int max_width() const;
+};
+
+/// Enumerate the schedule at a concrete problem size. Every statement
+/// appears exactly once; no process appears twice within a step
+/// (Equation (1)).
+[[nodiscard]] Schedule derive_schedule(const LoopNest& nest,
+                                       const ArraySpec& spec, const Env& env);
+
+/// ASCII rendering for one-dimensional arrays: one row per step, one
+/// column per process, each active cell showing the statement's position
+/// along its chord. Throws Unsupported for higher-dimensional arrays
+/// (render one row/column slice instead).
+[[nodiscard]] std::string render_schedule_1d(const Schedule& schedule,
+                                             const IntVec& ps_min,
+                                             const IntVec& ps_max);
+
+}  // namespace systolize

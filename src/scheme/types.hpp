@@ -1,0 +1,95 @@
+// Results of the compilation scheme (paper Sects. 6-7): every derived
+// quantity is symbolic — affine in the problem-size symbols and the
+// process-space coordinates — exactly as in the paper's derivations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loopnest/loop_nest.hpp"
+#include "symbolic/piecewise.hpp"
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+/// PS_min / PS_max (Sect. 6.1): coord-free affine points spanning the
+/// smallest rectangular region enclosing the computation space.
+struct ProcessSpaceBasis {
+  AffinePoint min;
+  AffinePoint max;
+};
+
+/// The computation repeater {first last increment} (Sect. 4.1) plus the
+/// loop-step count of Equation (4).
+struct RepeaterSpec {
+  Piecewise<AffinePoint> first;  ///< points in IS, exprs over (coords, sizes)
+  Piecewise<AffinePoint> last;
+  IntVec increment;              ///< constant vector in Z^r
+  Piecewise<AffineExpr> count;   ///< ((last - first) // increment) + 1
+  bool simple_place = false;     ///< Sect. 7.2.3 special case applied
+};
+
+/// A reference to one boundary hyperplane of the process space.
+struct BoundaryRef {
+  std::size_t dim = 0;
+  bool at_min = false;
+
+  friend bool operator==(const BoundaryRef&, const BoundaryRef&) = default;
+};
+
+/// One set of i/o processes along a process-space boundary (Equation (5)).
+struct IoProcessSet {
+  std::string stream;
+  std::size_t dim = 0;  ///< the non-zero flow component generating the set
+  bool at_min = false;  ///< boundary side: y.dim == PS_min.dim or PS_max.dim
+  bool is_input = false;
+  /// Same-role boundaries of earlier dimensions whose points are omitted
+  /// here (the duplicate-removal rule of Sect. 7.3 / E.2.3).
+  std::vector<BoundaryRef> excluded;
+};
+
+/// The i/o repeater {first_s last_s increment_s} (Sect. 6.4) and the
+/// pipeline element count of Equation (10).
+struct IoRepeaterSpec {
+  IntVec increment_s;              ///< constant in Z^{r-1} (variable space)
+  Piecewise<AffinePoint> first_s;  ///< element identities in VS.v
+  Piecewise<AffinePoint> last_s;
+  Piecewise<AffineExpr> count_s;   ///< ((last_s - first_s) // inc_s) + 1
+};
+
+/// Everything the scheme derives for one stream.
+struct StreamPlan {
+  std::string name;
+  StreamMotion motion;
+  IoRepeaterSpec io;
+  std::vector<IoProcessSet> io_sets;
+  Piecewise<AffineExpr> soak;   ///< Equation (8)
+  Piecewise<AffineExpr> drain;  ///< Equation (9)
+};
+
+/// The complete compiled systolic program, still symbolic in the problem
+/// size. `instantiate()` (runtime module) binds the sizes and produces an
+/// executable process network; the ast module renders it as text.
+struct CompiledProgram {
+  std::string name;
+  std::size_t depth = 0;  ///< r
+  StepFunction step;
+  PlaceFunction place;
+  ProcessSpaceBasis ps;
+  RepeaterSpec repeater;
+  std::vector<StreamPlan> streams;
+  /// Canonical process-coordinate symbols y.0 .. y.(r-2) ("col", "row", ...).
+  std::vector<Symbol> coords;
+  /// Size assumptions conjoined with PS-box membership of the coordinates —
+  /// the standing hypotheses under which guards were pruned.
+  Guard assumptions;
+
+  [[nodiscard]] const StreamPlan& stream_plan(const std::string& s) const {
+    for (const StreamPlan& p : streams) {
+      if (p.name == s) return p;
+    }
+    raise(ErrorKind::Validation, "no stream plan for '" + s + "'");
+  }
+};
+
+}  // namespace systolize

@@ -1,0 +1,40 @@
+// Structured error type shared by every systolize module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace systolize {
+
+/// Category of failure, so callers (and tests) can dispatch without
+/// string-matching the message.
+enum class ErrorKind {
+  Overflow,         ///< checked 64-bit arithmetic overflowed
+  DivideByZero,     ///< rational division by zero / zero denominator
+  Dimension,        ///< mismatched vector/matrix dimensions
+  Singular,         ///< singular matrix where a unique solution was required
+  NotRepresentable, ///< e.g. x // y requested where x is not a multiple of y
+  Validation,       ///< source program or array spec violates Appendix A
+  Inconsistent,     ///< step/place pair violates Equation (1)
+  Unsupported,      ///< outside the scheme's stated restrictions
+  Runtime,          ///< simulator protocol failure (deadlock, bad count, ...)
+  Parse,            ///< .sa frontend syntax error
+};
+
+/// Exception carrying an ErrorKind; all systolize failures throw this.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+[[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
+  throw Error(kind, message);
+}
+
+}  // namespace systolize

@@ -1,0 +1,147 @@
+#include "symbolic/affine_expr.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace systolize {
+
+AffineExpr AffineExpr::term(const Symbol& s, Rational coeff) {
+  AffineExpr e;
+  if (!coeff.is_zero()) e.terms_[s] = std::move(coeff);
+  return e;
+}
+
+Rational AffineExpr::coeff(const Symbol& s) const {
+  auto it = terms_.find(s);
+  return it == terms_.end() ? Rational(0) : it->second;
+}
+
+bool AffineExpr::is_coord_free() const noexcept {
+  for (const auto& [sym, c] : terms_) {
+    if (sym.kind() == SymbolKind::ProcessCoord) return false;
+  }
+  return true;
+}
+
+void AffineExpr::prune(const Symbol& s) {
+  auto it = terms_.find(s);
+  if (it != terms_.end() && it->second.is_zero()) terms_.erase(it);
+}
+
+AffineExpr AffineExpr::operator-() const {
+  AffineExpr r;
+  r.constant_ = -constant_;
+  for (const auto& [sym, c] : terms_) r.terms_[sym] = -c;
+  return r;
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& o) {
+  constant_ += o.constant_;
+  for (const auto& [sym, c] : o.terms_) {
+    terms_[sym] += c;
+    prune(sym);
+  }
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& o) {
+  constant_ -= o.constant_;
+  for (const auto& [sym, c] : o.terms_) {
+    terms_[sym] -= c;
+    prune(sym);
+  }
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator*=(const Rational& k) {
+  if (k.is_zero()) {
+    constant_ = Rational(0);
+    terms_.clear();
+    return *this;
+  }
+  constant_ *= k;
+  for (auto& [sym, c] : terms_) c *= k;
+  return *this;
+}
+
+AffineExpr AffineExpr::substituted(const Symbol& s, const AffineExpr& e) const {
+  auto it = terms_.find(s);
+  if (it == terms_.end()) return *this;
+  Rational c = it->second;
+  AffineExpr r = *this;
+  r.terms_.erase(s);
+  r += e * c;
+  return r;
+}
+
+Rational AffineExpr::evaluate(const Env& env) const {
+  Rational acc = constant_;
+  for (const auto& [sym, c] : terms_) {
+    auto it = env.find(sym.name());
+    if (it == env.end()) {
+      raise(ErrorKind::Validation,
+            "unbound symbol '" + sym.name() + "' in " + to_string());
+    }
+    acc += c * it->second;
+  }
+  return acc;
+}
+
+std::string AffineExpr::to_string() const {
+  if (terms_.empty()) return constant_.to_string();
+  // Positive terms first so differences read naturally ("n - col" rather
+  // than "-col + n"), preserving name order within each sign class.
+  std::vector<std::pair<Symbol, Rational>> ordered;
+  for (const auto& [sym, c] : terms_) {
+    if (c.sign() > 0) ordered.emplace_back(sym, c);
+  }
+  for (const auto& [sym, c] : terms_) {
+    if (c.sign() < 0) ordered.emplace_back(sym, c);
+  }
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [sym, c] : ordered) {
+    if (first) {
+      if (c == Rational(1)) {
+        os << sym.name();
+      } else if (c == Rational(-1)) {
+        os << '-' << sym.name();
+      } else {
+        os << c.to_string() << '*' << sym.name();
+      }
+      first = false;
+      continue;
+    }
+    if (c.sign() >= 0) {
+      os << " + ";
+      if (c == Rational(1)) {
+        os << sym.name();
+      } else {
+        os << c.to_string() << '*' << sym.name();
+      }
+    } else {
+      os << " - ";
+      Rational a = c.abs();
+      if (a == Rational(1)) {
+        os << sym.name();
+      } else {
+        os << a.to_string() << '*' << sym.name();
+      }
+    }
+  }
+  if (!constant_.is_zero()) {
+    if (constant_.sign() > 0) {
+      os << " + " << constant_.to_string();
+    } else {
+      os << " - " << (-constant_).to_string();
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AffineExpr& e) {
+  return os << e.to_string();
+}
+
+}  // namespace systolize

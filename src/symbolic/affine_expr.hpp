@@ -1,0 +1,83 @@
+// Affine expressions: rational-coefficient linear combinations of symbols
+// plus a constant — the currency of every symbolic derivation in the scheme
+// (loop bounds, PS basis, first/last, guards, soak/drain counts ...).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "numeric/rational.hpp"
+#include "symbolic/symbol.hpp"
+
+namespace systolize {
+
+/// A full binding of symbols (by name) to rational values, used when a
+/// compiled program is instantiated at a concrete problem size / process.
+using Env = std::map<std::string, Rational>;
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  AffineExpr(Rational constant) : constant_(std::move(constant)) {}  // NOLINT(google-explicit-constructor): constants promote freely
+  AffineExpr(Int constant) : constant_(constant) {}                  // NOLINT(google-explicit-constructor)
+  AffineExpr(const Symbol& s) { terms_[s] = Rational(1); }           // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static AffineExpr term(const Symbol& s, Rational coeff);
+
+  [[nodiscard]] const Rational& constant() const noexcept {
+    return constant_;
+  }
+  [[nodiscard]] Rational coeff(const Symbol& s) const;
+  [[nodiscard]] const std::map<Symbol, Rational>& terms() const noexcept {
+    return terms_;
+  }
+
+  [[nodiscard]] bool is_constant() const noexcept { return terms_.empty(); }
+  [[nodiscard]] bool is_zero() const noexcept {
+    return terms_.empty() && constant_.is_zero();
+  }
+  /// True when no ProcessCoord symbol occurs (i.e. expression depends only
+  /// on the problem size).
+  [[nodiscard]] bool is_coord_free() const noexcept;
+
+  AffineExpr operator-() const;
+  AffineExpr& operator+=(const AffineExpr& o);
+  AffineExpr& operator-=(const AffineExpr& o);
+  AffineExpr& operator*=(const Rational& k);
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) {
+    return a += b;
+  }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) {
+    return a -= b;
+  }
+  friend AffineExpr operator*(AffineExpr a, const Rational& k) {
+    return a *= k;
+  }
+  friend AffineExpr operator*(const Rational& k, AffineExpr a) {
+    return a *= k;
+  }
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+  /// Replace symbol s by expression e.
+  [[nodiscard]] AffineExpr substituted(const Symbol& s,
+                                       const AffineExpr& e) const;
+
+  /// Evaluate under a full binding; throws Validation naming the first
+  /// unbound symbol.
+  [[nodiscard]] Rational evaluate(const Env& env) const;
+
+  /// Human-readable form, e.g. "row - col + n", "2*n - 1", "0".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void prune(const Symbol& s);
+
+  Rational constant_;
+  std::map<Symbol, Rational> terms_;  // nonzero coefficients only
+};
+
+std::ostream& operator<<(std::ostream& os, const AffineExpr& e);
+
+}  // namespace systolize

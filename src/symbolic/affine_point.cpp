@@ -1,0 +1,133 @@
+#include "symbolic/affine_point.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace systolize {
+
+AffinePoint::AffinePoint(const IntVec& v) {
+  comps_.reserve(v.dim());
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    comps_.emplace_back(Rational(v[i]));
+  }
+}
+
+void AffinePoint::require_same_dim(const AffinePoint& o) const {
+  if (dim() != o.dim()) {
+    raise(ErrorKind::Dimension, "AffinePoint dimension mismatch: " +
+                                    std::to_string(dim()) + " vs " +
+                                    std::to_string(o.dim()));
+  }
+}
+
+AffinePoint AffinePoint::operator-() const {
+  AffinePoint r = *this;
+  for (AffineExpr& c : r.comps_) c = -c;
+  return r;
+}
+
+AffinePoint& AffinePoint::operator+=(const AffinePoint& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) comps_[i] += o.comps_[i];
+  return *this;
+}
+
+AffinePoint& AffinePoint::operator-=(const AffinePoint& o) {
+  require_same_dim(o);
+  for (std::size_t i = 0; i < comps_.size(); ++i) comps_[i] -= o.comps_[i];
+  return *this;
+}
+
+AffinePoint& AffinePoint::operator*=(const Rational& k) {
+  for (AffineExpr& c : comps_) c *= k;
+  return *this;
+}
+
+AffinePoint AffinePoint::plus_scaled(const AffineExpr& k,
+                                     const IntVec& v) const {
+  if (v.dim() != dim()) {
+    raise(ErrorKind::Dimension, "plus_scaled dimension mismatch");
+  }
+  AffinePoint r = *this;
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    r.comps_[i] += k * Rational(v[i]);
+  }
+  return r;
+}
+
+AffineExpr AffinePoint::dot(const IntVec& v) const {
+  if (v.dim() != dim()) raise(ErrorKind::Dimension, "dot dimension mismatch");
+  AffineExpr acc;
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    acc += comps_[i] * Rational(v[i]);
+  }
+  return acc;
+}
+
+AffinePoint AffinePoint::applied(const IntMatrix& m) const {
+  if (m.cols() != dim()) {
+    raise(ErrorKind::Dimension, "matrix application dimension mismatch");
+  }
+  AffinePoint r(m.rows());
+  for (std::size_t row = 0; row < m.rows(); ++row) {
+    AffineExpr acc;
+    for (std::size_t c = 0; c < dim(); ++c) {
+      acc += comps_[c] * Rational(m.at(row, c));
+    }
+    r[row] = acc;
+  }
+  return r;
+}
+
+AffinePoint AffinePoint::applied(const RatMatrix& m) const {
+  if (m.cols() != dim()) {
+    raise(ErrorKind::Dimension, "matrix application dimension mismatch");
+  }
+  AffinePoint r(m.rows());
+  for (std::size_t row = 0; row < m.rows(); ++row) {
+    AffineExpr acc;
+    for (std::size_t c = 0; c < dim(); ++c) {
+      acc += comps_[c] * m.at(row, c);
+    }
+    r[row] = acc;
+  }
+  return r;
+}
+
+AffinePoint AffinePoint::substituted(const Symbol& s,
+                                     const AffineExpr& e) const {
+  AffinePoint r = *this;
+  for (AffineExpr& c : r.comps_) c = c.substituted(s, e);
+  return r;
+}
+
+IntVec AffinePoint::evaluate(const Env& env) const {
+  IntVec r(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    Rational v = comps_[i].evaluate(env);
+    if (!v.is_integer()) {
+      raise(ErrorKind::NotRepresentable,
+            "point component " + comps_[i].to_string() +
+                " evaluates to non-integer " + v.to_string());
+    }
+    r[i] = v.to_integer();
+  }
+  return r;
+}
+
+std::string AffinePoint::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << comps_[i].to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AffinePoint& p) {
+  return os << p.to_string();
+}
+
+}  // namespace systolize

@@ -1,0 +1,76 @@
+// Points whose coordinates are affine expressions — e.g. the repeater
+// component first.y = (col, row, 0) or first_s = (0, row - col).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/int_matrix.hpp"
+#include "numeric/rat_matrix.hpp"
+#include "symbolic/affine_expr.hpp"
+
+namespace systolize {
+
+class AffinePoint {
+ public:
+  AffinePoint() = default;
+  explicit AffinePoint(std::size_t dim) : comps_(dim) {}
+  AffinePoint(std::initializer_list<AffineExpr> comps) : comps_(comps) {}
+  explicit AffinePoint(std::vector<AffineExpr> comps)
+      : comps_(std::move(comps)) {}
+  /// Lift a concrete integer point.
+  explicit AffinePoint(const IntVec& v);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return comps_.size(); }
+  [[nodiscard]] const AffineExpr& operator[](std::size_t i) const {
+    return comps_.at(i);
+  }
+  AffineExpr& operator[](std::size_t i) { return comps_.at(i); }
+
+  AffinePoint operator-() const;
+  AffinePoint& operator+=(const AffinePoint& o);
+  AffinePoint& operator-=(const AffinePoint& o);
+  AffinePoint& operator*=(const Rational& k);
+
+  friend AffinePoint operator+(AffinePoint a, const AffinePoint& b) {
+    return a += b;
+  }
+  friend AffinePoint operator-(AffinePoint a, const AffinePoint& b) {
+    return a -= b;
+  }
+  friend AffinePoint operator*(AffinePoint a, const Rational& k) {
+    return a *= k;
+  }
+  friend bool operator==(const AffinePoint&, const AffinePoint&) = default;
+
+  /// Add k * v for an integer direction vector v (e.g. "+ m * increment").
+  [[nodiscard]] AffinePoint plus_scaled(const AffineExpr& k,
+                                        const IntVec& v) const;
+
+  /// Inner product with an integer vector: sum_i v.i * comp_i.
+  [[nodiscard]] AffineExpr dot(const IntVec& v) const;
+
+  /// Matrix application M * p (index map applied to a symbolic statement).
+  [[nodiscard]] AffinePoint applied(const IntMatrix& m) const;
+  [[nodiscard]] AffinePoint applied(const RatMatrix& m) const;
+
+  /// Substitute a symbol in every component.
+  [[nodiscard]] AffinePoint substituted(const Symbol& s,
+                                        const AffineExpr& e) const;
+
+  /// Evaluate all components; throws Validation if a component is not an
+  /// integer (scheme points are integral by construction).
+  [[nodiscard]] IntVec evaluate(const Env& env) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void require_same_dim(const AffinePoint& o) const;
+
+  std::vector<AffineExpr> comps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AffinePoint& p);
+
+}  // namespace systolize

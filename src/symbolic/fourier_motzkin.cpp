@@ -1,0 +1,106 @@
+#include "symbolic/fourier_motzkin.hpp"
+
+#include <set>
+#include <vector>
+
+namespace systolize {
+namespace {
+
+// Internal form: e >= 0 (strict=false) or e > 0 (strict=true). Fourier-
+// Motzkin with strictness tracking is exact over the rationals.
+struct Ineq {
+  AffineExpr expr;
+  bool strict = false;
+};
+
+std::vector<Ineq> gather(const Guard& guard, const Guard& assumptions) {
+  std::vector<Ineq> sys;
+  for (const Constraint& c : guard.constraints()) {
+    sys.push_back({c.slack(), false});
+  }
+  for (const Constraint& c : assumptions.constraints()) {
+    sys.push_back({c.slack(), false});
+  }
+  return sys;
+}
+
+/// Eliminate every symbol, then inspect the remaining constant
+/// inequalities.
+bool feasible(std::vector<Ineq> sys) {
+  for (;;) {
+    // Pick any symbol still occurring.
+    const Symbol* var = nullptr;
+    for (const Ineq& iq : sys) {
+      if (!iq.expr.terms().empty()) {
+        var = &iq.expr.terms().begin()->first;
+        break;
+      }
+    }
+    if (var == nullptr) break;
+    Symbol v = *var;
+
+    std::vector<Ineq> lowers;  // coeff > 0:  v >= -rest/coeff (or >)
+    std::vector<Ineq> uppers;  // coeff < 0:  v <= ...
+    std::vector<Ineq> rest;
+    for (Ineq& iq : sys) {
+      Rational c = iq.expr.coeff(v);
+      if (c.is_zero()) {
+        rest.push_back(std::move(iq));
+      } else if (c.sign() > 0) {
+        lowers.push_back(std::move(iq));
+      } else {
+        uppers.push_back(std::move(iq));
+      }
+    }
+    // Combine each (lower, upper) pair: for  a*v + p >= 0 (a>0) and
+    // b*v + q >= 0 (b<0):   (-b)*p + a*q >= 0  eliminates v.
+    for (const Ineq& lo : lowers) {
+      Rational a = lo.expr.coeff(v);
+      for (const Ineq& up : uppers) {
+        Rational b = up.expr.coeff(v);
+        AffineExpr combined = lo.expr * (-b) + up.expr * a;
+        // combined still contains v with coefficient a*(-b) + (-b)*... ;
+        // remove it exactly by substituting 0 for the (now zero) coeff.
+        combined = combined.substituted(v, AffineExpr(Rational(0)));
+        rest.push_back({combined, lo.strict || up.strict});
+      }
+    }
+    sys = std::move(rest);
+  }
+  for (const Ineq& iq : sys) {
+    Int s = iq.expr.constant().sign();
+    if (s < 0) return false;
+    if (s == 0 && iq.strict) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_feasible(const Guard& guard, const Guard& assumptions) {
+  return feasible(gather(guard, assumptions));
+}
+
+bool implies(const Guard& guard, const Constraint& c,
+             const Guard& assumptions) {
+  // guard /\ assumptions /\ (lhs > rhs) infeasible?
+  std::vector<Ineq> sys = gather(guard, assumptions);
+  sys.push_back({c.lhs - c.rhs, true});  // lhs - rhs > 0
+  return !feasible(std::move(sys));
+}
+
+Guard drop_redundant(const Guard& guard, const Guard& assumptions) {
+  Guard simplified = guard.simplified();
+  std::vector<Constraint> kept;
+  const auto& cs = simplified.constraints();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    // Does the rest (already-kept plus not-yet-examined) imply cs[i]?
+    Guard rest;
+    for (const Constraint& k : kept) rest.add(k);
+    for (std::size_t j = i + 1; j < cs.size(); ++j) rest.add(cs[j]);
+    if (!implies(rest, cs[i], assumptions)) kept.push_back(cs[i]);
+  }
+  return Guard(std::move(kept));
+}
+
+}  // namespace systolize

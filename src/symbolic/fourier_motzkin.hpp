@@ -1,0 +1,34 @@
+// Fourier-Motzkin elimination: decide (rational) feasibility of a
+// conjunction of affine inequalities.
+//
+// The scheme uses this to prune the sub-alternatives that the paper prunes
+// by hand ("only one of the sub-alternatives has a guard that is consistent
+// with that of its alternative", Sect. E.2.5). Rational feasibility is a
+// sound over-approximation of integer feasibility: anything we prune is
+// genuinely empty; anything we keep is at worst a null piece.
+#pragma once
+
+#include "symbolic/guard.hpp"
+
+namespace systolize {
+
+/// True iff the conjunction of `guard` and `assumptions` has a rational
+/// solution. Assumptions typically encode problem-size positivity
+/// (e.g. n >= 1).
+[[nodiscard]] bool is_feasible(const Guard& guard,
+                               const Guard& assumptions = Guard{});
+
+/// True iff `guard` implies constraint `c` under `assumptions`
+/// (i.e. guard /\ assumptions /\ not-c is infeasible). Used to drop
+/// redundant constraints when simplifying piecewise definitions. The
+/// negation of lhs <= rhs is approximated by rhs <= lhs - 1, which is exact
+/// for integer-valued affine forms (all of ours are integer-valued on
+/// integer points with integer coefficients).
+[[nodiscard]] bool implies(const Guard& guard, const Constraint& c,
+                           const Guard& assumptions = Guard{});
+
+/// `guard` with constraints implied by the remaining ones removed.
+[[nodiscard]] Guard drop_redundant(const Guard& guard,
+                                   const Guard& assumptions = Guard{});
+
+}  // namespace systolize

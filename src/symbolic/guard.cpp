@@ -1,0 +1,90 @@
+#include "symbolic/guard.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace systolize {
+
+bool Constraint::holds(const Env& env) const {
+  return slack().evaluate(env).sign() >= 0;
+}
+
+Constraint Constraint::substituted(const Symbol& s,
+                                   const AffineExpr& e) const {
+  return Constraint{lhs.substituted(s, e), rhs.substituted(s, e)};
+}
+
+std::string Constraint::to_string() const {
+  return lhs.to_string() + " <= " + rhs.to_string();
+}
+
+std::vector<Constraint> between(const AffineExpr& lo, const AffineExpr& e,
+                                const AffineExpr& hi) {
+  return {Constraint{lo, e}, Constraint{e, hi}};
+}
+
+Guard Guard::always() { return Guard{}; }
+
+Guard& Guard::add(Constraint c) {
+  constraints_.push_back(std::move(c));
+  return *this;
+}
+
+Guard& Guard::add(const std::vector<Constraint>& cs) {
+  constraints_.insert(constraints_.end(), cs.begin(), cs.end());
+  return *this;
+}
+
+Guard Guard::conjoined(const Guard& o) const {
+  Guard g = *this;
+  g.add(o.constraints_);
+  return g;
+}
+
+bool Guard::holds(const Env& env) const {
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [&env](const Constraint& c) { return c.holds(env); });
+}
+
+Guard Guard::simplified() const {
+  Guard g;
+  for (const Constraint& c : constraints_) {
+    AffineExpr s = c.slack();
+    if (s.is_constant()) {
+      if (s.constant().sign() < 0) {
+        raise(ErrorKind::Inconsistent,
+              "guard contains constant-false constraint " + c.to_string());
+      }
+      continue;  // constant-true: drop
+    }
+    // Drop exact duplicates.
+    if (std::find(g.constraints_.begin(), g.constraints_.end(), c) ==
+        g.constraints_.end()) {
+      g.constraints_.push_back(c);
+    }
+  }
+  return g;
+}
+
+Guard Guard::substituted(const Symbol& s, const AffineExpr& e) const {
+  Guard g;
+  for (const Constraint& c : constraints_) g.add(c.substituted(s, e));
+  return g;
+}
+
+std::string Guard::to_string() const {
+  if (constraints_.empty()) return "true";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) os << "  /\\  ";
+    os << constraints_[i].to_string();
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Guard& g) {
+  return os << g.to_string();
+}
+
+}  // namespace systolize

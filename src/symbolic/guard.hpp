@@ -1,0 +1,71 @@
+// Guards: conjunctions of affine inequalities, as in the paper's guarded
+// alternatives (e.g. "0 <= row - col <= n  /\  0 <= -col <= n").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "symbolic/affine_expr.hpp"
+
+namespace systolize {
+
+/// One inequality lhs <= rhs between affine expressions.
+struct Constraint {
+  AffineExpr lhs;
+  AffineExpr rhs;
+
+  /// rhs - lhs (>= 0 iff the constraint holds).
+  [[nodiscard]] AffineExpr slack() const { return rhs - lhs; }
+  [[nodiscard]] bool holds(const Env& env) const;
+  [[nodiscard]] Constraint substituted(const Symbol& s,
+                                       const AffineExpr& e) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+};
+
+/// Convenience: the paper's double inequality lo <= e <= hi.
+[[nodiscard]] std::vector<Constraint> between(const AffineExpr& lo,
+                                              const AffineExpr& e,
+                                              const AffineExpr& hi);
+
+class Guard {
+ public:
+  Guard() = default;  // empty conjunction == true
+  explicit Guard(std::vector<Constraint> cs) : constraints_(std::move(cs)) {}
+
+  [[nodiscard]] static Guard always();
+
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] bool is_trivially_true() const noexcept {
+    return constraints_.empty();
+  }
+
+  Guard& add(Constraint c);
+  Guard& add(const std::vector<Constraint>& cs);
+
+  /// Conjunction of two guards.
+  [[nodiscard]] Guard conjoined(const Guard& o) const;
+
+  [[nodiscard]] bool holds(const Env& env) const;
+
+  /// Drop constraints that are constant-true; throws Inconsistent if a
+  /// constant-false constraint is present (callers prune those pieces).
+  [[nodiscard]] Guard simplified() const;
+
+  [[nodiscard]] Guard substituted(const Symbol& s, const AffineExpr& e) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Guard&, const Guard&) = default;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Guard& g);
+
+}  // namespace systolize

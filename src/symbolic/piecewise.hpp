@@ -1,0 +1,131 @@
+// Piecewise guarded values — the paper's  if g0 -> v0 [] g1 -> v1 [] ... fi
+// alternatives, with an implicit "else -> null" for points covered by no
+// guard (null processes / null communications).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "symbolic/fourier_motzkin.hpp"
+#include "symbolic/guard.hpp"
+
+namespace systolize {
+
+template <typename T>
+struct Piece {
+  Guard guard;
+  T value;
+
+  friend bool operator==(const Piece&, const Piece&) = default;
+};
+
+/// A guarded case analysis. Overlapping guards are permitted; the paper
+/// notes overlaps only occur where the values agree (projections of points
+/// on several faces), and tests verify this property on the catalog designs.
+template <typename T>
+class Piecewise {
+ public:
+  Piecewise() = default;
+  explicit Piecewise(std::vector<Piece<T>> pieces)
+      : pieces_(std::move(pieces)) {}
+  /// A total, single-clause definition (the "simple place" fast path).
+  explicit Piecewise(T value) {
+    pieces_.push_back(Piece<T>{Guard::always(), std::move(value)});
+  }
+
+  [[nodiscard]] const std::vector<Piece<T>>& pieces() const noexcept {
+    return pieces_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return pieces_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pieces_.size(); }
+
+  void add(Guard guard, T value) {
+    pieces_.push_back(Piece<T>{std::move(guard), std::move(value)});
+  }
+
+  /// First piece whose guard holds under env, or nullptr (the null case).
+  [[nodiscard]] const T* select(const Env& env) const {
+    for (const Piece<T>& p : pieces_) {
+      if (p.guard.holds(env)) return &p.value;
+    }
+    return nullptr;
+  }
+
+  /// True iff some guard holds under env.
+  [[nodiscard]] bool covers(const Env& env) const {
+    return select(env) != nullptr;
+  }
+
+  /// Drop pieces whose guards are infeasible under the assumptions, and
+  /// drop redundant constraints inside the surviving guards.
+  [[nodiscard]] Piecewise pruned(const Guard& assumptions) const {
+    Piecewise out;
+    for (const Piece<T>& p : pieces_) {
+      if (!is_feasible(p.guard, assumptions)) continue;
+      out.add(drop_redundant(p.guard, assumptions), p.value);
+    }
+    return out;
+  }
+
+  /// Substitute a symbol in every guard and value (values must support
+  /// substituted(), as AffineExpr and AffinePoint do).
+  [[nodiscard]] Piecewise substituted(const Symbol& s,
+                                      const AffineExpr& e) const
+    requires requires(const T& t) { t.substituted(s, e); }
+  {
+    Piecewise out;
+    for (const Piece<T>& p : pieces_) {
+      out.add(p.guard.substituted(s, e), p.value.substituted(s, e));
+    }
+    return out;
+  }
+
+  /// Map every value through f, keeping guards.
+  template <typename F>
+  [[nodiscard]] auto mapped(F&& f) const {
+    using U = decltype(f(std::declval<const T&>()));
+    Piecewise<U> out;
+    for (const Piece<T>& p : pieces_) out.add(p.guard, f(p.value));
+    return out;
+  }
+
+  /// Pairwise product with another piecewise definition: each output piece
+  /// conjoins one guard from each side (the paper's "derivation is per
+  /// alternative", Sect. D.2.5/E.2.5). Infeasible combinations are pruned.
+  template <typename U, typename F>
+  [[nodiscard]] auto combined(const Piecewise<U>& o, F&& f,
+                              const Guard& assumptions = Guard{}) const {
+    using V = decltype(f(std::declval<const T&>(), std::declval<const U&>()));
+    Piecewise<V> out;
+    for (const Piece<T>& a : pieces_) {
+      for (const Piece<U>& b : o.pieces()) {
+        Guard g = a.guard.conjoined(b.guard);
+        if (!is_feasible(g, assumptions)) continue;
+        out.add(drop_redundant(g, assumptions), f(a.value, b.value));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string to_string(
+      const std::function<std::string(const T&)>& show) const {
+    std::ostringstream os;
+    os << "if ";
+    for (std::size_t i = 0; i < pieces_.size(); ++i) {
+      if (i > 0) os << "\n[] ";
+      os << pieces_[i].guard.to_string() << "  ->  " << show(pieces_[i].value);
+    }
+    os << "\nfi";
+    return os.str();
+  }
+
+  friend bool operator==(const Piecewise&, const Piecewise&) = default;
+
+ private:
+  std::vector<Piece<T>> pieces_;
+};
+
+}  // namespace systolize

@@ -1,0 +1,50 @@
+// Symbols: the named unknowns scheme expressions are parameterized over.
+//
+// Two kinds exist (paper Sect. 3.1 and 4.1): problem-size variables (e.g.
+// "n"), and process-space coordinates (e.g. "col", "row"). Everything the
+// scheme derives is an affine expression over these.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace systolize {
+
+enum class SymbolKind {
+  ProblemSize,   ///< appears in loop bounds; bound at instantiation time
+  ProcessCoord,  ///< a coordinate of the process space PS
+};
+
+class Symbol {
+ public:
+  Symbol() = default;
+  Symbol(std::string name, SymbolKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] SymbolKind kind() const noexcept { return kind_; }
+
+  friend bool operator==(const Symbol& a, const Symbol& b) noexcept {
+    return a.name_ == b.name_;
+  }
+  friend std::strong_ordering operator<=>(const Symbol& a,
+                                          const Symbol& b) noexcept {
+    return a.name_ <=> b.name_;
+  }
+
+ private:
+  std::string name_;
+  SymbolKind kind_ = SymbolKind::ProblemSize;
+};
+
+[[nodiscard]] Symbol size_symbol(std::string name);
+[[nodiscard]] Symbol coord_symbol(std::string name);
+
+/// Canonical process-coordinate name for dimension i: "col", "row", then
+/// "y2", "y3", ... — matching the paper's appendices for 1-D and 2-D arrays.
+[[nodiscard]] Symbol canonical_coord(std::size_t i);
+
+std::ostream& operator<<(std::ostream& os, const Symbol& s);
+
+}  // namespace systolize

@@ -1,0 +1,81 @@
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+ArraySpec::ArraySpec(StepFunction step, PlaceFunction place,
+                     std::map<std::string, IntVec> loading_vectors)
+    : step_(std::move(step)),
+      place_(std::move(place)),
+      loading_vectors_(std::move(loading_vectors)) {}
+
+StreamMotion ArraySpec::motion_of(const Stream& s) const {
+  StreamMotion m;
+  m.flow = compute_flow(s, step_, place_);
+  m.stationary = m.flow.is_zero();
+  if (m.stationary) {
+    auto it = loading_vectors_.find(s.name());
+    if (it == loading_vectors_.end()) {
+      raise(ErrorKind::Validation,
+            "stationary stream '" + s.name() +
+                "' needs a loading & recovery vector");
+    }
+    m.direction = it->second;
+    m.denominator = 1;
+  } else {
+    FlowDecomposition d = decompose_flow(m.flow);
+    m.direction = d.direction;
+    m.denominator = d.denominator;
+  }
+  return m;
+}
+
+void validate_array(const LoopNest& nest, const ArraySpec& spec) {
+  const std::size_t r = nest.depth();
+  if (spec.step().arity() != r) {
+    raise(ErrorKind::Validation,
+          "step has arity " + std::to_string(spec.step().arity()) +
+              ", expected r = " + std::to_string(r));
+  }
+  if (spec.place().arity() != r || spec.place().space_dim() != r - 1) {
+    raise(ErrorKind::Validation,
+          "place must be (r-1) x r = " + std::to_string(r - 1) + " x " +
+              std::to_string(r));
+  }
+
+  // Theorem 1 precondition + Theorem 3: rank r-1 and step.null_p != 0.
+  IntVec null_p = spec.place().null_generator();
+  if (spec.step().apply(null_p) == 0) {
+    raise(ErrorKind::Inconsistent,
+          "step vanishes on null.place: distinct statements would share "
+          "both place and step (violates Equation (1))");
+  }
+
+  for (const Stream& s : nest.streams()) {
+    StreamMotion m = spec.motion_of(s);
+    if (m.direction.dim() != r - 1) {
+      raise(ErrorKind::Validation,
+            "stream '" + s.name() + "': direction vector must live in the "
+            "(r-1)-dimensional process space");
+    }
+    if (m.stationary) {
+      if (m.direction.is_zero()) {
+        raise(ErrorKind::Validation,
+              "stream '" + s.name() +
+                  "': loading & recovery vector must be non-zero");
+      }
+      if (!m.direction.is_neighbour_offset()) {
+        raise(ErrorKind::Validation,
+              "stream '" + s.name() +
+                  "': loading & recovery vector must connect neighbours, got " +
+                  m.direction.to_string());
+      }
+    } else if (!m.direction.is_neighbour_offset()) {
+      raise(ErrorKind::Validation,
+            "stream '" + s.name() + "': flow " + m.flow.to_string() +
+                " violates the neighbouring-connection requirement "
+                "(no n > 0 with nb.(n * flow))");
+    }
+  }
+}
+
+}  // namespace systolize

@@ -1,0 +1,59 @@
+// A systolic array specification: the (step, place) pair for a source
+// program, plus the loading & recovery vectors the compilation needs for
+// stationary streams (paper Sect. 4.2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "loopnest/loop_nest.hpp"
+#include "systolic/flow.hpp"
+
+namespace systolize {
+
+/// Per-stream motion summary used throughout the scheme.
+struct StreamMotion {
+  RatVec flow;              ///< flow.s (zero for stationary streams)
+  bool stationary = false;  ///< flow.s == 0
+  /// Direction elements physically travel: the nb-scaled flow for moving
+  /// streams, the loading & recovery vector for stationary ones.
+  IntVec direction;
+  /// Denominator q of the flow (q-1 internal buffers per hop, Sect. 7.6);
+  /// 1 for stationary streams.
+  Int denominator = 1;
+};
+
+class ArraySpec {
+ public:
+  ArraySpec(StepFunction step, PlaceFunction place,
+            std::map<std::string, IntVec> loading_vectors = {});
+
+  [[nodiscard]] const StepFunction& step() const noexcept { return step_; }
+  [[nodiscard]] const PlaceFunction& place() const noexcept { return place_; }
+  [[nodiscard]] const std::map<std::string, IntVec>& loading_vectors()
+      const noexcept {
+    return loading_vectors_;
+  }
+
+  /// Compute the motion of a stream under this spec. For a stationary
+  /// stream the loading & recovery vector must have been supplied.
+  [[nodiscard]] StreamMotion motion_of(const Stream& s) const;
+
+ private:
+  StepFunction step_;
+  PlaceFunction place_;
+  std::map<std::string, IntVec> loading_vectors_;
+};
+
+/// Validate a (source, array) pair against the paper's requirements
+/// (Appendix A and Sect. 3.2):
+///  - step and place have arity r; place has rank r-1;
+///  - step does not vanish on null.place (Theorem 3 — otherwise two
+///    distinct statements would share both place and step, violating
+///    Equation (1));
+///  - every stream's flow is well defined and neighbour-restricted:
+///    (E n : n > 0 : nb.(n * flow.s));
+///  - every stationary stream has a neighbour loading & recovery vector.
+void validate_array(const LoopNest& nest, const ArraySpec& spec);
+
+}  // namespace systolize

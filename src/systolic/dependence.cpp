@@ -1,0 +1,53 @@
+#include "systolic/dependence.hpp"
+
+namespace systolize {
+namespace {
+
+/// Orient g so that moving a statement by +g advances it in the source
+/// program's sequential execution order (lexicographic over the loops,
+/// with each loop's direction given by its step sign).
+IntVec sequential_orientation(const LoopNest& nest, IntVec g) {
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    if (g[i] == 0) continue;
+    // The first loop level where the two statements differ decides.
+    const Int loop_dir = nest.loops()[i].step;
+    return g[i] * loop_dir > 0 ? g : -g;
+  }
+  raise(ErrorKind::Inconsistent, "zero dependence direction");
+}
+
+const Stream* violating_stream(const LoopNest& nest, const ArraySpec& spec) {
+  for (const Stream& s : nest.streams()) {
+    if (s.access() != StreamAccess::Update) continue;
+    auto basis = s.index_map().null_space_basis();
+    if (basis.size() != 1) {
+      raise(ErrorKind::Validation,
+            "stream '" + s.name() + "': index map null space must have "
+            "dimension 1");
+    }
+    IntVec g = sequential_orientation(nest, basis.front());
+    // Successive accesses to one element are g apart in sequential order;
+    // the systolic schedule applies them in increasing step order, so
+    // step must advance along +g.
+    if (spec.step().apply(g) <= 0) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool respects_dependences(const LoopNest& nest, const ArraySpec& spec) {
+  return violating_stream(nest, spec) == nullptr;
+}
+
+void validate_dependences(const LoopNest& nest, const ArraySpec& spec) {
+  const Stream* s = violating_stream(nest, spec);
+  if (s != nullptr) {
+    raise(ErrorKind::Inconsistent,
+          "step reverses the sequential update order of stream '" +
+              s->name() +
+              "': the array is only correct for commutative bodies");
+  }
+}
+
+}  // namespace systolize

@@ -1,0 +1,30 @@
+// Dependence checking.
+//
+// The paper assumes "the systolic array is ... correct with respect to the
+// source program" (Sect. 3): step must define "a partial order that
+// respects the data dependences". A compiler should verify this rather
+// than assume it. For a stream whose element is re-assigned (Update), the
+// statements touching one element form a chain along the null direction of
+// its index map; the systolic execution applies them in increasing step
+// order, so correctness for a non-commutative body requires that order to
+// match the source program's sequential order.
+//
+// Note the scheme itself never uses this check (the paper's examples all
+// accumulate commutatively, where any order gives the same sum); it is an
+// extension, surfaced through validate_dependences() and the CLI report.
+#pragma once
+
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+/// True iff, for every Update stream, the step order of the accesses to
+/// each element agrees with the sequential execution order.
+[[nodiscard]] bool respects_dependences(const LoopNest& nest,
+                                        const ArraySpec& spec);
+
+/// Raise Error(Inconsistent) naming the offending stream when
+/// respects_dependences() fails.
+void validate_dependences(const LoopNest& nest, const ArraySpec& spec);
+
+}  // namespace systolize

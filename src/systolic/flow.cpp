@@ -1,0 +1,38 @@
+#include "systolic/flow.hpp"
+
+namespace systolize {
+
+RatVec compute_flow(const Stream& s, const StepFunction& step,
+                    const PlaceFunction& place) {
+  auto basis = s.index_map().null_space_basis();
+  if (basis.size() != 1) {
+    raise(ErrorKind::Validation,
+          "stream '" + s.name() +
+              "': index map null space must have dimension 1");
+  }
+  const IntVec& n = basis.front();
+  Int t = step.apply(n);
+  if (t == 0) {
+    raise(ErrorKind::Inconsistent,
+          "stream '" + s.name() +
+              "': step vanishes on the index-map null space; step and the "
+              "stream accesses are inconsistent (violates Equation (1))");
+  }
+  IntVec p = place.apply(n);
+  RatVec flow(p.dim());
+  for (std::size_t i = 0; i < p.dim(); ++i) {
+    flow[i] = Rational(p[i], t);
+  }
+  return flow;
+}
+
+FlowDecomposition decompose_flow(const RatVec& flow) {
+  if (flow.is_zero()) {
+    return FlowDecomposition{IntVec(std::vector<Int>(flow.dim(), 0)), 1};
+  }
+  Int q = flow.denominator_lcm();
+  RatVec scaled = flow * Rational(q);
+  return FlowDecomposition{scaled.to_int_vec(), q};
+}
+
+}  // namespace systolize

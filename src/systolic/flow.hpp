@@ -1,0 +1,27 @@
+// Stream flow (paper Sect. 3.2 and Theorem 10): the direction and distance
+// a stream's elements travel per step.
+#pragma once
+
+#include "loopnest/stream.hpp"
+#include "systolic/step_place.hpp"
+
+namespace systolize {
+
+/// flow.s = place.n / step.n for any generator n of null.(M.s)
+/// (well-defined by Theorem 10). Throws Inconsistent if step.n == 0 — then
+/// two statements sharing a stream element would execute at the same step
+/// on different processors, violating Equation (1)'s premises.
+[[nodiscard]] RatVec compute_flow(const Stream& s, const StepFunction& step,
+                                  const PlaceFunction& place);
+
+/// Decompose a flow into (direction, denominator): flow = p / q with p the
+/// smallest integer vector along flow and q > 0. For the zero flow
+/// (stationary stream) returns ({0,...}, 1).
+struct FlowDecomposition {
+  IntVec direction;  ///< integer vector; must satisfy nb (Sect. 3.2)
+  Int denominator;   ///< q; q-1 internal buffers per hop (Sect. 7.6)
+};
+
+[[nodiscard]] FlowDecomposition decompose_flow(const RatVec& flow);
+
+}  // namespace systolize

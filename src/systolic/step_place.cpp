@@ -1,0 +1,39 @@
+#include "systolic/step_place.hpp"
+
+#include <sstream>
+
+namespace systolize {
+
+std::string StepFunction::to_string() const {
+  std::ostringstream os;
+  os << "step" << coeffs_.to_string();
+  return os.str();
+}
+
+IntVec PlaceFunction::null_generator() const {
+  auto basis = matrix_.null_space_basis();
+  if (basis.size() != 1) {
+    raise(ErrorKind::Validation,
+          "place must have rank r-1 (null space of dimension 1); null space "
+          "has dimension " +
+              std::to_string(basis.size()));
+  }
+  return basis.front();
+}
+
+bool PlaceFunction::is_simple() const {
+  IntVec g = null_generator();
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    if (g[i] != 0) ++nonzero;
+  }
+  return nonzero == 1;
+}
+
+std::string PlaceFunction::to_string() const {
+  std::ostringstream os;
+  os << "place" << matrix_.to_string();
+  return os.str();
+}
+
+}  // namespace systolize

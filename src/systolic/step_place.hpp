@@ -1,0 +1,67 @@
+// The two distribution functions that completely determine a systolic
+// array (paper Sect. 3.2): step :: Op -> Z and place :: Op -> Z^{r-1}.
+// Both are linear and identified with their (integer) matrices.
+#pragma once
+
+#include "numeric/int_matrix.hpp"
+#include "symbolic/affine_point.hpp"
+
+namespace systolize {
+
+/// step.(x) = coeffs . x — the temporal distribution.
+class StepFunction {
+ public:
+  StepFunction() = default;
+  explicit StepFunction(IntVec coeffs) : coeffs_(std::move(coeffs)) {}
+
+  [[nodiscard]] const IntVec& coeffs() const noexcept { return coeffs_; }
+  [[nodiscard]] std::size_t arity() const noexcept { return coeffs_.dim(); }
+
+  [[nodiscard]] Int apply(const IntVec& x) const { return coeffs_.dot(x); }
+  [[nodiscard]] AffineExpr apply(const AffinePoint& x) const {
+    return x.dot(coeffs_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  IntVec coeffs_;
+};
+
+/// place.(x) = M * x — the spatial distribution onto Z^{r-1}.
+class PlaceFunction {
+ public:
+  PlaceFunction() = default;
+  explicit PlaceFunction(IntMatrix matrix) : matrix_(std::move(matrix)) {}
+
+  [[nodiscard]] const IntMatrix& matrix() const noexcept { return matrix_; }
+  /// r — the number of loop indices.
+  [[nodiscard]] std::size_t arity() const noexcept { return matrix_.cols(); }
+  /// r-1 — the dimension of the computation space.
+  [[nodiscard]] std::size_t space_dim() const noexcept {
+    return matrix_.rows();
+  }
+
+  [[nodiscard]] IntVec apply(const IntVec& x) const {
+    return matrix_.apply(x);
+  }
+  [[nodiscard]] AffinePoint apply(const AffinePoint& x) const {
+    return x.applied(matrix_);
+  }
+
+  /// The single gcd-normalized generator of null.place (Theorem 1 proves
+  /// the null space has dimension exactly 1 when rank = r-1); throws
+  /// Validation otherwise.
+  [[nodiscard]] IntVec null_generator() const;
+
+  /// True when place is a projection along a single axis (Sect. 7.2.3):
+  /// exactly one component of the null generator is non-zero.
+  [[nodiscard]] bool is_simple() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  IntMatrix matrix_;
+};
+
+}  // namespace systolize

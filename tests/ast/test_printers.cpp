@@ -1,0 +1,111 @@
+// The generated abstract programs rendered in three concrete syntaxes —
+// checked against the shape of the paper's final programs (D.1.7, E.2.7).
+#include <gtest/gtest.h>
+
+#include "ast/builder.hpp"
+#include "ast/print.hpp"
+#include "designs/catalog.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+void expect_contains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "missing: " << needle << "\nin:\n"
+      << haystack;
+}
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  Design d1 = polyprod_design1();
+  CompiledProgram p1 = compile(d1.nest, d1.spec);
+  std::unique_ptr<ast::Program> t1 = ast::build_ast(p1, d1.nest);
+
+  Design e2 = matmul_design2();
+  CompiledProgram p2 = compile(e2.nest, e2.spec);
+  std::unique_ptr<ast::Program> t2 = ast::build_ast(p2, e2.nest);
+};
+
+TEST_F(PrinterTest, PaperNotationMatchesAppendixD17Shape) {
+  std::string text = ast::to_paper_notation(*t1);
+  // Channel declarations as in D.1.7.
+  expect_contains(text, "chan a_chan[0..n + 1]");
+  expect_contains(text, "chan b_buff[0..n]");
+  // I/O repeaters {0 n 1} and {0 2*n 1}.
+  expect_contains(text, "send a {(0) (n) (1)} to a_chan[0]");
+  expect_contains(text, "send c {(0) (2*n) (1)} to c_chan[0]");
+  expect_contains(text, "receive c {(0) (2*n) (1)} from c_chan[n + 1]");
+  // Computation process: load/recover counts from D.1.5.
+  expect_contains(text, "load a, n - col");
+  expect_contains(text, "recover a, col");
+  expect_contains(text, "pass c, col");
+  expect_contains(text, "pass c, n - col");
+  // The repeater and the basic statement.
+  expect_contains(text, "first := (col, 0)");
+  expect_contains(text, "last := (col, n)");
+  expect_contains(text, "{first last (0,1)}");
+  expect_contains(text, "c := c + a * b");
+  expect_contains(text, "receive b from b_chan[col]");
+  expect_contains(text, "send c to c_chan[col + 1]");
+  expect_contains(text, "parfor col from 0 to n do");
+}
+
+TEST_F(PrinterTest, PaperNotationMatchesAppendixE27Shape) {
+  std::string text = ast::to_paper_notation(*t2);
+  // Channel declaration with the negative-direction extension (E.2.7
+  // declares c_chan[-(n+1)..n, -(n+1)..n]).
+  expect_contains(text, "chan c_chan[-n - 1..n, -n - 1..n]");
+  // Piecewise first with three alternatives and a null else.
+  expect_contains(text, "first := if");
+  expect_contains(text, "[] else -> null");
+  // The basic statement sends c against the diagonal.
+  expect_contains(text, "send c to c_chan[col - 1, row - 1]");
+  expect_contains(text, "receive c from c_chan[col, row]");
+  // Buffer region passes pipeline contents (Equation 10).
+  expect_contains(text, "Equation 10");
+}
+
+TEST_F(PrinterTest, OccamRendering) {
+  std::string text = ast::to_occam(*t1);
+  expect_contains(text, "PAR");
+  expect_contains(text, "SEQ");
+  // occam loops count steps, not bounds (Sect. 7.2.2 remark).
+  expect_contains(text, "PAR col = 0 FOR n + 1");
+  expect_contains(text, "CHAN OF INT a_chan :");
+  expect_contains(text, "b_chan[col] ? b");
+  expect_contains(text, "c_chan[col + 1] ! c");
+  expect_contains(text, "c := c + a * b");
+}
+
+TEST_F(PrinterTest, CRendering) {
+  std::string text = ast::to_c(*t1);
+  expect_contains(text, "parfor (int col = 0; col <= n; ++col) {");
+  expect_contains(text, "channel a_chan[0 .. n + 1];");
+  expect_contains(text, "recv(b_chan[col], &b);");
+  expect_contains(text, "send(c_chan[col + 1], c);");
+  expect_contains(text, "recv_own(a);");
+  expect_contains(text, "send_own(a);");
+  expect_contains(text, "c := c + a * b;");
+}
+
+TEST_F(PrinterTest, AllRenderingsAreNonTrivialForEveryCatalogDesign) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram p = compile(d.nest, d.spec);
+    auto tree = ast::build_ast(p, d.nest);
+    EXPECT_GT(ast::to_paper_notation(*tree).size(), 400u) << d.description;
+    EXPECT_GT(ast::to_occam(*tree).size(), 400u) << d.description;
+    EXPECT_GT(ast::to_c(*tree).size(), 400u) << d.description;
+  }
+}
+
+TEST_F(PrinterTest, InputAndOutputGroupsPresentForEveryStream) {
+  std::string text = ast::to_paper_notation(*t2);
+  for (const std::string s : {"a", "b", "c"}) {
+    expect_contains(text, "send " + s + " {");
+    expect_contains(text, "receive " + s + " {");
+  }
+}
+
+}  // namespace
+}  // namespace systolize

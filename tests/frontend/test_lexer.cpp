@@ -1,0 +1,57 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace systolize::frontend {
+namespace {
+
+TEST(Lexer, TokenizesAllKinds) {
+  auto toks = lex("design foo ( ) [ ] , .. := = >= + - * 42");
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokKind>{
+                TokKind::Ident, TokKind::Ident, TokKind::LParen,
+                TokKind::RParen, TokKind::LBracket, TokKind::RBracket,
+                TokKind::Comma, TokKind::DotDot, TokKind::Assign,
+                TokKind::Equals, TokKind::Ge, TokKind::Plus, TokKind::Minus,
+                TokKind::Star, TokKind::Integer, TokKind::End}));
+  EXPECT_EQ(toks[0].text, "design");
+  EXPECT_EQ(toks[14].value, 42);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+  auto toks = lex("a # comment with stuff := .. \nb\n  c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].text, "c");
+  EXPECT_EQ(toks[2].line, 3u);
+}
+
+TEST(Lexer, IdentifiersMayContainUnderscoresAndDigits) {
+  auto toks = lex("foo_bar2 _x");
+  EXPECT_EQ(toks[0].text, "foo_bar2");
+  EXPECT_EQ(toks[1].text, "_x");
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  try {
+    (void)lex("a\n@");
+    FAIL() << "expected Parse error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Parse);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Lexer, SingleDotIsRejected) {
+  EXPECT_THROW((void)lex("0 . n"), Error);
+}
+
+}  // namespace
+}  // namespace systolize::frontend

@@ -1,0 +1,244 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+#include "support/error.hpp"
+
+namespace systolize::frontend {
+namespace {
+
+const char* kPolyprod1 = R"(
+# Appendix D.1 as a .sa file
+design polyprod1
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i]   read   dims [0 .. n]
+stream b[j]   read   dims [0 .. n]
+stream c[i+j] update dims [0 .. 2*n]
+body c := c + a * b
+step 2*i + j
+place (i)
+load a = (1)
+)";
+
+TEST(Parser, ParsesPolyprodDesign) {
+  Design d = parse_design(kPolyprod1);
+  EXPECT_EQ(d.nest.name(), "polyprod1");
+  EXPECT_EQ(d.nest.depth(), 2u);
+  EXPECT_EQ(d.nest.streams().size(), 3u);
+  EXPECT_EQ(d.nest.body_text(), "c := c + a * b");
+  EXPECT_EQ(d.spec.step().coeffs(), (IntVec{2, 1}));
+  EXPECT_EQ(d.spec.place().matrix(), (IntMatrix{{1, 0}}));
+  EXPECT_EQ(d.nest.stream("c").index_map(), (IntMatrix{{1, 1}}));
+  EXPECT_EQ(d.nest.stream("c").access(), StreamAccess::Update);
+  EXPECT_EQ(d.nest.stream("a").access(), StreamAccess::Read);
+}
+
+TEST(Parser, ParsedDesignCompilesLikeTheCatalogOne) {
+  Design d = parse_design(kPolyprod1);
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.repeater.increment, (IntVec{0, 1}));
+  EXPECT_TRUE(prog.repeater.simple_place);
+  Env env{{"n", Rational(3)}, {"col", Rational(2)}};
+  EXPECT_EQ(prog.repeater.first.select(env)->evaluate(env), (IntVec{2, 0}));
+}
+
+TEST(Parser, ParsedDesignRunsCorrectly) {
+  Design d = parse_design(kPolyprod1);
+  CompiledProgram prog = compile(d.nest, d.spec);
+  Env sizes{{"n", Rational(4)}};
+  IndexedStore store = make_initial_store(
+      d.nest, sizes, [](const std::string& var, const IntVec& p) {
+        return static_cast<Value>(var[0] + p[0]);
+      });
+  IndexedStore check = store;
+  run_sequential(d.nest, sizes, check);
+  (void)execute(prog, d.nest, sizes, store);
+  EXPECT_EQ(store.elements("c"), check.elements("c"));
+}
+
+TEST(Parser, ParsesKungLeisersonMatmul) {
+  Design d = parse_design(R"(
+design matmul_kl
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+loop k = 0 .. n
+stream a[i,k] read   dims [0 .. n, 0 .. n]
+stream b[k,j] read   dims [0 .. n, 0 .. n]
+stream c[i,j] update dims [0 .. n, 0 .. n]
+body c := c + a * b
+step i + j + k
+place (i - k, j - k)
+)");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.repeater.increment, (IntVec{1, 1, 1}));
+  EXPECT_EQ(prog.stream_plan("c").motion.flow,
+            (RatVec{Rational(-1), Rational(-1)}));
+}
+
+TEST(Parser, NegativeBoundsAndSubtraction) {
+  Design d = parse_design(R"(
+design correlation
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i]   read   dims [0 .. n]
+stream b[j]   read   dims [0 .. n]
+stream c[i-j] update dims [0 - n .. n]
+body c := c + a * b
+step i + 2*j
+place (i)
+load a = (1)
+)");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.stream_plan("c").motion.flow, (RatVec{Rational(1, 3)}));
+}
+
+TEST(Parser, BodyExpressionEvaluates) {
+  Design d = parse_design(R"(
+design weird
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i]   read   dims [0 .. n]
+stream b[j]   read   dims [0 .. n]
+stream c[i+j] update dims [0 .. 2*n]
+body c := c + 2 * a * b - a + 1
+step 2*i + j
+place (i)
+load a = (1)
+)");
+  std::map<std::string, Value> vals{{"a", 3}, {"b", 4}, {"c", 10}};
+  d.nest.body()(IntVec{0, 0}, vals);
+  EXPECT_EQ(vals.at("c"), 10 + 2 * 3 * 4 - 3 + 1);
+}
+
+TEST(Parser, NegativeLoopStepWithBy) {
+  // A loop executed from its right bound down to its left bound
+  // (Sect. 3.1: negative steps reverse the execution order only; the
+  // bounds still satisfy lb <= rb).
+  Design d = parse_design(R"(
+design reversed
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n by -1
+stream a[i]   read   dims [0 .. n]
+stream b[j]   read   dims [0 .. n]
+stream c[i+j] update dims [0 .. 2*n]
+body c := c + a * b
+step 2*i + j
+place (i)
+load a = (1)
+)");
+  EXPECT_EQ(d.nest.loops()[1].step, -1);
+  // The compiled program is unaffected by the execution order...
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.repeater.increment, (IntVec{0, 1}));
+  // ...and the executed result matches the (reversed) sequential order.
+  Env sizes{{"n", Rational(3)}};
+  IndexedStore store = make_initial_store(
+      d.nest, sizes, [](const std::string& var, const IntVec& p) {
+        return static_cast<Value>(var[0] - p[0]);
+      });
+  IndexedStore check = store;
+  run_sequential(d.nest, sizes, check);
+  (void)execute(prog, d.nest, sizes, store);
+  EXPECT_EQ(store.elements("c"), check.elements("c"));
+}
+
+// ---- error cases ---------------------------------------------------------
+
+void expect_error(const std::string& source, ErrorKind kind,
+                  const std::string& fragment) {
+  try {
+    (void)parse_design(source);
+    FAIL() << "expected error containing '" << fragment << "'";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParserErrors, MissingDesignKeyword) {
+  expect_error("loop i = 0 .. n", ErrorKind::Parse, "expected 'design'");
+}
+
+TEST(ParserErrors, UnknownDeclaration) {
+  expect_error("design d\nfrobnicate", ErrorKind::Parse,
+               "unknown declaration");
+}
+
+TEST(ParserErrors, UndeclaredSizeVariable) {
+  expect_error("design d\nloop i = 0 .. n", ErrorKind::Parse,
+               "not a declared problem-size variable");
+}
+
+TEST(ParserErrors, ConstantInIndexVector) {
+  // The Appendix A.2 restriction: no constants in index vectors.
+  expect_error(R"(
+design d
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i+1] read dims [0 .. n]
+body a := a
+step i + j
+place (i)
+)",
+               ErrorKind::Validation, "no constant term");
+}
+
+TEST(ParserErrors, NonLinearProduct) {
+  expect_error(R"(
+design d
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i*j] read dims [0 .. n]
+body a := a
+step i + j
+place (i)
+)",
+               ErrorKind::Parse, "non-linear");
+}
+
+TEST(ParserErrors, BodyOnNonStream) {
+  expect_error(R"(
+design d
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i] read dims [0 .. n]
+body q := a
+step 2*i + j
+place (i)
+)",
+               ErrorKind::Validation, "not a stream");
+}
+
+TEST(ParserErrors, MissingStep) {
+  expect_error(R"(
+design d
+sizes n >= 1
+loop i = 0 .. n
+loop j = 0 .. n
+stream a[i] read dims [0 .. n]
+body a := a
+place (i)
+)",
+               ErrorKind::Validation, "no step function");
+}
+
+TEST(ParserErrors, ErrorsCarryLineNumbers) {
+  expect_error("design d\nsizes n >= 1\nloop i = 0 .. @", ErrorKind::Parse,
+               "line 3");
+}
+
+}  // namespace
+}  // namespace systolize::frontend

@@ -1,0 +1,90 @@
+// Partitioning onto a bounded processor array (the Sect.-8 extension via
+// the paper's ref. [23]): processes multiplexed onto physical processors
+// share a logical clock. Results must be bit-identical; only the makespan
+// model changes.
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+IntVec grid_for(const Design& design, Int g) {
+  // One entry per process-space dimension.
+  std::vector<Int> comps(design.nest.depth() - 1, g);
+  return IntVec(comps);
+}
+
+class Partition : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Partition, ResultsAreIdenticalUnderAnyPartition) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(4)}, {"m", Rational(2)}};
+  IndexedStore expected = make_initial_store(
+      design.nest, sizes,
+      [](const std::string& v, const IntVec& p) { return v[0] + p[0]; });
+  IndexedStore seed = expected;
+  run_sequential(design.nest, sizes, expected);
+
+  for (Int g : {1, 2, 3}) {
+    IndexedStore store = seed;
+    InstantiateOptions opt;
+    opt.partition_grid = grid_for(design, g);
+    RunMetrics metrics = execute(prog, design.nest, sizes, store, opt);
+    for (const Stream& s : design.nest.streams()) {
+      EXPECT_EQ(store.elements(s.name()), expected.elements(s.name()))
+          << GetParam() << " stream " << s.name() << " grid " << g;
+    }
+    EXPECT_LE(metrics.physical_processors,
+              static_cast<std::size_t>(1)
+                  << (2 * (design.nest.depth() - 1)))
+        << "grid " << g;
+    EXPECT_GT(metrics.physical_processors, 0u);
+  }
+}
+
+TEST_P(Partition, SerializationShowsInTheMakespan) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(4)}, {"m", Rational(2)}};
+  auto run_with = [&](const IntVec& grid) {
+    IndexedStore store = make_initial_store(
+        design.nest, sizes,
+        [](const std::string&, const IntVec&) { return 1; });
+    InstantiateOptions opt;
+    opt.partition_grid = grid;
+    return execute(prog, design.nest, sizes, store, opt);
+  };
+  RunMetrics full = run_with(IntVec{});          // one processor per process
+  RunMetrics single = run_with(grid_for(design, 1));  // everything on one
+
+  EXPECT_EQ(single.physical_processors, 1u);
+  EXPECT_EQ(full.physical_processors, full.process_count);
+  // On a single processor every statement serializes on one clock.
+  EXPECT_GE(single.makespan, single.statements);
+  EXPECT_GT(single.makespan, full.makespan);
+}
+
+TEST_P(Partition, WrongGridDimensionIsRejected) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(2)}, {"m", Rational(2)}};
+  IndexedStore store = make_initial_store(
+      design.nest, sizes,
+      [](const std::string&, const IntVec&) { return 0; });
+  InstantiateOptions opt;
+  std::vector<Int> comps(design.nest.depth() + 3, 2);
+  opt.partition_grid = IntVec(comps);
+  EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(SomeDesigns, Partition,
+                         ::testing::Values("polyprod1", "polyprod2",
+                                           "matmul2", "convolution"));
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,117 @@
+// Wavefront property: the asynchronous relaxation preserves the systolic
+// array's behaviour (the theorem of the paper's ref. [20] that Sect. 4
+// leans on). Concretely: map every traced statement execution back to its
+// index-space point via x = first.y + iteration * increment, then check
+// that any two statements accessing the same stream element execute in
+// step order, and that each chord executes in increasing step order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+#include "scheme/process_space.hpp"
+
+namespace systolize {
+namespace {
+
+class Wavefront : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Wavefront, SharedElementAccessesFollowStepOrder) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(4)}, {"m", Rational(3)}};
+
+  Trace trace;
+  InstantiateOptions opt;
+  opt.trace = &trace;
+  IndexedStore store = make_initial_store(
+      design.nest, sizes,
+      [](const std::string&, const IntVec&) { return 1; });
+  (void)execute(prog, design.nest, sizes, store, opt);
+
+  ASSERT_EQ(static_cast<Int>(trace.statements.size()),
+            design.nest.index_space_size(sizes));
+
+  // Recover each event's index-space point and step value.
+  struct Exec {
+    IntVec x;
+    Int step;
+    Int time;
+  };
+  std::vector<Exec> execs;
+  for (const StatementEvent& ev : trace.statements) {
+    Env env = sizes;
+    for (std::size_t i = 0; i < prog.coords.size(); ++i) {
+      env[prog.coords[i].name()] = Rational(ev.process[i]);
+    }
+    const AffinePoint* first = prog.repeater.first.select(env);
+    ASSERT_NE(first, nullptr);
+    IntVec x = first->evaluate(env) + prog.repeater.increment * ev.iteration;
+    execs.push_back(Exec{x, design.spec.step().apply(x), ev.time});
+  }
+
+  // 1. Within a process (same place), times follow iteration order by
+  //    construction; check they also follow step order.
+  // 2. Across processes: statements sharing a stream element must execute
+  //    in step order (the element physically travels between them).
+  for (const Stream& s : design.nest.streams()) {
+    std::map<IntVec, std::vector<const Exec*>, IntVecLess> by_elem;
+    for (const Exec& e : execs) by_elem[s.element_of(e.x)].push_back(&e);
+    for (auto& [elem, accs] : by_elem) {
+      std::sort(accs.begin(), accs.end(),
+                [](const Exec* a, const Exec* b) { return a->step < b->step; });
+      for (std::size_t i = 1; i < accs.size(); ++i) {
+        EXPECT_LT(accs[i - 1]->step, accs[i]->step)
+            << "two accesses of " << s.name() << elem.to_string()
+            << " at the same step";
+        EXPECT_LT(accs[i - 1]->time, accs[i]->time)
+            << s.name() << elem.to_string() << ": statement "
+            << accs[i - 1]->x.to_string() << " (step " << accs[i - 1]->step
+            << ") must complete before " << accs[i]->x.to_string()
+            << " (step " << accs[i]->step << ")";
+      }
+    }
+  }
+
+  // Every index-space point executed exactly once.
+  std::set<std::vector<Int>> seen;
+  for (const Exec& e : execs) {
+    EXPECT_TRUE(seen.insert(e.x.comps()).second)
+        << e.x.to_string() << " executed twice";
+  }
+}
+
+TEST_P(Wavefront, LogicalTimeIsBoundedLinearlyInSystolicSteps) {
+  // The asynchronous makespan must stay within a constant factor of the
+  // synchronous step count (no serialization collapse): we allow 8x.
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  for (Int n : {3, 6}) {
+    Env sizes{{"n", Rational(n)}, {"m", Rational(2)}};
+    IndexedStore store = make_initial_store(
+        design.nest, sizes,
+        [](const std::string&, const IntVec&) { return 1; });
+    RunMetrics metrics = execute(prog, design.nest, sizes, store);
+    StepRange range = derive_step_range(design.nest, design.spec.step());
+    Int steps =
+        (range.max - range.min).evaluate(sizes).to_integer() + 1;
+    EXPECT_LT(metrics.makespan, 8 * steps)
+        << GetParam() << " at n=" << n << ": makespan " << metrics.makespan
+        << " vs " << steps << " systolic steps";
+    EXPECT_GE(metrics.makespan, steps)
+        << "makespan cannot beat the synchronous schedule";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, Wavefront,
+                         ::testing::Values("polyprod1", "polyprod2",
+                                           "polyprod3", "matmul1", "matmul2",
+                                           "matmul3", "matmul4",
+                                           "convolution", "correlation"));
+
+}  // namespace
+}  // namespace systolize

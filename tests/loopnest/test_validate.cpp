@@ -1,0 +1,142 @@
+// Appendix A requirement/restriction enforcement on source programs.
+#include "loopnest/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+Symbol n_sym() { return size_symbol("n"); }
+
+Guard n_ge_1() {
+  Guard g;
+  g.add(Constraint{AffineExpr(1), AffineExpr(n_sym())});
+  return g;
+}
+
+StatementBody noop_body() {
+  return [](std::map<std::string, Value>&) {};
+}
+
+Stream unit_stream(const std::string& name, IntMatrix m,
+                   std::size_t var_dims) {
+  std::vector<VarDim> dims(var_dims,
+                           VarDim{AffineExpr(0), AffineExpr(n_sym())});
+  return Stream(name, std::move(m), std::move(dims), StreamAccess::Read);
+}
+
+void expect_invalid(const LoopNest& nest, const std::string& fragment) {
+  try {
+    validate_source(nest);
+    FAIL() << "expected Validation error containing '" << fragment << "'";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Validation) << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SourceValidation, CatalogDesignsAllValidate) {
+  for (const Design& d : all_designs()) {
+    EXPECT_NO_THROW(validate_source(d.nest)) << d.description;
+  }
+}
+
+TEST(SourceValidation, SingleLoopRejected) {
+  LoopNest nest("one", {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {}, {n_sym()}, n_ge_1(), noop_body());
+  expect_invalid(nest, "at least two loops");
+}
+
+TEST(SourceValidation, NonUnitStepRejected) {
+  LoopNest nest("st",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 2},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1)}, {n_sym()}, n_ge_1(),
+                noop_body());
+  expect_invalid(nest, "step");
+}
+
+TEST(SourceValidation, BoundsNotImpliedBySizeAssumptionsRejected) {
+  // Loop i = n .. 0 is empty for n >= 1 — lb <= rb is violated.
+  LoopNest nest("rev",
+                {LoopSpec{"i", AffineExpr(n_sym()), AffineExpr(0), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1)}, {n_sym()}, n_ge_1(),
+                noop_body());
+  expect_invalid(nest, "lb <= rb");
+}
+
+TEST(SourceValidation, DuplicateLoopIndexRejected) {
+  LoopNest nest("dup",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1)}, {n_sym()}, n_ge_1(),
+                noop_body());
+  expect_invalid(nest, "duplicate loop index");
+}
+
+TEST(SourceValidation, NoStreamsRejected) {
+  LoopNest nest("none",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {}, {n_sym()}, n_ge_1(), noop_body());
+  expect_invalid(nest, "no streams");
+}
+
+TEST(SourceValidation, DuplicateStreamNamesRejected) {
+  LoopNest nest("dup",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1),
+                 unit_stream("a", IntMatrix{{0, 1}}, 1)},
+                {n_sym()}, n_ge_1(), noop_body());
+  expect_invalid(nest, "duplicate stream name");
+}
+
+TEST(SourceValidation, IndexMapWrongShapeRejected) {
+  // r = 3 but a 1 x 3 index map: the variable is not (r-1)-dimensional.
+  LoopNest nest("shape",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"k", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0, 0}}, 1)}, {n_sym()},
+                n_ge_1(), noop_body());
+  expect_invalid(nest, "(r-1) x r");
+}
+
+TEST(SourceValidation, RankDeficientIndexMapRejected) {
+  // a[i, 2i] has rank 1 < r-1 = 2: full pipelining violated.
+  LoopNest nest("rank",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"k", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0, 0}, {2, 0, 0}}, 2)},
+                {n_sym()}, n_ge_1(), noop_body());
+  expect_invalid(nest, "rank");
+}
+
+TEST(SourceValidation, CoordSymbolInBoundsRejected) {
+  Symbol col = coord_symbol("col");
+  LoopNest nest("coord",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(col), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1)}, {n_sym()}, n_ge_1(),
+                noop_body());
+  expect_invalid(nest, "problem-size symbols");
+}
+
+TEST(SourceValidation, MissingBodyRejected) {
+  LoopNest nest("nobody",
+                {LoopSpec{"i", AffineExpr(0), AffineExpr(n_sym()), 1},
+                 LoopSpec{"j", AffineExpr(0), AffineExpr(n_sym()), 1}},
+                {unit_stream("a", IntMatrix{{1, 0}}, 1)}, {n_sym()}, n_ge_1(),
+                nullptr);
+  expect_invalid(nest, "basic statement body");
+}
+
+}  // namespace
+}  // namespace systolize

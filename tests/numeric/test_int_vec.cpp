@@ -1,0 +1,82 @@
+#include "numeric/int_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/rat_vec.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(IntVec, BasicArithmetic) {
+  IntVec a{1, 2, 3};
+  IntVec b{4, -5, 6};
+  EXPECT_EQ(a + b, (IntVec{5, -3, 9}));
+  EXPECT_EQ(a - b, (IntVec{-3, 7, -3}));
+  EXPECT_EQ(a * 3, (IntVec{3, 6, 9}));
+  EXPECT_EQ(-a, (IntVec{-1, -2, -3}));
+}
+
+TEST(IntVec, DimensionMismatchThrows) {
+  IntVec a{1, 2};
+  IntVec b{1, 2, 3};
+  EXPECT_THROW((void)(a + b), Error);
+  EXPECT_THROW((void)a.dot(b), Error);
+}
+
+TEST(IntVec, Dot) {
+  EXPECT_EQ((IntVec{1, 2, 3}).dot(IntVec{4, 5, 6}), 32);
+  EXPECT_EQ((IntVec{1, -1}).dot(IntVec{1, 1}), 0);
+}
+
+TEST(IntVec, Content) {
+  EXPECT_EQ((IntVec{0, -8}).content(), 8);
+  EXPECT_EQ((IntVec{6, 9, 15}).content(), 3);
+  EXPECT_EQ((IntVec{0, 0}).content(), 0);
+  EXPECT_EQ((IntVec{3, 3, 3}).content(), 3);
+}
+
+TEST(IntVec, ExactDivision) {
+  EXPECT_EQ((IntVec{0, -8}).exact_div_by(8), (IntVec{0, -1}));
+  EXPECT_THROW((void)(IntVec{3, 4}).exact_div_by(2), Error);
+}
+
+TEST(IntVec, QuotientAlong) {
+  // The paper's x // y.
+  EXPECT_EQ((IntVec{6, -6}).quotient_along(IntVec{1, -1}), 6);
+  EXPECT_EQ((IntVec{0, 0, 0}).quotient_along(IntVec{1, 2, 3}), 0);
+  EXPECT_EQ((IntVec{0, 0}).quotient_along(IntVec{0, 0}), 0);
+  EXPECT_THROW((void)(IntVec{1, 2}).quotient_along(IntVec{1, 1}), Error);
+  EXPECT_THROW((void)(IntVec{1, 0}).quotient_along(IntVec{0, 0}), Error);
+  // Negative quotients are fine.
+  EXPECT_EQ((IntVec{-4, 4}).quotient_along(IntVec{1, -1}), -4);
+}
+
+TEST(IntVec, NeighbourPredicate) {
+  EXPECT_TRUE((IntVec{1, -1}).is_neighbour_offset());
+  EXPECT_TRUE((IntVec{0, 0}).is_neighbour_offset());
+  EXPECT_FALSE((IntVec{2, 0}).is_neighbour_offset());
+}
+
+TEST(RatVec, DenominatorLcmAndScaling) {
+  RatVec f{Rational(1, 2), Rational(1, 3)};
+  EXPECT_EQ(f.denominator_lcm(), 6);
+  EXPECT_EQ(f.scaled_to_integer(), (IntVec{3, 2}));
+  RatVec whole{Rational(2), Rational(-1)};
+  EXPECT_EQ(whole.denominator_lcm(), 1);
+  EXPECT_TRUE(whole.is_integral());
+  EXPECT_EQ(whole.to_int_vec(), (IntVec{2, -1}));
+  EXPECT_FALSE(f.is_integral());
+  EXPECT_THROW((void)f.to_int_vec(), Error);
+}
+
+TEST(RatVec, Arithmetic) {
+  RatVec a{Rational(1, 2), Rational(1)};
+  RatVec b{Rational(1, 2), Rational(-1)};
+  EXPECT_EQ(a + b, (RatVec{Rational(1), Rational(0)}));
+  EXPECT_TRUE((a - a).is_zero());
+  EXPECT_EQ(a * Rational(2), (RatVec{Rational(1), Rational(2)}));
+}
+
+}  // namespace
+}  // namespace systolize

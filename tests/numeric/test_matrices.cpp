@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "numeric/int_matrix.hpp"
+#include "numeric/rat_matrix.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(IntMatrix, ApplyAndRows) {
+  IntMatrix m{{1, 0, -1}, {0, 1, -1}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.apply(IntVec{3, 4, 1}), (IntVec{2, 3}));
+  EXPECT_EQ(m.row(1), (IntVec{0, 1, -1}));
+  EXPECT_EQ(m.col(2), (IntVec{-1, -1}));
+}
+
+TEST(IntMatrix, WithoutCol) {
+  IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.without_col(1), (IntMatrix{{1, 3}, {4, 6}}));
+  EXPECT_THROW((void)m.without_col(3), Error);
+}
+
+TEST(IntMatrix, Rank) {
+  EXPECT_EQ((IntMatrix{{1, 0}, {0, 1}}).rank(), 2u);
+  EXPECT_EQ((IntMatrix{{1, 1}, {2, 2}}).rank(), 1u);
+  EXPECT_EQ((IntMatrix{{1, 0, -1}, {0, 1, -1}}).rank(), 2u);
+}
+
+TEST(IntMatrix, NullSpaceBasisIsNormalized) {
+  // Kung-Leiserson place: null space spanned by (1,1,1).
+  IntMatrix place{{1, 0, -1}, {0, 1, -1}};
+  auto basis = place.null_space_basis();
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0], (IntVec{1, 1, 1}));
+
+  // place = (i,j): null (0,0,1).
+  auto basis2 = IntMatrix{{1, 0, 0}, {0, 1, 0}}.null_space_basis();
+  ASSERT_EQ(basis2.size(), 1u);
+  EXPECT_EQ(basis2[0], (IntVec{0, 0, 1}));
+
+  // place = (i+j) on r=2: null (1,-1), first component positive.
+  auto basis3 = IntMatrix{{1, 1}}.null_space_basis();
+  ASSERT_EQ(basis3.size(), 1u);
+  EXPECT_EQ(basis3[0], (IntVec{1, -1}));
+}
+
+TEST(IntMatrix, NullSpaceMembersMapToZero) {
+  IntMatrix m{{2, 4, -6}, {1, 0, 3}};
+  for (const IntVec& v : m.null_space_basis()) {
+    EXPECT_TRUE(m.apply(v).is_zero()) << v.to_string();
+  }
+}
+
+TEST(RatMatrix, InverseRoundTrip) {
+  RatMatrix m{{Rational(2), Rational(1)}, {Rational(1), Rational(1)}};
+  RatMatrix inv = m.inverse();
+  EXPECT_EQ(m.multiply(inv), RatMatrix::identity(2));
+  EXPECT_EQ(inv.multiply(m), RatMatrix::identity(2));
+}
+
+TEST(RatMatrix, SingularInverseThrows) {
+  RatMatrix m{{Rational(1), Rational(2)}, {Rational(2), Rational(4)}};
+  try {
+    (void)m.inverse();
+    FAIL() << "expected Singular";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Singular);
+  }
+}
+
+TEST(RatMatrix, Solve) {
+  RatMatrix m{{Rational(1), Rational(1)}, {Rational(1), Rational(-1)}};
+  RatVec x = m.solve(RatVec{Rational(3), Rational(1)});
+  EXPECT_EQ(x, (RatVec{Rational(2), Rational(1)}));
+}
+
+TEST(RatMatrix, SolveUnique) {
+  // Overdetermined but consistent.
+  RatMatrix m{{Rational(1), Rational(0)},
+              {Rational(0), Rational(1)},
+              {Rational(1), Rational(1)}};
+  auto x = m.solve_unique(RatVec{Rational(2), Rational(3), Rational(5)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, (RatVec{Rational(2), Rational(3)}));
+
+  // Inconsistent.
+  EXPECT_FALSE(
+      m.solve_unique(RatVec{Rational(2), Rational(3), Rational(6)}).has_value());
+
+  // Underdetermined.
+  RatMatrix u{{Rational(1), Rational(1)}};
+  EXPECT_FALSE(u.solve_unique(RatVec{Rational(1)}).has_value());
+}
+
+TEST(RatMatrix, NullSpaceDimensionTheorem) {
+  // rank + nullity == cols (used implicitly by Theorem 1).
+  RatMatrix m{{Rational(1), Rational(2), Rational(3)},
+              {Rational(2), Rational(4), Rational(6)}};
+  EXPECT_EQ(m.rank() + m.null_space_basis().size(), m.cols());
+}
+
+}  // namespace
+}  // namespace systolize

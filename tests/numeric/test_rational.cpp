@@ -1,0 +1,111 @@
+#include "numeric/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(-8, -2), Rational(4));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  try {
+    Rational r(1, 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::DivideByZero);
+  }
+}
+
+TEST(Rational, Arithmetic) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(5), Rational(5));
+}
+
+TEST(Rational, IntegerConversion) {
+  EXPECT_TRUE(Rational(4, 2).is_integer());
+  EXPECT_EQ(Rational(4, 2).to_integer(), 2);
+  EXPECT_FALSE(Rational(3, 2).is_integer());
+  EXPECT_THROW((void)Rational(3, 2).to_integer(), Error);
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(Rational, ReciprocalOfZeroThrows) {
+  EXPECT_THROW((void)Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediates.
+  Rational big(Int{1} << 40, 3);
+  Rational small(3, Int{1} << 40);
+  EXPECT_EQ(big * small, Rational(1));
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational huge(std::numeric_limits<Int>::max());
+  try {
+    Rational r = huge * huge;
+    FAIL() << "expected overflow, got " << r.to_string();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Overflow);
+  }
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+class RationalFieldAxioms : public ::testing::TestWithParam<std::pair<Int, Int>> {};
+
+TEST_P(RationalFieldAxioms, AddMulConsistency) {
+  auto [p, q] = GetParam();
+  Rational a(p, q);
+  Rational b(q, p == 0 ? 1 : p);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a + Rational(0), a);
+  EXPECT_EQ(a * Rational(1), a);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a / a, Rational(1));
+  }
+  EXPECT_EQ((a + b) * Rational(2), a * 2 + b * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalFieldAxioms,
+                         ::testing::Values(std::pair<Int, Int>{0, 1},
+                                           std::pair<Int, Int>{3, 7},
+                                           std::pair<Int, Int>{-4, 6},
+                                           std::pair<Int, Int>{12, -8},
+                                           std::pair<Int, Int>{-5, -15}));
+
+}  // namespace
+}  // namespace systolize

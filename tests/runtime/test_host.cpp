@@ -1,0 +1,85 @@
+#include "runtime/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(IndexedStore, GetSetDefaultsToZero) {
+  IndexedStore store;
+  EXPECT_EQ(store.get("a", IntVec{1, 2}), 0);
+  store.set("a", IntVec{1, 2}, 42);
+  EXPECT_EQ(store.get("a", IntVec{1, 2}), 42);
+  EXPECT_EQ(store.get("a", IntVec{2, 1}), 0);
+  EXPECT_FALSE(store.has("b"));
+  EXPECT_TRUE(store.has("a"));
+  EXPECT_THROW((void)store.elements("b"), Error);
+}
+
+TEST(IndexedStore, DomainEnumeratesVariableSpace) {
+  Design d = polyprod_design1();
+  Env env{{"n", Rational(2)}};
+  auto dom = IndexedStore::domain(d.nest.stream("c"), env);
+  ASSERT_EQ(dom.size(), 5u);  // 0 .. 2n
+  EXPECT_EQ(dom.front(), (IntVec{0}));
+  EXPECT_EQ(dom.back(), (IntVec{4}));
+
+  Design m = matmul_design1();
+  auto dom2 = IndexedStore::domain(m.nest.stream("a"), env);
+  EXPECT_EQ(dom2.size(), 9u);  // (n+1)^2
+}
+
+TEST(IndexedStore, FillCoversDomain) {
+  Design d = matmul_design1();
+  Env env{{"n", Rational(2)}};
+  IndexedStore store;
+  store.fill(d.nest.stream("a"), env,
+             [](const IntVec& p) { return 10 * p[0] + p[1]; });
+  EXPECT_EQ(store.elements("a").size(), 9u);
+  EXPECT_EQ(store.get("a", IntVec{2, 1}), 21);
+}
+
+TEST(Sequential, PolynomialProductGroundTruth) {
+  // (1 + x)^2 = 1 + 2x + x^2.
+  Design d = polyprod_design1();
+  Env env{{"n", Rational(1)}};
+  IndexedStore store;
+  store.fill(d.nest.stream("a"), env, [](const IntVec&) { return 1; });
+  store.fill(d.nest.stream("b"), env, [](const IntVec&) { return 1; });
+  store.fill(d.nest.stream("c"), env, [](const IntVec&) { return 0; });
+  run_sequential(d.nest, env, store);
+  EXPECT_EQ(store.get("c", IntVec{0}), 1);
+  EXPECT_EQ(store.get("c", IntVec{1}), 2);
+  EXPECT_EQ(store.get("c", IntVec{2}), 1);
+}
+
+TEST(Sequential, MatrixProductGroundTruth) {
+  // Identity times B equals B.
+  Design d = matmul_design1();
+  Env env{{"n", Rational(2)}};
+  IndexedStore store;
+  store.fill(d.nest.stream("a"), env,
+             [](const IntVec& p) { return p[0] == p[1] ? 1 : 0; });
+  store.fill(d.nest.stream("b"), env,
+             [](const IntVec& p) { return 3 * p[0] + p[1] + 1; });
+  store.fill(d.nest.stream("c"), env, [](const IntVec&) { return 0; });
+  run_sequential(d.nest, env, store);
+  EXPECT_EQ(store.elements("c"), store.elements("b"));
+}
+
+TEST(Sequential, MakeInitialStoreZeroesUpdateStreams) {
+  Design d = polyprod_design1();
+  Env env{{"n", Rational(2)}};
+  IndexedStore store = make_initial_store(
+      d.nest, env, [](const std::string&, const IntVec&) { return 7; });
+  EXPECT_EQ(store.get("a", IntVec{0}), 7);
+  EXPECT_EQ(store.get("c", IntVec{0}), 0);
+  EXPECT_EQ(store.elements("c").size(), 5u);
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,77 @@
+#include "scheme_test_util.hpp"
+
+namespace systolize::testutil {
+
+Env with_coords(const Env& sizes, const std::vector<Symbol>& coords,
+                const IntVec& y) {
+  Env env = sizes;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    env[coords[i].name()] = Rational(y[i]);
+  }
+  return env;
+}
+
+void check_against_oracle(const CompiledProgram& compiled,
+                          const LoopNest& nest, const ArraySpec& spec,
+                          const Env& sizes) {
+  EnumerationOracle oracle(nest, spec, sizes);
+
+  // Process space basis.
+  ASSERT_EQ(compiled.ps.min.evaluate(sizes), oracle.ps_min());
+  ASSERT_EQ(compiled.ps.max.evaluate(sizes), oracle.ps_max());
+  ASSERT_EQ(compiled.repeater.increment, oracle.increment());
+
+  for (const IntVec& y : oracle.ps_points()) {
+    Env env = with_coords(sizes, compiled.coords, y);
+    const std::string at = " at y=" + y.to_string();
+
+    // Computation space membership and chords.
+    if (oracle.in_computation_space(y)) {
+      const auto& chord = oracle.chord_at(y);
+      EXPECT_EQ(eval_point(compiled.repeater.first, env, "first" + at),
+                chord.first)
+          << "first" << at;
+      EXPECT_EQ(eval_point(compiled.repeater.last, env, "last" + at),
+                chord.last)
+          << "last" << at;
+      EXPECT_EQ(eval_expr(compiled.repeater.count, env, "count" + at),
+                chord.count)
+          << "count" << at;
+    } else {
+      EXPECT_FALSE(compiled.repeater.first.covers(env))
+          << "first should be null (buffer point)" << at;
+    }
+
+    for (const StreamPlan& plan : compiled.streams) {
+      ASSERT_EQ(plan.io.increment_s, oracle.increment_s(plan.name))
+          << plan.name;
+      auto pipe = oracle.pipe_at(plan.name, y);
+      const std::string what = plan.name + at;
+      if (pipe.has_value()) {
+        EXPECT_EQ(eval_point(plan.io.first_s, env, "first_s " + what),
+                  pipe->first_s())
+            << "first_s " << what;
+        EXPECT_EQ(eval_point(plan.io.last_s, env, "last_s " + what),
+                  pipe->last_s())
+            << "last_s " << what;
+        EXPECT_EQ(eval_expr(plan.io.count_s, env, "count_s " + what),
+                  pipe->count())
+            << "count_s " << what;
+      } else {
+        EXPECT_FALSE(plan.io.first_s.covers(env))
+            << "first_s should be null (empty pipe) for " << what;
+      }
+
+      if (oracle.in_computation_space(y)) {
+        EXPECT_EQ(eval_expr(plan.soak, env, "soak " + what),
+                  oracle.soak_at(plan.name, y))
+            << "soak " << what;
+        EXPECT_EQ(eval_expr(plan.drain, env, "drain " + what),
+                  oracle.drain_at(plan.name, y))
+            << "drain " << what;
+      }
+    }
+  }
+}
+
+}  // namespace systolize::testutil

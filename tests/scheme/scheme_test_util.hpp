@@ -1,0 +1,54 @@
+// Shared helpers for checking the symbolic scheme against the paper's
+// appendix formulas and against the enumeration oracle.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "baseline/runtime_generation.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize::testutil {
+
+/// Environment binding problem size n and a 1-D process coordinate.
+inline Env env1(Int n, Int col) {
+  return Env{{"n", Rational(n)}, {"col", Rational(col)}};
+}
+
+/// Environment binding problem size n and 2-D process coordinates.
+inline Env env2(Int n, Int col, Int row) {
+  return Env{{"n", Rational(n)},
+             {"col", Rational(col)},
+             {"row", Rational(row)}};
+}
+
+/// Evaluate a piecewise point; fails the test if no guard covers env.
+inline IntVec eval_point(const Piecewise<AffinePoint>& pw, const Env& env,
+                         const std::string& what) {
+  const AffinePoint* v = pw.select(env);
+  EXPECT_NE(v, nullptr) << what << ": no clause covers the environment";
+  if (v == nullptr) return IntVec{};
+  return v->evaluate(env);
+}
+
+/// Evaluate a piecewise expression; fails the test if uncovered.
+inline Int eval_expr(const Piecewise<AffineExpr>& pw, const Env& env,
+                     const std::string& what) {
+  const AffineExpr* v = pw.select(env);
+  EXPECT_NE(v, nullptr) << what << ": no clause covers the environment";
+  if (v == nullptr) return 0;
+  return v->evaluate(env).to_integer();
+}
+
+/// Check the whole compiled program against the enumeration oracle at one
+/// problem size: PS basis, chords (first/last/count), io repeaters
+/// (first_s/last_s/count_s per pipe) and soak/drain at every process.
+void check_against_oracle(const CompiledProgram& compiled,
+                          const LoopNest& nest, const ArraySpec& spec,
+                          const Env& sizes);
+
+/// Bind process coordinates on top of a size-only environment.
+[[nodiscard]] Env with_coords(const Env& sizes,
+                              const std::vector<Symbol>& coords,
+                              const IntVec& y);
+
+}  // namespace systolize::testutil

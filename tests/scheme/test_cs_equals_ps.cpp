@@ -1,0 +1,47 @@
+// Exact CS == PS decision (Sect. 7.6: buffer processes exist only for the
+// points of PS \ CS), verified against brute-force coverage for every
+// catalog design.
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme/first_last.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(CsEqualsPs, MatchesBruteForceForAllDesigns) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    bool symbolic = cs_equals_ps(prog.repeater, prog.assumptions);
+    bool brute = true;
+    for (Int n = 1; n <= 4 && brute; ++n) {
+      Env sizes{{"n", Rational(n)}, {"m", Rational(2)}};
+      EnumerationOracle oracle(d.nest, d.spec, sizes);
+      for (const IntVec& y : oracle.ps_points()) {
+        if (!oracle.in_computation_space(y)) brute = false;
+      }
+    }
+    EXPECT_EQ(symbolic, brute) << d.description;
+  }
+}
+
+TEST(CsEqualsPs, PaperCases) {
+  // D.2 has guarded clauses yet tiles the whole array: CS == PS.
+  Design d2 = polyprod_design2();
+  CompiledProgram p2 = compile(d2.nest, d2.spec);
+  EXPECT_TRUE(cs_equals_ps(p2.repeater, p2.assumptions));
+
+  // E.2's corners are outside CS.
+  Design e2 = matmul_design2();
+  CompiledProgram pe = compile(e2.nest, e2.spec);
+  EXPECT_FALSE(cs_equals_ps(pe.repeater, pe.assumptions));
+
+  // Simple place functions trivially tile (Sect. 7.2.3).
+  Design d1 = polyprod_design1();
+  CompiledProgram p1 = compile(d1.nest, d1.spec);
+  EXPECT_TRUE(cs_equals_ps(p1.repeater, p1.assumptions));
+}
+
+}  // namespace
+}  // namespace systolize

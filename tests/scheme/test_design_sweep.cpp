@@ -1,0 +1,150 @@
+// Exhaustive sweep over small-coefficient systolic arrays: for the
+// polynomial-product and matrix-product source programs, every (step,
+// place) pair in a bounded coefficient space that passes validation is
+// compiled, cross-checked against the enumeration oracle, and executed
+// against the sequential ground truth. This probes the scheme far beyond
+// the paper's hand-picked designs.
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/increment.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+/// Try to complete a spec with loading & recovery vectors for its
+/// stationary streams; nullopt when no neighbour vector works.
+std::optional<ArraySpec> complete_spec(const LoopNest& nest,
+                                       StepFunction step,
+                                       PlaceFunction place) {
+  // Candidate loading vectors: unit and diagonal neighbour vectors.
+  std::vector<IntVec> candidates;
+  const std::size_t d = place.space_dim();
+  if (d == 1) {
+    candidates = {IntVec{1}, IntVec{-1}};
+  } else {
+    candidates = {IntVec{1, 0}, IntVec{0, 1}, IntVec{1, 1},
+                  IntVec{-1, 0}, IntVec{0, -1}};
+  }
+  std::map<std::string, IntVec> loading;
+  for (const Stream& s : nest.streams()) {
+    RatVec flow;
+    try {
+      flow = compute_flow(s, step, place);
+    } catch (const Error&) {
+      return std::nullopt;  // step inconsistent with this stream
+    }
+    if (flow.is_zero()) loading[s.name()] = candidates.front();
+  }
+  ArraySpec spec(std::move(step), std::move(place), std::move(loading));
+  try {
+    validate_array(nest, spec);
+    (void)derive_increment(spec.step(), spec.place());
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+/// Returns false when the design falls outside the scheme's stated scope
+/// (the compile step raises Unsupported — e.g. non-integer face solutions
+/// or strided pipelines, both Sect.-8 future work).
+bool check_design(const LoopNest& nest, const ArraySpec& spec,
+                  const Env& sizes, const std::string& label) {
+  CompiledProgram prog = [&] {
+    try {
+      return compile(nest, spec);
+    } catch (const Error& e) {
+      if (e.kind() == ErrorKind::Unsupported) return CompiledProgram{};
+      throw;
+    }
+  }();
+  if (prog.depth == 0) return false;  // out of scope
+  testutil::check_against_oracle(prog, nest, spec, sizes);
+
+  IndexedStore expected = make_initial_store(
+      nest, sizes, [](const std::string& var, const IntVec& p) {
+        Value h = var.empty() ? 1 : var[0] * 7;
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 13 + p[i] + 5;
+        return h % 11 - 5;
+      });
+  IndexedStore actual = expected;
+  run_sequential(nest, sizes, expected);
+  (void)execute(prog, nest, sizes, actual);
+  for (const Stream& s : nest.streams()) {
+    EXPECT_EQ(actual.elements(s.name()), expected.elements(s.name()))
+        << label << " stream " << s.name();
+  }
+  return true;
+}
+
+TEST(DesignSweep, AllValidTwoLoopArrays) {
+  LoopNest nest = polyprod_design1().nest;
+  int valid = 0;
+  for (Int p0 = -2; p0 <= 2; ++p0) {
+    for (Int p1 = -2; p1 <= 2; ++p1) {
+      if (p0 == 0 && p1 == 0) continue;
+      for (Int s0 = -2; s0 <= 2; ++s0) {
+        for (Int s1 = -2; s1 <= 2; ++s1) {
+          if (s0 == 0 && s1 == 0) continue;
+          auto spec = complete_spec(nest, StepFunction(IntVec{s0, s1}),
+                                    PlaceFunction(IntMatrix{{p0, p1}}));
+          if (!spec.has_value()) continue;
+          std::string label = "place(" + std::to_string(p0) + "," +
+                              std::to_string(p1) + ") step(" +
+                              std::to_string(s0) + "," +
+                              std::to_string(s1) + ")";
+          SCOPED_TRACE(label);
+          if (check_design(nest, *spec, Env{{"n", Rational(3)}}, label)) {
+            ++valid;
+          }
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+  // The sweep must have exercised a healthy population, including the
+  // paper's own two designs.
+  EXPECT_GE(valid, 20) << "sweep unexpectedly sparse";
+}
+
+TEST(DesignSweep, SampledThreeLoopArrays) {
+  LoopNest nest = matmul_design1().nest;
+  int valid = 0;
+  const std::vector<IntVec> steps = {IntVec{1, 1, 1}, IntVec{1, 2, 1},
+                                     IntVec{2, 1, 1}};
+  for (const IntVec& st : steps) {
+    for (Int a0 = -1; a0 <= 1; ++a0) {
+      for (Int a1 = -1; a1 <= 1; ++a1) {
+        for (Int a2 = -1; a2 <= 1; ++a2) {
+          for (Int b0 = -1; b0 <= 1; ++b0) {
+            for (Int b1 = -1; b1 <= 1; ++b1) {
+              for (Int b2 = -1; b2 <= 1; ++b2) {
+                IntMatrix place{{a0, a1, a2}, {b0, b1, b2}};
+                if (place.rank() != 2) continue;
+                auto spec = complete_spec(nest, StepFunction(st),
+                                          PlaceFunction(place));
+                if (!spec.has_value()) continue;
+                std::string label =
+                    "place" + place.to_string() + " step" + st.to_string();
+                SCOPED_TRACE(label);
+                if (check_design(nest, *spec, Env{{"n", Rational(2)}},
+                                 label)) {
+                  ++valid;
+                }
+                if (HasFatalFailure()) return;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(valid, 30) << "sweep unexpectedly sparse";
+}
+
+}  // namespace
+}  // namespace systolize

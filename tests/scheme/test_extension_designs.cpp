@@ -1,0 +1,112 @@
+// The catalog designs beyond the paper's appendices, checked against the
+// enumeration oracle, plus cross-design invariance properties.
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(Matmul3, StationaryAWithVerticalLoading) {
+  Design d = matmul_design3();
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_TRUE(prog.stream_plan("a").motion.stationary);
+  EXPECT_EQ(prog.stream_plan("a").motion.direction, (IntVec{0, 1}));
+  EXPECT_EQ(prog.stream_plan("b").motion.flow,
+            (RatVec{Rational(1), Rational(0)}));
+  EXPECT_EQ(prog.stream_plan("c").motion.flow,
+            (RatVec{Rational(0), Rational(1)}));
+  EXPECT_EQ(prog.repeater.increment, (IntVec{0, 1, 0}));
+  for (Int n = 1; n <= 3; ++n) {
+    testutil::check_against_oracle(prog, d.nest, d.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+TEST(Convolution, CounterFlowingStreams) {
+  Design d = convolution_design();
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.stream_plan("w").motion.flow, (RatVec{Rational(1)}));
+  EXPECT_EQ(prog.stream_plan("x").motion.flow, (RatVec{Rational(-1)}));
+  EXPECT_TRUE(prog.stream_plan("y").motion.stationary);
+  // x enters at the max boundary (negative flow).
+  const auto& x_sets = prog.stream_plan("x").io_sets;
+  ASSERT_EQ(x_sets.size(), 2u);
+  EXPECT_TRUE(x_sets[0].is_input);
+  EXPECT_FALSE(x_sets[0].at_min);
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int m = 1; m <= 3; ++m) {
+      testutil::check_against_oracle(
+          prog, d.nest, d.spec, Env{{"n", Rational(n)}, {"m", Rational(m)}});
+    }
+  }
+}
+
+TEST(Correlation, FlowOneThirdNeedsTwoBuffersPerHop) {
+  Design d = correlation_design();
+  CompiledProgram prog = compile(d.nest, d.spec);
+  EXPECT_EQ(prog.stream_plan("c").motion.flow, (RatVec{Rational(1, 3)}));
+  EXPECT_EQ(prog.stream_plan("c").motion.denominator, 3);
+  EXPECT_EQ(prog.stream_plan("b").motion.flow, (RatVec{Rational(1)}));
+  EXPECT_EQ(prog.stream_plan("a").motion.stationary, true);
+  for (Int n = 1; n <= 4; ++n) {
+    testutil::check_against_oracle(prog, d.nest, d.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+TEST(AllDesigns, StatementClauseChoiceNeverChangesIoEndpoints) {
+  // Sect. 7.4: "any statement can be used" as x in Equations (6)/(7).
+  for (const Design& d : all_designs()) {
+    CompiledProgram base = compile(d.nest, d.spec);
+    for (std::size_t clause = 1; clause < base.repeater.first.size();
+         ++clause) {
+      CompileOptions opt;
+      opt.statement_clause = clause;
+      CompiledProgram alt = compile(d.nest, d.spec, opt);
+      Env sizes{{"n", Rational(3)}, {"m", Rational(2)}};
+      EnumerationOracle oracle(d.nest, d.spec, sizes);
+      for (const IntVec& y : oracle.ps_points()) {
+        Env env = testutil::with_coords(sizes, base.coords, y);
+        for (const StreamPlan& plan : base.streams) {
+          const AffinePoint* v0 = plan.io.first_s.select(env);
+          const AffinePoint* v1 =
+              alt.stream_plan(plan.name).io.first_s.select(env);
+          ASSERT_EQ(v0 == nullptr, v1 == nullptr)
+              << d.description << " " << plan.name << " at " << y.to_string();
+          if (v0 != nullptr) {
+            EXPECT_EQ(v0->evaluate(env), v1->evaluate(env))
+                << d.description << " " << plan.name << " at "
+                << y.to_string();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AllDesigns, OverlappingClausesAgreeOnValues) {
+  // The paper notes (D.2.2) that guard overlaps happen only where the
+  // projected points lie on several faces and the expressions then agree.
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    Env sizes{{"n", Rational(3)}, {"m", Rational(2)}};
+    EnumerationOracle oracle(d.nest, d.spec, sizes);
+    for (const IntVec& y : oracle.ps_points()) {
+      Env env = testutil::with_coords(sizes, prog.coords, y);
+      const AffinePoint* seen = nullptr;
+      for (const auto& piece : prog.repeater.first.pieces()) {
+        if (!piece.guard.holds(env)) continue;
+        if (seen != nullptr) {
+          EXPECT_EQ(seen->evaluate(env), piece.value.evaluate(env))
+              << d.description << " at " << y.to_string();
+        }
+        seen = &piece.value;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace systolize

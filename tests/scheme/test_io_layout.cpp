@@ -1,0 +1,120 @@
+// Sect. 7.3 — Equation (5) and duplicate removal, checked directly and
+// for geometric consistency: the union of a stream's input boundary
+// points must be exactly the set of upstream pipe anchors in the PS box,
+// with no point covered twice.
+#include "scheme/io_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/runtime_generation.hpp"
+#include "designs/catalog.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+bool in_box(const IntVec& y, const IntVec& lo, const IntVec& hi) {
+  for (std::size_t i = 0; i < y.dim(); ++i) {
+    if (y[i] < lo[i] || y[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+TEST(IoLayout, SingleDimensionSets) {
+  StreamMotion motion;
+  motion.flow = RatVec{Rational(0), Rational(1)};
+  motion.direction = IntVec{0, 1};
+  motion.denominator = 1;
+  auto sets = derive_io_sets("a", motion);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].dim, 1u);
+  EXPECT_TRUE(sets[0].is_input);
+  EXPECT_TRUE(sets[0].at_min);   // positive component: enter at min
+  EXPECT_FALSE(sets[1].at_min);  // leave at max
+}
+
+TEST(IoLayout, NegativeDiagonalSets) {
+  StreamMotion motion;
+  motion.flow = RatVec{Rational(-1), Rational(-1)};
+  motion.direction = IntVec{-1, -1};
+  motion.denominator = 1;
+  auto sets = derive_io_sets("c", motion);
+  ASSERT_EQ(sets.size(), 4u);
+  // dim 0 first, inputs at the max side.
+  EXPECT_TRUE(sets[0].is_input);
+  EXPECT_FALSE(sets[0].at_min);
+  EXPECT_TRUE(sets[1].at_min);  // output at min
+  // The dim-1 sets exclude the dim-0 same-role corner.
+  EXPECT_EQ(sets[2].excluded.size(), 1u);
+  EXPECT_EQ(sets[2].excluded[0], (BoundaryRef{0, false}));
+  EXPECT_EQ(sets[3].excluded[0], (BoundaryRef{0, true}));
+}
+
+TEST(IoLayout, ZeroDirectionRejected) {
+  StreamMotion motion;
+  motion.direction = IntVec{0, 0};
+  EXPECT_THROW((void)derive_io_sets("x", motion), Error);
+}
+
+TEST(IoLayout, EnumerationRespectsExclusions) {
+  // 2-D box [-2..2]^2, set along dim 1 at max, excluding dim 0 max.
+  IoProcessSet set;
+  set.dim = 1;
+  set.at_min = false;
+  set.is_input = true;
+  set.excluded = {BoundaryRef{0, false}};
+  auto points = enumerate_io_points(set, IntVec{-2, -2}, IntVec{2, 2});
+  ASSERT_EQ(points.size(), 4u);  // 5 boundary points minus the corner (2,2)
+  for (const IntVec& p : points) {
+    EXPECT_EQ(p[1], 2);
+    EXPECT_NE(p[0], 2);
+  }
+}
+
+class IoLayoutGeometry : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IoLayoutGeometry, InputPointsAreExactlyThePipeAnchors) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(4)}, {"m", Rational(2)}};
+  IntVec lo = prog.ps.min.evaluate(sizes);
+  IntVec hi = prog.ps.max.evaluate(sizes);
+  EnumerationOracle oracle(design.nest, design.spec, sizes);
+
+  for (const StreamPlan& plan : prog.streams) {
+    const IntVec& dir = plan.motion.direction;
+    // Expected anchors: box points whose upstream neighbour leaves the box.
+    std::set<std::vector<Int>> anchors;
+    for (const IntVec& y : oracle.ps_points()) {
+      if (!in_box(y - dir, lo, hi)) anchors.insert(y.comps());
+    }
+    // Collected input points, checking disjointness across sets.
+    std::set<std::vector<Int>> inputs;
+    std::set<std::vector<Int>> outputs;
+    for (const IoProcessSet& set : plan.io_sets) {
+      for (const IntVec& p : enumerate_io_points(set, lo, hi)) {
+        auto& target = set.is_input ? inputs : outputs;
+        EXPECT_TRUE(target.insert(p.comps()).second)
+            << plan.name << ": duplicate i/o process at " << p.to_string();
+      }
+    }
+    EXPECT_EQ(inputs, anchors) << plan.name << " (" << GetParam() << ")";
+    // Output points mirror the anchors downstream.
+    std::set<std::vector<Int>> ends;
+    for (const IntVec& y : oracle.ps_points()) {
+      if (!in_box(y + dir, lo, hi)) ends.insert(y.comps());
+    }
+    EXPECT_EQ(outputs, ends) << plan.name << " (" << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, IoLayoutGeometry,
+                         ::testing::Values("polyprod1", "polyprod2",
+                                           "polyprod3", "matmul1", "matmul2",
+                                           "matmul3", "matmul4",
+                                           "convolution", "correlation"));
+
+}  // namespace
+}  // namespace systolize

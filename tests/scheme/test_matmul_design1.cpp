@@ -1,0 +1,144 @@
+// Appendix E.1 — matrix product with place.(i,j,k) = (i,j) (simple).
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+using testutil::env2;
+using testutil::eval_expr;
+using testutil::eval_point;
+
+class MatmulE1 : public ::testing::Test {
+ protected:
+  Design design = matmul_design1();
+  CompiledProgram prog = compile(design.nest, design.spec);
+};
+
+TEST_F(MatmulE1, ProcessSpaceBasis) {
+  // E.1.1: PS_min = (0,0), PS_max = (n,n).
+  for (Int n = 1; n <= 5; ++n) {
+    Env env{{"n", Rational(n)}};
+    EXPECT_EQ(prog.ps.min.evaluate(env), (IntVec{0, 0}));
+    EXPECT_EQ(prog.ps.max.evaluate(env), (IntVec{n, n}));
+  }
+}
+
+TEST_F(MatmulE1, IncrementAndSimplicity) {
+  // E.1.2: increment = (0,0,1); simple place (parallelized inner loop).
+  EXPECT_EQ(prog.repeater.increment, (IntVec{0, 0, 1}));
+  EXPECT_TRUE(prog.repeater.simple_place);
+  EXPECT_EQ(prog.repeater.first.size(), 1u);
+  EXPECT_TRUE(prog.repeater.first.pieces()[0].guard.is_trivially_true());
+}
+
+TEST_F(MatmulE1, FirstLastCount) {
+  // E.1.2: first = (col,row,0), last = (col,row,n), count = n+1.
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      for (Int row = 0; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        EXPECT_EQ(eval_point(prog.repeater.first, env, "first"),
+                  (IntVec{col, row, 0}));
+        EXPECT_EQ(eval_point(prog.repeater.last, env, "last"),
+                  (IntVec{col, row, n}));
+        EXPECT_EQ(eval_expr(prog.repeater.count, env, "count"), n + 1);
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE1, Flows) {
+  // E.1.3: flow.a = (0,1), flow.b = (1,0), flow.c = (0,0) with loading &
+  // recovery vector (1,0).
+  EXPECT_EQ(prog.stream_plan("a").motion.flow,
+            (RatVec{Rational(0), Rational(1)}));
+  EXPECT_EQ(prog.stream_plan("b").motion.flow,
+            (RatVec{Rational(1), Rational(0)}));
+  EXPECT_TRUE(prog.stream_plan("c").motion.stationary);
+  EXPECT_EQ(prog.stream_plan("c").motion.direction, (IntVec{1, 0}));
+}
+
+TEST_F(MatmulE1, IoLayout) {
+  // E.1.3: a's i/o processes lie on the horizontal boundaries (dimension
+  // 1), b's and c's on the vertical ones (dimension 0).
+  const auto& a_sets = prog.stream_plan("a").io_sets;
+  ASSERT_EQ(a_sets.size(), 2u);
+  EXPECT_EQ(a_sets[0].dim, 1u);
+  EXPECT_TRUE(a_sets[0].is_input);
+  EXPECT_TRUE(a_sets[0].at_min);
+
+  const auto& b_sets = prog.stream_plan("b").io_sets;
+  ASSERT_EQ(b_sets.size(), 2u);
+  EXPECT_EQ(b_sets[0].dim, 0u);
+
+  const auto& c_sets = prog.stream_plan("c").io_sets;
+  ASSERT_EQ(c_sets.size(), 2u);
+  EXPECT_EQ(c_sets[0].dim, 0u);
+}
+
+TEST_F(MatmulE1, IoRepeaters) {
+  // E.1.4 summary table: increment_a = (0,1), increment_b = (1,0),
+  // increment_c = (1,0); first_a = (col,0), last_a = (col,n);
+  // first_b = first_c = (0,row), last_b = last_c = (n,row).
+  EXPECT_EQ(prog.stream_plan("a").io.increment_s, (IntVec{0, 1}));
+  EXPECT_EQ(prog.stream_plan("b").io.increment_s, (IntVec{1, 0}));
+  EXPECT_EQ(prog.stream_plan("c").io.increment_s, (IntVec{1, 0}));
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      for (Int row = 0; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        EXPECT_EQ(eval_point(prog.stream_plan("a").io.first_s, env, "first_a"),
+                  (IntVec{col, 0}));
+        EXPECT_EQ(eval_point(prog.stream_plan("a").io.last_s, env, "last_a"),
+                  (IntVec{col, n}));
+        EXPECT_EQ(eval_point(prog.stream_plan("b").io.first_s, env, "first_b"),
+                  (IntVec{0, row}));
+        EXPECT_EQ(eval_point(prog.stream_plan("b").io.last_s, env, "last_b"),
+                  (IntVec{n, row}));
+        EXPECT_EQ(eval_point(prog.stream_plan("c").io.first_s, env, "first_c"),
+                  (IntVec{0, row}));
+        EXPECT_EQ(eval_point(prog.stream_plan("c").io.last_s, env, "last_c"),
+                  (IntVec{n, row}));
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE1, SoakAndDrain) {
+  // E.1.5: no soaking or draining for a and b; c loads with n-col passes
+  // (drain_c) and recovers with col passes (soak_c).
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      for (Int row = 0; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        EXPECT_EQ(eval_expr(prog.stream_plan("a").soak, env, "soak_a"), 0);
+        EXPECT_EQ(eval_expr(prog.stream_plan("a").drain, env, "drain_a"), 0);
+        EXPECT_EQ(eval_expr(prog.stream_plan("b").soak, env, "soak_b"), 0);
+        EXPECT_EQ(eval_expr(prog.stream_plan("b").drain, env, "drain_b"), 0);
+        EXPECT_EQ(eval_expr(prog.stream_plan("c").soak, env, "soak_c"), col);
+        EXPECT_EQ(eval_expr(prog.stream_plan("c").drain, env, "drain_c"),
+                  n - col);
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE1, NoBuffersNeeded) {
+  // E.1.6: no fractional flow and CS == PS, so no buffers of either kind.
+  for (const StreamPlan& plan : prog.streams) {
+    EXPECT_EQ(plan.motion.denominator, 1) << plan.name;
+  }
+}
+
+TEST_F(MatmulE1, MatchesOracle) {
+  for (Int n = 1; n <= 4; ++n) {
+    testutil::check_against_oracle(prog, design.nest, design.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,213 @@
+// Appendix E.2 — matrix product with place.(i,j,k) = (i-k, j-k): the
+// Kung-Leiserson array. PS != CS, so buffer processes appear, and every
+// derived quantity is piecewise.
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme/buffers.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+using testutil::env2;
+using testutil::eval_expr;
+using testutil::eval_point;
+
+class MatmulE2 : public ::testing::Test {
+ protected:
+  Design design = matmul_design2();
+  CompiledProgram prog = compile(design.nest, design.spec);
+};
+
+TEST_F(MatmulE2, ProcessSpaceBasis) {
+  // E.2.1: PS_min = (-n,-n), PS_max = (n,n).
+  for (Int n = 1; n <= 5; ++n) {
+    Env env{{"n", Rational(n)}};
+    EXPECT_EQ(prog.ps.min.evaluate(env), (IntVec{-n, -n}));
+    EXPECT_EQ(prog.ps.max.evaluate(env), (IntVec{n, n}));
+  }
+}
+
+TEST_F(MatmulE2, Increment) {
+  // E.2.2: increment = (1,1,1); three faces, three clauses.
+  EXPECT_EQ(prog.repeater.increment, (IntVec{1, 1, 1}));
+  EXPECT_FALSE(prog.repeater.simple_place);
+  EXPECT_EQ(prog.repeater.first.size(), 3u);
+  EXPECT_EQ(prog.repeater.last.size(), 3u);
+}
+
+// Paper closed forms for first (E.2.2).
+IntVec expected_first(Int n, Int col, Int row) {
+  if (0 <= row - col && row - col <= n && 0 <= -col && -col <= n) {
+    return IntVec{0, row - col, -col};
+  }
+  if (0 <= col - row && col - row <= n && 0 <= -row && -row <= n) {
+    return IntVec{col - row, 0, -row};
+  }
+  return IntVec{col, row, 0};  // 0 <= col,row <= n
+}
+
+// Paper closed forms for last (E.2.2).
+IntVec expected_last(Int n, Int col, Int row) {
+  if (0 <= col - row && col - row <= n && 0 <= col && col <= n) {
+    return IntVec{n, row - col + n, -col + n};
+  }
+  if (0 <= row - col && row - col <= n && 0 <= row && row <= n) {
+    return IntVec{col - row + n, n, -row + n};
+  }
+  return IntVec{col + n, row + n, n};  // -n <= col,row <= 0
+}
+
+bool in_cs(Int n, Int col, Int row) {
+  // A process is in CS iff some clause of `first` covers it.
+  return (0 <= row - col && row - col <= n && 0 <= -col && -col <= n) ||
+         (0 <= col - row && col - row <= n && 0 <= -row && -row <= n) ||
+         (0 <= col && col <= n && 0 <= row && row <= n);
+}
+
+TEST_F(MatmulE2, FirstLastOverWholeProcessSpace) {
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = -n; col <= n; ++col) {
+      for (Int row = -n; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        if (!in_cs(n, col, row)) {
+          EXPECT_FALSE(prog.repeater.first.covers(env))
+              << "expected null process at (" << col << "," << row << ")";
+          EXPECT_TRUE(is_external_buffer_point(prog.repeater, env));
+          continue;
+        }
+        EXPECT_EQ(eval_point(prog.repeater.first, env, "first"),
+                  expected_first(n, col, row))
+            << "n=" << n << " (" << col << "," << row << ")";
+        EXPECT_EQ(eval_point(prog.repeater.last, env, "last"),
+                  expected_last(n, col, row))
+            << "n=" << n << " (" << col << "," << row << ")";
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE2, Flows) {
+  // E.2.3: flow.a = (0,1), flow.b = (1,0), flow.c = (-1,-1).
+  EXPECT_EQ(prog.stream_plan("a").motion.flow,
+            (RatVec{Rational(0), Rational(1)}));
+  EXPECT_EQ(prog.stream_plan("b").motion.flow,
+            (RatVec{Rational(1), Rational(0)}));
+  EXPECT_EQ(prog.stream_plan("c").motion.flow,
+            (RatVec{Rational(-1), Rational(-1)}));
+  EXPECT_FALSE(prog.stream_plan("c").motion.stationary);
+}
+
+TEST_F(MatmulE2, CStreamHasTwoIoSetsWithDedup) {
+  // E.2.3: two non-zero flow components for c give two boundary sets; the
+  // second set omits the corners already covered by the first.
+  const auto& sets = prog.stream_plan("c").io_sets;
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0].dim, 0u);
+  EXPECT_TRUE(sets[0].is_input);
+  EXPECT_FALSE(sets[0].at_min);  // negative flow: input at the max side
+  EXPECT_TRUE(sets[0].excluded.empty());
+  EXPECT_EQ(sets[2].dim, 1u);
+  ASSERT_EQ(sets[2].excluded.size(), 1u);
+  EXPECT_EQ(sets[2].excluded[0], (BoundaryRef{0, false}));
+}
+
+TEST_F(MatmulE2, IoIncrements) {
+  // E.2.4: applying the index maps to increment yields (1,1) for all three.
+  for (const std::string s : {"a", "b", "c"}) {
+    EXPECT_EQ(prog.stream_plan(s).io.increment_s, (IntVec{1, 1})) << s;
+  }
+}
+
+TEST_F(MatmulE2, IoEndpointsMatchPaper) {
+  // E.2.4 closed forms (checked semantically over the grid).
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = -n; col <= n; ++col) {
+      for (Int row = -n; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        // first_a: (0,-col) when 0<=-col<=n, (col,0) when 0<=col<=n.
+        IntVec fa = col <= 0 ? IntVec{0, -col} : IntVec{col, 0};
+        EXPECT_EQ(eval_point(prog.stream_plan("a").io.first_s, env, "first_a"),
+                  fa)
+            << "(" << col << "," << row << ") n=" << n;
+        IntVec la = col <= 0 ? IntVec{n + col, n} : IntVec{n, n - col};
+        EXPECT_EQ(eval_point(prog.stream_plan("a").io.last_s, env, "last_a"),
+                  la);
+        IntVec fb = row <= 0 ? IntVec{-row, 0} : IntVec{0, row};
+        EXPECT_EQ(eval_point(prog.stream_plan("b").io.first_s, env, "first_b"),
+                  fb);
+        IntVec lb = row <= 0 ? IntVec{n, n + row} : IntVec{n - row, n};
+        EXPECT_EQ(eval_point(prog.stream_plan("b").io.last_s, env, "last_b"),
+                  lb);
+        // first_c: (0,row-col) when row>=col, (col-row,0) when col>=row —
+        // but only where the pipe is non-empty (|col-row| <= n).
+        if (col - row > n || row - col > n) {
+          EXPECT_FALSE(prog.stream_plan("c").io.first_s.covers(env))
+              << "c pipe should be empty at (" << col << "," << row << ")";
+          continue;
+        }
+        IntVec fc = row >= col ? IntVec{0, row - col} : IntVec{col - row, 0};
+        EXPECT_EQ(eval_point(prog.stream_plan("c").io.first_s, env, "first_c"),
+                  fc)
+            << "(" << col << "," << row << ") n=" << n;
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE2, BufferRegionPassesOnlyAAndB) {
+  // E.2.6/E.2.7: buffers (|col-row| > n) pass n-|col|+1 elements of a and
+  // n-|row|+1 of b, and nothing of c.
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = -n; col <= n; ++col) {
+      for (Int row = -n; row <= n; ++row) {
+        if (col - row <= n && row - col <= n) continue;  // not a buffer
+        Env env = env2(n, col, row);
+        Int pass_a = col <= 0 ? n + col + 1 : n - col + 1;
+        Int pass_b = row <= 0 ? n + row + 1 : n - row + 1;
+        EXPECT_EQ(
+            eval_expr(prog.stream_plan("a").io.count_s, env, "pass_a"),
+            pass_a)
+            << "(" << col << "," << row << ") n=" << n;
+        EXPECT_EQ(
+            eval_expr(prog.stream_plan("b").io.count_s, env, "pass_b"),
+            pass_b)
+            << "(" << col << "," << row << ") n=" << n;
+        EXPECT_FALSE(prog.stream_plan("c").io.count_s.covers(env))
+            << "c should pass nothing through buffers";
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE2, SoakDrainMatchPaperSamples) {
+  // Spot-check E.2.5's hand-derived soak values on the third clause
+  // (0 <= col,row <= n): the consistent sub-alternatives give soak_a = 0,
+  // soak_b = 0 (the first statement already uses the pipe's first
+  // element) and soak_c = min(col,row) (split as col when row >= col,
+  // row otherwise).
+  for (Int n = 2; n <= 4; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      for (Int row = 0; row <= n; ++row) {
+        Env env = env2(n, col, row);
+        EXPECT_EQ(eval_expr(prog.stream_plan("a").soak, env, "soak_a"), 0);
+        EXPECT_EQ(eval_expr(prog.stream_plan("b").soak, env, "soak_b"), 0);
+        Int soak_c = row >= col ? col : row;
+        EXPECT_EQ(eval_expr(prog.stream_plan("c").soak, env, "soak_c"),
+                  soak_c)
+            << "(" << col << "," << row << ") n=" << n;
+      }
+    }
+  }
+}
+
+TEST_F(MatmulE2, MatchesOracle) {
+  for (Int n = 1; n <= 4; ++n) {
+    testutil::check_against_oracle(prog, design.nest, design.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,138 @@
+// Appendix D.1 — polynomial product with place.(i,j) = i. Every derived
+// quantity is checked against the paper's closed forms.
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+using testutil::env1;
+using testutil::eval_expr;
+using testutil::eval_point;
+
+class PolyprodD1 : public ::testing::Test {
+ protected:
+  Design design = polyprod_design1();
+  CompiledProgram prog = compile(design.nest, design.spec);
+};
+
+TEST_F(PolyprodD1, ProcessSpaceBasisIsZeroToN) {
+  // D.1.1: PS_min = 0, PS_max = n.
+  for (Int n = 1; n <= 6; ++n) {
+    Env env{{"n", Rational(n)}};
+    EXPECT_EQ(prog.ps.min.evaluate(env), (IntVec{0}));
+    EXPECT_EQ(prog.ps.max.evaluate(env), (IntVec{n}));
+  }
+}
+
+TEST_F(PolyprodD1, IncrementIsZeroOne) {
+  // D.1.2: increment = (0,1); the place function is simple.
+  EXPECT_EQ(prog.repeater.increment, (IntVec{0, 1}));
+  EXPECT_TRUE(prog.repeater.simple_place);
+}
+
+TEST_F(PolyprodD1, SimplePlaceYieldsSingleUnguardedClause) {
+  // 7.2.3: one expression covers all processes, no guards needed.
+  ASSERT_EQ(prog.repeater.first.size(), 1u);
+  ASSERT_EQ(prog.repeater.last.size(), 1u);
+  EXPECT_TRUE(prog.repeater.first.pieces()[0].guard.is_trivially_true());
+  EXPECT_TRUE(prog.repeater.last.pieces()[0].guard.is_trivially_true());
+}
+
+TEST_F(PolyprodD1, FirstLastCount) {
+  // D.1.2: first = (col,0), last = (col,n), count = n+1.
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      Env env = env1(n, col);
+      EXPECT_EQ(eval_point(prog.repeater.first, env, "first"),
+                (IntVec{col, 0}));
+      EXPECT_EQ(eval_point(prog.repeater.last, env, "last"), (IntVec{col, n}));
+      EXPECT_EQ(eval_expr(prog.repeater.count, env, "count"), n + 1);
+    }
+  }
+}
+
+TEST_F(PolyprodD1, Flows) {
+  // D.1.3: flow.a = 0 (stationary), flow.b = 1/2, flow.c = 1.
+  const StreamPlan& a = prog.stream_plan("a");
+  const StreamPlan& b = prog.stream_plan("b");
+  const StreamPlan& c = prog.stream_plan("c");
+  EXPECT_TRUE(a.motion.stationary);
+  EXPECT_EQ(a.motion.direction, (IntVec{1}));  // loading & recovery vector
+  EXPECT_EQ(b.motion.flow, (RatVec{Rational(1, 2)}));
+  EXPECT_EQ(b.motion.direction, (IntVec{1}));
+  EXPECT_EQ(b.motion.denominator, 2);  // one internal buffer per hop
+  EXPECT_EQ(c.motion.flow, (RatVec{Rational(1)}));
+  EXPECT_EQ(c.motion.denominator, 1);
+}
+
+TEST_F(PolyprodD1, IoRepeaters) {
+  // D.1.4: increments 1 for b and c (1 chosen for a); repeaters
+  // {0 n 1} for a and b, {0 2n 1} for c.
+  for (const auto& [name, last] :
+       std::vector<std::pair<std::string, Int>>{{"a", 0}, {"b", 0}, {"c", 0}}) {
+    (void)last;
+    EXPECT_EQ(prog.stream_plan(name).io.increment_s, (IntVec{1})) << name;
+  }
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      Env env = env1(n, col);
+      EXPECT_EQ(eval_point(prog.stream_plan("a").io.first_s, env, "first_a"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("a").io.last_s, env, "last_a"),
+                (IntVec{n}));
+      EXPECT_EQ(eval_point(prog.stream_plan("b").io.first_s, env, "first_b"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("b").io.last_s, env, "last_b"),
+                (IntVec{n}));
+      EXPECT_EQ(eval_point(prog.stream_plan("c").io.first_s, env, "first_c"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("c").io.last_s, env, "last_c"),
+                (IntVec{2 * n}));
+      EXPECT_EQ(eval_expr(prog.stream_plan("c").io.count_s, env, "count_c"),
+                2 * n + 1);
+    }
+  }
+}
+
+TEST_F(PolyprodD1, SoakAndDrain) {
+  // D.1.5: a loads with n-col passes and recovers with col passes;
+  // b soaks/drains nothing; c soaks col and drains n-col.
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= n; ++col) {
+      Env env = env1(n, col);
+      EXPECT_EQ(eval_expr(prog.stream_plan("a").soak, env, "soak_a"), col);
+      EXPECT_EQ(eval_expr(prog.stream_plan("a").drain, env, "drain_a"),
+                n - col);
+      EXPECT_EQ(eval_expr(prog.stream_plan("b").soak, env, "soak_b"), 0);
+      EXPECT_EQ(eval_expr(prog.stream_plan("b").drain, env, "drain_b"), 0);
+      EXPECT_EQ(eval_expr(prog.stream_plan("c").soak, env, "soak_c"), col);
+      EXPECT_EQ(eval_expr(prog.stream_plan("c").drain, env, "drain_c"),
+                n - col);
+    }
+  }
+}
+
+TEST_F(PolyprodD1, IoLayout) {
+  // D.1.3: one input and one output process per stream at the two ends of
+  // the linear array.
+  for (const StreamPlan& plan : prog.streams) {
+    ASSERT_EQ(plan.io_sets.size(), 2u) << plan.name;
+    EXPECT_TRUE(plan.io_sets[0].is_input);
+    EXPECT_TRUE(plan.io_sets[0].at_min);  // all flows point rightward
+    EXPECT_FALSE(plan.io_sets[1].is_input);
+    EXPECT_FALSE(plan.io_sets[1].at_min);
+  }
+}
+
+TEST_F(PolyprodD1, MatchesOracle) {
+  for (Int n = 1; n <= 5; ++n) {
+    testutil::check_against_oracle(prog, design.nest, design.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+}  // namespace
+}  // namespace systolize

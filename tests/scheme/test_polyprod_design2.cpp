@@ -1,0 +1,151 @@
+// Appendix D.2 — polynomial product with place.(i,j) = i+j (non-simple).
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme_test_util.hpp"
+
+namespace systolize {
+namespace {
+
+using testutil::env1;
+using testutil::eval_expr;
+using testutil::eval_point;
+
+class PolyprodD2 : public ::testing::Test {
+ protected:
+  Design design = polyprod_design2();
+  CompiledProgram prog = compile(design.nest, design.spec);
+};
+
+TEST_F(PolyprodD2, ProcessSpaceBasis) {
+  // D.2.1: PS_min = 0, PS_max = 2n.
+  for (Int n = 1; n <= 6; ++n) {
+    Env env{{"n", Rational(n)}};
+    EXPECT_EQ(prog.ps.min.evaluate(env), (IntVec{0}));
+    EXPECT_EQ(prog.ps.max.evaluate(env), (IntVec{2 * n}));
+  }
+}
+
+TEST_F(PolyprodD2, Increment) {
+  // D.2.2: increment = (1,-1); not a simple place function.
+  EXPECT_EQ(prog.repeater.increment, (IntVec{1, -1}));
+  EXPECT_FALSE(prog.repeater.simple_place);
+}
+
+TEST_F(PolyprodD2, FirstLastPiecewise) {
+  // D.2.2:
+  //   first = if 0<=col<=n -> (0,col)  [] n<=col<=2n -> (col-n,n) fi
+  //   last  = if 0<=col<=n -> (col,0)  [] n<=col<=2n -> (n,col-n) fi
+  EXPECT_EQ(prog.repeater.first.size(), 2u);
+  EXPECT_EQ(prog.repeater.last.size(), 2u);
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= 2 * n; ++col) {
+      Env env = env1(n, col);
+      IntVec expect_first =
+          col <= n ? IntVec{0, col} : IntVec{col - n, n};
+      IntVec expect_last = col <= n ? IntVec{col, 0} : IntVec{n, col - n};
+      EXPECT_EQ(eval_point(prog.repeater.first, env, "first"), expect_first)
+          << "n=" << n << " col=" << col;
+      EXPECT_EQ(eval_point(prog.repeater.last, env, "last"), expect_last)
+          << "n=" << n << " col=" << col;
+      // D.2.2 count: col+1 below the diagonal, 2n-col+1 above; at col == n
+      // both alternatives agree.
+      Int expect_count = col <= n ? col + 1 : 2 * n - col + 1;
+      EXPECT_EQ(eval_expr(prog.repeater.count, env, "count"), expect_count)
+          << "n=" << n << " col=" << col;
+    }
+  }
+}
+
+TEST_F(PolyprodD2, Flows) {
+  // D.2.3: flow.a = 1, flow.b = 1/2, c stationary with vector 1.
+  EXPECT_EQ(prog.stream_plan("a").motion.flow, (RatVec{Rational(1)}));
+  EXPECT_EQ(prog.stream_plan("b").motion.flow, (RatVec{Rational(1, 2)}));
+  EXPECT_EQ(prog.stream_plan("b").motion.denominator, 2);
+  EXPECT_TRUE(prog.stream_plan("c").motion.stationary);
+  EXPECT_EQ(prog.stream_plan("c").motion.direction, (IntVec{1}));
+}
+
+TEST_F(PolyprodD2, IoRepeaters) {
+  // D.2.4: increment_a = 1, increment_b = -1, increment_c = 0 (stationary,
+  // vector 1 supplied); repeaters {0 n 1} for a, {n 0 -1} for b,
+  // {0 2n 1} for c.
+  EXPECT_EQ(prog.stream_plan("a").io.increment_s, (IntVec{1}));
+  EXPECT_EQ(prog.stream_plan("b").io.increment_s, (IntVec{-1}));
+  EXPECT_EQ(prog.stream_plan("c").io.increment_s, (IntVec{1}));
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= 2 * n; ++col) {
+      Env env = env1(n, col);
+      EXPECT_EQ(eval_point(prog.stream_plan("a").io.first_s, env, "first_a"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("a").io.last_s, env, "last_a"),
+                (IntVec{n}));
+      EXPECT_EQ(eval_point(prog.stream_plan("b").io.first_s, env, "first_b"),
+                (IntVec{n}));
+      EXPECT_EQ(eval_point(prog.stream_plan("b").io.last_s, env, "last_b"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("c").io.first_s, env, "first_c"),
+                (IntVec{0}));
+      EXPECT_EQ(eval_point(prog.stream_plan("c").io.last_s, env, "last_c"),
+                (IntVec{2 * n}));
+    }
+  }
+}
+
+TEST_F(PolyprodD2, SoakAndDrain) {
+  // D.2.5 closed forms.
+  for (Int n = 1; n <= 5; ++n) {
+    for (Int col = 0; col <= 2 * n; ++col) {
+      Env env = env1(n, col);
+      Int soak_a = col <= n ? 0 : col - n;
+      Int soak_b = col <= n ? n - col : 0;
+      Int drain_a = col <= n ? n - col : 0;
+      Int drain_b = col <= n ? 0 : col - n;
+      EXPECT_EQ(eval_expr(prog.stream_plan("a").soak, env, "soak_a"), soak_a)
+          << "n=" << n << " col=" << col;
+      EXPECT_EQ(eval_expr(prog.stream_plan("b").soak, env, "soak_b"), soak_b)
+          << "n=" << n << " col=" << col;
+      EXPECT_EQ(eval_expr(prog.stream_plan("a").drain, env, "drain_a"),
+                drain_a)
+          << "n=" << n << " col=" << col;
+      EXPECT_EQ(eval_expr(prog.stream_plan("b").drain, env, "drain_b"),
+                drain_b)
+          << "n=" << n << " col=" << col;
+      // D.2.5: recovery (soak_c) = col, loading (drain_c) = 2n - col,
+      // identical for both alternatives.
+      EXPECT_EQ(eval_expr(prog.stream_plan("c").soak, env, "soak_c"), col);
+      EXPECT_EQ(eval_expr(prog.stream_plan("c").drain, env, "drain_c"),
+                2 * n - col);
+    }
+  }
+}
+
+TEST_F(PolyprodD2, EndpointChoiceOfStatementClauseIsImmaterial) {
+  // Sect. 7.4 claims any basic statement x gives the same first_s/last_s.
+  CompileOptions other;
+  other.statement_clause = 1;
+  CompiledProgram alt = compile(design.nest, design.spec, other);
+  for (Int n = 1; n <= 4; ++n) {
+    for (Int col = 0; col <= 2 * n; ++col) {
+      Env env = env1(n, col);
+      for (const std::string s : {"a", "b", "c"}) {
+        EXPECT_EQ(eval_point(prog.stream_plan(s).io.first_s, env, "first_s"),
+                  eval_point(alt.stream_plan(s).io.first_s, env, "first_s"))
+            << s << " n=" << n << " col=" << col;
+        EXPECT_EQ(eval_point(prog.stream_plan(s).io.last_s, env, "last_s"),
+                  eval_point(alt.stream_plan(s).io.last_s, env, "last_s"))
+            << s << " n=" << n << " col=" << col;
+      }
+    }
+  }
+}
+
+TEST_F(PolyprodD2, MatchesOracle) {
+  for (Int n = 1; n <= 5; ++n) {
+    testutil::check_against_oracle(prog, design.nest, design.spec,
+                                   Env{{"n", Rational(n)}});
+  }
+}
+
+}  // namespace
+}  // namespace systolize

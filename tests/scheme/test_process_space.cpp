@@ -1,0 +1,92 @@
+// Sect. 7.1 vertex/sign analysis and the step-range helper.
+#include "scheme/process_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(ProcessSpace, MixedSignCoefficients) {
+  // place.(i,j,k) = (i-k, j-k): PS_min needs rb for k, lb for i and j.
+  Design d = matmul_design2();
+  ProcessSpaceBasis ps = derive_process_space(d.nest, d.spec.place());
+  Env env{{"n", Rational(7)}};
+  EXPECT_EQ(ps.min.evaluate(env), (IntVec{-7, -7}));
+  EXPECT_EQ(ps.max.evaluate(env), (IntVec{7, 7}));
+  // The basis is coordinate-free.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(ps.min[i].is_coord_free());
+    EXPECT_TRUE(ps.max[i].is_coord_free());
+  }
+}
+
+TEST(ProcessSpace, BasisBoundsEveryProjectedPoint) {
+  for (const Design& d : all_designs()) {
+    ProcessSpaceBasis ps = derive_process_space(d.nest, d.spec.place());
+    Env env{{"n", Rational(4)}, {"m", Rational(3)}};
+    IntVec lo = ps.min.evaluate(env);
+    IntVec hi = ps.max.evaluate(env);
+    bool touched_lo = false;
+    bool touched_hi = false;
+    for (const IntVec& x : d.nest.enumerate_index_space(env)) {
+      IntVec y = d.spec.place().apply(x);
+      for (std::size_t i = 0; i < y.dim(); ++i) {
+        EXPECT_GE(y[i], lo[i]) << d.description;
+        EXPECT_LE(y[i], hi[i]) << d.description;
+        if (y[i] == lo[i]) touched_lo = true;
+        if (y[i] == hi[i]) touched_hi = true;
+      }
+    }
+    // Smallest enclosing box: both extremes are attained.
+    EXPECT_TRUE(touched_lo) << d.description;
+    EXPECT_TRUE(touched_hi) << d.description;
+  }
+}
+
+TEST(ProcessSpace, BoxGuardHoldsExactlyInsideTheBox) {
+  Design d = matmul_design2();
+  ProcessSpaceBasis ps = derive_process_space(d.nest, d.spec.place());
+  std::vector<Symbol> coords{canonical_coord(0), canonical_coord(1)};
+  Guard g = ps_box_guard(ps, coords);
+  for (Int col = -4; col <= 4; ++col) {
+    for (Int row = -4; row <= 4; ++row) {
+      Env env{{"n", Rational(3)},
+              {"col", Rational(col)},
+              {"row", Rational(row)}};
+      bool inside = col >= -3 && col <= 3 && row >= -3 && row <= 3;
+      EXPECT_EQ(g.holds(env), inside) << col << "," << row;
+    }
+  }
+}
+
+TEST(StepRange, MatchesBruteForceExtremes) {
+  for (const Design& d : all_designs()) {
+    StepRange range = derive_step_range(d.nest, d.spec.step());
+    Env env{{"n", Rational(4)}, {"m", Rational(2)}};
+    Int lo = range.min.evaluate(env).to_integer();
+    Int hi = range.max.evaluate(env).to_integer();
+    Int brute_lo = std::numeric_limits<Int>::max();
+    Int brute_hi = std::numeric_limits<Int>::min();
+    for (const IntVec& x : d.nest.enumerate_index_space(env)) {
+      Int s = d.spec.step().apply(x);
+      brute_lo = std::min(brute_lo, s);
+      brute_hi = std::max(brute_hi, s);
+    }
+    EXPECT_EQ(lo, brute_lo) << d.description;
+    EXPECT_EQ(hi, brute_hi) << d.description;
+  }
+}
+
+TEST(StepRange, NegativeCoefficients) {
+  // step.(i,j) = i - j on 0..n x 0..n ranges over [-n, n].
+  Design d = polyprod_design1();
+  StepRange range = derive_step_range(d.nest, StepFunction(IntVec{1, -1}));
+  Env env{{"n", Rational(5)}};
+  EXPECT_EQ(range.min.evaluate(env).to_integer(), -5);
+  EXPECT_EQ(range.max.evaluate(env).to_integer(), 5);
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,91 @@
+// The synchronous space-time schedule (Equation (1), step/place
+// interplay) and its parallelism profile.
+#include "scheme/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme/process_space.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+TEST(Schedule, EveryStatementScheduledExactlyOnce) {
+  for (const Design& d : all_designs()) {
+    Env env{{"n", Rational(3)}, {"m", Rational(2)}};
+    Schedule s = derive_schedule(d.nest, d.spec, env);
+    Int total = 0;
+    for (const auto& [t, row] : s.steps) total += row.size();
+    EXPECT_EQ(total, d.nest.index_space_size(env)) << d.description;
+    StepRange range = derive_step_range(d.nest, d.spec.step());
+    EXPECT_EQ(s.min_step, range.min.evaluate(env).to_integer());
+    EXPECT_EQ(s.max_step, range.max.evaluate(env).to_integer());
+  }
+}
+
+TEST(Schedule, PolyprodD1ParallelismProfile) {
+  // D.1 with step.(i,j) = 2i+j: at step t the active processes are the i
+  // with 2i+j = t, 0 <= i,j <= n — a staircase of width floor(n/2)+1
+  // (every other process busy, the b-stream's flow-1/2 signature); span
+  // is 3n+1.
+  Design d = polyprod_design1();
+  Env env{{"n", Rational(4)}};
+  Schedule s = derive_schedule(d.nest, d.spec, env);
+  EXPECT_EQ(s.span(), 13);      // 3n+1
+  EXPECT_EQ(s.max_width(), 3);  // floor(n/2)+1
+  EXPECT_EQ(s.width_at(s.min_step), 1);
+  EXPECT_EQ(s.width_at(s.max_step), 1);
+}
+
+TEST(Schedule, KungLeisersonThirdOfArrayActive) {
+  // E.2: (2n+1)^2 points but only ~1/3 are ever active at once.
+  Design d = matmul_design2();
+  Env env{{"n", Rational(4)}};
+  Schedule s = derive_schedule(d.nest, d.spec, env);
+  EXPECT_EQ(s.span(), 13);  // 3n+1
+  // Peak parallelism cannot exceed the computation-space size.
+  EXPECT_LE(s.max_width(), 61);
+  EXPECT_GT(s.max_width(), 15);
+}
+
+TEST(Schedule, Equation1ViolationDetected) {
+  // step.(i,j) = i+j with place.(i,j) = i+j maps (1,0) and (0,1) to the
+  // same (step, process) pair.
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{1, 1}), PlaceFunction(IntMatrix{{1, 1}}),
+                {{"c", IntVec{1}}});
+  try {
+    (void)derive_schedule(d.nest, bad, Env{{"n", Rational(2)}});
+    FAIL() << "expected Inconsistent";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Inconsistent);
+    EXPECT_NE(std::string(e.what()).find("Equation (1)"), std::string::npos);
+  }
+}
+
+TEST(Schedule, Ascii1dRendering) {
+  Design d = polyprod_design1();
+  Env env{{"n", Rational(2)}};
+  Schedule s = derive_schedule(d.nest, d.spec, env);
+  std::string text = render_schedule_1d(s, IntVec{0}, IntVec{2});
+  EXPECT_NE(text.find("step \\ col"), std::string::npos);
+  // 3n+1 = 7 step rows plus the header.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 8);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  // 2-D arrays are rejected.
+  EXPECT_THROW(
+      (void)render_schedule_1d(s, IntVec{0, 0}, IntVec{2, 2}), Error);
+}
+
+TEST(Schedule, WidthSumsToStatements) {
+  Design d = convolution_design();
+  Env env{{"n", Rational(5)}, {"m", Rational(2)}};
+  Schedule s = derive_schedule(d.nest, d.spec, env);
+  Int total = 0;
+  for (Int t = s.min_step; t <= s.max_step; ++t) total += s.width_at(t);
+  EXPECT_EQ(total, d.nest.index_space_size(env));
+}
+
+}  // namespace
+}  // namespace systolize

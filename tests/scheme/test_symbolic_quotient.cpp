@@ -1,0 +1,87 @@
+// Unit tests for the symbolic // operator and the stationary element
+// increment (both used throughout the scheme and otherwise only tested
+// indirectly).
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme/first_last.hpp"
+#include "scheme/io_comm.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+const Symbol kN = size_symbol("n");
+const Symbol kCol = coord_symbol("col");
+
+TEST(SymbolicQuotient, ScalarAlongUnitVector) {
+  // ((n) - (col)) // (1) = n - col.
+  AffinePoint p{AffineExpr(kCol)};
+  AffinePoint q{AffineExpr(kN)};
+  auto m = symbolic_quotient_along(p, q, IntVec{1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, AffineExpr(kN) - AffineExpr(kCol));
+}
+
+TEST(SymbolicQuotient, DiagonalDirection) {
+  // ((n,n) - (col,col)) // (1,1) = n - col.
+  AffinePoint p{AffineExpr(kCol), AffineExpr(kCol)};
+  AffinePoint q{AffineExpr(kN), AffineExpr(kN)};
+  auto m = symbolic_quotient_along(p, q, IntVec{1, 1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, AffineExpr(kN) - AffineExpr(kCol));
+}
+
+TEST(SymbolicQuotient, NegativeDirection) {
+  // ((0) - (col)) // (-1) = col.
+  AffinePoint p{AffineExpr(kCol)};
+  AffinePoint q{AffineExpr(0)};
+  auto m = symbolic_quotient_along(p, q, IntVec{-1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, AffineExpr(kCol));
+}
+
+TEST(SymbolicQuotient, NonCollinearReturnsNullopt) {
+  // (n, 0) is not a multiple of (1,1) unless n == 0 identically.
+  AffinePoint p{AffineExpr(0), AffineExpr(0)};
+  AffinePoint q{AffineExpr(kN), AffineExpr(0)};
+  EXPECT_FALSE(symbolic_quotient_along(p, q, IntVec{1, 1}).has_value());
+}
+
+TEST(SymbolicQuotient, ZeroVectorThrows) {
+  AffinePoint p{AffineExpr(0)};
+  EXPECT_THROW((void)symbolic_quotient_along(p, p, IntVec{0}), Error);
+}
+
+TEST(StationaryElementIncrement, MatchesLoadingVectorForPaperDesigns) {
+  // For every stationary stream of every catalog design, the element
+  // variation along the loading direction happens to equal the loading
+  // vector itself — the property that made the paper's single-vector
+  // convention work.
+  for (const Design& d : all_designs()) {
+    IntVec increment = d.spec.place().null_generator();
+    if (d.spec.step().apply(increment) < 0) increment = -increment;
+    for (const Stream& s : d.nest.streams()) {
+      StreamMotion m = d.spec.motion_of(s);
+      if (!m.stationary) continue;
+      EXPECT_EQ(stationary_element_increment(s, d.spec.place(), m.direction,
+                                             increment),
+                m.direction)
+          << d.description << " stream " << s.name();
+    }
+  }
+}
+
+TEST(StationaryElementIncrement, RunsAgainstLoadingDirectionForNegatedPlace) {
+  // place.(i,j) = -i makes process col hold a[-col]: the element index
+  // decreases along the +1 loading direction.
+  Design d = polyprod_design1();
+  PlaceFunction place(IntMatrix{{-1, 0}});
+  IntVec increment{0, 1};  // null generator, step-oriented
+  EXPECT_EQ(stationary_element_increment(d.nest.stream("a"), place, IntVec{1},
+                                         increment),
+            (IntVec{-1}));
+}
+
+}  // namespace
+}  // namespace systolize

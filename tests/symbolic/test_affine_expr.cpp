@@ -1,0 +1,107 @@
+#include "symbolic/affine_expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "symbolic/affine_point.hpp"
+
+namespace systolize {
+namespace {
+
+const Symbol kN = size_symbol("n");
+const Symbol kCol = coord_symbol("col");
+const Symbol kRow = coord_symbol("row");
+
+TEST(AffineExpr, ConstructionAndCoeffs) {
+  AffineExpr e = AffineExpr(kCol) - AffineExpr(kRow) + AffineExpr(3);
+  EXPECT_EQ(e.coeff(kCol), Rational(1));
+  EXPECT_EQ(e.coeff(kRow), Rational(-1));
+  EXPECT_EQ(e.coeff(kN), Rational(0));
+  EXPECT_EQ(e.constant(), Rational(3));
+  EXPECT_FALSE(e.is_constant());
+}
+
+TEST(AffineExpr, CancellationPrunesTerms) {
+  AffineExpr e = AffineExpr(kCol) - AffineExpr(kCol);
+  EXPECT_TRUE(e.is_zero());
+  EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(AffineExpr, MultiplyByZeroClears) {
+  AffineExpr e = AffineExpr(kCol) + AffineExpr(1);
+  EXPECT_TRUE((e * Rational(0)).is_zero());
+}
+
+TEST(AffineExpr, Substitution) {
+  // (col - row + n) with row := col - n  gives 2n.
+  AffineExpr e = AffineExpr(kCol) - AffineExpr(kRow) + AffineExpr(kN);
+  AffineExpr sub = AffineExpr(kCol) - AffineExpr(kN);
+  AffineExpr r = e.substituted(kRow, sub);
+  EXPECT_TRUE(r.is_constant() == false);
+  EXPECT_EQ(r, AffineExpr(kN) * Rational(2));
+}
+
+TEST(AffineExpr, Evaluate) {
+  AffineExpr e = AffineExpr(kCol) * Rational(2) + AffineExpr(kN) - AffineExpr(1);
+  Env env{{"col", Rational(3)}, {"n", Rational(5)}};
+  EXPECT_EQ(e.evaluate(env), Rational(10));
+}
+
+TEST(AffineExpr, EvaluateUnboundThrows) {
+  AffineExpr e = AffineExpr(kCol);
+  try {
+    (void)e.evaluate(Env{});
+    FAIL() << "expected Validation";
+  } catch (const Error& err) {
+    EXPECT_EQ(err.kind(), ErrorKind::Validation);
+  }
+}
+
+TEST(AffineExpr, CoordFree) {
+  EXPECT_TRUE((AffineExpr(kN) + AffineExpr(2)).is_coord_free());
+  EXPECT_FALSE((AffineExpr(kN) + AffineExpr(kCol)).is_coord_free());
+}
+
+TEST(AffineExpr, ToString) {
+  EXPECT_EQ(AffineExpr(0).to_string(), "0");
+  EXPECT_EQ((AffineExpr(kCol) - AffineExpr(kRow) + AffineExpr(kN)).to_string(),
+            "col + n - row");
+  EXPECT_EQ((AffineExpr(kN) * Rational(2) - AffineExpr(1)).to_string(),
+            "2*n - 1");
+  EXPECT_EQ((-AffineExpr(kCol)).to_string(), "-col");
+}
+
+TEST(AffinePoint, ArithmeticAndDot) {
+  AffinePoint p{AffineExpr(kCol), AffineExpr(0)};
+  AffinePoint q{AffineExpr(kN), AffineExpr(kRow)};
+  AffinePoint sum = p + q;
+  EXPECT_EQ(sum[0], AffineExpr(kCol) + AffineExpr(kN));
+  EXPECT_EQ(sum[1], AffineExpr(kRow));
+  EXPECT_EQ(p.dot(IntVec{1, -1}), AffineExpr(kCol));
+}
+
+TEST(AffinePoint, MatrixApplication) {
+  // M.c = (i,j) from matmul applied to the statement (col, row, 0).
+  IntMatrix mc{{1, 0, 0}, {0, 1, 0}};
+  AffinePoint x{AffineExpr(kCol), AffineExpr(kRow), AffineExpr(0)};
+  AffinePoint mx = x.applied(mc);
+  ASSERT_EQ(mx.dim(), 2u);
+  EXPECT_EQ(mx[0], AffineExpr(kCol));
+  EXPECT_EQ(mx[1], AffineExpr(kRow));
+}
+
+TEST(AffinePoint, PlusScaled) {
+  AffinePoint p{AffineExpr(kCol), AffineExpr(0)};
+  AffinePoint r = p.plus_scaled(AffineExpr(kN), IntVec{1, -1});
+  EXPECT_EQ(r[0], AffineExpr(kCol) + AffineExpr(kN));
+  EXPECT_EQ(r[1], -AffineExpr(kN));
+}
+
+TEST(AffinePoint, EvaluateRequiresIntegrality) {
+  AffinePoint p{AffineExpr(kCol) * Rational(1, 2)};
+  EXPECT_EQ(p.evaluate(Env{{"col", Rational(4)}}), (IntVec{2}));
+  EXPECT_THROW((void)p.evaluate(Env{{"col", Rational(3)}}), Error);
+}
+
+}  // namespace
+}  // namespace systolize

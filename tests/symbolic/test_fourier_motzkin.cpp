@@ -1,0 +1,119 @@
+#include "symbolic/fourier_motzkin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scheme/first_last.hpp"
+
+namespace systolize {
+namespace {
+
+const Symbol kN = size_symbol("n");
+const Symbol kCol = coord_symbol("col");
+const Symbol kRow = coord_symbol("row");
+
+Guard n_positive() {
+  Guard g;
+  g.add(Constraint{AffineExpr(1), AffineExpr(kN)});
+  return g;
+}
+
+TEST(FourierMotzkin, TriviallyFeasible) {
+  EXPECT_TRUE(is_feasible(Guard{}));
+}
+
+TEST(FourierMotzkin, SimpleInterval) {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  EXPECT_TRUE(is_feasible(g, n_positive()));
+}
+
+TEST(FourierMotzkin, ContradictoryInterval) {
+  // col <= -1 and col >= 0.
+  Guard g;
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(-1)});
+  g.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  EXPECT_FALSE(is_feasible(g));
+}
+
+TEST(FourierMotzkin, InfeasibleOnlyWithAssumption) {
+  // col >= n+1 and col <= n - 1 is infeasible regardless; but
+  // col >= n and col <= 0 is feasible only when n <= 0.
+  Guard g;
+  g.add(Constraint{AffineExpr(kN), AffineExpr(kCol)});
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(0)});
+  EXPECT_TRUE(is_feasible(g));
+  EXPECT_FALSE(is_feasible(g, n_positive()));
+}
+
+TEST(FourierMotzkin, ChainedTransitivity) {
+  // col <= row, row <= n, n <= col - 1 is infeasible.
+  Guard g;
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(kRow)});
+  g.add(Constraint{AffineExpr(kRow), AffineExpr(kN)});
+  g.add(Constraint{AffineExpr(kN), AffineExpr(kCol) - AffineExpr(1)});
+  EXPECT_FALSE(is_feasible(g));
+}
+
+TEST(FourierMotzkin, Implies) {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  // 0 <= col <= n implies col <= 2n when n >= 1.
+  EXPECT_TRUE(implies(g, Constraint{AffineExpr(kCol), AffineExpr(kN) * Rational(2)},
+                      n_positive()));
+  // ... but does not imply col <= n - 1.
+  EXPECT_FALSE(implies(g, Constraint{AffineExpr(kCol), AffineExpr(kN) - AffineExpr(1)},
+                       n_positive()));
+}
+
+TEST(FourierMotzkin, DropRedundant) {
+  Guard g;
+  g.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(kN)});
+  // Redundant: col <= 2n follows from col <= n, n >= 1.
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(kN) * Rational(2)});
+  Guard r = drop_redundant(g, n_positive());
+  EXPECT_EQ(r.constraints().size(), 2u);
+}
+
+TEST(FourierMotzkin, DropRedundantKeepsEquivalentRegion) {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol) - AffineExpr(kRow),
+                AffineExpr(kN)));
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  Guard r = drop_redundant(g, n_positive());
+  // Semantics preserved on a grid sweep.
+  for (Int n = 1; n <= 3; ++n) {
+    for (Int col = -4; col <= 4; ++col) {
+      for (Int row = -4; row <= 4; ++row) {
+        Env env{{"n", Rational(n)}, {"col", Rational(col)},
+                {"row", Rational(row)}};
+        EXPECT_EQ(g.holds(env), r.holds(env))
+            << "n=" << n << " col=" << col << " row=" << row;
+      }
+    }
+  }
+}
+
+TEST(HasInterior, FullDimensionalRegion) {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  EXPECT_TRUE(has_interior(g, n_positive()));
+}
+
+TEST(HasInterior, PinnedRegionHasNone) {
+  // 0 <= col <= n together with n <= col pins col == n.
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  g.add(Constraint{AffineExpr(kN), AffineExpr(kCol)});
+  EXPECT_FALSE(has_interior(g, n_positive()));
+}
+
+TEST(HasInterior, InfeasibleRegionHasNone) {
+  Guard g;
+  g.add(Constraint{AffineExpr(kCol), AffineExpr(-1)});
+  g.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  EXPECT_FALSE(has_interior(g, Guard{}));
+}
+
+}  // namespace
+}  // namespace systolize

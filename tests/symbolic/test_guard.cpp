@@ -1,0 +1,68 @@
+#include "symbolic/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+const Symbol kN = size_symbol("n");
+const Symbol kCol = coord_symbol("col");
+
+TEST(Guard, EmptyGuardIsTrue) {
+  Guard g;
+  EXPECT_TRUE(g.is_trivially_true());
+  EXPECT_TRUE(g.holds(Env{}));
+  EXPECT_EQ(g.to_string(), "true");
+}
+
+TEST(Guard, BetweenExpandsToTwoConstraints) {
+  auto cs = between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN));
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].to_string(), "0 <= col");
+  EXPECT_EQ(cs[1].to_string(), "col <= n");
+}
+
+TEST(Guard, Holds) {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  EXPECT_TRUE(g.holds(Env{{"col", Rational(2)}, {"n", Rational(4)}}));
+  EXPECT_TRUE(g.holds(Env{{"col", Rational(0)}, {"n", Rational(0)}}));
+  EXPECT_FALSE(g.holds(Env{{"col", Rational(5)}, {"n", Rational(4)}}));
+  EXPECT_FALSE(g.holds(Env{{"col", Rational(-1)}, {"n", Rational(4)}}));
+}
+
+TEST(Guard, ConjoinedCombines) {
+  Guard a;
+  a.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  Guard b;
+  b.add(Constraint{AffineExpr(kCol), AffineExpr(kN)});
+  Guard both = a.conjoined(b);
+  EXPECT_EQ(both.constraints().size(), 2u);
+  EXPECT_FALSE(both.holds(Env{{"col", Rational(-1)}, {"n", Rational(3)}}));
+  EXPECT_TRUE(both.holds(Env{{"col", Rational(1)}, {"n", Rational(3)}}));
+}
+
+TEST(Guard, SimplifiedDropsConstantTrueAndDuplicates) {
+  Guard g;
+  g.add(Constraint{AffineExpr(0), AffineExpr(3)});  // constant-true
+  g.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  g.add(Constraint{AffineExpr(0), AffineExpr(kCol)});  // duplicate
+  Guard s = g.simplified();
+  EXPECT_EQ(s.constraints().size(), 1u);
+}
+
+TEST(Guard, SimplifiedThrowsOnConstantFalse) {
+  Guard g;
+  g.add(Constraint{AffineExpr(3), AffineExpr(0)});
+  try {
+    (void)g.simplified();
+    FAIL() << "expected Inconsistent";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Inconsistent);
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,107 @@
+#include "symbolic/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace systolize {
+namespace {
+
+const Symbol kN = size_symbol("n");
+const Symbol kCol = coord_symbol("col");
+
+Guard n_positive() {
+  Guard g;
+  g.add(Constraint{AffineExpr(1), AffineExpr(kN)});
+  return g;
+}
+
+Guard col_le_n() {
+  Guard g;
+  g.add(between(AffineExpr(0), AffineExpr(kCol), AffineExpr(kN)));
+  return g;
+}
+
+Guard col_ge_n() {
+  Guard g;
+  g.add(between(AffineExpr(kN), AffineExpr(kCol), AffineExpr(kN) * Rational(2)));
+  return g;
+}
+
+TEST(Piecewise, SelectFirstMatching) {
+  Piecewise<AffineExpr> pw;
+  pw.add(col_le_n(), AffineExpr(kCol) + AffineExpr(1));
+  pw.add(col_ge_n(), AffineExpr(kN) * Rational(2) - AffineExpr(kCol) + AffineExpr(1));
+
+  Env env{{"n", Rational(3)}, {"col", Rational(2)}};
+  const AffineExpr* v = pw.select(env);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->evaluate(env), Rational(3));
+
+  env["col"] = Rational(5);
+  v = pw.select(env);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->evaluate(env), Rational(2));
+
+  env["col"] = Rational(7);  // outside both
+  EXPECT_EQ(pw.select(env), nullptr);
+  EXPECT_FALSE(pw.covers(env));
+}
+
+TEST(Piecewise, TotalSingleClause) {
+  Piecewise<AffineExpr> pw{AffineExpr(kN)};
+  EXPECT_EQ(pw.size(), 1u);
+  EXPECT_TRUE(pw.pieces()[0].guard.is_trivially_true());
+}
+
+TEST(Piecewise, PrunedRemovesInfeasible) {
+  Piecewise<AffineExpr> pw;
+  pw.add(col_le_n(), AffineExpr(1));
+  Guard impossible;
+  impossible.add(Constraint{AffineExpr(kCol), AffineExpr(-1)});
+  impossible.add(Constraint{AffineExpr(0), AffineExpr(kCol)});
+  pw.add(impossible, AffineExpr(2));
+  Piecewise<AffineExpr> p = pw.pruned(n_positive());
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Piecewise, MappedKeepsGuards) {
+  Piecewise<AffineExpr> pw;
+  pw.add(col_le_n(), AffineExpr(kCol));
+  auto doubled =
+      pw.mapped([](const AffineExpr& e) { return e * Rational(2); });
+  ASSERT_EQ(doubled.size(), 1u);
+  EXPECT_EQ(doubled.pieces()[0].guard, pw.pieces()[0].guard);
+  Env env{{"n", Rational(4)}, {"col", Rational(3)}};
+  EXPECT_EQ(doubled.select(env)->evaluate(env), Rational(6));
+}
+
+TEST(Piecewise, CombinedPrunesCrossProducts) {
+  Piecewise<AffineExpr> a;
+  a.add(col_le_n(), AffineExpr(1));
+  a.add(col_ge_n(), AffineExpr(2));
+  Piecewise<AffineExpr> b;
+  b.add(col_le_n(), AffineExpr(10));
+  b.add(col_ge_n(), AffineExpr(20));
+  auto sum = a.combined(
+      b, [](const AffineExpr& x, const AffineExpr& y) { return x + y; },
+      n_positive());
+  // All four pairings overlap at least at col == n; low-low and high-high
+  // have full overlap, the mixed ones only the point col == n — still
+  // rationally feasible, so all 4 remain.
+  EXPECT_EQ(sum.size(), 4u);
+  Env env{{"n", Rational(3)}, {"col", Rational(1)}};
+  EXPECT_EQ(sum.select(env)->evaluate(env), Rational(11));
+  env["col"] = Rational(5);
+  EXPECT_EQ(sum.select(env)->evaluate(env), Rational(22));
+}
+
+TEST(Piecewise, ToString) {
+  Piecewise<AffineExpr> pw;
+  pw.add(col_le_n(), AffineExpr(kCol));
+  std::string s =
+      pw.to_string([](const AffineExpr& e) { return e.to_string(); });
+  EXPECT_NE(s.find("if "), std::string::npos);
+  EXPECT_NE(s.find("col <= n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,129 @@
+// Validation of systolic array specifications against Sect. 3.2 and
+// Appendix A — including the paper's own counterexample (D.2.3: the place
+// function i-j gives stream c flow 2, violating the neighbouring
+// restriction).
+#include <gtest/gtest.h>
+
+#include "designs/catalog.hpp"
+#include "scheme/compiler.hpp"
+#include "support/error.hpp"
+#include "systolic/flow.hpp"
+
+namespace systolize {
+namespace {
+
+void expect_error(const LoopNest& nest, const ArraySpec& spec, ErrorKind kind,
+                  const std::string& fragment) {
+  try {
+    validate_array(nest, spec);
+    FAIL() << "expected error containing '" << fragment << "'";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArraySpecValidation, CatalogDesignsAllValidate) {
+  for (const Design& d : all_designs()) {
+    EXPECT_NO_THROW(validate_array(d.nest, d.spec)) << d.description;
+  }
+}
+
+TEST(ArraySpecValidation, PaperCounterexamplePlaceIMinusJ) {
+  // D.2.3 note: "for another place function, place.(i,j) = i-j,
+  // flow.c = 2, which violates the restriction on neighbouring
+  // communication."
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, -1}}),
+                {});
+  expect_error(d.nest, bad, ErrorKind::Validation,
+               "neighbouring-connection requirement");
+  // The flow itself is 2, as the paper states.
+  EXPECT_EQ(compute_flow(d.nest.stream("c"), bad.step(), bad.place()),
+            (RatVec{Rational(2)}));
+}
+
+TEST(ArraySpecValidation, StepVanishingOnNullPlaceIsInconsistent) {
+  // step.(i,j) = i+j with place.(i,j) = i+j: null.place = (1,-1) and
+  // step.(1,-1) = 0 — Equation (1) cannot hold (Theorem 3).
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{1, 1}), PlaceFunction(IntMatrix{{1, 1}}),
+                {{"c", IntVec{1}}});
+  expect_error(d.nest, bad, ErrorKind::Inconsistent, "null.place");
+}
+
+TEST(ArraySpecValidation, MissingLoadingVectorForStationaryStream) {
+  // D.1's stream a is stationary; omit its loading & recovery vector.
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, 0}}),
+                {});
+  expect_error(d.nest, bad, ErrorKind::Validation,
+               "loading & recovery vector");
+}
+
+TEST(ArraySpecValidation, NonNeighbourLoadingVectorRejected) {
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, 0}}),
+                {{"a", IntVec{2}}});
+  expect_error(d.nest, bad, ErrorKind::Validation, "connect neighbours");
+}
+
+TEST(ArraySpecValidation, ZeroLoadingVectorRejected) {
+  Design d = polyprod_design1();
+  ArraySpec bad(StepFunction(IntVec{2, 1}), PlaceFunction(IntMatrix{{1, 0}}),
+                {{"a", IntVec{0}}});
+  expect_error(d.nest, bad, ErrorKind::Validation, "non-zero");
+}
+
+TEST(ArraySpecValidation, RankDeficientPlaceRejected) {
+  Design d = matmul_design1();
+  ArraySpec bad(StepFunction(IntVec{1, 1, 1}),
+                PlaceFunction(IntMatrix{{1, 0, 0}, {2, 0, 0}}), {});
+  expect_error(d.nest, bad, ErrorKind::Validation, "rank");
+}
+
+TEST(ArraySpecValidation, WrongArityRejected) {
+  Design d = matmul_design1();
+  ArraySpec bad(StepFunction(IntVec{1, 1}),
+                PlaceFunction(IntMatrix{{1, 0, 0}, {0, 1, 0}}), {});
+  expect_error(d.nest, bad, ErrorKind::Validation, "arity");
+}
+
+TEST(FlowDecomposition, IntegerFractionalAndZero) {
+  FlowDecomposition whole = decompose_flow(RatVec{Rational(1), Rational(0)});
+  EXPECT_EQ(whole.direction, (IntVec{1, 0}));
+  EXPECT_EQ(whole.denominator, 1);
+
+  FlowDecomposition half = decompose_flow(RatVec{Rational(1, 2)});
+  EXPECT_EQ(half.direction, (IntVec{1}));
+  EXPECT_EQ(half.denominator, 2);
+
+  FlowDecomposition third =
+      decompose_flow(RatVec{Rational(-1, 3), Rational(1, 3)});
+  EXPECT_EQ(third.direction, (IntVec{-1, 1}));
+  EXPECT_EQ(third.denominator, 3);
+
+  FlowDecomposition zero = decompose_flow(RatVec{Rational(0), Rational(0)});
+  EXPECT_TRUE(zero.direction.is_zero());
+  EXPECT_EQ(zero.denominator, 1);
+}
+
+TEST(Increment, OutsideUnitRangeIsUnsupported) {
+  // place.(i,j) = 2i+j has null generator (1,-2): every stream flow stays
+  // neighbour-compatible under step.(i,j) = 4i+j (flows 1, 1/2, 1/3), but
+  // the increment has a component of magnitude 2 — the Sect. 6.2 Note
+  // case the scheme does not cover.
+  Design d = polyprod_design1();
+  ArraySpec spec(StepFunction(IntVec{4, 1}), PlaceFunction(IntMatrix{{2, 1}}),
+                 {});
+  try {
+    (void)compile(d.nest, spec);
+    FAIL() << "expected Unsupported";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Unsupported) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,234 @@
+// systolize — command-line front end.
+//
+//   systolize list
+//   systolize report <design | file.sa>
+//   systolize emit   <design | file.sa> [--syntax=paper|occam|c]
+//   systolize run    <design | file.sa> [--n=N] [--m=M] [--capacity=K]
+//                    [--merge-buffers] [--partition=G] [--no-verify]
+//   systolize graph  <design | file.sa> [--n=N] [--m=M]     (Graphviz dot)
+//   systolize schedule <design | file.sa> [--n=N] [--m=M]   (space-time table)
+//
+// <design> is a catalog name (see `systolize list`); anything containing a
+// '.' or '/' is treated as a .sa file path.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ast/builder.hpp"
+#include "ast/print.hpp"
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "frontend/parser.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+#include "scheme/report.hpp"
+#include "scheme/schedule.hpp"
+
+namespace {
+
+using namespace systolize;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  systolize list\n"
+      "  systolize report <design | file.sa>\n"
+      "  systolize emit   <design | file.sa> [--syntax=paper|occam|c]\n"
+      "  systolize run    <design | file.sa> [--n=N] [--m=M] [--capacity=K]\n"
+      "                   [--merge-buffers] [--partition=G] [--no-verify]\n"
+      "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
+      "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n";
+  return 2;
+}
+
+Design load_design(const std::string& what) {
+  if (what.find('.') == std::string::npos &&
+      what.find('/') == std::string::npos) {
+    return design_by_name(what);
+  }
+  std::ifstream in(what);
+  if (!in) {
+    raise(ErrorKind::Parse, "cannot open '" + what + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return frontend::parse_design(buf.str());
+}
+
+struct Options {
+  Int n = 8;
+  Int m = 3;
+  Int capacity = 0;
+  Int partition = 0;
+  bool merge_buffers = false;
+  bool verify = true;
+  std::string syntax = "paper";
+};
+
+bool parse_flag(const std::string& arg, Options& opt) {
+  auto value_of = [&arg](const std::string& prefix) -> std::string {
+    return arg.substr(prefix.size());
+  };
+  if (arg.rfind("--n=", 0) == 0) {
+    opt.n = std::stoll(value_of("--n="));
+  } else if (arg.rfind("--m=", 0) == 0) {
+    opt.m = std::stoll(value_of("--m="));
+  } else if (arg.rfind("--capacity=", 0) == 0) {
+    opt.capacity = std::stoll(value_of("--capacity="));
+  } else if (arg.rfind("--partition=", 0) == 0) {
+    opt.partition = std::stoll(value_of("--partition="));
+  } else if (arg == "--merge-buffers") {
+    opt.merge_buffers = true;
+  } else if (arg == "--no-verify") {
+    opt.verify = false;
+  } else if (arg.rfind("--syntax=", 0) == 0) {
+    opt.syntax = value_of("--syntax=");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Env sizes_of(const Design& design, const Options& opt) {
+  Env sizes;
+  for (const Symbol& s : design.nest.sizes()) {
+    if (s.name() == "m") {
+      sizes["m"] = Rational(opt.m);
+    } else {
+      sizes[s.name()] = Rational(opt.n);
+    }
+  }
+  return sizes;
+}
+
+int cmd_list() {
+  for (const Design& d : all_designs()) {
+    std::cout << d.nest.name() << ": " << d.description << "\n";
+  }
+  std::cout << "\ncatalog names: polyprod1 polyprod2 polyprod3 matmul1 "
+               "matmul2 matmul3 matmul4 convolution correlation\n";
+  return 0;
+}
+
+int cmd_report(const Design& design) {
+  CompiledProgram prog = compile(design.nest, design.spec);
+  std::cout << derivation_report(prog, design.nest, design.spec);
+  return 0;
+}
+
+int cmd_emit(const Design& design, const Options& opt) {
+  CompiledProgram prog = compile(design.nest, design.spec);
+  auto tree = ast::build_ast(prog, design.nest);
+  if (opt.syntax == "paper") {
+    std::cout << ast::to_paper_notation(*tree);
+  } else if (opt.syntax == "occam") {
+    std::cout << ast::to_occam(*tree);
+  } else if (opt.syntax == "c") {
+    std::cout << ast::to_c(*tree);
+  } else {
+    std::cerr << "unknown syntax '" << opt.syntax << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_graph(const Design& design, const Options& opt) {
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_of(design, opt);
+  NetworkGraph graph;
+  InstantiateOptions iopt;
+  iopt.network = &graph;
+  IndexedStore store = make_initial_store(
+      design.nest, sizes,
+      [](const std::string&, const IntVec&) { return 0; });
+  (void)execute(prog, design.nest, sizes, store, iopt);
+  std::cout << to_dot(graph);
+  return 0;
+}
+
+int cmd_schedule(const Design& design, const Options& opt) {
+  Env sizes = sizes_of(design, opt);
+  Schedule s = derive_schedule(design.nest, design.spec, sizes);
+  std::cout << "span = " << s.span() << " steps, peak parallelism = "
+            << s.max_width() << "\n";
+  if (design.nest.depth() == 2) {
+    CompiledProgram prog = compile(design.nest, design.spec);
+    std::cout << render_schedule_1d(s, prog.ps.min.evaluate(sizes),
+                                    prog.ps.max.evaluate(sizes));
+  } else {
+    std::cout << "parallelism profile per step:\n";
+    for (Int t = s.min_step; t <= s.max_step; ++t) {
+      std::cout << "  step " << t << ": " << s.width_at(t) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Design& design, const Options& opt) {
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_of(design, opt);
+
+  IndexedStore store = make_initial_store(
+      design.nest, sizes, [](const std::string& var, const IntVec& p) {
+        Value h = var.empty() ? 1 : var[0];
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
+        return h % 23 - 11;
+      });
+  IndexedStore expected = store;
+
+  InstantiateOptions iopt;
+  iopt.channel_capacity = opt.capacity;
+  iopt.merge_internal_buffers = opt.merge_buffers;
+  if (opt.partition > 0) {
+    std::vector<Int> comps(design.nest.depth() - 1, opt.partition);
+    iopt.partition_grid = IntVec(comps);
+  }
+
+  RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
+  std::cout << metrics.to_string() << "\n";
+  if (opt.partition > 0) {
+    std::cout << "physical processors: " << metrics.physical_processors
+              << "\n";
+  }
+
+  if (opt.verify) {
+    run_sequential(design.nest, sizes, expected);
+    for (const Stream& s : design.nest.streams()) {
+      if (store.elements(s.name()) != expected.elements(s.name())) {
+        std::cout << "VERIFY FAILED for stream " << s.name() << "\n";
+        return 1;
+      }
+    }
+    std::cout << "verify: OK (matches sequential execution)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list") return cmd_list();
+    if (argc < 3) return usage();
+
+    Options opt;
+    for (int i = 3; i < argc; ++i) {
+      if (!parse_flag(argv[i], opt)) {
+        std::cerr << "unknown flag '" << argv[i] << "'\n";
+        return usage();
+      }
+    }
+    Design design = load_design(argv[2]);
+    if (cmd == "report") return cmd_report(design);
+    if (cmd == "emit") return cmd_emit(design, opt);
+    if (cmd == "run") return cmd_run(design, opt);
+    if (cmd == "graph") return cmd_graph(design, opt);
+    if (cmd == "schedule") return cmd_schedule(design, opt);
+    return usage();
+  } catch (const systolize::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
