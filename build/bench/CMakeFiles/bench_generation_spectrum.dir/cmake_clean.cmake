@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation_spectrum.dir/bench_generation_spectrum.cpp.o"
+  "CMakeFiles/bench_generation_spectrum.dir/bench_generation_spectrum.cpp.o.d"
+  "bench_generation_spectrum"
+  "bench_generation_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polyprod.dir/bench_polyprod.cpp.o"
+  "CMakeFiles/bench_polyprod.dir/bench_polyprod.cpp.o.d"
+  "bench_polyprod"
+  "bench_polyprod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polyprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivations.dir/derivations.cpp.o"
+  "CMakeFiles/derivations.dir/derivations.cpp.o.d"
+  "derivations"
+  "derivations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

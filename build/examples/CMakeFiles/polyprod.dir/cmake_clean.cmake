@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyprod.dir/polyprod.cpp.o"
+  "CMakeFiles/polyprod.dir/polyprod.cpp.o.d"
+  "polyprod"
+  "polyprod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

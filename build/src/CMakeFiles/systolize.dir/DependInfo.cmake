@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/builder.cpp" "src/CMakeFiles/systolize.dir/ast/builder.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/ast/builder.cpp.o.d"
+  "/root/repo/src/ast/node.cpp" "src/CMakeFiles/systolize.dir/ast/node.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/ast/node.cpp.o.d"
+  "/root/repo/src/ast/print_c.cpp" "src/CMakeFiles/systolize.dir/ast/print_c.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/ast/print_c.cpp.o.d"
+  "/root/repo/src/ast/print_occam.cpp" "src/CMakeFiles/systolize.dir/ast/print_occam.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/ast/print_occam.cpp.o.d"
+  "/root/repo/src/ast/print_paper.cpp" "src/CMakeFiles/systolize.dir/ast/print_paper.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/ast/print_paper.cpp.o.d"
+  "/root/repo/src/baseline/runtime_generation.cpp" "src/CMakeFiles/systolize.dir/baseline/runtime_generation.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/baseline/runtime_generation.cpp.o.d"
+  "/root/repo/src/baseline/sequential.cpp" "src/CMakeFiles/systolize.dir/baseline/sequential.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/baseline/sequential.cpp.o.d"
+  "/root/repo/src/designs/catalog.cpp" "src/CMakeFiles/systolize.dir/designs/catalog.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/designs/catalog.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/systolize.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/systolize.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/loopnest/loop_nest.cpp" "src/CMakeFiles/systolize.dir/loopnest/loop_nest.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/loopnest/loop_nest.cpp.o.d"
+  "/root/repo/src/loopnest/stream.cpp" "src/CMakeFiles/systolize.dir/loopnest/stream.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/loopnest/stream.cpp.o.d"
+  "/root/repo/src/loopnest/validate.cpp" "src/CMakeFiles/systolize.dir/loopnest/validate.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/loopnest/validate.cpp.o.d"
+  "/root/repo/src/numeric/int_matrix.cpp" "src/CMakeFiles/systolize.dir/numeric/int_matrix.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/numeric/int_matrix.cpp.o.d"
+  "/root/repo/src/numeric/int_vec.cpp" "src/CMakeFiles/systolize.dir/numeric/int_vec.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/numeric/int_vec.cpp.o.d"
+  "/root/repo/src/numeric/rat_matrix.cpp" "src/CMakeFiles/systolize.dir/numeric/rat_matrix.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/numeric/rat_matrix.cpp.o.d"
+  "/root/repo/src/numeric/rat_vec.cpp" "src/CMakeFiles/systolize.dir/numeric/rat_vec.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/numeric/rat_vec.cpp.o.d"
+  "/root/repo/src/numeric/rational.cpp" "src/CMakeFiles/systolize.dir/numeric/rational.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/numeric/rational.cpp.o.d"
+  "/root/repo/src/runtime/host.cpp" "src/CMakeFiles/systolize.dir/runtime/host.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/runtime/host.cpp.o.d"
+  "/root/repo/src/runtime/instantiate.cpp" "src/CMakeFiles/systolize.dir/runtime/instantiate.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/runtime/instantiate.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/systolize.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/CMakeFiles/systolize.dir/runtime/network.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/runtime/network.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/systolize.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/scheme/buffers.cpp" "src/CMakeFiles/systolize.dir/scheme/buffers.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/buffers.cpp.o.d"
+  "/root/repo/src/scheme/compiler.cpp" "src/CMakeFiles/systolize.dir/scheme/compiler.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/compiler.cpp.o.d"
+  "/root/repo/src/scheme/first_last.cpp" "src/CMakeFiles/systolize.dir/scheme/first_last.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/first_last.cpp.o.d"
+  "/root/repo/src/scheme/increment.cpp" "src/CMakeFiles/systolize.dir/scheme/increment.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/increment.cpp.o.d"
+  "/root/repo/src/scheme/io_comm.cpp" "src/CMakeFiles/systolize.dir/scheme/io_comm.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/io_comm.cpp.o.d"
+  "/root/repo/src/scheme/io_layout.cpp" "src/CMakeFiles/systolize.dir/scheme/io_layout.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/io_layout.cpp.o.d"
+  "/root/repo/src/scheme/process_space.cpp" "src/CMakeFiles/systolize.dir/scheme/process_space.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/process_space.cpp.o.d"
+  "/root/repo/src/scheme/propagation.cpp" "src/CMakeFiles/systolize.dir/scheme/propagation.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/propagation.cpp.o.d"
+  "/root/repo/src/scheme/report.cpp" "src/CMakeFiles/systolize.dir/scheme/report.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/report.cpp.o.d"
+  "/root/repo/src/scheme/schedule.cpp" "src/CMakeFiles/systolize.dir/scheme/schedule.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/scheme/schedule.cpp.o.d"
+  "/root/repo/src/symbolic/affine_expr.cpp" "src/CMakeFiles/systolize.dir/symbolic/affine_expr.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/symbolic/affine_expr.cpp.o.d"
+  "/root/repo/src/symbolic/affine_point.cpp" "src/CMakeFiles/systolize.dir/symbolic/affine_point.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/symbolic/affine_point.cpp.o.d"
+  "/root/repo/src/symbolic/fourier_motzkin.cpp" "src/CMakeFiles/systolize.dir/symbolic/fourier_motzkin.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/symbolic/fourier_motzkin.cpp.o.d"
+  "/root/repo/src/symbolic/guard.cpp" "src/CMakeFiles/systolize.dir/symbolic/guard.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/symbolic/guard.cpp.o.d"
+  "/root/repo/src/symbolic/symbol.cpp" "src/CMakeFiles/systolize.dir/symbolic/symbol.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/symbolic/symbol.cpp.o.d"
+  "/root/repo/src/systolic/array_spec.cpp" "src/CMakeFiles/systolize.dir/systolic/array_spec.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/systolic/array_spec.cpp.o.d"
+  "/root/repo/src/systolic/dependence.cpp" "src/CMakeFiles/systolize.dir/systolic/dependence.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/systolic/dependence.cpp.o.d"
+  "/root/repo/src/systolic/flow.cpp" "src/CMakeFiles/systolize.dir/systolic/flow.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/systolic/flow.cpp.o.d"
+  "/root/repo/src/systolic/step_place.cpp" "src/CMakeFiles/systolize.dir/systolic/step_place.cpp.o" "gcc" "src/CMakeFiles/systolize.dir/systolic/step_place.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontend/test_guarded_body.cpp" "tests/CMakeFiles/test_frontend.dir/frontend/test_guarded_body.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/frontend/test_guarded_body.cpp.o.d"
+  "/root/repo/tests/frontend/test_lexer.cpp" "tests/CMakeFiles/test_frontend.dir/frontend/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/frontend/test_lexer.cpp.o.d"
+  "/root/repo/tests/frontend/test_parser.cpp" "tests/CMakeFiles/test_frontend.dir/frontend/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/frontend/test_parser.cpp.o.d"
+  "/root/repo/tests/frontend/test_sa_files.cpp" "tests/CMakeFiles/test_frontend.dir/frontend/test_sa_files.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/frontend/test_sa_files.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/systolize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loopnest.dir/loopnest/test_loop_nest.cpp.o"
+  "CMakeFiles/test_loopnest.dir/loopnest/test_loop_nest.cpp.o.d"
+  "CMakeFiles/test_loopnest.dir/loopnest/test_validate.cpp.o"
+  "CMakeFiles/test_loopnest.dir/loopnest/test_validate.cpp.o.d"
+  "test_loopnest"
+  "test_loopnest.pdb"
+  "test_loopnest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loopnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numeric/test_int_vec.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_int_vec.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_int_vec.cpp.o.d"
+  "/root/repo/tests/numeric/test_matrices.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_matrices.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_matrices.cpp.o.d"
+  "/root/repo/tests/numeric/test_rational.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_rational.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/systolize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/numeric/test_int_vec.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_int_vec.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_matrices.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_matrices.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_rational.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_rational.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheme/scheme_test_util.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/scheme_test_util.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/scheme_test_util.cpp.o.d"
+  "/root/repo/tests/scheme/test_cs_equals_ps.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_cs_equals_ps.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_cs_equals_ps.cpp.o.d"
+  "/root/repo/tests/scheme/test_design_sweep.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_design_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_design_sweep.cpp.o.d"
+  "/root/repo/tests/scheme/test_extension_designs.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_extension_designs.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_extension_designs.cpp.o.d"
+  "/root/repo/tests/scheme/test_io_layout.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_io_layout.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_io_layout.cpp.o.d"
+  "/root/repo/tests/scheme/test_matmul_design1.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_matmul_design1.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_matmul_design1.cpp.o.d"
+  "/root/repo/tests/scheme/test_matmul_design2.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_matmul_design2.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_matmul_design2.cpp.o.d"
+  "/root/repo/tests/scheme/test_polyprod_design1.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_polyprod_design1.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_polyprod_design1.cpp.o.d"
+  "/root/repo/tests/scheme/test_polyprod_design2.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_polyprod_design2.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_polyprod_design2.cpp.o.d"
+  "/root/repo/tests/scheme/test_process_space.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_process_space.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_process_space.cpp.o.d"
+  "/root/repo/tests/scheme/test_report.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_report.cpp.o.d"
+  "/root/repo/tests/scheme/test_schedule.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_schedule.cpp.o.d"
+  "/root/repo/tests/scheme/test_symbolic_quotient.cpp" "tests/CMakeFiles/test_scheme.dir/scheme/test_symbolic_quotient.cpp.o" "gcc" "tests/CMakeFiles/test_scheme.dir/scheme/test_symbolic_quotient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/systolize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

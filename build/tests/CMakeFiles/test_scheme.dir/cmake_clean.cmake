@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme.dir/scheme/scheme_test_util.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/scheme_test_util.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_cs_equals_ps.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_cs_equals_ps.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_design_sweep.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_design_sweep.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_extension_designs.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_extension_designs.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_io_layout.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_io_layout.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_matmul_design1.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_matmul_design1.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_matmul_design2.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_matmul_design2.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_polyprod_design1.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_polyprod_design1.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_polyprod_design2.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_polyprod_design2.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_process_space.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_process_space.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_report.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_report.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_schedule.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_schedule.cpp.o.d"
+  "CMakeFiles/test_scheme.dir/scheme/test_symbolic_quotient.cpp.o"
+  "CMakeFiles/test_scheme.dir/scheme/test_symbolic_quotient.cpp.o.d"
+  "test_scheme"
+  "test_scheme.pdb"
+  "test_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

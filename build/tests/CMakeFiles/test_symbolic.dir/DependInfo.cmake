@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/symbolic/test_affine_expr.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_affine_expr.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_affine_expr.cpp.o.d"
+  "/root/repo/tests/symbolic/test_fourier_motzkin.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_fourier_motzkin.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_fourier_motzkin.cpp.o.d"
+  "/root/repo/tests/symbolic/test_guard.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_guard.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_guard.cpp.o.d"
+  "/root/repo/tests/symbolic/test_piecewise.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_piecewise.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_piecewise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/systolize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

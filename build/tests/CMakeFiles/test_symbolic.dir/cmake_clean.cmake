@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic.dir/symbolic/test_affine_expr.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_affine_expr.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_fourier_motzkin.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_fourier_motzkin.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_guard.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_guard.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_piecewise.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_piecewise.cpp.o.d"
+  "test_symbolic"
+  "test_symbolic.pdb"
+  "test_symbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

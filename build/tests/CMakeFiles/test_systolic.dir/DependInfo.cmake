@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/systolic/test_array_spec.cpp" "tests/CMakeFiles/test_systolic.dir/systolic/test_array_spec.cpp.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_array_spec.cpp.o.d"
+  "/root/repo/tests/systolic/test_dependence.cpp" "tests/CMakeFiles/test_systolic.dir/systolic/test_dependence.cpp.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_dependence.cpp.o.d"
+  "/root/repo/tests/systolic/test_theorems.cpp" "tests/CMakeFiles/test_systolic.dir/systolic/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_theorems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/systolize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

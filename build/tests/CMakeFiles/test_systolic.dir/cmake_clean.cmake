@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic.dir/systolic/test_array_spec.cpp.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_array_spec.cpp.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_dependence.cpp.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_dependence.cpp.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_theorems.cpp.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_theorems.cpp.o.d"
+  "test_systolic"
+  "test_systolic.pdb"
+  "test_systolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolize_cli.dir/systolize_cli.cpp.o"
+  "CMakeFiles/systolize_cli.dir/systolize_cli.cpp.o.d"
+  "systolize"
+  "systolize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolize_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

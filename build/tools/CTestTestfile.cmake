@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/systolize" "list")
+set_tests_properties(cli_list PROPERTIES  PASS_REGULAR_EXPRESSION "Kung-Leiserson" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/systolize" "report" "matmul2")
+set_tests_properties(cli_report PROPERTIES  PASS_REGULAR_EXPRESSION "process space basis" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_paper "/root/repo/build/tools/systolize" "emit" "polyprod1")
+set_tests_properties(cli_emit_paper PROPERTIES  PASS_REGULAR_EXPRESSION "recover a, col" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_occam "/root/repo/build/tools/systolize" "emit" "polyprod1" "--syntax=occam")
+set_tests_properties(cli_emit_occam PROPERTIES  PASS_REGULAR_EXPRESSION "CHAN OF INT" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_c "/root/repo/build/tools/systolize" "emit" "matmul1" "--syntax=c")
+set_tests_properties(cli_emit_c PROPERTIES  PASS_REGULAR_EXPRESSION "recv\\(b_chan" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_verifies "/root/repo/build/tools/systolize" "run" "matmul2" "--n=4")
+set_tests_properties(cli_run_verifies PROPERTIES  PASS_REGULAR_EXPRESSION "verify: OK" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_partitioned "/root/repo/build/tools/systolize" "run" "polyprod2" "--n=8" "--partition=2")
+set_tests_properties(cli_run_partitioned PROPERTIES  PASS_REGULAR_EXPRESSION "physical processors: 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_sa_file "/root/repo/build/tools/systolize" "run" "/root/repo/designs/convolution.sa" "--n=6" "--m=2")
+set_tests_properties(cli_run_sa_file PROPERTIES  PASS_REGULAR_EXPRESSION "verify: OK" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_design "/root/repo/build/tools/systolize" "report" "nonsense")
+set_tests_properties(cli_unknown_design PROPERTIES  PASS_REGULAR_EXPRESSION "unknown design" WILL_FAIL "FALSE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_graph "/root/repo/build/tools/systolize" "graph" "polyprod1" "--n=3")
+set_tests_properties(cli_graph PROPERTIES  PASS_REGULAR_EXPRESSION "digraph systolic" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/tools/systolize" "schedule" "polyprod2" "--n=4")
+set_tests_properties(cli_schedule PROPERTIES  PASS_REGULAR_EXPRESSION "peak parallelism" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;49;add_test;/root/repo/tools/CMakeLists.txt;0;")
