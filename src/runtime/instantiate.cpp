@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "runtime/scheduler.hpp"
@@ -162,6 +163,15 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
   Scheduler sched;
   RunMetrics metrics;
 
+  // Robustness layer: attach the fault injector (so spawn-time rolls see
+  // every process) and the watchdog bounds before building the network.
+  std::optional<FaultInjector> injector;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    injector.emplace(*options.faults);
+    sched.set_fault_injector(&*injector);
+  }
+  sched.set_watchdog(options.watchdog);
+
   const IntVec ps_min = program.ps.min.evaluate(sizes);
   const IntVec ps_max = program.ps.max.evaluate(sizes);
 
@@ -299,11 +309,13 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
               cname + "." + std::to_string(link++), options.channel_capacity);
           const std::string bname = point_name("buf:" + plan.name + ":", y) +
                                     "#" + std::to_string(bi);
-          sched.spawn(bname,
-                      [prev, next, count](Ctx ctx) {
-                        return pass_body(ctx, prev, next, count);
-                      },
-                      clock_for(y));
+          Process& bp = sched.spawn(bname,
+                                    [prev, next, count](Ctx ctx) {
+                                      return pass_body(ctx, prev, next, count);
+                                    },
+                                    clock_for(y));
+          prev->declare_receiver(bp);
+          next->declare_sender(bp);
           link_node(bname, NetworkGraph::NodeKind::Buffer, prev);
           ++metrics.buffer_processes;
           prev = next;
@@ -318,11 +330,13 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
           // External buffer process: pass the whole pipeline (Eq. 10) —
           // zero elements when no pipe of this stream crosses the point.
           const std::string xname = point_name("xbuf:" + plan.name + ":", y);
-          sched.spawn(xname,
-                      [prev, next, count](Ctx ctx) {
-                        return pass_body(ctx, prev, next, count);
-                      },
-                      clock_for(y));
+          Process& xp = sched.spawn(xname,
+                                    [prev, next, count](Ctx ctx) {
+                                      return pass_body(ctx, prev, next, count);
+                                    },
+                                    clock_for(y));
+          prev->declare_receiver(xp);
+          next->declare_sender(xp);
           link_node(xname, NetworkGraph::NodeKind::Buffer, prev);
           ++metrics.buffer_processes;
         }
@@ -335,21 +349,24 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
       for (const IntVec& w : elems) {
         values.push_back(store.get(plan.name, w));
       }
-      sched.spawn(in_name,
-                  [head, values](Ctx ctx) {
-                    return input_body(ctx, head, values);
-                  },
-                  clock_for(a));
+      Process& inp = sched.spawn(in_name,
+                                 [head, values](Ctx ctx) {
+                                   return input_body(ctx, head, values);
+                                 },
+                                 clock_for(a));
+      head->declare_sender(inp);
       IndexedStore* store_ptr = &store;
       std::string var = plan.name;
       const std::string out_name =
           point_name("out:" + plan.name + ":", points.back());
       link_node(out_name, NetworkGraph::NodeKind::Output, prev);
-      sched.spawn(out_name,
-                  [prev, elems, var, store_ptr](Ctx ctx) {
-                    return output_body(ctx, prev, elems, var, store_ptr);
-                  },
-                  clock_for(points.back()));
+      Process& outp =
+          sched.spawn(out_name,
+                      [prev, elems, var, store_ptr](Ctx ctx) {
+                        return output_body(ctx, prev, elems, var, store_ptr);
+                      },
+                      clock_for(points.back()));
+      prev->declare_receiver(outp);
       metrics.io_processes += 2;
       ++pipe_idx;
     }
@@ -394,15 +411,21 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
       }
       spec.roles.push_back(std::move(role));
     }
-    sched.spawn(
+    Process& cp = sched.spawn(
         point_name("comp:", y),
         [spec](Ctx ctx) { return computation_body(ctx, spec); },
         clock_for(y));
+    for (const StreamRole& role : spec.roles) {
+      role.in->declare_receiver(cp);
+      role.out->declare_sender(cp);
+    }
     ++metrics.computation_processes;
   }
 
   sched.run();
 
+  metrics.scheduler_rounds = sched.round();
+  metrics.faults_injected = injector ? injector->injected() : 0;
   metrics.makespan = sched.makespan();
   metrics.physical_processors = options.partition_grid.dim() == 0
                                     ? sched.processes().size()

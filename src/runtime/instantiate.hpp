@@ -10,10 +10,12 @@
 // come from the symbolic repeaters evaluated at the process coordinates.
 #pragma once
 
+#include "runtime/faults.hpp"
 #include "runtime/host.hpp"
 #include "runtime/network.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/watchdog.hpp"
 #include "scheme/types.hpp"
 
 namespace systolize {
@@ -36,6 +38,15 @@ struct InstantiateOptions {
   /// multiplexed onto one physical processor and share its logical clock,
   /// so the makespan reflects the serialization; results are unchanged.
   IntVec partition_grid;
+  /// Deterministic fault injection: when non-null (and non-empty), the
+  /// plan's stalls/kills/delays/duplicates are injected into the run;
+  /// a given (plan, program, sizes) triple replays bit-identically. The
+  /// plan must outlive the call.
+  const FaultPlan* faults = nullptr;
+  /// Progress watchdog: bounds on scheduler rounds and per-process
+  /// blocked time (0 = disabled). Turns livelock/starvation into a
+  /// structured Error(Runtime) with a forensic report.
+  WatchdogConfig watchdog;
 };
 
 /// Execute the program at the problem size bound in `sizes`, reading

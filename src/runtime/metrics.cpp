@@ -1,8 +1,34 @@
 #include "runtime/metrics.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace systolize {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 double RunMetrics::utilization() const {
   if (computation_processes == 0 || makespan == 0) return 0.0;
@@ -18,6 +44,58 @@ std::string RunMetrics::to_string() const {
      << " (comp=" << computation_processes << " io=" << io_processes
      << " buf=" << buffer_processes << ") channels=" << channel_count
      << " utilization=" << static_cast<int>(utilization() * 100.0) << '%';
+  if (faults_injected > 0) {
+    os << " rounds=" << scheduler_rounds << " faults=" << faults_injected;
+  }
+  return os.str();
+}
+
+std::string DeadlockReport::to_string() const {
+  std::ostringstream os;
+  os << reason << ": " << blocked.size() << " blocked op(s)";
+  if (!cycle.empty()) {
+    os << "; blocking cycle:";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      os << ' ' << cycle[i] << " -[" << cycle_channels[i] << "]->";
+    }
+    os << ' ' << cycle.front();
+  }
+  constexpr std::size_t kMaxShown = 12;
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    if (i == kMaxShown) {
+      os << "\n  ... " << (blocked.size() - kMaxShown) << " more";
+      break;
+    }
+    const BlockedOpState& b = blocked[i];
+    os << "\n  " << b.process << ": " << b.op;
+    if (!b.channel.empty()) os << ' ' << b.channel;
+    os << " (t=" << b.time << ", stmts=" << b.statements << ')';
+  }
+  return os.str();
+}
+
+std::string DeadlockReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"reason\":\"" << json_escape(reason) << "\",\"blocked\":[";
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    const BlockedOpState& b = blocked[i];
+    if (i != 0) os << ',';
+    os << "{\"process\":\"" << json_escape(b.process) << "\",\"channel\":\""
+       << json_escape(b.channel) << "\",\"op\":\"" << json_escape(b.op)
+       << "\",\"time\":" << b.time << ",\"statements\":" << b.statements
+       << '}';
+  }
+  os << "],\"cycle\":[";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(cycle[i]) << '"';
+  }
+  os << "],\"cycle_channels\":[";
+  for (std::size_t i = 0; i < cycle_channels.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(cycle_channels[i]) << '"';
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -1,8 +1,9 @@
-// Execution metrics reported by the simulator.
+// Execution metrics and forensic reports produced by the simulator.
 #pragma once
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "numeric/checked.hpp"
 
@@ -20,6 +21,8 @@ struct RunMetrics {
   /// Physical processors after partitioning (== process_count when
   /// unpartitioned).
   std::size_t physical_processors = 0;
+  Int scheduler_rounds = 0;  ///< cooperative rounds the run took
+  Int faults_injected = 0;   ///< faults that actually fired (0 = clean run)
   std::map<std::string, Int> transfers_per_stream;
 
   /// Fraction of computation-process time spent executing statements:
@@ -29,6 +32,31 @@ struct RunMetrics {
   [[nodiscard]] double utilization() const;
 
   [[nodiscard]] std::string to_string() const;
+};
+
+/// One parked (or fault-held) operation of a blocked process, captured at
+/// stall time by the deadlock forensics pass.
+struct BlockedOpState {
+  std::string process;    ///< process name
+  std::string channel;    ///< channel the op is parked on (empty if stalled)
+  std::string op;         ///< "send" | "recv" | "stalled" | "delayed-send" | "delayed-recv"
+  Int time = 0;           ///< the process's local logical clock
+  Int statements = 0;     ///< basic statements the process has executed
+};
+
+/// Machine-readable stall forensics: every blocked op, plus one blocking
+/// cycle of the wait-for graph when the stall is a rendezvous deadlock.
+/// `cycle[i]` waits on `cycle_channels[i]` toward `cycle[(i+1) % n]`.
+struct DeadlockReport {
+  std::string reason;  ///< "deadlock" or a watchdog description
+  std::vector<BlockedOpState> blocked;
+  std::vector<std::string> cycle;
+  std::vector<std::string> cycle_channels;
+
+  /// Human-readable multi-line rendering (used as the Error message).
+  [[nodiscard]] std::string to_string() const;
+  /// JSON rendering (the Error's diagnostic payload).
+  [[nodiscard]] std::string to_json() const;
 };
 
 }  // namespace systolize

@@ -1,8 +1,10 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
+#include "runtime/faults.hpp"
 #include "support/error.hpp"
 
 namespace systolize {
@@ -31,8 +33,20 @@ void Channel::complete_counterpart(CommOp& op, Value v, Int time) {
   if (--p.pending == 0) p.sched->make_ready(p);
 }
 
+void Channel::after_transfer(Value v, Int time) {
+  FaultInjector* inj = sched_ == nullptr ? nullptr : sched_->injector();
+  if (inj == nullptr) return;
+  if (inj->roll_duplicate(*this, transfers_ - 1)) {
+    // Ghost delivery: the value re-enters the channel as if sent a second
+    // time. The next receive consumes it, shifting the stream — the
+    // protocol breakage the resilience harness must then catch.
+    buffer_.push_back(Stamped{v, time});
+  }
+}
+
 bool Channel::try_complete(CommOp& op) {
   Process& self = *op.proc;
+  (op.is_send ? known_sender_ : known_receiver_) = &self;
   if (op.is_send) {
     if (!receivers_.empty()) {
       CommOp* r = receivers_.front();
@@ -44,6 +58,7 @@ bool Channel::try_complete(CommOp& op) {
       ++transfers_;
       op.done = true;
       complete_counterpart(*r, op.value, t);
+      after_transfer(op.value, t);
       return true;
     }
     if (static_cast<Int>(buffer_.size()) < capacity_) {
@@ -53,6 +68,7 @@ bool Channel::try_complete(CommOp& op) {
       ++self.sends;
       ++transfers_;
       op.done = true;
+      after_transfer(op.value, self.time());
       return true;
     }
     return false;
@@ -74,6 +90,7 @@ bool Channel::try_complete(CommOp& op) {
       buffer_.push_back(Stamped{snd->value, t});
       ++transfers_;
       complete_counterpart(*snd, snd->value, t);
+      after_transfer(snd->value, t);
     }
     return true;
   }
@@ -88,13 +105,59 @@ bool Channel::try_complete(CommOp& op) {
     op.done = true;
     ++transfers_;
     complete_counterpart(*snd, snd->value, t);
+    after_transfer(snd->value, t);
     return true;
   }
   return false;
 }
 
 void Channel::park(CommOp& op) {
+  (op.is_send ? known_sender_ : known_receiver_) = op.proc;
   (op.is_send ? senders_ : receivers_).push_back(&op);
+}
+
+void Channel::match_parked() {
+  // Only injected delays can park both sides of a channel simultaneously
+  // (an arriving op always matches a parked counterpart in try_complete),
+  // so this runs only when a delayed op is finally released.
+  for (bool progress = true; progress;) {
+    progress = false;
+    // Parked receivers drain buffered values first (FIFO order).
+    while (!receivers_.empty() && !buffer_.empty()) {
+      CommOp* r = receivers_.front();
+      receivers_.pop_front();
+      Stamped s = buffer_.front();
+      buffer_.pop_front();
+      complete_counterpart(*r, s.value, std::max(r->issue_time + 1, s.time));
+      progress = true;
+    }
+    // Direct rendezvous between mutually parked ops.
+    while (!senders_.empty() && !receivers_.empty()) {
+      CommOp* snd = senders_.front();
+      senders_.pop_front();
+      CommOp* r = receivers_.front();
+      receivers_.pop_front();
+      Int t = std::max(snd->issue_time, r->issue_time) + 1;
+      ++transfers_;
+      Value v = snd->value;
+      complete_counterpart(*snd, v, t);
+      complete_counterpart(*r, v, t);
+      after_transfer(v, t);
+      progress = true;
+    }
+    // A parked sender moves into free buffer space.
+    while (!senders_.empty() &&
+           static_cast<Int>(buffer_.size()) < capacity_) {
+      CommOp* snd = senders_.front();
+      senders_.pop_front();
+      Int t = snd->issue_time + 1;
+      buffer_.push_back(Stamped{snd->value, t});
+      ++transfers_;
+      complete_counterpart(*snd, snd->value, t);
+      after_transfer(snd->value, t);
+      progress = true;
+    }
+  }
 }
 
 // ------------------------------------------------------------------- Ctx
@@ -104,16 +167,24 @@ CommAwaiter::CommAwaiter(Ctx ctx, std::vector<CommOp> ops)
 
 bool CommAwaiter::await_ready() {
   Process& p = ctx_.process();
+  FaultInjector* inj = p.sched->injector();
   for (CommOp& op : ops_) {
     op.proc = &p;
     op.issue_time = p.time();
+    // Roll injected transfer delays once per issued op; a delayed op is
+    // forced to suspend and is offered to its channel only after the
+    // delay elapses (await_suspend hands it to the scheduler).
+    op.fault_delay = inj == nullptr ? 0 : inj->roll_delay(*op.chan);
   }
   bool all = true;
   for (CommOp& op : ops_) {
+    if (op.fault_delay > 0) {
+      all = false;
+      continue;
+    }
     if (!op.chan->try_complete(op)) all = false;
   }
-  if (all) return true;
-  return false;
+  return all;
 }
 
 void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
@@ -124,9 +195,14 @@ void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
   for (CommOp& op : ops_) {
     if (op.done) continue;
     ++p.pending;
-    op.chan->park(op);
     if (p.pending > 1) blocked << ", ";
     blocked << (op.is_send ? "send " : "recv ") << op.chan->name();
+    if (op.fault_delay > 0) {
+      blocked << " (delayed)";
+      p.sched->defer_op(op, op.fault_delay);
+    } else {
+      op.chan->park(op);
+    }
   }
   p.blocked_on = blocked.str();
   // Transfers completed after parking (by partners) decrement `pending`;
@@ -175,6 +251,15 @@ CommOp Ctx::recv_op(Channel& chan, Value& out) const {
 void Ctx::tick_statement() {
   ++proc_->clock->time;
   ++proc_->statements;
+  if (proc_->fault_kill_at >= 0 &&
+      proc_->statements == proc_->fault_kill_at) {
+    proc_->killed = true;
+    if (sched_->injector() != nullptr) {
+      sched_->injector()->record(FaultKind::Kill, proc_->name,
+                                 proc_->statements);
+    }
+    throw ProcessKilledSignal{};
+  }
 }
 
 // ------------------------------------------------------------- Scheduler
@@ -197,6 +282,7 @@ Process& Scheduler::spawn(std::string name,
   Task task = body(Ctx(this, &ref));
   ref.handle = task.handle;
   task.handle.promise().proc = &ref;
+  if (injector_ != nullptr) injector_->on_spawn(ref);
   make_ready(ref);
   return ref;
 }
@@ -213,33 +299,112 @@ void Scheduler::make_ready(Process& proc) {
   ready_.push_back(&proc);
 }
 
+void Scheduler::defer_op(CommOp& op, Int delay) {
+  delayed_.emplace(round_ + delay, &op);
+}
+
+void Scheduler::release_due() {
+  while (!stalled_.empty() && stalled_.begin()->first <= round_) {
+    Process* proc = stalled_.begin()->second;
+    stalled_.erase(stalled_.begin());
+    // Still flagged in_ready_queue (it was queued the whole time, just
+    // elsewhere), so re-insert directly.
+    ready_.push_back(proc);
+  }
+  while (!delayed_.empty() && delayed_.begin()->first <= round_) {
+    CommOp* op = delayed_.begin()->second;
+    delayed_.erase(delayed_.begin());
+    op->chan->park(*op);
+    // Its partner may have parked in the meantime: pair them up now.
+    op->chan->match_parked();
+  }
+}
+
+void Scheduler::check_starvation() {
+  for (const auto& p : processes_) {
+    if (p->finished || p->in_ready_queue) continue;
+    if (round_ - p->last_active_round > watchdog_.max_blocked_rounds) {
+      raise_stall(*this, "watchdog: process '" + p->name +
+                             "' blocked for more than " +
+                             std::to_string(watchdog_.max_blocked_rounds) +
+                             " rounds (starvation)");
+    }
+  }
+}
+
 void Scheduler::run() {
-  while (!ready_.empty()) {
-    Process* proc = ready_.front();
-    ready_.pop_front();
-    proc->in_ready_queue = false;
-    if (proc->finished) continue;
-    proc->handle.resume();
-    if (proc->error) std::rethrow_exception(proc->error);
-    if (proc->handle.done()) proc->finished = true;
+  round_ = 0;
+  for (;;) {
+    release_due();
+    if (ready_.empty()) {
+      if (stalled_.empty() && delayed_.empty()) break;
+      // Nothing runnable, but injected faults hold work: jump to the
+      // next release round (fault durations are finite, so this always
+      // terminates).
+      Int next = std::numeric_limits<Int>::max();
+      if (!stalled_.empty()) next = std::min(next, stalled_.begin()->first);
+      if (!delayed_.empty()) next = std::min(next, delayed_.begin()->first);
+      round_ = next;
+      continue;
+    }
+    if (watchdog_.max_rounds > 0 && round_ >= watchdog_.max_rounds) {
+      raise_stall(*this, "watchdog: round budget of " +
+                             std::to_string(watchdog_.max_rounds) +
+                             " exhausted (livelock?)");
+    }
+    // One round = the ready entries present at round start; processes
+    // made ready during the round run in the next one. The order is the
+    // same FIFO order as before rounds existed — the boundary only
+    // defines the time base for stalls, delays and the watchdog.
+    const std::size_t batch = ready_.size();
+    for (std::size_t i = 0; i < batch; ++i) {
+      Process* proc = ready_.front();
+      ready_.pop_front();
+      if (proc->finished) {
+        proc->in_ready_queue = false;
+        continue;
+      }
+      if (proc->fault_stall_round >= 0 && !proc->fault_stall_served &&
+          round_ >= proc->fault_stall_round) {
+        // Injected stall: hold the process out of the queue for its
+        // duration; in_ready_queue stays set (it is queued, elsewhere).
+        proc->fault_stall_served = true;
+        if (injector_ != nullptr) {
+          injector_->record(FaultKind::Stall, proc->name,
+                            proc->fault_stall_duration);
+        }
+        stalled_.emplace(round_ + proc->fault_stall_duration, proc);
+        continue;
+      }
+      proc->in_ready_queue = false;
+      proc->last_active_round = round_;
+      proc->handle.resume();
+      if (proc->error) {
+        if (proc->killed) {
+          // An injected kill unwound the coroutine with a private
+          // signal: the process is dead but the run continues, so the
+          // rest of the network's failure can be observed and diagnosed.
+          proc->error = nullptr;
+          proc->finished = true;
+          continue;
+        }
+        std::rethrow_exception(proc->error);
+      }
+      if (proc->handle.done()) proc->finished = true;
+    }
+    if (watchdog_.max_blocked_rounds > 0) check_starvation();
+    ++round_;
   }
   // All ready work drained: either everything finished or we deadlocked.
-  std::vector<const Process*> stuck;
+  bool stuck = false;
   for (const auto& p : processes_) {
-    if (!p->finished) stuck.push_back(p.get());
-  }
-  if (stuck.empty()) return;
-  std::ostringstream os;
-  os << "deadlock: " << stuck.size() << " process(es) blocked";
-  std::size_t shown = 0;
-  for (const Process* p : stuck) {
-    if (shown++ == 8) {
-      os << "; ...";
+    if (!p->finished) {
+      stuck = true;
       break;
     }
-    os << "; " << p->name << " on [" << p->blocked_on << "]";
   }
-  raise(ErrorKind::Runtime, os.str());
+  if (!stuck) return;
+  raise_stall(*this, "deadlock");
 }
 
 Int Scheduler::total_transfers() const {

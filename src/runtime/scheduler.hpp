@@ -6,22 +6,33 @@
 // scheduler (FIFO ready queue). A logical clock assigns every rendezvous
 // max(t_sender, t_receiver) + 1 and every basic statement +1, so the final
 // maximum over all processes is the parallel makespan in systolic steps.
+//
+// The scheduler additionally counts cooperative *rounds* (one round =
+// draining the ready entries present at round start). Rounds are the time
+// base of the robustness layer: fault injection (runtime/faults) stalls
+// processes and delays transfers in rounds, and the watchdog
+// (runtime/watchdog) bounds rounds and per-process blocked time. Logical
+// clocks are driven purely by the dataflow, so round-level perturbations
+// never change results or makespan — only the interleaving.
 #pragma once
 
 #include <algorithm>
 #include <coroutine>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "loopnest/loop_nest.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace systolize {
 
 class Scheduler;
 class Channel;
+class FaultInjector;
 struct Process;
 
 /// One pending communication of a par set. Lives in the awaiter inside the
@@ -34,6 +45,7 @@ struct CommOp {
   Process* proc = nullptr;
   Int issue_time = 0;  ///< owner's local time when the op was issued
   bool done = false;
+  Int fault_delay = 0; ///< injected delay in rounds (0 = none)
 };
 
 /// Coroutine return object for process bodies.
@@ -77,6 +89,14 @@ struct Process {
   Int sends = 0;
   Int recvs = 0;
   Int statements = 0;
+  /// Round the process last executed in (starvation watchdog).
+  Int last_active_round = 0;
+  // Injected-fault state, set by FaultInjector::on_spawn (-1 = no fault).
+  Int fault_stall_round = -1;    ///< round the stall triggers at
+  Int fault_stall_duration = 0;  ///< rounds the stall lasts
+  bool fault_stall_served = false;
+  Int fault_kill_at = -1;        ///< die at this (1-based) statement
+  bool killed = false;           ///< terminated by an injected kill
 
   [[nodiscard]] Int time() const noexcept { return clock->time; }
   void advance_to(Int t) noexcept { clock->time = std::max(clock->time, t); }
@@ -100,6 +120,7 @@ class Ctx {
   [[nodiscard]] CommOp recv_op(Channel& chan, Value& out) const;
 
   /// Advance the local clock by one step (a basic-statement execution).
+  /// Fires an injected kill when the process reaches its doomed statement.
   void tick_statement();
 
   [[nodiscard]] Process& process() const { return *proc_; }
@@ -141,6 +162,35 @@ class Channel {
   bool try_complete(CommOp& op);
   /// Park the op until a partner arrives.
   void park(CommOp& op);
+  /// Pair mutually-parked ops (and drain the buffer into parked
+  /// receivers). Only injected delays can leave both sides parked, so
+  /// this is a no-op on fault-free runs.
+  void match_parked();
+
+  // --- forensic access (deadlock reports) ---
+  [[nodiscard]] const std::deque<CommOp*>& parked_senders() const noexcept {
+    return senders_;
+  }
+  [[nodiscard]] const std::deque<CommOp*>& parked_receivers() const noexcept {
+    return receivers_;
+  }
+  /// Last process seen on each side (the wait-for counterpart even when
+  /// that side is not currently parked).
+  [[nodiscard]] Process* known_sender() const noexcept {
+    return known_sender_;
+  }
+  [[nodiscard]] Process* known_receiver() const noexcept {
+    return known_receiver_;
+  }
+  /// Declare the process that will sit on a side of this channel, so the
+  /// deadlock forensics can follow wait-for edges through processes that
+  /// have not yet touched the channel (in a rendezvous cycle, the
+  /// counterpart of a parked op typically never reached it). The
+  /// instantiation layer declares both endpoints of every channel;
+  /// hand-built networks may skip this — forensics then falls back to
+  /// observed use, and the cycle may be reported empty.
+  void declare_sender(Process& p) noexcept { known_sender_ = &p; }
+  void declare_receiver(Process& p) noexcept { known_receiver_ = &p; }
 
  private:
   struct Stamped {
@@ -149,6 +199,8 @@ class Channel {
   };
 
   void complete_counterpart(CommOp& op, Value v, Int time);
+  /// Post-transfer fault hook: may ghost-deliver the value a second time.
+  void after_transfer(Value v, Int time);
 
   std::string name_;
   Scheduler* sched_;
@@ -157,6 +209,8 @@ class Channel {
   std::deque<CommOp*> senders_;
   std::deque<CommOp*> receivers_;
   Int transfers_ = 0;
+  Process* known_sender_ = nullptr;
+  Process* known_receiver_ = nullptr;
 };
 
 class Scheduler {
@@ -175,11 +229,29 @@ class Scheduler {
   /// Create a channel owned by the scheduler.
   Channel& make_channel(std::string name, Int capacity = 0);
 
-  /// Run to completion. Throws Error(Runtime) on deadlock, and rethrows
-  /// the first process exception.
+  /// Run to completion. Throws Error(Runtime) with a forensic deadlock
+  /// report on stall or watchdog expiry, and rethrows the first process
+  /// exception.
   void run();
 
   void make_ready(Process& proc);
+
+  /// Attach a fault injector for the next run (nullptr = none). The
+  /// injector must outlive the run.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* injector() const noexcept { return injector_; }
+
+  void set_watchdog(const WatchdogConfig& config) noexcept {
+    watchdog_ = config;
+  }
+
+  /// Hold a parked-to-be op out of its channel for `delay` rounds
+  /// (injected transfer delay); called from the comm awaiter.
+  void defer_op(CommOp& op, Int delay);
+
+  [[nodiscard]] Int round() const noexcept { return round_; }
 
   [[nodiscard]] const std::deque<std::unique_ptr<Process>>& processes()
       const noexcept {
@@ -192,13 +264,35 @@ class Scheduler {
       const noexcept {
     return channels_;
   }
+  /// Ops currently held by an injected delay (forensic access).
+  [[nodiscard]] const std::multimap<Int, CommOp*>& delayed_ops()
+      const noexcept {
+    return delayed_;
+  }
+  /// Processes currently held by an injected stall (forensic access).
+  [[nodiscard]] const std::multimap<Int, Process*>& stalled_processes()
+      const noexcept {
+    return stalled_;
+  }
   [[nodiscard]] Int total_transfers() const;
   [[nodiscard]] Int makespan() const;
 
  private:
+  /// Re-queue stalled processes and re-offer delayed ops whose release
+  /// round has arrived.
+  void release_due();
+  /// Starvation watchdog: trip when a blocked process has been inactive
+  /// for more than max_blocked_rounds while the scheduler still turns.
+  void check_starvation();
+
   std::deque<std::unique_ptr<Process>> processes_;
   std::deque<std::unique_ptr<Channel>> channels_;
   std::deque<Process*> ready_;
+  std::multimap<Int, Process*> stalled_;  ///< release round -> process
+  std::multimap<Int, CommOp*> delayed_;   ///< release round -> held op
+  FaultInjector* injector_ = nullptr;
+  WatchdogConfig watchdog_;
+  Int round_ = 0;
 };
 
 }  // namespace systolize

@@ -1,0 +1,130 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+/// One wait-for edge: the blocked process waits for `to` to take the
+/// other side of `via`.
+struct WaitEdge {
+  const Process* to = nullptr;
+  const Channel* via = nullptr;
+};
+
+/// Extract one cycle from the wait-for graph, if any, into the report.
+void find_cycle(
+    const std::map<const Process*, std::vector<WaitEdge>>& adj,
+    DeadlockReport& report) {
+  // DFS with the classic three colours; the path stack remembers the
+  // channel each hop came in on, so the cycle can be reported with the
+  // channels that carry it.
+  std::map<const Process*, int> color;  // 0 white, 1 gray, 2 black
+  struct PathEntry {
+    const Process* proc;
+    const Channel* via_in;  ///< channel of the edge into `proc` (null at root)
+  };
+  std::vector<PathEntry> path;
+  bool found = false;
+
+  std::function<void(const Process*)> dfs = [&](const Process* u) {
+    color[u] = 1;
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const WaitEdge& e : it->second) {
+        if (found) return;
+        if (color[e.to] == 0) {
+          path.push_back({e.to, e.via});
+          dfs(e.to);
+          if (found) return;
+          path.pop_back();
+        } else if (color[e.to] == 1) {
+          // Back edge u -> e.to closes a cycle: it runs from e.to's
+          // position in the path down to u, then back via e.via.
+          auto start = std::find_if(
+              path.begin(), path.end(),
+              [&](const PathEntry& pe) { return pe.proc == e.to; });
+          for (auto pe = start; pe != path.end(); ++pe) {
+            report.cycle.push_back(pe->proc->name);
+            auto next = pe + 1;
+            report.cycle_channels.push_back(
+                next == path.end() ? e.via->name() : next->via_in->name());
+          }
+          found = true;
+          return;
+        }
+      }
+    }
+    color[u] = 2;
+  };
+
+  for (const auto& [proc, edges] : adj) {
+    (void)edges;
+    if (found) break;
+    if (color[proc] == 0) {
+      path.clear();
+      path.push_back({proc, nullptr});
+      dfs(proc);
+    }
+  }
+}
+
+}  // namespace
+
+DeadlockReport build_deadlock_report(const Scheduler& sched,
+                                     std::string reason) {
+  DeadlockReport report;
+  report.reason = std::move(reason);
+
+  std::map<const Process*, std::vector<WaitEdge>> adj;
+  auto add_blocked = [&](const Process* p, const Channel* c,
+                         const char* opname) {
+    report.blocked.push_back(BlockedOpState{
+        p->name, c == nullptr ? "" : c->name(), opname, p->time(),
+        p->statements});
+  };
+
+  for (const auto& chan : sched.channels()) {
+    for (const CommOp* op : chan->parked_senders()) {
+      add_blocked(op->proc, chan.get(), "send");
+      Process* cp = chan->known_receiver();
+      if (cp != nullptr && cp != op->proc && !cp->finished) {
+        adj[op->proc].push_back(WaitEdge{cp, chan.get()});
+      }
+    }
+    for (const CommOp* op : chan->parked_receivers()) {
+      add_blocked(op->proc, chan.get(), "recv");
+      Process* cp = chan->known_sender();
+      if (cp != nullptr && cp != op->proc && !cp->finished) {
+        adj[op->proc].push_back(WaitEdge{cp, chan.get()});
+      }
+    }
+  }
+  // Ops and processes held by injected faults are blocked on the fault
+  // clock, not on a partner: report them without wait-for edges.
+  for (const auto& [release, op] : sched.delayed_ops()) {
+    (void)release;
+    add_blocked(op->proc, op->chan,
+                op->is_send ? "delayed-send" : "delayed-recv");
+  }
+  for (const auto& [release, proc] : sched.stalled_processes()) {
+    (void)release;
+    add_blocked(proc, nullptr, "stalled");
+  }
+
+  find_cycle(adj, report);
+  return report;
+}
+
+void raise_stall(const Scheduler& sched, std::string reason) {
+  DeadlockReport report = build_deadlock_report(sched, std::move(reason));
+  raise(ErrorKind::Runtime, report.to_string(), report.to_json());
+}
+
+}  // namespace systolize

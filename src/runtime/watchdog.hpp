@@ -1,0 +1,48 @@
+// Progress watchdog and deadlock forensics for the scheduler.
+//
+// The runtime's original deadlock detector fired only when the ready
+// queue drained with processes still unfinished, and reported one line.
+// This layer adds (a) hard bounds that turn livelock and starvation —
+// which never drain the queue — into structured errors, and (b) a
+// forensic pass that, on any stall, reconstructs the wait-for graph from
+// the parked communication ops, extracts the blocking cycle, and reports
+// per-process state both human-readably (the Error message) and as JSON
+// (the Error's diagnostic payload).
+#pragma once
+
+#include <string>
+
+#include "runtime/metrics.hpp"
+
+namespace systolize {
+
+class Scheduler;
+
+/// Progress bounds enforced by the scheduler each round. Zero disables a
+/// bound. With both disabled the scheduler behaves exactly as before:
+/// stalls are only detected when the ready queue drains.
+struct WatchdogConfig {
+  /// Abort when the scheduler exceeds this many cooperative rounds
+  /// (livelock guard: a finite program on a finite network bounds its
+  /// rounds by statements + transfers).
+  Int max_rounds = 0;
+  /// Abort when a live, runnable-in-principle process has not executed
+  /// for this many consecutive rounds while others still run (starvation
+  /// guard). Must exceed any injected stall/delay duration, which park a
+  /// process legitimately.
+  Int max_blocked_rounds = 0;
+};
+
+/// Reconstruct the stall state: every parked/held op per blocked process,
+/// and one blocking cycle of the wait-for graph if there is one. A
+/// blocked process waits on the counterpart of each channel it is parked
+/// on; the counterpart is whichever live process is parked on — or last
+/// used — the channel's other side.
+[[nodiscard]] DeadlockReport build_deadlock_report(const Scheduler& sched,
+                                                   std::string reason);
+
+/// Build the report and raise Error(Runtime) with the human-readable
+/// rendering as the message and the JSON rendering as the diagnostic.
+[[noreturn]] void raise_stall(const Scheduler& sched, std::string reason);
+
+}  // namespace systolize

@@ -21,20 +21,55 @@ enum class ErrorKind {
   Parse,            ///< .sa frontend syntax error
 };
 
+/// Stable name of an ErrorKind, for error printing and logs.
+[[nodiscard]] constexpr const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::Overflow: return "Overflow";
+    case ErrorKind::DivideByZero: return "DivideByZero";
+    case ErrorKind::Dimension: return "Dimension";
+    case ErrorKind::Singular: return "Singular";
+    case ErrorKind::NotRepresentable: return "NotRepresentable";
+    case ErrorKind::Validation: return "Validation";
+    case ErrorKind::Inconsistent: return "Inconsistent";
+    case ErrorKind::Unsupported: return "Unsupported";
+    case ErrorKind::Runtime: return "Runtime";
+    case ErrorKind::Parse: return "Parse";
+  }
+  return "Unknown";
+}
+
 /// Exception carrying an ErrorKind; all systolize failures throw this.
+/// An optional machine-readable diagnostic payload (JSON) rides along for
+/// failures with forensic detail (e.g. the runtime's deadlock reports).
 class Error : public std::runtime_error {
  public:
   Error(ErrorKind kind, const std::string& message)
       : std::runtime_error(message), kind_(kind) {}
 
+  Error(ErrorKind kind, const std::string& message, std::string diagnostic)
+      : std::runtime_error(message),
+        kind_(kind),
+        diagnostic_(std::move(diagnostic)) {}
+
   [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+  /// Machine-readable payload (empty when the failure carries none).
+  [[nodiscard]] const std::string& diagnostic() const noexcept {
+    return diagnostic_;
+  }
 
  private:
   ErrorKind kind_;
+  std::string diagnostic_;
 };
 
 [[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
   throw Error(kind, message);
+}
+
+[[noreturn]] inline void raise(ErrorKind kind, const std::string& message,
+                               std::string diagnostic) {
+  throw Error(kind, message, std::move(diagnostic));
 }
 
 }  // namespace systolize

@@ -1,0 +1,82 @@
+// Negative-input robustness: malformed .sa source must raise a structured
+// Error (Parse or Validation) — never crash, loop, or silently succeed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace systolize::frontend {
+namespace {
+
+struct MalformedCase {
+  const char* label;
+  const char* source;
+};
+
+const std::vector<MalformedCase>& corpus() {
+  static const std::vector<MalformedCase> cases = {
+      {"empty input", ""},
+      {"whitespace only", "   \n\t\n"},
+      {"comment only", "# nothing here\n"},
+      {"design keyword without a name", "design\n"},
+      {"unknown top-level keyword", "design d\nbogus i = 0 .. n\n"},
+      {"loop without bounds", "design d\nloop i\n"},
+      {"loop with half a range", "design d\nloop i = 0 ..\n"},
+      {"loop bound is junk", "design d\nloop i = 0 .. @@@\n"},
+      {"stream with unbalanced bracket",
+       "design d\nloop i = 0 .. n\nstream a[i read dims [0 .. n]\n"},
+      {"stream missing dims",
+       "design d\nloop i = 0 .. n\nstream a[i] read\n"},
+      {"stream with unknown access mode",
+       "design d\nloop i = 0 .. n\nstream a[i] scribble dims [0 .. n]\n"},
+      {"body references undeclared stream",
+       "design d\nsizes n >= 1\nloop i = 0 .. n\n"
+       "stream a[i] read dims [0 .. n]\n"
+       "body z := z + a\nstep i\nplace ()\n"},
+      {"truncated body expression",
+       "design d\nsizes n >= 1\nloop i = 0 .. n\n"
+       "stream a[i] update dims [0 .. n]\n"
+       "body a := a +\nstep i\nplace ()\n"},
+      {"step before any loops", "design d\nstep i + j\n"},
+      {"binary junk bytes", "\x01\x02\xff\xfe design \x7f\n"},
+      {"unterminated parenthesis in place",
+       "design d\nsizes n >= 1\nloop i = 0 .. n\nloop j = 0 .. n\n"
+       "stream a[i] read dims [0 .. n]\n"
+       "body a := a\nstep i + j\nplace (i\n"},
+  };
+  return cases;
+}
+
+TEST(MalformedInput, EveryCorpusEntryRaisesAStructuredError) {
+  for (const MalformedCase& mc : corpus()) {
+    try {
+      Design d = parse_design(mc.source);
+      (void)d;
+      FAIL() << "accepted malformed input: " << mc.label;
+    } catch (const Error& e) {
+      EXPECT_TRUE(e.kind() == ErrorKind::Parse ||
+                  e.kind() == ErrorKind::Validation)
+          << mc.label << " raised " << error_kind_name(e.kind()) << ": "
+          << e.what();
+      EXPECT_STRNE(e.what(), "") << mc.label;
+    }
+    // Any other exception type escapes and fails the test — that is the
+    // contract: malformed input may only surface as systolize::Error.
+  }
+}
+
+TEST(MalformedInput, HugeIntegerLiteralDoesNotCrash) {
+  // Out-of-range literals may legitimately surface as Overflow instead of
+  // Parse; the requirement is a structured Error, not a specific kind.
+  const char* src =
+      "design d\nsizes n >= 1\n"
+      "loop i = 0 .. 99999999999999999999999999\n"
+      "stream a[i] read dims [0 .. n]\nbody a := a\nstep i\nplace ()\n";
+  EXPECT_THROW({ (void)parse_design(src); }, Error);
+}
+
+}  // namespace
+}  // namespace systolize::frontend

@@ -1,0 +1,363 @@
+// The fault-injection and watchdog layer, exercised on small hand-built
+// networks where every expected behaviour can be stated exactly.
+#include "runtime/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/watchdog.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+// Coroutine bodies are free functions taking everything by value or by
+// pointer (coroutine parameters are copied into the frame; capturing
+// lambdas would dangle).
+
+Task sender_body(Ctx ctx, Channel* chan, std::vector<Value> values) {
+  for (Value v : values) co_await ctx.send(*chan, v);
+}
+
+Task receiver_body(Ctx ctx, Channel* chan, std::size_t count,
+                   std::vector<Value>* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Value v = 0;
+    co_await ctx.recv(*chan, v);
+    out->push_back(v);
+  }
+}
+
+Task ticking_relay_body(Ctx ctx, Channel* in, Channel* out, Int count) {
+  for (Int i = 0; i < count; ++i) {
+    Value v = 0;
+    co_await ctx.recv(*in, v);
+    ctx.tick_statement();
+    co_await ctx.send(*out, v);
+  }
+}
+
+Task send_then_recv_body(Ctx ctx, Channel* out, Channel* in) {
+  co_await ctx.send(*out, 1);
+  Value v = 0;
+  co_await ctx.recv(*in, v);
+}
+
+Task ping_forever_body(Ctx ctx, Channel* out, Channel* in, bool start) {
+  Value v = 0;
+  if (start) co_await ctx.send(*out, v);
+  for (;;) {
+    co_await ctx.recv(*in, v);
+    co_await ctx.send(*out, v + 1);
+  }
+}
+
+Task recv_one_body(Ctx ctx, Channel* chan, Value* out) {
+  co_await ctx.recv(*chan, *out);
+}
+
+// --------------------------------------------------------------- SplitMix
+
+TEST(SplitMix64, SameSeedSameSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, UnitAndRangeAreWellFormed) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    Int k = rng.next_int(3, 9);
+    EXPECT_GE(k, 3);
+    EXPECT_LE(k, 9);
+  }
+}
+
+// -------------------------------------------------------- FaultPlan parse
+
+TEST(FaultPlan, ParsesFullDirectiveSyntax) {
+  FaultPlan plan = FaultPlan::parse(
+      "seed=42;stall=0.25:5;delay=0.1:3;dup=0.01;kill=0.02:7;"
+      "stall@comp:(1)=2:4;kill@comp:(2)=3;delay@a[0].1=0:2;dup@b[0].0=1");
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_DOUBLE_EQ(plan.profile().stall_probability, 0.25);
+  EXPECT_EQ(plan.profile().max_stall_rounds, 5);
+  EXPECT_DOUBLE_EQ(plan.profile().delay_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.profile().duplicate_probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.profile().kill_probability, 0.02);
+  ASSERT_EQ(plan.specs().size(), 4u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::Stall);
+  EXPECT_EQ(plan.specs()[0].target, "comp:(1)");
+  EXPECT_EQ(plan.specs()[0].at, 2);
+  EXPECT_EQ(plan.specs()[0].duration, 4);
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::Kill);
+  EXPECT_EQ(plan.specs()[1].at, 3);
+  EXPECT_EQ(plan.specs()[2].kind, FaultKind::Delay);
+  EXPECT_EQ(plan.specs()[2].target, "a[0].1");
+  EXPECT_EQ(plan.specs()[3].kind, FaultKind::Duplicate);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedDirectives) {
+  const char* bad[] = {
+      "frobnicate=1",      // unknown directive
+      "stall",             // no '='
+      "stall=2:5",         // probability out of range
+      "stall=0.5",         // missing duration
+      "stall=0.5:0",       // zero duration
+      "kill@p=0",          // statement index < 1
+      "dup=x",             // not a number
+      "seed=12junk",       // trailing junk
+      "delay@c=1:2:extra", // malformed tail (duration not integer)
+  };
+  for (const char* text : bad) {
+    try {
+      (void)FaultPlan::parse(text);
+      FAIL() << "expected rejection of '" << text << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::Validation) << text;
+    }
+  }
+}
+
+TEST(FaultPlan, EmptyPlanIsEmpty) {
+  EXPECT_TRUE(FaultPlan().empty());
+  EXPECT_TRUE(FaultPlan::parse("seed=9").empty());
+}
+
+// ------------------------------------------------------------ Stall/Delay
+
+// A 3-stage pipeline moving values end to end; the reference for the
+// perturbation tests below.
+struct Pipeline {
+  Scheduler sched;
+  std::vector<Value> got;
+  Int makespan = 0;
+
+  explicit Pipeline(const FaultPlan* plan, FaultInjector* injector) {
+    if (injector != nullptr) sched.set_fault_injector(injector);
+    (void)plan;
+    Channel* a = &sched.make_channel("a");
+    Channel* b = &sched.make_channel("b");
+    std::vector<Value> vals{3, 1, 4, 1, 5, 9};
+    std::vector<Value>* gp = &got;
+    Process& tx =
+        sched.spawn("tx", [a, vals](Ctx c) { return sender_body(c, a, vals); });
+    Process& mid = sched.spawn(
+        "mid", [a, b](Ctx c) { return ticking_relay_body(c, a, b, 6); });
+    Process& rx = sched.spawn(
+        "rx", [b, gp](Ctx c) { return receiver_body(c, b, 6, gp); });
+    a->declare_sender(tx);
+    a->declare_receiver(mid);
+    b->declare_sender(mid);
+    b->declare_receiver(rx);
+    sched.run();
+    makespan = sched.makespan();
+  }
+};
+
+TEST(FaultInjection, StallPreservesResultsAndMakespan) {
+  Pipeline clean(nullptr, nullptr);
+
+  FaultPlan plan(1);
+  plan.add(FaultSpec{FaultKind::Stall, "mid", /*at=*/1, /*duration=*/7});
+  FaultInjector injector(plan);
+  Pipeline stalled(&plan, &injector);
+
+  EXPECT_EQ(stalled.got, clean.got);
+  EXPECT_EQ(stalled.makespan, clean.makespan);
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0], "stall mid 7");
+  // The stall costs scheduler rounds, never logical time.
+  EXPECT_GT(stalled.sched.round(), clean.sched.round());
+}
+
+TEST(FaultInjection, DelayPreservesResultsAndMakespan) {
+  Pipeline clean(nullptr, nullptr);
+
+  FaultPlan plan(1);
+  plan.add(FaultSpec{FaultKind::Delay, "a", /*at=*/0, /*duration=*/5});
+  plan.add(FaultSpec{FaultKind::Delay, "b", /*at=*/2, /*duration=*/3});
+  FaultInjector injector(plan);
+  Pipeline delayed(&plan, &injector);
+
+  EXPECT_EQ(delayed.got, clean.got);
+  EXPECT_EQ(delayed.makespan, clean.makespan);
+  EXPECT_EQ(injector.log().size(), 2u);
+}
+
+TEST(FaultInjection, ProbabilisticPlanReplaysIdentically) {
+  FaultPlan plan(99);
+  FaultProfile profile;
+  profile.stall_probability = 0.5;
+  profile.max_stall_rounds = 4;
+  profile.delay_probability = 0.3;
+  profile.max_delay_rounds = 3;
+  plan.set_profile(profile);
+
+  FaultInjector inj1(plan);
+  Pipeline run1(&plan, &inj1);
+  FaultInjector inj2(plan);
+  Pipeline run2(&plan, &inj2);
+
+  EXPECT_EQ(inj1.log(), inj2.log());
+  EXPECT_EQ(run1.got, run2.got);
+  EXPECT_EQ(run1.makespan, run2.makespan);
+  EXPECT_EQ(run1.sched.round(), run2.sched.round());
+}
+
+// ------------------------------------------------------------------- Kill
+
+TEST(FaultInjection, KilledProcessDeadlocksPartnerWithForensics) {
+  FaultPlan plan;
+  plan.add(FaultSpec{FaultKind::Kill, "mid", /*at=*/2, 0});
+  FaultInjector injector(plan);
+  try {
+    Pipeline doomed(&plan, &injector);
+    FAIL() << "expected the network to stall";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    // The dead process is gone; its starved neighbours are reported.
+    EXPECT_NE(what.find("tx"), std::string::npos) << what;
+    EXPECT_NE(what.find("rx"), std::string::npos) << what;
+    EXPECT_FALSE(e.diagnostic().empty());
+    EXPECT_NE(e.diagnostic().find("\"reason\":\"deadlock\""),
+              std::string::npos);
+  }
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0], "kill mid 2");
+}
+
+// -------------------------------------------------------------- Duplicate
+
+TEST(FaultInjection, DuplicateDeliversGhostValue) {
+  FaultPlan plan;
+  plan.add(FaultSpec{FaultKind::Duplicate, "c", /*at=*/0, 0});
+  FaultInjector injector(plan);
+  Scheduler sched;
+  sched.set_fault_injector(&injector);
+  Channel* c = &sched.make_channel("c");
+  std::vector<Value> got;
+  std::vector<Value>* gp = &got;
+  sched.spawn("tx", [c](Ctx ctx) { return sender_body(ctx, c, {10, 20}); });
+  sched.spawn("rx", [c, gp](Ctx ctx) { return receiver_body(ctx, c, 3, gp); });
+  sched.run();
+  // Transfer 0 is delivered twice: the receiver's three receives see the
+  // first value twice, then the second — a shifted, corrupted stream.
+  EXPECT_EQ(got, (std::vector<Value>{10, 10, 20}));
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0], "dup c 0");
+}
+
+// --------------------------------------------------------------- Watchdog
+
+TEST(Watchdog, RoundBudgetTurnsLivelockIntoStructuredError) {
+  Scheduler sched;
+  WatchdogConfig config;
+  config.max_rounds = 100;
+  sched.set_watchdog(config);
+  Channel* a = &sched.make_channel("a");
+  Channel* b = &sched.make_channel("b");
+  // Two processes bouncing a message forever: without the watchdog this
+  // run never terminates.
+  sched.spawn("ping",
+              [a, b](Ctx c) { return ping_forever_body(c, a, b, true); });
+  sched.spawn("pong",
+              [a, b](Ctx c) { return ping_forever_body(c, b, a, false); });
+  try {
+    sched.run();
+    FAIL() << "expected the watchdog to fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos)
+        << e.what();
+    EXPECT_NE(e.diagnostic().find("\"reason\""), std::string::npos);
+  }
+}
+
+TEST(Watchdog, StarvationBoundNamesTheStarvedProcess) {
+  Scheduler sched;
+  WatchdogConfig config;
+  config.max_blocked_rounds = 20;
+  sched.set_watchdog(config);
+  Channel* a = &sched.make_channel("a");
+  Channel* b = &sched.make_channel("b");
+  Channel* never = &sched.make_channel("never");
+  sched.spawn("ping",
+              [a, b](Ctx c) { return ping_forever_body(c, a, b, true); });
+  sched.spawn("pong",
+              [a, b](Ctx c) { return ping_forever_body(c, b, a, false); });
+  Value sink = 0;
+  Value* sp = &sink;
+  sched.spawn("starved",
+              [never, sp](Ctx c) { return recv_one_body(c, never, sp); });
+  try {
+    sched.run();
+    FAIL() << "expected the starvation watchdog to fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    std::string what = e.what();
+    EXPECT_NE(what.find("starvation"), std::string::npos) << what;
+    EXPECT_NE(what.find("starved"), std::string::npos) << what;
+  }
+}
+
+// -------------------------------------------------------- Cycle forensics
+
+TEST(DeadlockForensics, SendSendCycleNamesProcessesAndChannels) {
+  Scheduler sched;
+  Channel* a = &sched.make_channel("a");
+  Channel* b = &sched.make_channel("b");
+  Process& p1 =
+      sched.spawn("p1", [a, b](Ctx c) { return send_then_recv_body(c, a, b); });
+  Process& p2 =
+      sched.spawn("p2", [a, b](Ctx c) { return send_then_recv_body(c, b, a); });
+  a->declare_sender(p1);
+  a->declare_receiver(p2);
+  b->declare_sender(p2);
+  b->declare_receiver(p1);
+  try {
+    sched.run();
+    FAIL() << "expected deadlock";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    std::string what = e.what();
+    EXPECT_NE(what.find("blocking cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("p1"), std::string::npos);
+    EXPECT_NE(what.find("p2"), std::string::npos);
+    // The machine-readable payload carries the cycle and its channels.
+    const std::string& json = e.diagnostic();
+    bool order1 = json.find("\"cycle\":[\"p1\",\"p2\"]") != std::string::npos;
+    bool order2 = json.find("\"cycle\":[\"p2\",\"p1\"]") != std::string::npos;
+    EXPECT_TRUE(order1 || order2) << json;
+    EXPECT_NE(json.find("\"cycle_channels\""), std::string::npos);
+  }
+}
+
+TEST(DeadlockForensics, ReportCarriesClockAndStatementState) {
+  Scheduler sched;
+  Channel* a = &sched.make_channel("a");
+  Channel* b = &sched.make_channel("b");
+  std::vector<Value> got;
+  std::vector<Value>* gp = &got;
+  // The relay ticks a statement per element and then starves: its
+  // reported state must show the progress it made.
+  sched.spawn("tx", [a](Ctx c) { return sender_body(c, a, {1, 2}); });
+  sched.spawn("mid", [a, b](Ctx c) { return ticking_relay_body(c, a, b, 3); });
+  sched.spawn("rx", [b, gp](Ctx c) { return receiver_body(c, b, 3, gp); });
+  try {
+    sched.run();
+    FAIL() << "expected deadlock";
+  } catch (const Error& e) {
+    EXPECT_NE(e.diagnostic().find("\"statements\":2"), std::string::npos)
+        << e.diagnostic();
+  }
+}
+
+}  // namespace
+}  // namespace systolize

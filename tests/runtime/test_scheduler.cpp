@@ -38,6 +38,12 @@ Task recv_then_send_body(Ctx ctx, Channel* in, Channel* out) {
   co_await ctx.send(*out, v);
 }
 
+Task send_then_recv_body(Ctx ctx, Channel* out, Channel* in) {
+  co_await ctx.send(*out, 7);
+  Value v = 0;
+  co_await ctx.recv(*in, v);
+}
+
 Task par_recv_two_body(Ctx ctx, Channel* a, Channel* b, Value* got_a,
                        Value* got_b) {
   std::vector<CommOp> ops;
@@ -131,6 +137,28 @@ TEST(Scheduler, DeadlockDetected) {
   } catch (const Error& e) {
     EXPECT_EQ(e.kind(), ErrorKind::Runtime);
     EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+  }
+}
+
+TEST(Scheduler, SendSendCycleNamesBothBlockedProcesses) {
+  Scheduler sched;
+  Channel* a = &sched.make_channel("a");
+  Channel* b = &sched.make_channel("b");
+  // Each process offers its send first: neither receive is ever reached,
+  // so the two sends wait on each other forever.
+  sched.spawn("p1", [a, b](Ctx ctx) { return send_then_recv_body(ctx, a, b); });
+  sched.spawn("p2", [a, b](Ctx ctx) { return send_then_recv_body(ctx, b, a); });
+  try {
+    sched.run();
+    FAIL() << "expected deadlock";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("p1"), std::string::npos) << what;
+    EXPECT_NE(what.find("p2"), std::string::npos) << what;
+    EXPECT_NE(what.find("send a"), std::string::npos) << what;
+    EXPECT_NE(what.find("send b"), std::string::npos) << what;
   }
 }
 

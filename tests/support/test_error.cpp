@@ -1,0 +1,44 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace systolize {
+namespace {
+
+TEST(ErrorKindName, EveryKindHasAStableName) {
+  EXPECT_STREQ(error_kind_name(ErrorKind::Overflow), "Overflow");
+  EXPECT_STREQ(error_kind_name(ErrorKind::DivideByZero), "DivideByZero");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Dimension), "Dimension");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Singular), "Singular");
+  EXPECT_STREQ(error_kind_name(ErrorKind::NotRepresentable),
+               "NotRepresentable");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Validation), "Validation");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Inconsistent), "Inconsistent");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Unsupported), "Unsupported");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Runtime), "Runtime");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Parse), "Parse");
+}
+
+TEST(Error, CarriesKindMessageAndOptionalDiagnostic) {
+  Error plain(ErrorKind::Parse, "bad token");
+  EXPECT_EQ(plain.kind(), ErrorKind::Parse);
+  EXPECT_STREQ(plain.what(), "bad token");
+  EXPECT_TRUE(plain.diagnostic().empty());
+
+  Error rich(ErrorKind::Runtime, "deadlock", "{\"reason\":\"deadlock\"}");
+  EXPECT_EQ(rich.kind(), ErrorKind::Runtime);
+  EXPECT_EQ(rich.diagnostic(), "{\"reason\":\"deadlock\"}");
+}
+
+TEST(Error, RaiseOverloadPreservesDiagnostic) {
+  try {
+    raise(ErrorKind::Runtime, "stalled", "{\"blocked\":[]}");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    EXPECT_EQ(e.diagnostic(), "{\"blocked\":[]}");
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI driver: build and test the plain configuration, then again with
+# AddressSanitizer + UndefinedBehaviorSanitizer (SYSTOLIZE_SANITIZE=ON).
+# Run from anywhere; builds land in <repo>/build and <repo>/build-asan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"; shift
+  echo "=== configure: ${dir} ($*) ==="
+  cmake -B "${dir}" -S "${repo}" "$@"
+  echo "=== build: ${dir} ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== test: ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config "${repo}/build"
+run_config "${repo}/build-asan" -DSYSTOLIZE_SANITIZE=ON
+
+echo "=== CI OK: plain and sanitizer configurations both green ==="

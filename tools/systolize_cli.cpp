@@ -5,11 +5,18 @@
 //   systolize emit   <design | file.sa> [--syntax=paper|occam|c]
 //   systolize run    <design | file.sa> [--n=N] [--m=M] [--capacity=K]
 //                    [--merge-buffers] [--partition=G] [--no-verify]
+//                    [--inject=PLAN] [--watchdog-rounds=N]
+//                    [--watchdog-blocked=N] [--deadlock-report]
 //   systolize graph  <design | file.sa> [--n=N] [--m=M]     (Graphviz dot)
 //   systolize schedule <design | file.sa> [--n=N] [--m=M]   (space-time table)
 //
 // <design> is a catalog name (see `systolize list`); anything containing a
 // '.' or '/' is treated as a .sa file path.
+//
+// --inject takes the fault-plan syntax of FaultPlan::parse (';'-separated
+// directives, e.g. "seed=42;stall=0.1:4;delay=0.05:3" or
+// "kill@comp:(1)=2"); see docs/fault-model.md. --deadlock-report prints
+// the machine-readable JSON forensics payload when a run stalls.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +43,8 @@ int usage() {
       "  systolize emit   <design | file.sa> [--syntax=paper|occam|c]\n"
       "  systolize run    <design | file.sa> [--n=N] [--m=M] [--capacity=K]\n"
       "                   [--merge-buffers] [--partition=G] [--no-verify]\n"
+      "                   [--inject=PLAN] [--watchdog-rounds=N]\n"
+      "                   [--watchdog-blocked=N] [--deadlock-report]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n";
   return 2;
@@ -63,6 +72,10 @@ struct Options {
   bool merge_buffers = false;
   bool verify = true;
   std::string syntax = "paper";
+  std::string inject;            ///< FaultPlan::parse syntax; empty = none
+  Int watchdog_rounds = 0;       ///< 0 = unbounded
+  Int watchdog_blocked = 0;      ///< 0 = unbounded
+  bool deadlock_report = false;  ///< print JSON forensics on stall
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -83,6 +96,14 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.verify = false;
   } else if (arg.rfind("--syntax=", 0) == 0) {
     opt.syntax = value_of("--syntax=");
+  } else if (arg.rfind("--inject=", 0) == 0) {
+    opt.inject = value_of("--inject=");
+  } else if (arg.rfind("--watchdog-rounds=", 0) == 0) {
+    opt.watchdog_rounds = std::stoll(value_of("--watchdog-rounds="));
+  } else if (arg.rfind("--watchdog-blocked=", 0) == 0) {
+    opt.watchdog_blocked = std::stoll(value_of("--watchdog-blocked="));
+  } else if (arg == "--deadlock-report") {
+    opt.deadlock_report = true;
   } else {
     return false;
   }
@@ -183,6 +204,14 @@ int cmd_run(const Design& design, const Options& opt) {
     std::vector<Int> comps(design.nest.depth() - 1, opt.partition);
     iopt.partition_grid = IntVec(comps);
   }
+  FaultPlan plan;
+  if (!opt.inject.empty()) {
+    plan = FaultPlan::parse(opt.inject);
+    iopt.faults = &plan;
+    std::cout << "inject: " << plan.to_string() << "\n";
+  }
+  iopt.watchdog.max_rounds = opt.watchdog_rounds;
+  iopt.watchdog.max_blocked_rounds = opt.watchdog_blocked;
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
   std::cout << metrics.to_string() << "\n";
@@ -207,13 +236,13 @@ int cmd_run(const Design& design, const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Options opt;
   try {
     if (argc < 2) return usage();
     std::string cmd = argv[1];
     if (cmd == "list") return cmd_list();
     if (argc < 3) return usage();
 
-    Options opt;
     for (int i = 3; i < argc; ++i) {
       if (!parse_flag(argv[i], opt)) {
         std::cerr << "unknown flag '" << argv[i] << "'\n";
@@ -228,7 +257,11 @@ int main(int argc, char** argv) {
     if (cmd == "schedule") return cmd_schedule(design, opt);
     return usage();
   } catch (const systolize::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error [" << systolize::error_kind_name(e.kind())
+              << "]: " << e.what() << "\n";
+    if (opt.deadlock_report && !e.diagnostic().empty()) {
+      std::cout << e.diagnostic() << "\n";
+    }
     return 1;
   }
 }
