@@ -12,13 +12,16 @@ void endtoend(benchmark::State& state, const std::string& name, Int n) {
   Design design = design_by_name(name);
   CompiledProgram prog = compile(design.nest, design.spec);
   Env sizes = sizes_for(design, n);
+  PlanCache cache;
+  InstantiateOptions options;
+  options.plan_cache = &cache;
   bool verified = false;
   RunMetrics last{};
   for (auto _ : state) {
     IndexedStore store = seeded_store(design, sizes);
     IndexedStore expected = store;
     run_sequential(design.nest, sizes, expected);
-    last = execute(prog, design.nest, sizes, store, {});
+    last = execute(prog, design.nest, sizes, store, options);
     verified = true;
     for (const Stream& s : design.nest.streams()) {
       if (store.elements(s.name()) != expected.elements(s.name())) {

@@ -14,6 +14,28 @@ void IndexedStore::set(const std::string& var, const IntVec& index,
   vars_[var][index] = value;
 }
 
+void IndexedStore::gather(const std::string& var, const IntVec* indices,
+                          std::size_t count, Value* out) const {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  const ElementMap& elems = it->second;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto jt = elems.find(indices[i]);
+    out[i] = jt == elems.end() ? 0 : jt->second;
+  }
+}
+
+void IndexedStore::scatter(const std::string& var, const IntVec* indices,
+                           std::size_t count, const Value* values) {
+  ElementMap& elems = vars_[var];
+  for (std::size_t i = 0; i < count; ++i) {
+    elems[indices[i]] = values[i];
+  }
+}
+
 const IndexedStore::ElementMap& IndexedStore::elements(
     const std::string& var) const {
   auto it = vars_.find(var);

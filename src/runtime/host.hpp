@@ -20,6 +20,14 @@ class IndexedStore {
   [[nodiscard]] Value get(const std::string& var, const IntVec& index) const;
   void set(const std::string& var, const IntVec& index, Value value);
 
+  /// Bulk read: out[i] = value of var at indices[i] (absent reads 0).
+  /// One variable lookup for the whole batch, vs. one per get() call.
+  void gather(const std::string& var, const IntVec* indices,
+              std::size_t count, Value* out) const;
+  /// Bulk write: var at indices[i] = values[i].
+  void scatter(const std::string& var, const IntVec* indices,
+               std::size_t count, const Value* values);
+
   [[nodiscard]] const ElementMap& elements(const std::string& var) const;
   [[nodiscard]] bool has(const std::string& var) const;
 

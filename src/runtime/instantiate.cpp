@@ -1,448 +1,183 @@
 #include "runtime/instantiate.hpp"
 
-#include <algorithm>
-#include <map>
 #include <optional>
-#include <sstream>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/shard.hpp"
+#include "support/error.hpp"
 
 namespace systolize {
-namespace {
 
-bool in_box(const IntVec& y, const IntVec& lo, const IntVec& hi) {
-  for (std::size_t i = 0; i < y.dim(); ++i) {
-    if (y[i] < lo[i] || y[i] > hi[i]) return false;
-  }
-  return true;
-}
-
-/// Most-upstream box point of the line through y along `dir`.
-IntVec anchor_of(const IntVec& y, const IntVec& dir, const IntVec& lo,
-                 const IntVec& hi) {
-  IntVec a = y;
-  for (;;) {
-    IntVec prev = a - dir;
-    if (!in_box(prev, lo, hi)) return a;
-    a = prev;
-  }
-}
-
-// ---- process bodies -------------------------------------------------
-// Coroutine bodies take every datum BY VALUE so it is copied into the
-// coroutine frame (lambda captures would dangle once spawn() returns).
-
-Task input_body(Ctx ctx, Channel* chan, std::vector<Value> values) {
-  for (Value v : values) {
-    co_await ctx.send(*chan, v);
-  }
-}
-
-Task output_body(Ctx ctx, Channel* chan, std::vector<IntVec> elems,
-                 std::string var, IndexedStore* store) {
-  for (const IntVec& w : elems) {
-    Value v = 0;
-    co_await ctx.recv(*chan, v);
-    store->set(var, w, v);
-  }
-}
-
-Task pass_body(Ctx ctx, Channel* in, Channel* out, Int count) {
-  for (Int i = 0; i < count; ++i) {
-    Value v = 0;
-    co_await ctx.recv(*in, v);
-    co_await ctx.send(*out, v);
-  }
-}
-
-/// One stream's role inside a computation process.
-struct StreamRole {
-  std::string name;
-  bool stationary = false;
-  Int soak = 0;   ///< pre-repeater passes (recovery passes when stationary)
-  Int drain = 0;  ///< post-repeater passes (loading passes when stationary)
-  Channel* in = nullptr;
-  Channel* out = nullptr;
-};
-
-struct CompSpec {
-  Int count = 0;
-  std::vector<StreamRole> roles;  // in stream declaration order
-  IndexedBody body;
-  IntVec first_x;          ///< first statement of this process's chord
-  IntVec increment;        ///< chord increment, to reconstruct each x
-  IntVec coords;           ///< the process's point in PS (for tracing)
-  Trace* trace = nullptr;  ///< optional statement trace sink
-};
-
-Task computation_body(Ctx ctx, CompSpec spec) {
-  std::map<std::string, Value> vals;
-  // Prologue, in the phase order of the paper's final programs (D.1.7):
-  // first load every stationary stream, then soak every moving one.
-  // Stationary channels are touched only in load/recover and moving ones
-  // only in soak/repeater/drain, so this phase order is globally
-  // consistent across processes — mixing them deadlocks (a process
-  // recovering a stationary stream would block a neighbour still waiting
-  // on a moving drain).
-  for (StreamRole& role : spec.roles) {
-    if (!role.stationary) continue;
-    Value own = 0;
-    co_await ctx.recv(*role.in, own);
-    vals[role.name] = own;
-    for (Int i = 0; i < role.drain; ++i) {  // loading passes = drain_s
-      Value v = 0;
-      co_await ctx.recv(*role.in, v);
-      co_await ctx.send(*role.out, v);
-    }
-  }
-  for (StreamRole& role : spec.roles) {
-    if (role.stationary) continue;
-    for (Int i = 0; i < role.soak; ++i) {
-      Value v = 0;
-      co_await ctx.recv(*role.in, v);
-      co_await ctx.send(*role.out, v);
-    }
-  }
-  // The repeater: receive every moving stream in par, compute, send in par.
-  for (Int iter = 0; iter < spec.count; ++iter) {
-    std::vector<CommOp> recvs;
-    for (StreamRole& role : spec.roles) {
-      if (!role.stationary) {
-        recvs.push_back(ctx.recv_op(*role.in, vals[role.name]));
-      }
-    }
-    if (!recvs.empty()) co_await ctx.par(std::move(recvs));
-    spec.body(spec.first_x + spec.increment * iter, vals);
-    ctx.tick_statement();
-    if (spec.trace != nullptr) {
-      spec.trace->statements.push_back(
-          StatementEvent{spec.coords, iter, ctx.process().time()});
-    }
-    std::vector<CommOp> sends;
-    for (StreamRole& role : spec.roles) {
-      if (!role.stationary) {
-        sends.push_back(ctx.send_op(*role.out, vals[role.name]));
-      }
-    }
-    if (!sends.empty()) co_await ctx.par(std::move(sends));
-  }
-  // Epilogue, mirroring the prologue's phase order (D.1.7: "pass c,
-  // n-col" before "recover a, col"): drain every moving stream first,
-  // recover every stationary one last.
-  for (StreamRole& role : spec.roles) {
-    if (role.stationary) continue;
-    for (Int i = 0; i < role.drain; ++i) {
-      Value v = 0;
-      co_await ctx.recv(*role.in, v);
-      co_await ctx.send(*role.out, v);
-    }
-  }
-  for (StreamRole& role : spec.roles) {
-    if (!role.stationary) continue;
-    for (Int i = 0; i < role.soak; ++i) {  // recovery passes = soak_s
-      Value v = 0;
-      co_await ctx.recv(*role.in, v);
-      co_await ctx.send(*role.out, v);
-    }
-    co_await ctx.send(*role.out, vals[role.name]);
-  }
-}
-
-std::string point_name(const std::string& prefix, const IntVec& y) {
-  return prefix + y.to_string();
-}
-
-}  // namespace
-
+// Instantiation is now plan-driven: the symbolic program is lowered once
+// into an interned NetworkPlan (runtime/plan_cache — dense process and
+// channel ids, flat element slices, the legacy spawn order preserved) and
+// execute() only stands the network up and runs it. With a PlanCache
+// attached, repeated executions of the same (program, sizes, shape) skip
+// the lowering entirely.
 RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
                    const Env& sizes, IndexedStore& store,
                    const InstantiateOptions& options) {
-  // Physical-processor clocks must outlive the scheduler (processes hold
-  // raw pointers into them until destruction).
-  std::map<IntVec, std::unique_ptr<Clock>, IntVecLess> clocks;
-  Scheduler sched;
-  RunMetrics metrics;
-
-  // Robustness layer: attach the fault injector (so spawn-time rolls see
-  // every process) and the watchdog bounds before building the network.
-  std::optional<FaultInjector> injector;
-  if (options.faults != nullptr && !options.faults->empty()) {
-    injector.emplace(*options.faults);
-    sched.set_fault_injector(&*injector);
+  const PlanShape shape{options.channel_capacity,
+                        options.merge_internal_buffers,
+                        options.partition_grid};
+  std::unique_ptr<NetworkPlan> local_plan;
+  const NetworkPlan* plan = nullptr;
+  bool plan_reused = false;
+  if (options.plan_cache != nullptr) {
+    const std::size_t hits_before = options.plan_cache->hits();
+    plan = &options.plan_cache->lookup_or_build(program, nest, sizes, shape);
+    plan_reused = options.plan_cache->hits() > hits_before;
+  } else {
+    local_plan = build_plan(program, nest, sizes, shape);
+    plan = local_plan.get();
   }
-  sched.set_watchdog(options.watchdog);
+  if (options.network != nullptr) *options.network = plan->graph;
 
-  const IntVec ps_min = program.ps.min.evaluate(sizes);
-  const IntVec ps_max = program.ps.max.evaluate(sizes);
+  const bool faulted =
+      options.faults != nullptr && !options.faults->empty();
+  const bool instrumented = faulted || options.watchdog.max_rounds > 0 ||
+                            options.watchdog.max_blocked_rounds > 0;
 
-  // Partitioning: map a process-space point to its block's shared clock
-  // (nullptr when unpartitioned: every process gets its own clock).
-  auto clock_for = [&](const IntVec& y) -> Clock* {
-    if (options.partition_grid.dim() == 0) return nullptr;
-    if (options.partition_grid.dim() != y.dim()) {
+  const unsigned threads = options.threads;
+  if (threads > 1) {
+    // Sharded execution keeps results bit-identical to the sequential
+    // schedule only under the restrictions below; anything instrumented
+    // or arrival-order dependent must run sequentially.
+    if (instrumented || options.trace != nullptr) {
       raise(ErrorKind::Validation,
-            "partition grid must have one entry per process-space "
-            "dimension");
+            "parallel execution (threads > 1) cannot be combined with "
+            "fault injection, watchdogs, or tracing; run instrumented "
+            "modes sequentially");
     }
-    IntVec block(y.dim());
-    for (std::size_t i = 0; i < y.dim(); ++i) {
-      Int extent = ps_max[i] - ps_min[i] + 1;
-      Int g = std::max<Int>(
-          1, std::min<Int>(options.partition_grid[i], extent));
-      block[i] = (y[i] - ps_min[i]) * g / extent;
+    if (options.channel_capacity > 0 || options.merge_internal_buffers) {
+      raise(ErrorKind::Validation,
+            "parallel execution requires pure rendezvous channels "
+            "(capacity 0, unmerged internal buffers): buffered hand-off "
+            "timestamps depend on arrival order");
     }
-    auto& slot = clocks[block];
-    if (!slot) slot = std::make_unique<Clock>();
-    return slot.get();
-  };
-
-  auto env_at = [&](const IntVec& y) {
-    Env env = sizes;
-    for (std::size_t i = 0; i < program.coords.size(); ++i) {
-      env[program.coords[i].name()] = Rational(y[i]);
-    }
-    return env;
-  };
-
-  // Enumerate the PS box.
-  std::vector<IntVec> box;
-  {
-    IntVec y = ps_min;
-    for (;;) {
-      box.push_back(y);
-      std::size_t i = y.dim();
-      bool done = true;
-      while (i > 0) {
-        --i;
-        if (++y[i] <= ps_max[i]) {
-          done = false;
-          break;
-        }
-        y[i] = ps_min[i];
-        if (i == 0) break;
-      }
-      if (done) break;
+    if (options.partition_grid.dim() != 0) {
+      raise(ErrorKind::Validation,
+            "parallel execution cannot be combined with partitioning "
+            "(partition blocks share a logical clock across shards)");
     }
   }
 
-  std::map<IntVec, bool, IntVecLess> in_cs;
-  for (const IntVec& y : box) {
-    in_cs[y] = program.repeater.first.covers(env_at(y));
+  // Gather every input pipe's values into one flat buffer up front. The
+  // legacy path read the store pipe-by-pipe while building the network;
+  // outputs are only written during/after the run, so a bulk pre-run
+  // gather reads exactly the same values.
+  std::vector<Value> in_values(plan->elems.size(), 0);
+  for (const NetworkPlan::ProcSpec& spec : plan->procs) {
+    if (spec.kind != NetworkPlan::ProcKind::Input) continue;
+    store.gather(plan->streams[spec.stream],
+                 plan->elems.data() + spec.elem_begin,
+                 spec.elem_end - spec.elem_begin,
+                 in_values.data() + spec.elem_begin);
   }
 
-  // Ports of each computation process, per stream, filled below.
-  struct Port {
-    Channel* in = nullptr;
-    Channel* out = nullptr;
-    Int pipe_count = 0;
-  };
-  std::map<IntVec, std::map<std::string, Port>, IntVecLess> ports;
-
-  for (const StreamPlan& plan : program.streams) {
-
-    const IntVec& dir = plan.motion.direction;
-    const Int q = plan.motion.denominator;
-    const Int inner_buffers =
-        options.merge_internal_buffers ? 0 : q - 1;
-    const Int hop_capacity = options.channel_capacity +
-                             (options.merge_internal_buffers ? q - 1 : 0);
-
-    // Group box points into pipes by their upstream anchor.
-    std::map<IntVec, std::vector<IntVec>, IntVecLess> pipes;
-    for (const IntVec& y : box) {
-      pipes[anchor_of(y, dir, ps_min, ps_max)].push_back(y);
-    }
-    std::size_t pipe_idx = 0;
-    for (auto& [a, points] : pipes) {
-      // Order the pipe's points from the anchor downstream.
-      std::sort(points.begin(), points.end(),
-                [&dir](const IntVec& p1, const IntVec& p2) {
-                  return p1.dot(dir) < p2.dot(dir);
-                });
-      Env env = env_at(a);
-      const AffineExpr* count_expr = plan.io.count_s.select(env);
-      Int count = count_expr == nullptr
-                      ? 0
-                      : count_expr->evaluate(env).to_integer();
-
-      // Element identities in pipeline order.
-      std::vector<IntVec> elems;
-      if (count > 0) {
-        const AffinePoint* first_expr = plan.io.first_s.select(env);
-        if (first_expr == nullptr) {
-          raise(ErrorKind::Inconsistent,
-                "stream '" + plan.name + "': count_s > 0 but first_s null");
-        }
-        IntVec w = first_expr->evaluate(env);
-        for (Int t = 0; t < count; ++t) {
-          elems.push_back(w);
-          w += plan.io.increment_s;
-        }
-      }
-
-      // Channel chain: IN -> [bufs] -> y0 -> [bufs] -> y1 ... -> OUT.
-      const std::string cname =
-          plan.name + "[" + std::to_string(pipe_idx) + "]";
-      Channel* prev = &sched.make_channel(cname + ".0",
-                                          options.channel_capacity);
-      Channel* head = prev;
-      std::size_t link = 1;
-      NetworkGraph* net = options.network;
-      const std::string in_name = point_name("in:" + plan.name + ":", a);
-      if (net != nullptr) {
-        net->add_node(in_name, NetworkGraph::NodeKind::Input);
-      }
-      std::string last_node = in_name;
-      auto link_node = [&](const std::string& node,
-                           NetworkGraph::NodeKind kind,
-                           const Channel* via) {
-        if (net == nullptr) return;
-        net->add_node(node, kind);
-        net->add_edge(last_node, node, via->name(), plan.name);
-        last_node = node;
-      };
-      for (const IntVec& y : points) {
-        // Internal buffers in front of every process on the pipe
-        // (Sect. 7.6 and the regularity remark of D.1.6).
-        for (Int bi = 0; bi < inner_buffers; ++bi) {
-          Channel* next = &sched.make_channel(
-              cname + "." + std::to_string(link++), options.channel_capacity);
-          const std::string bname = point_name("buf:" + plan.name + ":", y) +
-                                    "#" + std::to_string(bi);
-          Process& bp = sched.spawn(bname,
-                                    [prev, next, count](Ctx ctx) {
-                                      return pass_body(ctx, prev, next, count);
-                                    },
-                                    clock_for(y));
-          prev->declare_receiver(bp);
-          next->declare_sender(bp);
-          link_node(bname, NetworkGraph::NodeKind::Buffer, prev);
-          ++metrics.buffer_processes;
-          prev = next;
-        }
-        Channel* next = &sched.make_channel(
-            cname + "." + std::to_string(link++), hop_capacity);
-        if (in_cs.at(y)) {
-          ports[y][plan.name] = Port{prev, next, count};
-          link_node(point_name("comp:", y),
-                    NetworkGraph::NodeKind::Computation, prev);
-        } else {
-          // External buffer process: pass the whole pipeline (Eq. 10) —
-          // zero elements when no pipe of this stream crosses the point.
-          const std::string xname = point_name("xbuf:" + plan.name + ":", y);
-          Process& xp = sched.spawn(xname,
-                                    [prev, next, count](Ctx ctx) {
-                                      return pass_body(ctx, prev, next, count);
-                                    },
-                                    clock_for(y));
-          prev->declare_receiver(xp);
-          next->declare_sender(xp);
-          link_node(xname, NetworkGraph::NodeKind::Buffer, prev);
-          ++metrics.buffer_processes;
-        }
-        prev = next;
-      }
-
-      // Input and output i/o processes for this pipe.
-      std::vector<Value> values;
-      values.reserve(elems.size());
-      for (const IntVec& w : elems) {
-        values.push_back(store.get(plan.name, w));
-      }
-      Process& inp = sched.spawn(in_name,
-                                 [head, values](Ctx ctx) {
-                                   return input_body(ctx, head, values);
-                                 },
-                                 clock_for(a));
-      head->declare_sender(inp);
-      IndexedStore* store_ptr = &store;
-      std::string var = plan.name;
-      const std::string out_name =
-          point_name("out:" + plan.name + ":", points.back());
-      link_node(out_name, NetworkGraph::NodeKind::Output, prev);
-      Process& outp =
-          sched.spawn(out_name,
-                      [prev, elems, var, store_ptr](Ctx ctx) {
-                        return output_body(ctx, prev, elems, var, store_ptr);
-                      },
-                      clock_for(points.back()));
-      prev->declare_receiver(outp);
-      metrics.io_processes += 2;
-      ++pipe_idx;
-    }
-  }
-
-  // Computation processes.
-  for (const IntVec& y : box) {
-    if (!in_cs.at(y)) continue;
-    Env env = env_at(y);
-    CompSpec spec;
-    spec.count = program.repeater.count.select(env)->evaluate(env).to_integer();
-    spec.body = nest.body();
-    spec.first_x = program.repeater.first.select(env)->evaluate(env);
-    spec.increment = program.repeater.increment;
-    spec.coords = y;
-    spec.trace = options.trace;
-    for (const StreamPlan& plan : program.streams) {
-      StreamRole role;
-      role.name = plan.name;
-      role.stationary = plan.motion.stationary;
-      const AffineExpr* soak = plan.soak.select(env);
-      const AffineExpr* drain = plan.drain.select(env);
-      if (soak == nullptr || drain == nullptr) {
-        raise(ErrorKind::Inconsistent,
-              "computation process " + y.to_string() +
-                  " lacks soak/drain for stream '" + plan.name + "'");
-      }
-      role.soak = soak->evaluate(env).to_integer();
-      role.drain = drain->evaluate(env).to_integer();
-      const Port& port = ports.at(y).at(plan.name);
-      role.in = port.in;
-      role.out = port.out;
-      // Conservation law: everything that enters a process leaves it.
-      Int through = role.stationary ? role.soak + role.drain + 1
-                                    : role.soak + spec.count + role.drain;
-      if (through != port.pipe_count) {
-        raise(ErrorKind::Inconsistent,
-              "stream '" + plan.name + "' at " + y.to_string() +
-                  ": soak+uses+drain = " + std::to_string(through) +
-                  " but the pipeline carries " +
-                  std::to_string(port.pipe_count) + " elements");
-      }
-      spec.roles.push_back(std::move(role));
-    }
-    Process& cp = sched.spawn(
-        point_name("comp:", y),
-        [spec](Ctx ctx) { return computation_body(ctx, spec); },
-        clock_for(y));
-    for (const StreamRole& role : spec.roles) {
-      role.in->declare_receiver(cp);
-      role.out->declare_sender(cp);
-    }
-    ++metrics.computation_processes;
-  }
-
-  sched.run();
-
-  metrics.scheduler_rounds = sched.round();
-  metrics.faults_injected = injector ? injector->injected() : 0;
-  metrics.makespan = sched.makespan();
+  RunMetrics metrics;
+  metrics.plan_reused = plan_reused;
+  metrics.process_count = plan->procs.size();
+  metrics.channel_count = plan->channels.size();
+  metrics.computation_processes = plan->comp_count;
+  metrics.io_processes = plan->io_count;
+  metrics.buffer_processes = plan->buffer_count;
   metrics.physical_processors = options.partition_grid.dim() == 0
-                                    ? sched.processes().size()
-                                    : clocks.size();
-  metrics.total_transfers = sched.total_transfers();
-  metrics.channel_count = sched.channel_count();
-  metrics.process_count = sched.processes().size();
-  for (const auto& p : sched.processes()) {
-    metrics.statements += p->statements;
+                                    ? plan->procs.size()
+                                    : plan->clock_count;
+
+  // Fast and sharded paths extract into a flat buffer committed after a
+  // successful run; the instrumented path keeps the legacy write-through
+  // output processes so a faulted run's partial results stay observable.
+  std::vector<Value> out_values;
+  std::vector<Int> channel_transfers;
+
+  if (threads > 1) {
+    out_values.assign(plan->elems.size(), 0);
+    ShardRunStats stats =
+        run_sharded(*plan, threads, in_values.data(), out_values.data());
+    metrics.makespan = stats.makespan;
+    metrics.statements = stats.statements;
+    metrics.total_transfers = stats.total_transfers;
+    metrics.scheduler_rounds = stats.rounds;
+    metrics.shards = stats.shards;
+    channel_transfers = std::move(stats.channel_transfers);
+  } else {
+    Scheduler sched;
+    std::optional<FaultInjector> injector;
+    if (faulted) {
+      injector.emplace(*options.faults);
+      sched.set_fault_injector(&*injector);
+    }
+    sched.set_watchdog(options.watchdog);
+
+    // Physical-processor clocks for partitioned runs; processes hold raw
+    // pointers into this vector until the scheduler is destroyed.
+    std::vector<Clock> clocks(plan->clock_count);
+    std::vector<Channel*> chans;
+    chans.reserve(plan->channels.size());
+    for (const NetworkPlan::ChannelSpec& spec : plan->channels) {
+      chans.push_back(&sched.make_channel(spec.name, spec.capacity));
+    }
+    if (!instrumented) out_values.assign(plan->elems.size(), 0);
+    PlanBindings bindings;
+    bindings.plan = plan;
+    bindings.in_values = in_values.data();
+    bindings.out_values = instrumented ? nullptr : out_values.data();
+    bindings.store = &store;
+    bindings.trace = options.trace;
+    std::vector<Process*> procs;
+    procs.reserve(plan->procs.size());
+    for (std::uint32_t pi = 0; pi < plan->procs.size(); ++pi) {
+      procs.push_back(
+          &spawn_plan_proc(sched, pi, chans.data(), clocks.data(), bindings));
+    }
+    // Declare both endpoints of every channel so deadlock forensics can
+    // follow wait-for edges through processes that never touched them.
+    for (std::size_t c = 0; c < plan->channels.size(); ++c) {
+      const NetworkPlan::ChannelSpec& spec = plan->channels[c];
+      if (spec.sender >= 0) chans[c]->declare_sender(*procs[spec.sender]);
+      if (spec.receiver >= 0) {
+        chans[c]->declare_receiver(*procs[spec.receiver]);
+      }
+    }
+
+    sched.run();
+
+    metrics.scheduler_rounds = sched.round();
+    metrics.faults_injected = injector ? injector->injected() : 0;
+    metrics.makespan = sched.makespan();
+    metrics.total_transfers = sched.total_transfers();
+    for (const Process& p : sched.processes()) {
+      metrics.statements += p.statements;
+    }
+    channel_transfers.reserve(chans.size());
+    for (const Channel* chan : chans) {
+      channel_transfers.push_back(chan->transfers());
+    }
   }
-  for (const StreamPlan& plan : program.streams) {
-    metrics.transfers_per_stream[plan.name] = 0;
+
+  // Commit extracted values (fast/sharded paths only; the instrumented
+  // path already wrote through).
+  if (!out_values.empty()) {
+    for (const NetworkPlan::ProcSpec& spec : plan->procs) {
+      if (spec.kind != NetworkPlan::ProcKind::Output) continue;
+      store.scatter(plan->streams[spec.stream],
+                    plan->elems.data() + spec.elem_begin,
+                    spec.elem_end - spec.elem_begin,
+                    out_values.data() + spec.elem_begin);
+    }
   }
-  for (const auto& chan : sched.channels()) {
-    // Channel names are "<stream>[pipe].link".
-    std::string stream = chan->name().substr(0, chan->name().find('['));
-    metrics.transfers_per_stream[stream] += chan->transfers();
+
+  // Per-stream transfer totals straight off the plan's channel->stream
+  // ids (the legacy path re-parsed "<stream>[pipe].link" display names).
+  for (const std::string& stream : plan->streams) {
+    metrics.transfers_per_stream[stream] = 0;
+  }
+  for (std::size_t c = 0; c < plan->channels.size(); ++c) {
+    metrics.transfers_per_stream[plan->streams[plan->channels[c].stream]] +=
+        channel_transfers[c];
   }
   return metrics;
 }

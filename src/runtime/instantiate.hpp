@@ -14,6 +14,7 @@
 #include "runtime/host.hpp"
 #include "runtime/network.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/watchdog.hpp"
 #include "scheme/types.hpp"
@@ -47,6 +48,17 @@ struct InstantiateOptions {
   /// blocked time (0 = disabled). Turns livelock/starvation into a
   /// structured Error(Runtime) with a forensic report.
   WatchdogConfig watchdog;
+  /// Parallel sharded execution: number of worker threads (0 or 1 =
+  /// sequential). Results, makespan and transfer counts are bit-identical
+  /// to a sequential run (see runtime/shard.hpp for the determinism
+  /// argument); requires pure rendezvous channels and cannot be combined
+  /// with faults, watchdogs, tracing or partitioning — those raise
+  /// Error(Validation).
+  unsigned threads = 0;
+  /// When non-null, the interned NetworkPlan is memoized here per
+  /// (program, sizes, shape) so repeated executions of the same design
+  /// skip instantiation. The cache must outlive the call.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Execute the program at the problem size bound in `sizes`, reading

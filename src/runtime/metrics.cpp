@@ -47,6 +47,8 @@ std::string RunMetrics::to_string() const {
   if (faults_injected > 0) {
     os << " rounds=" << scheduler_rounds << " faults=" << faults_injected;
   }
+  if (shards > 0) os << " shards=" << shards;
+  if (plan_reused) os << " plan=cached";
   return os.str();
 }
 

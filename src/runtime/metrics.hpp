@@ -21,8 +21,12 @@ struct RunMetrics {
   /// Physical processors after partitioning (== process_count when
   /// unpartitioned).
   std::size_t physical_processors = 0;
-  Int scheduler_rounds = 0;  ///< cooperative rounds the run took
+  Int scheduler_rounds = 0;  ///< cooperative rounds the run took; on a
+                             ///< sharded run, the max over the shards'
+                             ///< counters (not schedule-invariant)
   Int faults_injected = 0;   ///< faults that actually fired (0 = clean run)
+  std::size_t shards = 0;    ///< worker shards of a parallel run (0 = seq.)
+  bool plan_reused = false;  ///< network plan came from a PlanCache hit
   std::map<std::string, Int> transfers_per_stream;
 
   /// Fraction of computation-process time spent executing statements:

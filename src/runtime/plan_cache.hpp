@@ -1,0 +1,167 @@
+// Network interning: the one-time lowering of a compiled (symbolic)
+// program at a concrete problem size into a dense, integer-indexed
+// NetworkPlan — the execution engine's intermediate representation.
+//
+// Instantiation used to re-derive the whole process network on every
+// execute(): re-evaluating the symbolic repeaters, regrouping the
+// process-space box into pipes, rebuilding string names and re-walking
+// `std::map<IntVec>` tables. All of that is loop-size-dependent but
+// run-independent, so it now happens once per (program, sizes, shape)
+// and is recorded as flat vectors over dense IDs:
+//   * process index — plan spawn order (== the legacy spawn order, so the
+//     scheduler's FIFO behaviour and fault-roll order are unchanged),
+//   * channel index — plan creation order, with the owning stream as an
+//     integer (no more parsing "<stream>[pipe].link" display names),
+//   * flat stream-element offsets — each pipe's element identities are a
+//     contiguous [elem_begin, elem_end) slice of one `elems` vector, and
+//     the run-time values travel in parallel flat Value arrays.
+// A PlanCache memoizes plans per (program, sizes, shape) so that repeated
+// executions of the same design — the serve-heavy-traffic scenario in
+// bench_endtoend — skip instantiation entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/host.hpp"
+#include "runtime/network.hpp"
+#include "runtime/trace.hpp"
+#include "scheme/types.hpp"
+
+namespace systolize {
+
+class Channel;
+class Scheduler;
+struct Clock;
+struct Process;
+
+/// The structural knobs a plan depends on (everything in
+/// InstantiateOptions that changes the network's shape, as opposed to
+/// per-run attachments like faults, trace sinks or thread counts).
+struct PlanShape {
+  Int channel_capacity = 0;
+  bool merge_internal_buffers = false;
+  IntVec partition_grid;
+
+  friend bool operator==(const PlanShape&, const PlanShape&) = default;
+};
+
+/// The interned process network: everything execute() needs to stand up
+/// and run the network, with no symbolic evaluation and no string keys.
+/// Self-contained — it keeps no references into the CompiledProgram or
+/// LoopNest it was built from.
+struct NetworkPlan {
+  enum class ProcKind : std::uint8_t { Input, Output, Pass, Comp };
+
+  struct ChannelSpec {
+    std::string name;         ///< display name (diagnostics only)
+    std::uint32_t stream = 0; ///< index into `streams`
+    Int capacity = 0;
+    std::int32_t sender = -1;   ///< producing process id (-1 = none)
+    std::int32_t receiver = -1; ///< consuming process id (-1 = none)
+  };
+
+  /// One stream's role inside a computation process, channels as ids.
+  struct RoleSpec {
+    std::uint32_t stream = 0;
+    bool stationary = false;
+    Int soak = 0;   ///< pre-repeater passes (recovery passes if stationary)
+    Int drain = 0;  ///< post-repeater passes (loading passes if stationary)
+    std::int32_t chan_in = -1;
+    std::int32_t chan_out = -1;
+  };
+
+  struct ProcSpec {
+    std::string name;
+    ProcKind kind = ProcKind::Pass;
+    std::int32_t clock = -1;    ///< shared-clock id, -1 = own clock
+    std::uint32_t stream = 0;   ///< Input/Output/Pass: the stream carried
+    std::int32_t chan_in = -1;  ///< Output/Pass: channel consumed
+    std::int32_t chan_out = -1; ///< Input/Pass: channel produced
+    Int count = 0;              ///< elements through (Pass/Input/Output) or
+                                ///< repeater iterations (Comp)
+    /// Input/Output: the pipe's element identities as a slice of `elems`
+    /// (an input and its pipe's output share the slice — the same
+    /// elements enter and leave the pipeline).
+    std::size_t elem_begin = 0, elem_end = 0;
+    /// Comp: this process's stream roles as a slice of `roles`.
+    std::size_t role_begin = 0, role_end = 0;
+    IntVec first_x;  ///< Comp: first statement of the chord
+    IntVec coords;   ///< Comp: the PS point (trace identity)
+    IntVec place;    ///< PS point the process sits at (shard locality key)
+  };
+
+  std::vector<std::string> streams;   ///< stream names, by stream id
+  std::vector<ChannelSpec> channels;  ///< in legacy creation order
+  std::vector<ProcSpec> procs;        ///< in legacy spawn order
+  std::vector<RoleSpec> roles;
+  std::vector<IntVec> elems;          ///< flat pipe-element identities
+  IntVec increment;                   ///< repeater chord increment
+  IndexedBody body;                   ///< the loop-nest basic statement
+  std::size_t clock_count = 0;        ///< shared clocks (partitioning)
+  std::size_t comp_count = 0;
+  std::size_t io_count = 0;
+  std::size_t buffer_count = 0;
+  std::size_t max_par_ops = 0;    ///< widest par set of any process
+  std::size_t total_par_bound = 0;///< sum of per-process par widths — a
+                                  ///< bound on simultaneously parked ops
+  IntVec ps_min, ps_max;          ///< PS box (shard partitioning)
+  NetworkGraph graph;             ///< topology, built once
+};
+
+/// Lower `program` at `sizes` into a NetworkPlan. Performs the same
+/// validation as the legacy instantiation (conservation law, partition
+/// grid arity) with identical error messages.
+[[nodiscard]] std::unique_ptr<NetworkPlan> build_plan(
+    const CompiledProgram& program, const LoopNest& nest, const Env& sizes,
+    const PlanShape& shape);
+
+/// Thread-safe memo of NetworkPlans keyed by (program identity, sizes,
+/// shape). Program identity is (address, name, depth): callers must not
+/// feed one cache two different programs sharing all three. Plans are
+/// self-contained, so entries stay valid even after the source program is
+/// destroyed.
+class PlanCache {
+ public:
+  const NetworkPlan& lookup_or_build(const CompiledProgram& program,
+                                     const LoopNest& nest, const Env& sizes,
+                                     const PlanShape& shape);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<NetworkPlan>> plans_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Per-run bindings for the plan's process bodies: where input values
+/// come from and where extracted ones go. Exactly one of `out_values`
+/// (fast/sharded path: flat buffer, committed after the run) and `store`
+/// (instrumented path: write-through, preserving partial results on
+/// faulted runs) is used by output processes.
+struct PlanBindings {
+  const NetworkPlan* plan = nullptr;
+  const Value* in_values = nullptr;  ///< aligned with plan->elems
+  Value* out_values = nullptr;       ///< aligned with plan->elems
+  IndexedStore* store = nullptr;
+  Trace* trace = nullptr;
+};
+
+/// Spawn plan process `pi` into `sched`. `chans[i]` must resolve plan
+/// channel id i (channels may live in other schedulers on sharded runs);
+/// `clocks` backs the plan's shared-clock ids (may be null when the plan
+/// is unpartitioned). The plan, channel table and value buffers must
+/// outlive the run.
+Process& spawn_plan_proc(Scheduler& sched, std::uint32_t pi,
+                         Channel* const* chans, Clock* clocks,
+                         const PlanBindings& bindings);
+
+}  // namespace systolize

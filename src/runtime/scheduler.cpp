@@ -1,6 +1,5 @@
 #include "runtime/scheduler.hpp"
 
-#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -14,6 +13,19 @@ void Task::promise_type::unhandled_exception() noexcept {
 }
 
 // ---------------------------------------------------------------- Channel
+
+namespace {
+
+/// FIFO pop from the front of a flat parked-op vector. Parked queues are
+/// almost always length 0 or 1 (a rendezvous parks at most one side), so
+/// the O(n) erase never sees a meaningful n.
+CommOp* pop_front(std::vector<CommOp*>& q) {
+  CommOp* op = q.front();
+  q.erase(q.begin());
+  return op;
+}
+
+}  // namespace
 
 void Channel::complete_counterpart(CommOp& op, Value v, Int time) {
   // `op` is a *parked* op of another process: finish it at logical time
@@ -49,8 +61,7 @@ bool Channel::try_complete(CommOp& op) {
   (op.is_send ? known_sender_ : known_receiver_) = &self;
   if (op.is_send) {
     if (!receivers_.empty()) {
-      CommOp* r = receivers_.front();
-      receivers_.pop_front();
+      CommOp* r = pop_front(receivers_);
       // Rendezvous: both sides advance to max(issue times) + 1.
       Int t = std::max(op.issue_time, r->issue_time) + 1;
       self.advance_to(t);
@@ -84,8 +95,7 @@ bool Channel::try_complete(CommOp& op) {
     op.done = true;
     // A parked sender may now fit into the freed buffer slot.
     if (!senders_.empty() && static_cast<Int>(buffer_.size()) < capacity_) {
-      CommOp* snd = senders_.front();
-      senders_.pop_front();
+      CommOp* snd = pop_front(senders_);
       Int t = snd->issue_time + 1;
       buffer_.push_back(Stamped{snd->value, t});
       ++transfers_;
@@ -95,8 +105,7 @@ bool Channel::try_complete(CommOp& op) {
     return true;
   }
   if (!senders_.empty()) {
-    CommOp* snd = senders_.front();
-    senders_.pop_front();
+    CommOp* snd = pop_front(senders_);
     Int t = std::max(op.issue_time, snd->issue_time) + 1;
     op.value = snd->value;
     if (op.out != nullptr) *op.out = snd->value;
@@ -124,8 +133,7 @@ void Channel::match_parked() {
     progress = false;
     // Parked receivers drain buffered values first (FIFO order).
     while (!receivers_.empty() && !buffer_.empty()) {
-      CommOp* r = receivers_.front();
-      receivers_.pop_front();
+      CommOp* r = pop_front(receivers_);
       Stamped s = buffer_.front();
       buffer_.pop_front();
       complete_counterpart(*r, s.value, std::max(r->issue_time + 1, s.time));
@@ -133,10 +141,8 @@ void Channel::match_parked() {
     }
     // Direct rendezvous between mutually parked ops.
     while (!senders_.empty() && !receivers_.empty()) {
-      CommOp* snd = senders_.front();
-      senders_.pop_front();
-      CommOp* r = receivers_.front();
-      receivers_.pop_front();
+      CommOp* snd = pop_front(senders_);
+      CommOp* r = pop_front(receivers_);
       Int t = std::max(snd->issue_time, r->issue_time) + 1;
       ++transfers_;
       Value v = snd->value;
@@ -148,8 +154,7 @@ void Channel::match_parked() {
     // A parked sender moves into free buffer space.
     while (!senders_.empty() &&
            static_cast<Int>(buffer_.size()) < capacity_) {
-      CommOp* snd = senders_.front();
-      senders_.pop_front();
+      CommOp* snd = pop_front(senders_);
       Int t = snd->issue_time + 1;
       buffer_.push_back(Stamped{snd->value, t});
       ++transfers_;
@@ -162,22 +167,37 @@ void Channel::match_parked() {
 
 // ------------------------------------------------------------------- Ctx
 
-CommAwaiter::CommAwaiter(Ctx ctx, std::vector<CommOp> ops)
-    : ctx_(ctx), ops_(std::move(ops)) {}
-
 bool CommAwaiter::await_ready() {
   Process& p = ctx_.process();
-  FaultInjector* inj = p.sched->injector();
-  for (CommOp& op : ops_) {
+  Scheduler* sched = p.sched;
+  const Int now = p.time();
+  // Issue the whole par set at the owner's current local time before any
+  // op is attempted (an earlier op's rendezvous must not advance the
+  // issue time of a later op in the same set).
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
     op.proc = &p;
-    op.issue_time = p.time();
+    op.issue_time = now;
+    op.done = false;
+    op.fault_delay = 0;
+  }
+  if (sched->sharded()) {
+    // Sharded runs complete every op on the channel-owner shard; the
+    // awaiter always suspends and hands the set to the shard executor.
+    return false;
+  }
+  FaultInjector* inj = sched->injector();
+  if (inj != nullptr) {
     // Roll injected transfer delays once per issued op; a delayed op is
     // forced to suspend and is offered to its channel only after the
     // delay elapses (await_suspend hands it to the scheduler).
-    op.fault_delay = inj == nullptr ? 0 : inj->roll_delay(*op.chan);
+    for (std::size_t i = 0; i < count_; ++i) {
+      ops_[i].fault_delay = inj->roll_delay(*ops_[i].chan);
+    }
   }
   bool all = true;
-  for (CommOp& op : ops_) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
     if (op.fault_delay > 0) {
       all = false;
       continue;
@@ -190,16 +210,33 @@ bool CommAwaiter::await_ready() {
 void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
   (void)h;  // the scheduler resumes via the process handle
   Process& p = ctx_.process();
+  Scheduler* sched = p.sched;
+  if (sched->sharded()) {
+    shard_suspend(*sched->shard_exec(), p, ops_, count_);
+    return;
+  }
+  if (!sched->instrumented()) {
+    // Fast path: count and park, no diagnostics strings, no fault state.
+    p.pending = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      CommOp& op = ops_[i];
+      if (op.done) continue;
+      ++p.pending;
+      op.chan->park(op);
+    }
+    return;
+  }
   p.pending = 0;
   std::ostringstream blocked;
-  for (CommOp& op : ops_) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
     if (op.done) continue;
     ++p.pending;
     if (p.pending > 1) blocked << ", ";
     blocked << (op.is_send ? "send " : "recv ") << op.chan->name();
     if (op.fault_delay > 0) {
       blocked << " (delayed)";
-      p.sched->defer_op(op, op.fault_delay);
+      sched->defer_op(op, op.fault_delay);
     } else {
       op.chan->park(op);
     }
@@ -210,24 +247,25 @@ void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
 }
 
 void CommAwaiter::await_resume() {
-  Process& p = ctx_.process();
-  p.blocked_on.clear();
-  // A par set completes only when its slowest member does.
-  for (const CommOp& op : ops_) {
-    (void)op;  // times were already folded into the process clock per op
-  }
+  // A par set completes only when its slowest member does; the per-op
+  // times were already folded into the process clock.
+  ctx_.process().blocked_on.clear();
 }
 
 CommAwaiter Ctx::send(Channel& chan, Value v) {
-  return CommAwaiter(*this, {send_op(chan, v)});
+  return CommAwaiter(*this, send_op(chan, v));
 }
 
 CommAwaiter Ctx::recv(Channel& chan, Value& out) {
-  return CommAwaiter(*this, {recv_op(chan, out)});
+  return CommAwaiter(*this, recv_op(chan, out));
 }
 
 CommAwaiter Ctx::par(std::vector<CommOp> ops) {
   return CommAwaiter(*this, std::move(ops));
+}
+
+CommAwaiter Ctx::par(CommOp* ops, std::size_t count) {
+  return CommAwaiter(*this, ops, count);
 }
 
 CommOp Ctx::send_op(Channel& chan, Value v) const {
@@ -265,32 +303,18 @@ void Ctx::tick_statement() {
 // ------------------------------------------------------------- Scheduler
 
 Scheduler::~Scheduler() {
-  for (auto& p : processes_) {
-    if (p->handle) p->handle.destroy();
+  for (Process& p : processes_) {
+    if (p.handle) p.handle.destroy();
   }
 }
 
-Process& Scheduler::spawn(std::string name,
-                          const std::function<Task(Ctx)>& body,
-                          Clock* clock) {
-  auto proc = std::make_unique<Process>();
-  proc->name = std::move(name);
-  proc->sched = this;
-  if (clock != nullptr) proc->clock = clock;
-  Process& ref = *proc;
-  processes_.push_back(std::move(proc));
-  Task task = body(Ctx(this, &ref));
-  ref.handle = task.handle;
-  task.handle.promise().proc = &ref;
+void Scheduler::finish_spawn(Process& ref) {
   if (injector_ != nullptr) injector_->on_spawn(ref);
   make_ready(ref);
-  return ref;
 }
 
 Channel& Scheduler::make_channel(std::string name, Int capacity) {
-  channels_.push_back(
-      std::make_unique<Channel>(std::move(name), this, capacity));
-  return *channels_.back();
+  return channels_.emplace_back(std::move(name), this, capacity);
 }
 
 void Scheduler::make_ready(Process& proc) {
@@ -321,10 +345,10 @@ void Scheduler::release_due() {
 }
 
 void Scheduler::check_starvation() {
-  for (const auto& p : processes_) {
-    if (p->finished || p->in_ready_queue) continue;
-    if (round_ - p->last_active_round > watchdog_.max_blocked_rounds) {
-      raise_stall(*this, "watchdog: process '" + p->name +
+  for (const Process& p : processes_) {
+    if (p.finished || p.in_ready_queue) continue;
+    if (round_ - p.last_active_round > watchdog_.max_blocked_rounds) {
+      raise_stall(*this, "watchdog: process '" + p.name +
                              "' blocked for more than " +
                              std::to_string(watchdog_.max_blocked_rounds) +
                              " rounds (starvation)");
@@ -332,8 +356,30 @@ void Scheduler::check_starvation() {
   }
 }
 
-void Scheduler::run() {
-  round_ = 0;
+void Scheduler::run_fast() {
+  // The zero-overhead loop: no fault release, no stall service, no
+  // watchdog, no blocked-on bookkeeping. Rounds are still counted with
+  // the same batch boundaries as the instrumented loop (one round = the
+  // ready entries present at round start), so a clean run reports the
+  // same scheduler_rounds on either path.
+  while (!ready_.empty()) {
+    std::swap(ready_, batch_);
+    for (Process* proc : batch_) {
+      if (proc->finished) {
+        proc->in_ready_queue = false;
+        continue;
+      }
+      proc->in_ready_queue = false;
+      proc->handle.resume();
+      if (proc->error) std::rethrow_exception(proc->error);
+      if (proc->handle.done()) proc->finished = true;
+    }
+    batch_.clear();
+    ++round_;
+  }
+}
+
+void Scheduler::run_instrumented() {
   for (;;) {
     release_due();
     if (ready_.empty()) {
@@ -356,10 +402,9 @@ void Scheduler::run() {
     // made ready during the round run in the next one. The order is the
     // same FIFO order as before rounds existed — the boundary only
     // defines the time base for stalls, delays and the watchdog.
-    const std::size_t batch = ready_.size();
-    for (std::size_t i = 0; i < batch; ++i) {
-      Process* proc = ready_.front();
-      ready_.pop_front();
+    std::swap(ready_, batch_);
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      Process* proc = batch_[i];
       if (proc->finished) {
         proc->in_ready_queue = false;
         continue;
@@ -392,30 +437,34 @@ void Scheduler::run() {
       }
       if (proc->handle.done()) proc->finished = true;
     }
+    batch_.clear();
     if (watchdog_.max_blocked_rounds > 0) check_starvation();
     ++round_;
   }
-  // All ready work drained: either everything finished or we deadlocked.
-  bool stuck = false;
-  for (const auto& p : processes_) {
-    if (!p->finished) {
-      stuck = true;
-      break;
-    }
+}
+
+void Scheduler::run() {
+  round_ = 0;
+  if (instrumented_) {
+    run_instrumented();
+  } else {
+    run_fast();
   }
-  if (!stuck) return;
-  raise_stall(*this, "deadlock");
+  // All ready work drained: either everything finished or we deadlocked.
+  for (const Process& p : processes_) {
+    if (!p.finished) raise_stall(*this, "deadlock");
+  }
 }
 
 Int Scheduler::total_transfers() const {
   Int total = 0;
-  for (const auto& c : channels_) total += c->transfers();
+  for (const Channel& c : channels_) total += c.transfers();
   return total;
 }
 
 Int Scheduler::makespan() const {
   Int m = 0;
-  for (const auto& p : processes_) m = std::max(m, p->time());
+  for (const Process& p : processes_) m = std::max(m, p.time());
   return m;
 }
 

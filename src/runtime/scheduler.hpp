@@ -14,15 +14,34 @@
 // (runtime/watchdog) bounds rounds and per-process blocked time. Logical
 // clocks are driven purely by the dataflow, so round-level perturbations
 // never change results or makespan — only the interleaving.
+//
+// Execution takes one of two paths through run():
+//   * the FAST path, taken when no fault injector and no watchdog are
+//     configured: a tight resume loop with no fault hooks, no blocked-on
+//     diagnostics strings and no stall/delay bookkeeping. Single sends and
+//     receives keep their CommOp inline in the awaiter (inside the
+//     coroutine frame — no heap allocation per communication), and par
+//     sets can reuse caller-owned op storage across awaits.
+//   * the INSTRUMENTED path, taken whenever faults or a watchdog are
+//     attached: behaviourally identical to the pre-fast-path scheduler,
+//     with per-round fault release, stall service, starvation checks and
+//     human-readable blocked-on state for the forensics layer.
+// Both paths count rounds with the same batch boundaries, so a clean run
+// reports the same round count on either path.
+//
+// A third, opt-in mode runs the network sharded across worker threads
+// (runtime/shard): each shard owns a Scheduler and the awaiters route
+// cross-shard communications through the shard executor instead of
+// completing them synchronously. Logical clocks are dataflow-driven, so
+// sharded results and makespans are bit-identical to sequential runs.
 #pragma once
 
 #include <algorithm>
 #include <coroutine>
 #include <deque>
-#include <functional>
 #include <map>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "loopnest/loop_nest.hpp"
@@ -33,10 +52,12 @@ namespace systolize {
 class Scheduler;
 class Channel;
 class FaultInjector;
+class ShardExec;  // runtime/shard — drives one shard of a parallel run
 struct Process;
 
 /// One pending communication of a par set. Lives in the awaiter inside the
-/// suspended coroutine frame, so its address is stable while parked.
+/// suspended coroutine frame (or in caller-owned frame storage for reused
+/// par sets), so its address is stable while parked.
 struct CommOp {
   Channel* chan = nullptr;
   bool is_send = false;
@@ -84,7 +105,8 @@ struct Process {
   bool finished = false;
   bool in_ready_queue = false;
   std::exception_ptr error;
-  /// What the process is blocked on, for deadlock diagnostics.
+  /// What the process is blocked on, for deadlock diagnostics
+  /// (instrumented path only; the fast path leaves it empty).
   std::string blocked_on;
   Int sends = 0;
   Int recvs = 0;
@@ -115,6 +137,11 @@ class Ctx {
   /// Par composition of communications (the paper's `par` around the basic
   /// statement's receives/sends).
   [[nodiscard]] CommAwaiter par(std::vector<CommOp> ops);
+  /// Par composition over caller-owned ops (typically locals of the
+  /// calling coroutine, rebuilt or refreshed between awaits). Avoids the
+  /// per-await vector allocation of the owning overload; the storage must
+  /// stay alive until the await completes.
+  [[nodiscard]] CommAwaiter par(CommOp* ops, std::size_t count);
 
   [[nodiscard]] CommOp send_op(Channel& chan, Value v) const;
   [[nodiscard]] CommOp recv_op(Channel& chan, Value& out) const;
@@ -132,17 +159,37 @@ class Ctx {
 
 /// Awaitable performing a whole par set of sends/receives; completes when
 /// every op has transferred. A single-element set is an ordinary
-/// synchronous send or receive.
+/// synchronous send or receive and keeps its op inline (no allocation).
 class CommAwaiter {
  public:
-  CommAwaiter(Ctx ctx, std::vector<CommOp> ops);
+  /// Single send/receive; the op lives inside the awaiter.
+  CommAwaiter(Ctx ctx, const CommOp& op)
+      : ctx_(ctx), single_(op), ops_(&single_), count_(1) {}
+  /// Par set over caller-owned storage (not copied).
+  CommAwaiter(Ctx ctx, CommOp* ops, std::size_t count)
+      : ctx_(ctx), ops_(ops), count_(count) {}
+  /// Par set owning its ops.
+  CommAwaiter(Ctx ctx, std::vector<CommOp> ops)
+      : ctx_(ctx),
+        owned_(std::move(ops)),
+        ops_(owned_.data()),
+        count_(owned_.size()) {}
+
+  // The awaiter hands out pointers into itself (ops_ may alias single_),
+  // so it must be awaited where it was materialized.
+  CommAwaiter(const CommAwaiter&) = delete;
+  CommAwaiter& operator=(const CommAwaiter&) = delete;
+
   [[nodiscard]] bool await_ready();
   void await_suspend(std::coroutine_handle<> h);
   void await_resume();
 
  private:
   Ctx ctx_;
-  std::vector<CommOp> ops_;
+  std::vector<CommOp> owned_;
+  CommOp single_;
+  CommOp* ops_ = nullptr;
+  std::size_t count_ = 0;
 };
 
 /// Synchronous channel (optionally with a small FIFO buffer when
@@ -157,6 +204,12 @@ class Channel {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Int transfers() const noexcept { return transfers_; }
+  [[nodiscard]] Scheduler* scheduler() const noexcept { return sched_; }
+
+  /// Opaque routing tag for sharded runs (the plan channel id, used to
+  /// look up the owning shard); -1 outside sharded execution.
+  void set_shard_tag(Int tag) noexcept { shard_tag_ = tag; }
+  [[nodiscard]] Int shard_tag() const noexcept { return shard_tag_; }
 
   /// Attempt the op now; true if it completed without parking.
   bool try_complete(CommOp& op);
@@ -168,10 +221,10 @@ class Channel {
   void match_parked();
 
   // --- forensic access (deadlock reports) ---
-  [[nodiscard]] const std::deque<CommOp*>& parked_senders() const noexcept {
+  [[nodiscard]] const std::vector<CommOp*>& parked_senders() const noexcept {
     return senders_;
   }
-  [[nodiscard]] const std::deque<CommOp*>& parked_receivers() const noexcept {
+  [[nodiscard]] const std::vector<CommOp*>& parked_receivers() const noexcept {
     return receivers_;
   }
   /// Last process seen on each side (the wait-for counterpart even when
@@ -193,6 +246,8 @@ class Channel {
   void declare_receiver(Process& p) noexcept { known_receiver_ = &p; }
 
  private:
+  friend class ShardExec;  // sharded offer/match runs on the owner shard
+
   struct Stamped {
     Value value;
     Int time;
@@ -206,9 +261,10 @@ class Channel {
   Scheduler* sched_;
   Int capacity_;
   std::deque<Stamped> buffer_;
-  std::deque<CommOp*> senders_;
-  std::deque<CommOp*> receivers_;
+  std::vector<CommOp*> senders_;
+  std::vector<CommOp*> receivers_;
   Int transfers_ = 0;
+  Int shard_tag_ = -1;
   Process* known_sender_ = nullptr;
   Process* known_receiver_ = nullptr;
 };
@@ -223,10 +279,24 @@ class Scheduler {
   /// Create a process; `body` is called immediately to build the coroutine
   /// (suspended until run()). When `clock` is non-null the process shares
   /// it (processor multiplexing); it must outlive the scheduler run.
-  Process& spawn(std::string name, const std::function<Task(Ctx)>& body,
-                 Clock* clock = nullptr);
+  /// Processes live in a chunked arena (a deque), so their addresses are
+  /// stable and spawning performs no per-process allocation beyond the
+  /// coroutine frame itself.
+  template <class Body>
+  Process& spawn(std::string name, const Body& body, Clock* clock = nullptr) {
+    Process& ref = processes_.emplace_back();
+    ref.name = std::move(name);
+    ref.sched = this;
+    if (clock != nullptr) ref.clock = clock;
+    Task task = body(Ctx(this, &ref));
+    ref.handle = task.handle;
+    task.handle.promise().proc = &ref;
+    finish_spawn(ref);
+    return ref;
+  }
 
-  /// Create a channel owned by the scheduler.
+  /// Create a channel owned by the scheduler (same chunked-arena storage
+  /// as processes: stable addresses, no per-channel heap node).
   Channel& make_channel(std::string name, Int capacity = 0);
 
   /// Run to completion. Throws Error(Runtime) with a forensic deadlock
@@ -240,12 +310,25 @@ class Scheduler {
   /// injector must outlive the run.
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
+    refresh_mode();
   }
   [[nodiscard]] FaultInjector* injector() const noexcept { return injector_; }
 
   void set_watchdog(const WatchdogConfig& config) noexcept {
     watchdog_ = config;
+    refresh_mode();
   }
+
+  /// True when faults or a watchdog are attached: run() then takes the
+  /// instrumented path and awaiters record blocked-on diagnostics.
+  [[nodiscard]] bool instrumented() const noexcept { return instrumented_; }
+
+  /// Attach/detach the shard executor driving this scheduler as one shard
+  /// of a parallel run (runtime/shard). While attached, awaiters route
+  /// every communication through the executor.
+  void set_shard_exec(ShardExec* exec) noexcept { shard_ = exec; }
+  [[nodiscard]] ShardExec* shard_exec() const noexcept { return shard_; }
+  [[nodiscard]] bool sharded() const noexcept { return shard_ != nullptr; }
 
   /// Hold a parked-to-be op out of its channel for `delay` rounds
   /// (injected transfer delay); called from the comm awaiter.
@@ -253,15 +336,13 @@ class Scheduler {
 
   [[nodiscard]] Int round() const noexcept { return round_; }
 
-  [[nodiscard]] const std::deque<std::unique_ptr<Process>>& processes()
-      const noexcept {
+  [[nodiscard]] const std::deque<Process>& processes() const noexcept {
     return processes_;
   }
   [[nodiscard]] std::size_t channel_count() const noexcept {
     return channels_.size();
   }
-  [[nodiscard]] const std::deque<std::unique_ptr<Channel>>& channels()
-      const noexcept {
+  [[nodiscard]] const std::deque<Channel>& channels() const noexcept {
     return channels_;
   }
   /// Ops currently held by an injected delay (forensic access).
@@ -278,6 +359,18 @@ class Scheduler {
   [[nodiscard]] Int makespan() const;
 
  private:
+  friend class ShardExec;  // shard workers drive ready_/batch_ directly
+
+  /// Injector spawn hook + initial enqueue (out-of-line half of spawn).
+  void finish_spawn(Process& ref);
+  void refresh_mode() noexcept {
+    instrumented_ = injector_ != nullptr || watchdog_.max_rounds > 0 ||
+                    watchdog_.max_blocked_rounds > 0;
+  }
+  /// The zero-overhead resume loop (no faults, no watchdog).
+  void run_fast();
+  /// The fully instrumented loop (fault release, stall service, watchdog).
+  void run_instrumented();
   /// Re-queue stalled processes and re-offer delayed ops whose release
   /// round has arrived.
   void release_due();
@@ -285,14 +378,25 @@ class Scheduler {
   /// for more than max_blocked_rounds while the scheduler still turns.
   void check_starvation();
 
-  std::deque<std::unique_ptr<Process>> processes_;
-  std::deque<std::unique_ptr<Channel>> channels_;
-  std::deque<Process*> ready_;
+  std::deque<Process> processes_;
+  std::deque<Channel> channels_;
+  /// Double-buffered flat ready queue: make_ready appends to ready_; a
+  /// round swaps it into batch_ and drains the batch, so "one round = the
+  /// entries present at round start" with no deque churn.
+  std::vector<Process*> ready_;
+  std::vector<Process*> batch_;
   std::multimap<Int, Process*> stalled_;  ///< release round -> process
   std::multimap<Int, CommOp*> delayed_;   ///< release round -> held op
   FaultInjector* injector_ = nullptr;
   WatchdogConfig watchdog_;
+  ShardExec* shard_ = nullptr;
+  bool instrumented_ = false;
   Int round_ = 0;
 };
+
+/// Route a suspending par set through the shard executor (defined in
+/// runtime/shard.cpp; never called on sequential runs).
+void shard_suspend(ShardExec& exec, Process& proc, CommOp* ops,
+                   std::size_t count);
 
 }  // namespace systolize

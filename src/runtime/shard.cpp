@@ -1,0 +1,434 @@
+#include "runtime/shard.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/watchdog.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+namespace {
+
+/// One cross-shard message. An Offer hands a freshly issued op to the
+/// channel-owner shard; a Complete hands a finished op (value already
+/// written into it) back to the process-owner shard.
+struct ShardMsg {
+  CommOp* op = nullptr;
+  Int time = 0;
+  enum class Kind : std::uint8_t { Offer, Complete } kind = Kind::Offer;
+};
+
+/// Single-producer single-consumer ring. One ring per (source, target)
+/// shard pair keeps every ring strictly SPSC: only the source's worker
+/// pushes, only the target's worker pops. Monotonic 64-bit positions,
+/// release on publish / acquire on consume.
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 64;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool push(const ShardMsg& m) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = m;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool pop(ShardMsg& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<ShardMsg> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+};
+
+struct ShardRuntime;
+
+}  // namespace
+
+/// One shard: its scheduler (owning the shard's processes and channels)
+/// and its worker loop. Declared at namespace scope because Channel and
+/// Scheduler befriend it by name.
+class ShardExec {
+ public:
+  ShardExec(unsigned id, ShardRuntime& rt) : id_(id), rt_(rt) {
+    sched_.set_shard_exec(this);
+  }
+
+  [[nodiscard]] Scheduler& sched() noexcept { return sched_; }
+  [[nodiscard]] const Scheduler& sched() const noexcept { return sched_; }
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+
+  void suspend(Process& proc, CommOp* ops, std::size_t count);
+  void worker();
+
+ private:
+  void offer(CommOp& op);
+  void finish(CommOp& op, Value v, Int time);
+  void apply_completion(CommOp& op, Int time);
+  void post(unsigned target, const ShardMsg& msg);
+  bool drain_rings();
+  bool run_round();
+  bool detect_deadlock();
+
+  unsigned id_;
+  ShardRuntime& rt_;
+  Scheduler sched_;
+  bool idle_flag_ = false;
+};
+
+namespace {
+
+struct ShardRuntime {
+  const NetworkPlan* plan = nullptr;
+  unsigned nshards = 0;
+  std::vector<std::unique_ptr<ShardExec>> execs;
+  /// rings[target][source]: strictly SPSC per pair.
+  std::vector<std::deque<SpscRing>> rings;
+  std::vector<std::uint32_t> chan_shard;  ///< owner shard by channel id
+  std::vector<Channel*> chans;            ///< by plan channel id
+  std::atomic<std::size_t> unfinished{0};
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<unsigned> idle{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> stalled{false};
+  std::mutex error_mu;
+  std::vector<std::pair<unsigned, std::exception_ptr>> errors;
+
+  [[nodiscard]] bool all_rings_empty() const {
+    for (const auto& row : rings) {
+      for (const SpscRing& ring : row) {
+        if (!ring.empty()) return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Slab-partition the plan's processes over `threads` shards along the
+/// leading place-space coordinate, so neighbouring pipeline stages (which
+/// communicate every step) land on the same shard and cross-shard traffic
+/// is limited to slab boundaries.
+std::vector<std::uint32_t> partition_procs(const NetworkPlan& plan,
+                                           unsigned shards) {
+  const Int lo = plan.ps_min.dim() > 0 ? plan.ps_min[0] : 0;
+  const Int hi = plan.ps_max.dim() > 0 ? plan.ps_max[0] : 0;
+  const Int extent = std::max<Int>(1, hi - lo + 1);
+  std::vector<std::uint32_t> shard_of(plan.procs.size(), 0);
+  for (std::size_t i = 0; i < plan.procs.size(); ++i) {
+    const IntVec& place = plan.procs[i].place;
+    const Int c = place.dim() > 0 ? place[0] : lo;
+    Int s = (c - lo) * static_cast<Int>(shards) / extent;
+    s = std::max<Int>(0, std::min<Int>(s, static_cast<Int>(shards) - 1));
+    shard_of[i] = static_cast<std::uint32_t>(s);
+  }
+  return shard_of;
+}
+
+}  // namespace
+
+void ShardExec::post(unsigned target, const ShardMsg& msg) {
+  SpscRing& ring = rt_.rings[target][id_];
+  // The ring is sized for the plan's total par width, so a full ring can
+  // only mean the run is being aborted mid-flight; spin rather than drop
+  // (the consumer drains its rings every loop iteration).
+  while (!ring.push(msg)) {
+    if (rt_.abort.load()) return;
+    std::this_thread::yield();
+  }
+}
+
+void ShardExec::suspend(Process& proc, CommOp* ops, std::size_t count) {
+  // Count the whole set as pending BEFORE offering anything: a local
+  // offer can complete synchronously and decrement pending on the spot.
+  proc.pending = static_cast<Int>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CommOp& op = ops[i];
+    const std::uint32_t owner =
+        rt_.chan_shard[static_cast<std::size_t>(op.chan->shard_tag())];
+    if (owner == id_) {
+      offer(op);
+    } else {
+      post(owner, ShardMsg{&op, 0, ShardMsg::Kind::Offer});
+    }
+  }
+}
+
+void ShardExec::offer(CommOp& op) {
+  // Runs on the owning shard's thread; pure rendezvous (instantiate
+  // refuses sharded runs with buffered channels).
+  Channel& ch = *op.chan;
+  (op.is_send ? ch.known_sender_ : ch.known_receiver_) = op.proc;
+  std::vector<CommOp*>& counterpart = op.is_send ? ch.receivers_ : ch.senders_;
+  if (!counterpart.empty()) {
+    CommOp* other = counterpart.front();
+    counterpart.erase(counterpart.begin());
+    const Int t = std::max(op.issue_time, other->issue_time) + 1;
+    ++ch.transfers_;
+    const Value v = op.is_send ? op.value : other->value;
+    finish(op, v, t);
+    finish(*other, v, t);
+  } else {
+    (op.is_send ? ch.senders_ : ch.receivers_).push_back(&op);
+  }
+}
+
+void ShardExec::finish(CommOp& op, Value v, Int time) {
+  // The owning coroutine is suspended until every op of its par set has
+  // been applied on its own shard, so writing into the op (which lives in
+  // the coroutine frame) is race-free: the ring's release/acquire pair —
+  // or same-thread program order — sequences it before the frame resumes.
+  if (!op.is_send) op.value = v;
+  op.done = true;
+  ShardExec* target = op.proc->sched->shard_exec();
+  if (target == this) {
+    apply_completion(op, time);
+  } else {
+    post(target->id_, ShardMsg{&op, time, ShardMsg::Kind::Complete});
+  }
+}
+
+void ShardExec::apply_completion(CommOp& op, Int time) {
+  // Runs on the process-owner thread: every Process-field mutation —
+  // clock, counters, pending, ready queue — stays thread-local.
+  Process& p = *op.proc;
+  if (!op.is_send && op.out != nullptr) *op.out = op.value;
+  p.advance_to(time);
+  if (op.is_send) {
+    ++p.sends;
+  } else {
+    ++p.recvs;
+  }
+  if (--p.pending == 0) sched_.make_ready(p);
+}
+
+bool ShardExec::drain_rings() {
+  bool progress = false;
+  ShardMsg msg;
+  for (SpscRing& ring : rt_.rings[id_]) {
+    while (ring.pop(msg)) {
+      progress = true;
+      if (msg.kind == ShardMsg::Kind::Offer) {
+        offer(*msg.op);
+      } else {
+        apply_completion(*msg.op, msg.time);
+      }
+    }
+  }
+  return progress;
+}
+
+bool ShardExec::run_round() {
+  if (sched_.ready_.empty()) return false;
+  std::swap(sched_.ready_, sched_.batch_);
+  for (Process* proc : sched_.batch_) {
+    proc->in_ready_queue = false;
+    if (proc->finished) continue;
+    proc->handle.resume();
+    if (proc->error) {
+      {
+        std::lock_guard<std::mutex> lock(rt_.error_mu);
+        rt_.errors.emplace_back(id_, proc->error);
+      }
+      rt_.abort.store(true);
+      return true;
+    }
+    if (proc->handle.done()) {
+      proc->finished = true;
+      rt_.unfinished.fetch_sub(1);
+    }
+  }
+  sched_.batch_.clear();
+  ++sched_.round_;
+  return true;
+}
+
+bool ShardExec::detect_deadlock() {
+  // Only meaningful when every worker is parked in its idle branch: an
+  // idle worker has verified it has no ring traffic and no ready work,
+  // and it un-idles before touching either, so idle==nshards means no
+  // shard is mutating anything. Empty rings then rule out in-flight
+  // wakeups; a double sample of the progress epoch (with a yield between)
+  // guards against stale atomic reads.
+  if (rt_.idle.load() != rt_.nshards) return false;
+  if (!rt_.all_rings_empty()) return false;
+  const std::uint64_t epoch = rt_.progress.load();
+  std::this_thread::yield();
+  if (rt_.idle.load() != rt_.nshards) return false;
+  if (!rt_.all_rings_empty()) return false;
+  if (rt_.progress.load() != epoch) return false;
+  if (rt_.unfinished.load() == 0) return false;
+  rt_.stalled.store(true);
+  rt_.abort.store(true);
+  return true;
+}
+
+void ShardExec::worker() {
+  for (;;) {
+    if (rt_.abort.load()) return;
+    bool has_ring_work = false;
+    for (const SpscRing& ring : rt_.rings[id_]) {
+      if (!ring.empty()) {
+        has_ring_work = true;
+        break;
+      }
+    }
+    if (!has_ring_work && sched_.ready_.empty()) {
+      if (rt_.unfinished.load() == 0) return;
+      if (!idle_flag_) {
+        idle_flag_ = true;
+        rt_.idle.fetch_add(1);
+      }
+      if (id_ == 0 && detect_deadlock()) return;
+      std::this_thread::yield();
+      continue;
+    }
+    // Un-idle BEFORE consuming anything, so idle==nshards implies no
+    // shard holds popped-but-unprocessed work (the deadlock detector
+    // depends on this ordering).
+    if (idle_flag_) {
+      idle_flag_ = false;
+      rt_.idle.fetch_sub(1);
+    }
+    bool progress = drain_rings();
+    if (run_round()) progress = true;
+    if (progress) rt_.progress.fetch_add(1);
+  }
+}
+
+ShardRunStats run_sharded(const NetworkPlan& plan, unsigned threads,
+                          const Value* in_values, Value* out_values) {
+  ShardRuntime rt;
+  rt.plan = &plan;
+  // More shards than place-space slabs would only idle; clamp.
+  const Int extent =
+      plan.ps_min.dim() > 0
+          ? std::max<Int>(1, plan.ps_max[0] - plan.ps_min[0] + 1)
+          : 1;
+  rt.nshards = static_cast<unsigned>(
+      std::max<Int>(1, std::min<Int>(static_cast<Int>(threads), extent)));
+
+  const std::vector<std::uint32_t> proc_shard =
+      partition_procs(plan, rt.nshards);
+  // A channel lives on its receiver's shard (the receiver touches it at
+  // least as often as the sender); dangling channels default to shard 0.
+  rt.chan_shard.assign(plan.channels.size(), 0);
+  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
+    const NetworkPlan::ChannelSpec& spec = plan.channels[c];
+    if (spec.receiver >= 0) {
+      rt.chan_shard[c] = proc_shard[static_cast<std::size_t>(spec.receiver)];
+    } else if (spec.sender >= 0) {
+      rt.chan_shard[c] = proc_shard[static_cast<std::size_t>(spec.sender)];
+    }
+  }
+
+  for (unsigned s = 0; s < rt.nshards; ++s) {
+    rt.execs.push_back(std::make_unique<ShardExec>(s, rt));
+  }
+  // rings[target][source], each sized for the worst-case in-flight load.
+  rt.rings.resize(rt.nshards);
+  for (auto& row : rt.rings) {
+    row.clear();
+    for (unsigned s = 0; s < rt.nshards; ++s) {
+      row.emplace_back(plan.total_par_bound + 1);
+    }
+  }
+
+  // Build the network single-threaded: channels into their owner shards
+  // (tagged with their plan id so suspending processes can route offers),
+  // then processes in plan order into their shards.
+  rt.chans.resize(plan.channels.size());
+  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
+    Channel& chan = rt.execs[rt.chan_shard[c]]->sched().make_channel(
+        plan.channels[c].name, plan.channels[c].capacity);
+    chan.set_shard_tag(static_cast<Int>(c));
+    rt.chans[c] = &chan;
+  }
+  PlanBindings bindings;
+  bindings.plan = &plan;
+  bindings.in_values = in_values;
+  bindings.out_values = out_values;
+  std::vector<Process*> procs;
+  procs.reserve(plan.procs.size());
+  for (std::uint32_t pi = 0; pi < plan.procs.size(); ++pi) {
+    procs.push_back(&spawn_plan_proc(rt.execs[proc_shard[pi]]->sched(), pi,
+                                     rt.chans.data(), nullptr, bindings));
+  }
+  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
+    const NetworkPlan::ChannelSpec& spec = plan.channels[c];
+    if (spec.sender >= 0) rt.chans[c]->declare_sender(*procs[spec.sender]);
+    if (spec.receiver >= 0) {
+      rt.chans[c]->declare_receiver(*procs[spec.receiver]);
+    }
+  }
+  rt.unfinished.store(plan.procs.size());
+
+  std::vector<std::thread> workers;
+  workers.reserve(rt.nshards);
+  for (unsigned s = 0; s < rt.nshards; ++s) {
+    workers.emplace_back([exec = rt.execs[s].get()] { exec->worker(); });
+  }
+  for (std::thread& t : workers) t.join();
+
+  if (!rt.errors.empty()) {
+    auto first = rt.errors.front();
+    for (const auto& e : rt.errors) {
+      if (e.first < first.first) first = e;
+    }
+    std::rethrow_exception(first.second);
+  }
+  if (rt.stalled.load() || rt.unfinished.load() != 0) {
+    std::vector<const Scheduler*> scheds;
+    scheds.reserve(rt.nshards);
+    for (const auto& exec : rt.execs) scheds.push_back(&exec->sched());
+    raise_stall(scheds, "deadlock");
+  }
+
+  ShardRunStats stats;
+  stats.shards = rt.nshards;
+  stats.channel_transfers.reserve(plan.channels.size());
+  for (const Channel* chan : rt.chans) {
+    stats.channel_transfers.push_back(chan->transfers());
+    stats.total_transfers += chan->transfers();
+  }
+  for (const auto& exec : rt.execs) {
+    const Scheduler& sched = exec->sched();
+    stats.makespan = std::max(stats.makespan, sched.makespan());
+    stats.rounds = std::max(stats.rounds, sched.round());
+    for (const Process& p : sched.processes()) {
+      stats.statements += p.statements;
+    }
+  }
+  return stats;
+}
+
+void shard_suspend(ShardExec& exec, Process& proc, CommOp* ops,
+                   std::size_t count) {
+  exec.suspend(proc, ops, count);
+}
+
+}  // namespace systolize

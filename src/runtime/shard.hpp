@@ -1,0 +1,72 @@
+// Opt-in parallel execution: the interned network partitioned into shards
+// by place-space locality, one worker thread per shard, lock-free SPSC
+// rings for cross-shard communication.
+//
+// Determinism argument (why parallel results are bit-identical to the
+// sequential schedule): logical clocks are driven purely by the dataflow
+// — a rendezvous completes at max(issue times) + 1 and a basic statement
+// adds 1 — never by scheduling order. Every channel of a plan network has
+// exactly one sending and one receiving process, and a process has at
+// most one outstanding op per channel (it suspends until its par set
+// completes), so the k-th send on a channel always pairs with the k-th
+// receive no matter how shard execution interleaves. By induction over
+// the dataflow DAG, every transfer gets the same timestamp, every process
+// the same final clock, and every channel the same transfer count as the
+// sequential run. Results are committed through per-element slots that
+// only the owning output process writes. What is NOT schedule-invariant
+// is the cooperative round count (each shard counts its own rounds) and
+// anything arrival-order dependent — which is why sharded execution is
+// restricted to pure rendezvous networks (capacity 0, no merged buffers)
+// and refuses fault injection, watchdogs, tracing and partitioning
+// (instantiate.cpp validates; those modes run sequentially).
+//
+// Protocol: every channel is owned by the shard of its receiving process.
+// A suspending process offers each op of its par set to the op's channel
+// — directly when the channel is local, else as an Offer message on the
+// owner's ring. The owner matches offers rendezvous-style and routes each
+// completion back to the op's process — directly when local, else as a
+// Complete message. All Process-field mutation (clock, counters, pending,
+// ready queue) happens on the process-owner thread; all Channel-field
+// mutation happens on the channel-owner thread. Ring capacity is bounded
+// by the plan's total par width (each op contributes at most one in-flight
+// message per ring), so pushes cannot overflow in steady state.
+//
+// Termination: a global count of unfinished processes; when it reaches
+// zero no message can be in flight (a process finishes only after all its
+// ops completed) and workers exit. Deadlock: when every worker is idle,
+// every ring is empty and unfinished processes remain, shard 0 trips the
+// abort flag after a double sample of the progress epoch, and the caller
+// raises the same forensic report as a sequential stall, merged across
+// all shards.
+#pragma once
+
+#include <vector>
+
+#include "numeric/checked.hpp"
+#include "runtime/plan_cache.hpp"
+
+namespace systolize {
+
+/// What a sharded run reports back for metrics. `rounds` is the maximum
+/// over the shards' cooperative round counters — unlike every other field
+/// it is NOT comparable to a sequential run's value.
+struct ShardRunStats {
+  Int makespan = 0;
+  Int statements = 0;
+  Int total_transfers = 0;
+  Int rounds = 0;
+  unsigned shards = 0;
+  std::vector<Int> channel_transfers;  ///< by plan channel id
+};
+
+/// Execute the plan's network across `threads` worker shards (clamped to
+/// the place-space extent). Inputs are read from `in_values` and outputs
+/// written to `out_values`, both aligned with plan.elems. Throws
+/// Error(Runtime) with a merged forensic report on deadlock and rethrows
+/// the first process exception (by shard id) on failure.
+[[nodiscard]] ShardRunStats run_sharded(const NetworkPlan& plan,
+                                        unsigned threads,
+                                        const Value* in_values,
+                                        Value* out_values);
+
+}  // namespace systolize

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "runtime/metrics.hpp"
 
@@ -40,9 +41,15 @@ struct WatchdogConfig {
 /// used — the channel's other side.
 [[nodiscard]] DeadlockReport build_deadlock_report(const Scheduler& sched,
                                                    std::string reason);
+/// Merged report over the shards of a parallel run: wait-for edges may
+/// cross schedulers (a parked op's counterpart lives on another shard).
+[[nodiscard]] DeadlockReport build_deadlock_report(
+    const std::vector<const Scheduler*>& scheds, std::string reason);
 
 /// Build the report and raise Error(Runtime) with the human-readable
 /// rendering as the message and the JSON rendering as the diagnostic.
 [[noreturn]] void raise_stall(const Scheduler& sched, std::string reason);
+[[noreturn]] void raise_stall(const std::vector<const Scheduler*>& scheds,
+                              std::string reason);
 
 }  // namespace systolize

@@ -1,0 +1,225 @@
+// Differential suite for the execution engine's three paths: the
+// zero-overhead fast path (no faults, no watchdog), the instrumented
+// path (any fault/watchdog attachment forces it), and the sharded
+// parallel path (--threads). All three must produce bit-identical
+// results, makespans and transfer counts; fast and instrumented must
+// also agree on scheduler rounds (same batch boundaries), while sharded
+// rounds are a max over shards and deliberately excluded.
+#include <gtest/gtest.h>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+Value pseudo_random(const std::string& var, const IntVec& p) {
+  Value h = 1469598103934665603LL;
+  for (char c : var) h = (h ^ c) * 1099511628211LL;
+  for (std::size_t i = 0; i < p.dim(); ++i) {
+    h = (h ^ static_cast<Value>(p[i] + 1315423911LL)) * 1099511628211LL;
+  }
+  return (h % 19) - 9;
+}
+
+Env sizes_for(const Design& design, Int n, Int m) {
+  Env env{{"n", Rational(n)}};
+  for (const Symbol& s : design.nest.sizes()) {
+    if (!env.contains(s.name())) env[s.name()] = Rational(m);
+  }
+  return env;
+}
+
+IndexedStore seeded(const Design& design, const Env& sizes) {
+  return make_initial_store(design.nest, sizes,
+                            [](const auto& v, const auto& p) {
+                              return pseudo_random(v, p);
+                            });
+}
+
+/// An attached (but never-firing) watchdog is the cheapest way to force
+/// the instrumented path without changing observable behaviour.
+InstantiateOptions instrumented(InstantiateOptions opt = {}) {
+  opt.watchdog.max_rounds = Int{1} << 40;
+  return opt;
+}
+
+void expect_same_stores(const Design& design, const IndexedStore& a,
+                        const IndexedStore& b, const std::string& what) {
+  for (const Stream& s : design.nest.streams()) {
+    EXPECT_EQ(a.elements(s.name()), b.elements(s.name()))
+        << what << " stream " << s.name();
+  }
+}
+
+class FastPathDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FastPathDifferential, FastAndInstrumentedAgreeExactly) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  for (Int n : {2, 4}) {
+    Env sizes = sizes_for(design, n, std::max<Int>(1, n - 1));
+    IndexedStore fast_store = seeded(design, sizes);
+    IndexedStore inst_store = fast_store;
+    RunMetrics fast = execute(prog, design.nest, sizes, fast_store, {});
+    RunMetrics inst =
+        execute(prog, design.nest, sizes, inst_store, instrumented());
+    expect_same_stores(design, fast_store, inst_store, GetParam());
+    EXPECT_EQ(fast.makespan, inst.makespan) << GetParam();
+    EXPECT_EQ(fast.total_transfers, inst.total_transfers) << GetParam();
+    EXPECT_EQ(fast.statements, inst.statements) << GetParam();
+    EXPECT_EQ(fast.transfers_per_stream, inst.transfers_per_stream)
+        << GetParam();
+    // Clean runs must report the same number of cooperative rounds on
+    // either path — the fault clock and the fast loop share batch
+    // boundaries by construction.
+    EXPECT_EQ(fast.scheduler_rounds, inst.scheduler_rounds) << GetParam();
+  }
+}
+
+TEST_P(FastPathDifferential, FastAndInstrumentedAgreeOnVariants) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 3, 2);
+  for (int variant = 0; variant < 2; ++variant) {
+    InstantiateOptions opt;
+    if (variant == 0) {
+      opt.channel_capacity = 2;
+    } else {
+      opt.merge_internal_buffers = true;
+    }
+    IndexedStore fast_store = seeded(design, sizes);
+    IndexedStore inst_store = fast_store;
+    RunMetrics fast = execute(prog, design.nest, sizes, fast_store, opt);
+    RunMetrics inst =
+        execute(prog, design.nest, sizes, inst_store, instrumented(opt));
+    expect_same_stores(design, fast_store, inst_store, GetParam());
+    EXPECT_EQ(fast.makespan, inst.makespan) << GetParam() << " v" << variant;
+    EXPECT_EQ(fast.total_transfers, inst.total_transfers)
+        << GetParam() << " v" << variant;
+    EXPECT_EQ(fast.scheduler_rounds, inst.scheduler_rounds)
+        << GetParam() << " v" << variant;
+  }
+}
+
+TEST_P(FastPathDifferential, ShardedRunIsBitIdenticalToSequential) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  for (Int n : {2, 5}) {
+    Env sizes = sizes_for(design, n, std::max<Int>(1, n - 1));
+    IndexedStore seq_store = seeded(design, sizes);
+    IndexedStore par_store = seq_store;
+    RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+    InstantiateOptions par_opt;
+    par_opt.threads = 4;
+    RunMetrics par = execute(prog, design.nest, sizes, par_store, par_opt);
+    expect_same_stores(design, seq_store, par_store, GetParam());
+    EXPECT_EQ(seq.makespan, par.makespan) << GetParam() << " n=" << n;
+    EXPECT_EQ(seq.total_transfers, par.total_transfers)
+        << GetParam() << " n=" << n;
+    EXPECT_EQ(seq.statements, par.statements) << GetParam() << " n=" << n;
+    EXPECT_EQ(seq.transfers_per_stream, par.transfers_per_stream)
+        << GetParam() << " n=" << n;
+    EXPECT_GE(par.shards, 1u) << GetParam();
+    // scheduler_rounds is a max over shards on the parallel path, not
+    // schedule-invariant: deliberately not compared.
+  }
+}
+
+TEST_P(FastPathDifferential, CachedPlanReproducesFreshPlanExactly) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4, 2);
+  PlanCache cache;
+  InstantiateOptions opt;
+  opt.plan_cache = &cache;
+  IndexedStore first_store = seeded(design, sizes);
+  IndexedStore second_store = first_store;
+  IndexedStore fresh_store = first_store;
+  RunMetrics first = execute(prog, design.nest, sizes, first_store, opt);
+  RunMetrics second = execute(prog, design.nest, sizes, second_store, opt);
+  RunMetrics fresh = execute(prog, design.nest, sizes, fresh_store, {});
+  EXPECT_FALSE(first.plan_reused);
+  EXPECT_TRUE(second.plan_reused);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_same_stores(design, first_store, second_store, "cached-repeat");
+  expect_same_stores(design, first_store, fresh_store, "cached-vs-fresh");
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.makespan, fresh.makespan);
+  EXPECT_EQ(first.total_transfers, second.total_transfers);
+  EXPECT_EQ(first.transfers_per_stream, fresh.transfers_per_stream);
+}
+
+TEST_P(FastPathDifferential, AllPathsMatchSequentialGroundTruth) {
+  Design design = design_by_name(GetParam());
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4, 3);
+  IndexedStore expected = seeded(design, sizes);
+  IndexedStore fast_store = expected;
+  IndexedStore inst_store = expected;
+  IndexedStore par_store = expected;
+  run_sequential(design.nest, sizes, expected);
+  (void)execute(prog, design.nest, sizes, fast_store, {});
+  (void)execute(prog, design.nest, sizes, inst_store, instrumented());
+  InstantiateOptions par_opt;
+  par_opt.threads = 3;
+  (void)execute(prog, design.nest, sizes, par_store, par_opt);
+  expect_same_stores(design, fast_store, expected, "fast-vs-seq");
+  expect_same_stores(design, inst_store, expected, "inst-vs-seq");
+  expect_same_stores(design, par_store, expected, "par-vs-seq");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, FastPathDifferential,
+                         ::testing::Values("polyprod1", "polyprod2",
+                                           "polyprod3", "matmul1", "matmul2",
+                                           "matmul3", "matmul4",
+                                           "convolution", "correlation"));
+
+TEST(ShardedValidation, RejectsIncompatibleAttachments) {
+  Design design = design_by_name("polyprod1");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(3)}};
+  {
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 2;
+    opt.watchdog.max_rounds = 100;
+    EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+  }
+  {
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 2;
+    opt.channel_capacity = 2;
+    EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+  }
+  {
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 2;
+    opt.partition_grid = IntVec(std::vector<Int>{2});
+    EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+  }
+}
+
+TEST(ShardedValidation, SingleThreadIsJustTheFastPath) {
+  Design design = design_by_name("matmul1");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(3)}};
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore one_store = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  InstantiateOptions opt;
+  opt.threads = 1;
+  RunMetrics one = execute(prog, design.nest, sizes, one_store, opt);
+  expect_same_stores(design, seq_store, one_store, "threads=1");
+  EXPECT_EQ(seq.makespan, one.makespan);
+  EXPECT_EQ(one.shards, 0u);
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Benchmark driver: build the Release configuration and record the
+# end-to-end runtime benchmarks into BENCH_runtime.json at the repo root.
+# Each invocation appends one run entry {label, commit, date, benchmarks}
+# so the file accumulates a perf trajectory across PRs.
+#
+# usage: tools/bench.sh [label] [extra benchmark args...]
+#   label defaults to the current commit's short hash.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+label="${1:-$(git -C "${repo}" rev-parse --short HEAD)}"
+shift || true
+
+build="${repo}/build-bench"
+# -DSYSTOLIZE_WERROR=OFF: GCC 12 emits a -Wrestrict false positive in
+# symbolic/symbol.cpp under -O3 that would otherwise fail the build.
+cmake -B "${build}" -S "${repo}" \
+  -DCMAKE_BUILD_TYPE=Release -DSYSTOLIZE_WERROR:BOOL=OFF
+cmake --build "${build}" -j "${jobs}" --target bench_endtoend
+
+raw="$(mktemp)"
+trap 'rm -f "${raw}"' EXIT
+"${build}/bench/bench_endtoend" \
+  --benchmark_format=json --benchmark_min_time=0.2 "$@" > "${raw}"
+
+python3 - "$raw" "${repo}/BENCH_runtime.json" "${label}" <<'PY'
+import json, subprocess, sys
+raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+entry = {
+    "label": label,
+    "commit": subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True).stdout.strip(),
+    "date": raw.get("context", {}).get("date", ""),
+    "benchmarks": [
+        {
+            "name": b["name"],
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "iterations": b["iterations"],
+        }
+        for b in raw.get("benchmarks", [])
+    ],
+}
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {"runs": []}
+doc["runs"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded {len(entry['benchmarks'])} benchmarks as '{label}' "
+      f"in {out_path}")
+PY

@@ -20,4 +20,8 @@ run_config() {
 run_config "${repo}/build"
 run_config "${repo}/build-asan" -DSYSTOLIZE_SANITIZE=ON
 
+echo "=== bench smoke: substrate relay chain ==="
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_SubstrateRelayChain/16' --benchmark_min_time=0.05
+
 echo "=== CI OK: plain and sanitizer configurations both green ==="

@@ -45,6 +45,7 @@ int usage() {
       "                   [--merge-buffers] [--partition=G] [--no-verify]\n"
       "                   [--inject=PLAN] [--watchdog-rounds=N]\n"
       "                   [--watchdog-blocked=N] [--deadlock-report]\n"
+      "                   [--threads=N]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n";
   return 2;
@@ -76,6 +77,7 @@ struct Options {
   Int watchdog_rounds = 0;       ///< 0 = unbounded
   Int watchdog_blocked = 0;      ///< 0 = unbounded
   bool deadlock_report = false;  ///< print JSON forensics on stall
+  Int threads = 0;               ///< >1 = sharded parallel run
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -104,6 +106,8 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.watchdog_blocked = std::stoll(value_of("--watchdog-blocked="));
   } else if (arg == "--deadlock-report") {
     opt.deadlock_report = true;
+  } else if (arg.rfind("--threads=", 0) == 0) {
+    opt.threads = std::stoll(value_of("--threads="));
   } else {
     return false;
   }
@@ -212,6 +216,7 @@ int cmd_run(const Design& design, const Options& opt) {
   }
   iopt.watchdog.max_rounds = opt.watchdog_rounds;
   iopt.watchdog.max_blocked_rounds = opt.watchdog_blocked;
+  if (opt.threads > 0) iopt.threads = static_cast<unsigned>(opt.threads);
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
   std::cout << metrics.to_string() << "\n";
