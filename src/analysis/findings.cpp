@@ -1,0 +1,111 @@
+#include "analysis/findings.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace systolize {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void VerifyReport::add(std::string rule, Severity severity,
+                       std::string subject, std::string message,
+                       std::string detail) {
+  findings.push_back(Finding{std::move(rule), severity, std::move(subject),
+                             std::move(message), std::move(detail)});
+}
+
+std::size_t VerifyReport::errors() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.severity == Severity::Error;
+  return n;
+}
+
+std::size_t VerifyReport::warnings() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.severity == Severity::Warning;
+  return n;
+}
+
+std::size_t VerifyReport::infos() const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.severity == Severity::Info;
+  return n;
+}
+
+bool VerifyReport::clean() const noexcept {
+  return errors() == 0 && warnings() == 0;
+}
+
+void VerifyReport::allow(const std::string& rule) {
+  for (Finding& f : findings) {
+    const bool category_match = f.rule.size() > rule.size() &&
+                                f.rule.compare(0, rule.size(), rule) == 0 &&
+                                f.rule[rule.size()] == '.';
+    if (f.rule == rule || category_match) f.severity = Severity::Info;
+  }
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << "verify " << design << ": ";
+  if (findings.empty()) {
+    os << "clean";
+    return os.str();
+  }
+  os << findings.size() << " finding(s) — " << errors() << " error(s), "
+     << warnings() << " warning(s), " << infos() << " info(s)";
+  for (const Finding& f : findings) {
+    os << "\n  [" << severity_name(f.severity) << "] " << f.rule << " ("
+       << f.subject << "): ";
+    // Indent multi-line messages (e.g. an embedded deadlock report).
+    for (char c : f.message) {
+      os << c;
+      if (c == '\n') os << "    ";
+    }
+  }
+  return os.str();
+}
+
+std::string VerifyReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"design\":\"" << json_escape(design)
+     << "\",\"errors\":" << errors() << ",\"warnings\":" << warnings()
+     << ",\"infos\":" << infos() << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) os << ',';
+    os << "{\"rule\":\"" << json_escape(f.rule) << "\",\"severity\":\""
+       << severity_name(f.severity) << "\",\"subject\":\""
+       << json_escape(f.subject) << "\",\"message\":\""
+       << json_escape(f.message) << '"';
+    if (!f.detail.empty()) os << ",\"detail\":" << f.detail;
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace systolize

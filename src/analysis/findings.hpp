@@ -1,0 +1,66 @@
+// Findings of the static plan verifier (src/analysis): machine-readable
+// diagnostics with a stable rule id and a severity, rendered in the same
+// compact JSON style as the runtime's deadlock forensics so tooling can
+// consume both uniformly. docs/static-analysis.md catalogues every rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace systolize {
+
+enum class Severity {
+  Info,     ///< benign observation (e.g. a provably value-equal overlap)
+  Warning,  ///< suspicious but not unsound (e.g. a dead guard clause)
+  Error,    ///< the compiled network is provably wrong or may hang
+};
+
+/// Stable name of a severity, for rendering and CI filters.
+[[nodiscard]] constexpr const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+/// One diagnostic of the static verifier.
+struct Finding {
+  std::string rule;      ///< stable id, e.g. "guard.overlap"
+  Severity severity = Severity::Error;
+  std::string subject;   ///< what it is about (stream, channel, "network")
+  std::string message;   ///< human-readable, single sentence or short block
+  /// Optional machine-readable payload (JSON). A statically detected
+  /// communication cycle carries a DeadlockReport::to_json() here —
+  /// byte-compatible with the runtime forensics schema.
+  std::string detail;
+};
+
+/// The verifier's result for one design: every finding, in rule-check
+/// order, plus severity tallies.
+struct VerifyReport {
+  std::string design;
+  std::vector<Finding> findings;
+
+  void add(std::string rule, Severity severity, std::string subject,
+           std::string message, std::string detail = "");
+
+  [[nodiscard]] std::size_t errors() const noexcept;
+  [[nodiscard]] std::size_t warnings() const noexcept;
+  [[nodiscard]] std::size_t infos() const noexcept;
+  /// No errors and no warnings (info findings do not spoil cleanliness).
+  [[nodiscard]] bool clean() const noexcept;
+
+  /// Downgrade every finding matching `rule` (exact id, or a bare
+  /// category like "guard" matching "guard.*") to Severity::Info — the
+  /// suppression mechanism behind `systolize verify --allow=...`.
+  void allow(const std::string& rule);
+
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string to_string() const;
+  /// Compact JSON, matching the runtime diagnostic style.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace systolize

@@ -1,0 +1,516 @@
+// PLAN-level rules: channel discipline and static deadlock freedom of an
+// interned NetworkPlan, with ZERO scheduler rounds.
+//
+// Every plan process reduces to a finite sequence of communication
+// "groups" — singleton ops for the sequential sends/receives, one par
+// set per repeater iteration — read straight off the ProcSpec/RoleSpec
+// tables, mirroring the coroutine bodies in plan_cache.cpp op for op.
+// Channel safety (single writer, single reader, send/recv balance) falls
+// out of the op counts; deadlock freedom is decided by abstractly
+// retiring ops against the channel semantics of the scheduler (a send
+// completes when the buffer has room or a receiver is parked; a recv
+// completes when a value is buffered or a sender is parked). Channel
+// progress is monotone in this model, so greedy retirement computes the
+// unique maximal execution: either every process finishes — the network
+// provably cannot deadlock on communication structure — or the stuck
+// state IS a deadlock, reported in the exact wait-for schema of the
+// runtime forensics (DeadlockReport), channels and cycle included.
+#include "analysis/verify.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace systolize {
+namespace {
+
+/// One abstract communication op: a send or receive on a plan channel.
+struct AbsOp {
+  std::int32_t chan = -1;
+  bool is_send = false;
+};
+
+/// A process's communication behaviour: `ops` partitioned into groups by
+/// `group_end` (exclusive prefix ends). Groups run in order; the ops of
+/// one group are posted together (par) and the group completes when all
+/// of them have.
+struct ProcProgram {
+  std::vector<AbsOp> ops;
+  std::vector<std::size_t> group_end;
+
+  void op(std::int32_t chan, bool is_send) {
+    ops.push_back(AbsOp{chan, is_send});
+    group_end.push_back(ops.size());
+  }
+  /// Open a par group of `n` ops; follow with n push_backs onto `ops`.
+  void par_mark() { group_end.push_back(ops.size()); }
+  void par_close() { group_end.back() = ops.size(); }
+};
+
+/// Emit the op sequence of process `pi`, mirroring plan_cache.cpp's
+/// plan_*_body coroutines exactly (phase order included — it is what
+/// makes the prologue/epilogue globally consistent, see D.1.7).
+ProcProgram abstract_body(const NetworkPlan& plan, std::uint32_t pi) {
+  const NetworkPlan::ProcSpec& spec = plan.procs[pi];
+  ProcProgram prog;
+  switch (spec.kind) {
+    case NetworkPlan::ProcKind::Input:
+      for (Int i = 0; i < spec.count; ++i) prog.op(spec.chan_out, true);
+      return prog;
+    case NetworkPlan::ProcKind::Output:
+      for (Int i = 0; i < spec.count; ++i) prog.op(spec.chan_in, false);
+      return prog;
+    case NetworkPlan::ProcKind::Pass:
+      for (Int i = 0; i < spec.count; ++i) {
+        prog.op(spec.chan_in, false);
+        prog.op(spec.chan_out, true);
+      }
+      return prog;
+    case NetworkPlan::ProcKind::Comp:
+      break;
+  }
+  auto role_at = [&](std::size_t i) -> const NetworkPlan::RoleSpec& {
+    return plan.roles[spec.role_begin + i];
+  };
+  const std::size_t nroles = spec.role_end - spec.role_begin;
+  // Prologue: load stationary streams, then soak moving ones.
+  for (std::size_t i = 0; i < nroles; ++i) {
+    const NetworkPlan::RoleSpec& role = role_at(i);
+    if (!role.stationary) continue;
+    prog.op(role.chan_in, false);
+    for (Int k = 0; k < role.drain; ++k) {  // loading passes
+      prog.op(role.chan_in, false);
+      prog.op(role.chan_out, true);
+    }
+  }
+  for (std::size_t i = 0; i < nroles; ++i) {
+    const NetworkPlan::RoleSpec& role = role_at(i);
+    if (role.stationary) continue;
+    for (Int k = 0; k < role.soak; ++k) {
+      prog.op(role.chan_in, false);
+      prog.op(role.chan_out, true);
+    }
+  }
+  // Repeater: par-recv all moving streams, par-send all moving streams.
+  std::vector<std::int32_t> moving_in;
+  std::vector<std::int32_t> moving_out;
+  for (std::size_t i = 0; i < nroles; ++i) {
+    const NetworkPlan::RoleSpec& role = role_at(i);
+    if (role.stationary) continue;
+    moving_in.push_back(role.chan_in);
+    moving_out.push_back(role.chan_out);
+  }
+  for (Int iter = 0; iter < spec.count; ++iter) {
+    if (!moving_in.empty()) {
+      prog.par_mark();
+      for (std::int32_t c : moving_in) prog.ops.push_back(AbsOp{c, false});
+      prog.par_close();
+    }
+    if (!moving_out.empty()) {
+      prog.par_mark();
+      for (std::int32_t c : moving_out) prog.ops.push_back(AbsOp{c, true});
+      prog.par_close();
+    }
+  }
+  // Epilogue: drain moving streams first, recover stationary ones last.
+  for (std::size_t i = 0; i < nroles; ++i) {
+    const NetworkPlan::RoleSpec& role = role_at(i);
+    if (role.stationary) continue;
+    for (Int k = 0; k < role.drain; ++k) {
+      prog.op(role.chan_in, false);
+      prog.op(role.chan_out, true);
+    }
+  }
+  for (std::size_t i = 0; i < nroles; ++i) {
+    const NetworkPlan::RoleSpec& role = role_at(i);
+    if (!role.stationary) continue;
+    for (Int k = 0; k < role.soak; ++k) {  // recovery passes
+      prog.op(role.chan_in, false);
+      prog.op(role.chan_out, true);
+    }
+    prog.op(role.chan_out, true);
+  }
+  return prog;
+}
+
+/// Per-channel use tallies. Writers/readers are STRUCTURAL — every
+/// process wired to the channel end, even when its count is 0 at this
+/// problem size (null pipes are legal); sends/recvs count actual ops.
+struct ChannelUse {
+  std::vector<std::uint32_t> writers;  ///< distinct procs wired to send
+  std::vector<std::uint32_t> readers;  ///< distinct procs wired to recv
+  Int sends = 0;
+  Int recvs = 0;
+};
+
+void note(std::vector<std::uint32_t>& procs, std::uint32_t pi) {
+  if (std::find(procs.begin(), procs.end(), pi) == procs.end()) {
+    procs.push_back(pi);
+  }
+}
+
+std::string proc_list(const NetworkPlan& plan,
+                      const std::vector<std::uint32_t>& procs) {
+  std::string out;
+  for (std::uint32_t pi : procs) {
+    if (!out.empty()) out += ", ";
+    out += plan.procs[pi].name;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Abstract execution of the communication structure.
+
+struct ProcState {
+  std::size_t group = 0;        ///< index into group_end
+  std::size_t remaining = 0;    ///< uncompleted ops of the current group
+  std::size_t groups_done = 0;  ///< logical time for the forensic report
+};
+
+struct PendingOp {
+  std::uint32_t proc = 0;
+  std::size_t op = 0;  ///< index into that proc's ops
+};
+
+struct ChanState {
+  std::vector<PendingOp> sends;  ///< parked senders, FIFO
+  std::vector<PendingOp> recvs;  ///< parked receivers, FIFO
+  std::size_t send_head = 0;
+  std::size_t recv_head = 0;
+  Int buffered = 0;
+  bool in_work = false;
+};
+
+/// The whole static deadlock analysis: retire ops until quiescence; on a
+/// stuck state with unfinished processes, build the wait-for report.
+void check_deadlock(VerifyReport& report, const NetworkPlan& plan,
+                    const std::vector<ProcProgram>& progs) {
+  const std::size_t nprocs = plan.procs.size();
+  std::vector<ProcState> ps(nprocs);
+  std::vector<ChanState> cs(plan.channels.size());
+  std::vector<std::int32_t> work;  ///< channel ids with possible progress
+
+  auto enqueue = [&](std::int32_t c) {
+    if (!cs[c].in_work) {
+      cs[c].in_work = true;
+      work.push_back(c);
+    }
+  };
+
+  // Post every op of proc `pi`'s current group onto its channel.
+  std::function<void(std::uint32_t)> post_group = [&](std::uint32_t pi) {
+    const ProcProgram& prog = progs[pi];
+    ProcState& st = ps[pi];
+    while (st.group < prog.group_end.size()) {
+      const std::size_t begin =
+          st.group == 0 ? 0 : prog.group_end[st.group - 1];
+      const std::size_t end = prog.group_end[st.group];
+      if (begin == end) {  // empty group (repeater with no moving roles)
+        ++st.group;
+        ++st.groups_done;
+        continue;
+      }
+      st.remaining = end - begin;
+      for (std::size_t o = begin; o < end; ++o) {
+        const AbsOp& op = prog.ops[o];
+        auto& side = op.is_send ? cs[op.chan].sends : cs[op.chan].recvs;
+        side.push_back(PendingOp{pi, o});
+        enqueue(op.chan);
+      }
+      return;
+    }
+  };
+
+  auto complete = [&](const PendingOp& p) {
+    ProcState& st = ps[p.proc];
+    if (--st.remaining == 0) {
+      ++st.group;
+      ++st.groups_done;
+      post_group(p.proc);
+    }
+  };
+
+  for (std::uint32_t pi = 0; pi < nprocs; ++pi) post_group(pi);
+
+  while (!work.empty()) {
+    const std::int32_t c = work.back();
+    work.pop_back();
+    ChanState& ch = cs[c];
+    ch.in_work = false;
+    const Int capacity = plan.channels[c].capacity;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // Buffered send: the channel has room.
+      while (ch.send_head < ch.sends.size() && ch.buffered < capacity) {
+        ++ch.buffered;
+        complete(ch.sends[ch.send_head++]);
+        progress = true;
+      }
+      // Buffered recv: a value is available.
+      while (ch.recv_head < ch.recvs.size() && ch.buffered > 0) {
+        --ch.buffered;
+        complete(ch.recvs[ch.recv_head++]);
+        progress = true;
+      }
+      // Rendezvous: a parked sender and receiver pair off.
+      while (ch.send_head < ch.sends.size() &&
+             ch.recv_head < ch.recvs.size()) {
+        complete(ch.sends[ch.send_head++]);
+        complete(ch.recvs[ch.recv_head++]);
+        progress = true;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> unfinished;
+  for (std::uint32_t pi = 0; pi < nprocs; ++pi) {
+    if (ps[pi].group < progs[pi].group_end.size()) unfinished.push_back(pi);
+  }
+  if (unfinished.empty()) return;  // provably deadlock-free
+
+  // Stuck: reconstruct the runtime forensics. Blocked ops are exactly
+  // the posted-but-unretired ops of each unfinished process's current
+  // group; a blocked send waits for the channel's receiver, a blocked
+  // recv for its sender.
+  DeadlockReport dl;
+  dl.reason = "deadlock";
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, std::int32_t>>>
+      adj;  // proc -> (wait-for proc, via channel)
+  auto blocked_op = [&](std::uint32_t pi, const AbsOp& op) {
+    dl.blocked.push_back(BlockedOpState{
+        plan.procs[pi].name, plan.channels[op.chan].name,
+        op.is_send ? "send" : "recv",
+        static_cast<Int>(ps[pi].groups_done), 0});
+    const std::int32_t counterpart = op.is_send
+                                         ? plan.channels[op.chan].receiver
+                                         : plan.channels[op.chan].sender;
+    if (counterpart >= 0 &&
+        static_cast<std::uint32_t>(counterpart) != pi &&
+        ps[counterpart].group < progs[counterpart].group_end.size()) {
+      adj[pi].emplace_back(static_cast<std::uint32_t>(counterpart),
+                           op.chan);
+    }
+  };
+  for (std::uint32_t pi : unfinished) {
+    const ProcProgram& prog = progs[pi];
+    const std::size_t g = ps[pi].group;
+    const std::size_t begin = g == 0 ? 0 : prog.group_end[g - 1];
+    for (std::size_t o = begin; o < prog.group_end[g]; ++o) {
+      // Only ops still parked on the channel are blocked; a completed op
+      // of a half-done par group is not.
+      const AbsOp& op = prog.ops[o];
+      const ChanState& ch = cs[op.chan];
+      const auto& side = op.is_send ? ch.sends : ch.recvs;
+      const std::size_t head = op.is_send ? ch.send_head : ch.recv_head;
+      for (std::size_t k = head; k < side.size(); ++k) {
+        if (side[k].proc == pi && side[k].op == o) {
+          blocked_op(pi, op);
+          break;
+        }
+      }
+    }
+  }
+
+  // Cycle extraction: the same three-colour DFS as the runtime watchdog,
+  // over plan ids instead of Process pointers.
+  std::map<std::uint32_t, int> color;  // 0 white, 1 gray, 2 black
+  struct PathEntry {
+    std::uint32_t proc;
+    std::int32_t via_in;  ///< channel of the edge into `proc` (-1 at root)
+  };
+  std::vector<PathEntry> path;
+  bool found = false;
+  std::function<void(std::uint32_t)> dfs = [&](std::uint32_t u) {
+    color[u] = 1;
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const auto& [to, via] : it->second) {
+        if (found) return;
+        if (color[to] == 0) {
+          path.push_back({to, via});
+          dfs(to);
+          if (found) return;
+          path.pop_back();
+        } else if (color[to] == 1) {
+          auto start = std::find_if(
+              path.begin(), path.end(),
+              [&](const PathEntry& pe) { return pe.proc == to; });
+          for (auto pe = start; pe != path.end(); ++pe) {
+            dl.cycle.push_back(plan.procs[pe->proc].name);
+            auto next = pe + 1;
+            dl.cycle_channels.push_back(
+                plan.channels[next == path.end() ? via : next->via_in]
+                    .name);
+          }
+          found = true;
+          return;
+        }
+      }
+    }
+    color[u] = 2;
+  };
+  for (const auto& [proc, edges] : adj) {
+    (void)edges;
+    if (found) break;
+    if (color[proc] == 0) {
+      path.clear();
+      path.push_back({proc, -1});
+      dfs(proc);
+    }
+  }
+
+  report.add(found ? "deadlock.cycle" : "deadlock.stuck", Severity::Error,
+             "network",
+             "the communication structure cannot complete: " +
+                 std::to_string(unfinished.size()) +
+                 " process(es) block forever\n" + dl.to_string(),
+             dl.to_json());
+}
+
+}  // namespace
+
+void verify_plan_into(VerifyReport& report, const NetworkPlan& plan) {
+  const std::size_t nchans = plan.channels.size();
+  const auto chan_ok = [&](std::int32_t c) {
+    return c >= 0 && static_cast<std::size_t>(c) < nchans;
+  };
+
+  // Referential integrity first — everything later indexes blindly.
+  bool refs_ok = true;
+  for (std::uint32_t pi = 0; pi < plan.procs.size(); ++pi) {
+    const NetworkPlan::ProcSpec& spec = plan.procs[pi];
+    auto bad = [&](const std::string& what) {
+      report.add("channel.bad-ref", Severity::Error, spec.name,
+                 "process references " + what + " out of range");
+      refs_ok = false;
+    };
+    switch (spec.kind) {
+      case NetworkPlan::ProcKind::Input:
+        if (!chan_ok(spec.chan_out)) bad("output channel");
+        break;
+      case NetworkPlan::ProcKind::Output:
+        if (!chan_ok(spec.chan_in)) bad("input channel");
+        break;
+      case NetworkPlan::ProcKind::Pass:
+        if (!chan_ok(spec.chan_in)) bad("input channel");
+        if (!chan_ok(spec.chan_out)) bad("output channel");
+        break;
+      case NetworkPlan::ProcKind::Comp:
+        if (spec.role_begin > spec.role_end ||
+            spec.role_end > plan.roles.size()) {
+          bad("role slice");
+          break;
+        }
+        for (std::size_t r = spec.role_begin; r < spec.role_end; ++r) {
+          if (!chan_ok(plan.roles[r].chan_in)) bad("role input channel");
+          if (!chan_ok(plan.roles[r].chan_out)) bad("role output channel");
+        }
+        break;
+    }
+  }
+  if (!refs_ok) return;
+
+  // Gather per-channel usage: structural endpoints from the wiring, op
+  // counts from the abstract bodies.
+  std::vector<ProcProgram> progs;
+  progs.reserve(plan.procs.size());
+  std::vector<ChannelUse> use(nchans);
+  for (std::uint32_t pi = 0; pi < plan.procs.size(); ++pi) {
+    const NetworkPlan::ProcSpec& spec = plan.procs[pi];
+    switch (spec.kind) {
+      case NetworkPlan::ProcKind::Input:
+        note(use[spec.chan_out].writers, pi);
+        break;
+      case NetworkPlan::ProcKind::Output:
+        note(use[spec.chan_in].readers, pi);
+        break;
+      case NetworkPlan::ProcKind::Pass:
+        note(use[spec.chan_in].readers, pi);
+        note(use[spec.chan_out].writers, pi);
+        break;
+      case NetworkPlan::ProcKind::Comp:
+        for (std::size_t r = spec.role_begin; r < spec.role_end; ++r) {
+          note(use[plan.roles[r].chan_in].readers, pi);
+          note(use[plan.roles[r].chan_out].writers, pi);
+        }
+        break;
+    }
+    progs.push_back(abstract_body(plan, pi));
+    for (const AbsOp& op : progs.back().ops) {
+      if (op.is_send) {
+        ++use[op.chan].sends;
+      } else {
+        ++use[op.chan].recvs;
+      }
+    }
+  }
+
+  bool channels_ok = true;
+  for (std::size_t c = 0; c < nchans; ++c) {
+    const NetworkPlan::ChannelSpec& spec = plan.channels[c];
+    const ChannelUse& u = use[c];
+    if (u.writers.empty() || u.readers.empty()) {
+      report.add("channel.dangling", Severity::Error, spec.name,
+                 u.writers.empty()
+                     ? "no process is wired to this channel's sending end"
+                     : "no process is wired to this channel's receiving end");
+      channels_ok = false;
+      continue;
+    }
+    if (u.writers.size() > 1) {
+      report.add("channel.multi-writer", Severity::Error, spec.name,
+                 "single-writer discipline violated: sends from " +
+                     proc_list(plan, u.writers));
+      channels_ok = false;
+    }
+    if (u.readers.size() > 1) {
+      report.add("channel.multi-reader", Severity::Error, spec.name,
+                 "single-reader discipline violated: receives from " +
+                     proc_list(plan, u.readers));
+      channels_ok = false;
+    }
+    if (u.writers.size() == 1 &&
+        static_cast<std::int32_t>(u.writers.front()) != spec.sender) {
+      report.add("channel.endpoint-mismatch", Severity::Error, spec.name,
+                 "recorded sender does not match the process that "
+                 "actually sends (" +
+                     plan.procs[u.writers.front()].name + ")");
+      channels_ok = false;
+    }
+    if (u.readers.size() == 1 &&
+        static_cast<std::int32_t>(u.readers.front()) != spec.receiver) {
+      report.add("channel.endpoint-mismatch", Severity::Error, spec.name,
+                 "recorded receiver does not match the process that "
+                 "actually receives (" +
+                     plan.procs[u.readers.front()].name + ")");
+      channels_ok = false;
+    }
+    if (u.sends != u.recvs) {
+      report.add("channel.count-mismatch", Severity::Error, spec.name,
+                 "conservation violated: " + std::to_string(u.sends) +
+                     " send(s) vs " + std::to_string(u.recvs) +
+                     " recv(s) over the whole run — the network cannot "
+                     "terminate cleanly");
+      channels_ok = false;
+    }
+  }
+
+  // Deadlock analysis only makes sense on a structurally sound network;
+  // a count mismatch already implies a stuck process.
+  if (channels_ok) check_deadlock(report, plan, progs);
+}
+
+VerifyReport verify_plan(const NetworkPlan& plan) {
+  VerifyReport report;
+  verify_plan_into(report, plan);
+  return report;
+}
+
+}  // namespace systolize

@@ -1,0 +1,125 @@
+// SPEC-level rules: symbolic validity of a raw (source, array) pair.
+//
+// These mirror the conditions validate_array() enforces by throwing, but
+// as findings — so a deliberately broken spec yields a complete lint
+// report instead of dying on the first violation, and the CLI can gate on
+// rule ids. Paper provenance is cited per rule in docs/static-analysis.md.
+#include "analysis/verify.hpp"
+
+#include <optional>
+
+#include "systolic/dependence.hpp"
+#include "systolic/flow.hpp"
+
+namespace systolize {
+namespace {
+
+/// The unique (gcd-normalized) null generator of a linear map, or
+/// nullopt when the null space does not have dimension exactly 1.
+std::optional<IntVec> unique_null_generator(const IntMatrix& m) {
+  auto basis = m.null_space_basis();
+  if (basis.size() != 1) return std::nullopt;
+  return basis.front();
+}
+
+}  // namespace
+
+void verify_spec_into(VerifyReport& report, const LoopNest& nest,
+                      const ArraySpec& spec) {
+  const std::size_t r = nest.depth();
+  const StepFunction& step = spec.step();
+  const PlaceFunction& place = spec.place();
+
+  if (step.arity() != r || place.arity() != r ||
+      place.space_dim() + 1 != r) {
+    report.add("schedule.arity", Severity::Error, "array spec",
+               "step must be 1 x " + std::to_string(r) + " and place " +
+                   std::to_string(r - 1) + " x " + std::to_string(r) +
+                   " for a depth-" + std::to_string(r) +
+                   " nest; got step arity " + std::to_string(step.arity()) +
+                   ", place " + std::to_string(place.space_dim()) + " x " +
+                   std::to_string(place.arity()));
+    return;  // every later check depends on the shapes
+  }
+
+  // Schedule validity (Theorem 3 / Equation (1)): place has rank r-1 and
+  // step does not vanish on null.place, i.e. (step, place) stacked has
+  // rank r and is injective on Z^r — hence on the index space.
+  std::optional<IntVec> w = unique_null_generator(place.matrix());
+  if (!w.has_value()) {
+    report.add("schedule.place-rank", Severity::Error, place.to_string(),
+               "place must have rank r-1 (null space of dimension 1); "
+               "Theorem 1's single projection direction does not exist");
+  } else if (step.apply(*w) == 0) {
+    report.add("schedule.injectivity", Severity::Error,
+               step.to_string() + " / " + place.to_string(),
+               "step vanishes on null.place generator " + w->to_string() +
+                   ": two distinct statements would share both step and "
+                   "place, violating Equation (1) (Theorem 3)");
+  }
+
+  // Per-stream dependence and flow rules (Sect. 3.2, Theorem 10).
+  bool streams_ok = true;
+  for (const Stream& s : nest.streams()) {
+    std::optional<IntVec> n = unique_null_generator(s.index_map());
+    if (!n.has_value()) {
+      report.add("stream.rank", Severity::Error, s.name(),
+                 "index map must have rank r-1 (full pipelining, "
+                 "Appendix A); its null space is not one-dimensional");
+      streams_ok = false;
+      continue;
+    }
+    const Int t = step.apply(*n);
+    if (t == 0) {
+      report.add("schedule.dependence-step", Severity::Error, s.name(),
+                 "step vanishes on the dependence direction " +
+                     n->to_string() + " of stream '" + s.name() +
+                     "': statements sharing one element execute at the "
+                     "same step on different processes (violates "
+                     "Equation (1); flow.s is undefined, Theorem 10)");
+      streams_ok = false;
+      continue;
+    }
+    const RatVec flow = compute_flow(s, step, place);
+    const FlowDecomposition dec = decompose_flow(flow);
+    if (flow.is_zero()) {
+      auto it = spec.loading_vectors().find(s.name());
+      if (it == spec.loading_vectors().end()) {
+        report.add("flow.loading", Severity::Error, s.name(),
+                   "stationary stream (flow 0) has no loading & recovery "
+                   "vector (Sect. 4.2)");
+      } else if (it->second.is_zero() ||
+                 !it->second.is_neighbour_offset()) {
+        report.add("flow.loading", Severity::Error, s.name(),
+                   "loading & recovery vector " + it->second.to_string() +
+                       " must be a non-zero neighbour offset (nb, "
+                       "Sect. 3.2)");
+      }
+    } else if (!dec.direction.is_neighbour_offset()) {
+      report.add("flow.neighbour", Severity::Error, s.name(),
+                 "flow " + flow.to_string() + " has smallest direction " +
+                     dec.direction.to_string() +
+                     " which is not a neighbour offset: the "
+                     "neighbouring-connection requirement (E n > 0 : "
+                     "nb.(n * flow.s)) of Sect. 3.2 fails");
+    }
+  }
+
+  // Update-order rule: the systolic execution applies the statements
+  // touching one element in increasing step order; for an Update stream
+  // that order must match the sequential one (non-commutative bodies).
+  if (streams_ok && w.has_value() && !respects_dependences(nest, spec)) {
+    report.add("schedule.dependence-order", Severity::Error, "dependences",
+               "step reverses the sequential update order of an Update "
+               "stream: the array is only correct for commutative bodies");
+  }
+}
+
+VerifyReport verify_spec(const LoopNest& nest, const ArraySpec& spec) {
+  VerifyReport report;
+  report.design = nest.name();
+  verify_spec_into(report, nest, spec);
+  return report;
+}
+
+}  // namespace systolize

@@ -42,17 +42,32 @@ inline Int checked_neg(Int a) { return checked_sub(0, a); }
 /// sign function per the paper's Sect. 2: -1, 0, or +1.
 inline Int sgn(Int a) noexcept { return a > 0 ? 1 : (a < 0 ? -1 : 0); }
 
-/// Non-negative gcd; gcd(0,0) == 0.
-inline Int gcd(Int a, Int b) noexcept {
-  if (a < 0) a = -a;
-  if (b < 0) b = -b;
-  while (b != 0) {
-    Int t = a % b;
-    a = b;
-    b = t;
+/// Non-negative gcd of the magnitudes; gcd(0,0) == 0. Computed in
+/// unsigned arithmetic so |INT64_MIN| is representable mid-computation;
+/// throws Error(Overflow) only when the *result* itself is 2^63 (both
+/// arguments in {0, INT64_MIN}), which no Int can carry.
+inline Int checked_gcd(Int a, Int b) {
+  auto mag = [](Int v) -> std::uint64_t {
+    return v < 0 ? 0 - static_cast<std::uint64_t>(v)
+                 : static_cast<std::uint64_t>(v);
+  };
+  std::uint64_t x = mag(a);
+  std::uint64_t y = mag(b);
+  while (y != 0) {
+    std::uint64_t t = x % y;
+    x = y;
+    y = t;
   }
-  return a;
+  if (x > static_cast<std::uint64_t>(INT64_MAX)) {
+    raise(ErrorKind::Overflow, "gcd magnitude 2^63 is not representable");
+  }
+  return static_cast<Int>(x);
 }
+
+/// Non-negative gcd; gcd(0,0) == 0. Alias of checked_gcd: the historic
+/// unchecked version negated INT64_MIN (undefined behaviour) on its way
+/// to a gcd-normalization in increment derivation.
+inline Int gcd(Int a, Int b) { return checked_gcd(a, b); }
 
 inline Int lcm(Int a, Int b) {
   if (a == 0 || b == 0) return 0;

@@ -102,9 +102,7 @@ std::size_t IntMatrix::rank() const { return to_rational().rank(); }
 std::vector<IntVec> IntMatrix::null_space_basis() const {
   std::vector<IntVec> basis;
   for (const RatVec& v : to_rational().null_space_basis()) {
-    IntVec iv = v.scaled_to_integer();
-    Int g = iv.content();
-    if (g > 1) iv = iv.exact_div_by(g);
+    IntVec iv = v.scaled_to_integer().normalized();
     // Normalize orientation: first nonzero component positive.
     for (std::size_t i = 0; i < iv.dim(); ++i) {
       if (iv[i] != 0) {

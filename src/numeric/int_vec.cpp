@@ -55,10 +55,16 @@ Int IntVec::dot(const IntVec& o) const {
   return acc;
 }
 
-Int IntVec::content() const noexcept {
+Int IntVec::content() const {
   Int g = 0;
-  for (Int c : comps_) g = gcd(g, c);
+  for (Int c : comps_) g = checked_gcd(g, c);
   return g;
+}
+
+IntVec IntVec::normalized() const {
+  Int g = content();
+  if (g <= 1) return *this;
+  return exact_div_by(g);
 }
 
 IntVec IntVec::exact_div_by(Int k) const {

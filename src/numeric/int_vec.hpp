@@ -40,11 +40,20 @@ class IntVec {
   /// Inner product x . y (paper Sect. 2).
   [[nodiscard]] Int dot(const IntVec& o) const;
 
-  /// gcd of the absolute component values; 0 for the zero vector.
-  [[nodiscard]] Int content() const noexcept;
+  /// gcd of the absolute component values; 0 for the zero vector. Throws
+  /// Error(Overflow) when the gcd magnitude is 2^63 (not representable).
+  [[nodiscard]] Int content() const;
 
   /// this / k component-wise; throws unless k divides every component.
   [[nodiscard]] IntVec exact_div_by(Int k) const;
+
+  /// The gcd-normalized (primitive) vector along this one: this / content,
+  /// orientation preserved; the zero vector normalizes to itself. All
+  /// arithmetic is overflow-checked — the smallest-generator derivations
+  /// (null.place in increment derivation, flow decomposition) funnel
+  /// through here, so near-INT64_MAX coefficients fail loudly instead of
+  /// wrapping.
+  [[nodiscard]] IntVec normalized() const;
 
   /// The paper's x // y: the integer m with m*y == x; throws
   /// NotRepresentable when x is not an integer multiple of y.

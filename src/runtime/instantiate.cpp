@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/shard.hpp"
 #include "support/error.hpp"
@@ -33,6 +34,18 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
     plan = local_plan.get();
   }
   if (options.network != nullptr) *options.network = plan->graph;
+
+  if (options.verify_plan) {
+    // Static verification gate: prove the schedule, guards and channel
+    // structure sound before a single process is spawned.
+    VerifyReport rep = verify_program(program, nest);
+    verify_plan_into(rep, *plan);
+    if (rep.errors() != 0) {
+      raise(ErrorKind::Validation,
+            "static plan verification failed:\n" + rep.to_string(),
+            rep.to_json());
+    }
+  }
 
   const bool faulted =
       options.faults != nullptr && !options.faults->empty();

@@ -59,6 +59,11 @@ struct InstantiateOptions {
   /// (program, sizes, shape) so repeated executions of the same design
   /// skip instantiation. The cache must outlive the call.
   PlanCache* plan_cache = nullptr;
+  /// Run the static verifier (src/analysis) on the program and the
+  /// interned plan before spawning anything; error findings raise
+  /// Error(Validation) with the verify report as message and its JSON as
+  /// the diagnostic payload. Costs zero scheduler rounds.
+  bool verify_plan = false;
 };
 
 /// Execute the program at the problem size bound in `sizes`, reading

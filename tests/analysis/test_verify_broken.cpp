@@ -1,0 +1,147 @@
+// True positives: hand-broken specs and programs must trigger exactly the
+// expected rule ids. The .sa fixtures under designs/broken/ are the same
+// ones the CI lint gate sweeps.
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "analysis/verify.hpp"
+#include "designs/catalog.hpp"
+#include "frontend/parser.hpp"
+#include "scheme/compiler.hpp"
+
+#ifndef SYSTOLIZE_DESIGN_DIR
+#define SYSTOLIZE_DESIGN_DIR "designs"
+#endif
+
+namespace systolize {
+namespace {
+
+Design broken_design(const std::string& name) {
+  std::string path =
+      std::string(SYSTOLIZE_DESIGN_DIR) + "/broken/" + name + ".sa";
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return frontend::parse_design(buf.str());
+}
+
+bool has_rule(const VerifyReport& rep, const std::string& rule,
+              Severity severity = Severity::Error) {
+  for (const Finding& f : rep.findings) {
+    if (f.rule == rule && f.severity == severity) return true;
+  }
+  return false;
+}
+
+TEST(VerifyBroken, StepVanishingOnNullPlaceIsNonInjective) {
+  Design d = broken_design("step_on_nullplace");
+  VerifyReport rep = verify_spec(d.nest, d.spec);
+  EXPECT_TRUE(has_rule(rep, "schedule.injectivity")) << rep.to_string();
+  EXPECT_GE(rep.errors(), 1u);
+}
+
+TEST(VerifyBroken, StepVanishingOnADependenceDirection) {
+  Design d = broken_design("dependence_clash");
+  VerifyReport rep = verify_spec(d.nest, d.spec);
+  EXPECT_TRUE(has_rule(rep, "schedule.dependence-step")) << rep.to_string();
+  // (step, place) itself is injective here — the defect is per-stream.
+  EXPECT_FALSE(has_rule(rep, "schedule.injectivity")) << rep.to_string();
+}
+
+TEST(VerifyBroken, NonNeighbourFlowIsFlagged) {
+  Design d = broken_design("wide_flow");
+  VerifyReport rep = verify_spec(d.nest, d.spec);
+  EXPECT_TRUE(has_rule(rep, "flow.neighbour")) << rep.to_string();
+}
+
+TEST(VerifyBroken, HandBuiltNonInjectiveSpec) {
+  Design d = design_by_name("polyprod1");
+  // place (i) with step i: step vanishes on null.place = (0, 1).
+  ArraySpec spec(StepFunction(IntVec{1, 0}),
+                 PlaceFunction(IntMatrix{{1, 0}}),
+                 {{"a", IntVec{1}}});
+  VerifyReport rep = verify_spec(d.nest, spec);
+  EXPECT_TRUE(has_rule(rep, "schedule.injectivity")) << rep.to_string();
+}
+
+TEST(VerifyBroken, ReversedFlowDirectionIsInconsistent) {
+  Design d = design_by_name("polyprod2");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  // Corrupt one moving stream's recorded motion: reverse it, as a buggy
+  // compiler pass emitting elements against the dependences would.
+  bool reversed = false;
+  for (StreamPlan& sp : prog.streams) {
+    if (sp.motion.stationary) continue;
+    sp.motion.flow = -sp.motion.flow;
+    sp.motion.direction = -sp.motion.direction;
+    reversed = true;
+    break;
+  }
+  ASSERT_TRUE(reversed);
+  VerifyReport rep = verify_program(prog, d.nest);
+  EXPECT_TRUE(has_rule(rep, "flow.consistency")) << rep.to_string();
+  bool mentions_reversal = false;
+  for (const Finding& f : rep.findings) {
+    if (f.rule == "flow.consistency" &&
+        f.message.find("reversed") != std::string::npos) {
+      mentions_reversal = true;
+    }
+  }
+  EXPECT_TRUE(mentions_reversal) << rep.to_string();
+}
+
+TEST(VerifyBroken, OverlappingClausesWithDifferentValues) {
+  Design d = design_by_name("polyprod1");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  // An always-true clause with a fresh value overlaps every feasible
+  // clause of the repeater count and disagrees with it somewhere.
+  prog.repeater.count.add(Guard::always(), AffineExpr(123456));
+  VerifyReport rep = verify_program(prog, d.nest);
+  EXPECT_TRUE(has_rule(rep, "guard.overlap")) << rep.to_string();
+}
+
+TEST(VerifyBroken, DuplicatedClauseIsABenignOverlap) {
+  Design d = design_by_name("polyprod1");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  ASSERT_FALSE(prog.repeater.count.pieces().empty());
+  const auto& first = prog.repeater.count.pieces().front();
+  prog.repeater.count.add(first.guard, first.value);
+  VerifyReport rep = verify_program(prog, d.nest);
+  EXPECT_FALSE(has_rule(rep, "guard.overlap")) << rep.to_string();
+  EXPECT_TRUE(has_rule(rep, "guard.overlap-benign", Severity::Info))
+      << rep.to_string();
+  EXPECT_EQ(rep.errors(), 0u) << rep.to_string();
+}
+
+TEST(VerifyBroken, InfeasibleClauseIsADeadClauseWarning) {
+  Design d = design_by_name("polyprod1");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  Guard never;
+  never.add(Constraint{AffineExpr(1), AffineExpr(0)});  // 1 <= 0
+  prog.repeater.count.add(never, AffineExpr(7));
+  VerifyReport rep = verify_program(prog, d.nest);
+  EXPECT_TRUE(has_rule(rep, "guard.dead-clause", Severity::Warning))
+      << rep.to_string();
+  EXPECT_EQ(rep.errors(), 0u) << rep.to_string();
+}
+
+TEST(VerifyBroken, AllowDowngradesExactRulesAndCategories) {
+  Design d = broken_design("wide_flow");
+  VerifyReport rep = verify_spec(d.nest, d.spec);
+  ASSERT_GE(rep.errors(), 1u);
+  const std::size_t before = rep.errors();
+  rep.allow("flow");  // whole category: downgrades flow.neighbour only
+  EXPECT_EQ(rep.errors(), before - 1) << rep.to_string();
+  EXPECT_TRUE(has_rule(rep, "flow.neighbour", Severity::Info))
+      << rep.to_string();
+  // Unrelated categories keep their severity.
+  EXPECT_TRUE(has_rule(rep, "schedule.dependence-order", Severity::Error))
+      << rep.to_string();
+  rep.allow("schedule.dependence-order");  // exact rule id
+  EXPECT_EQ(rep.errors(), 0u) << rep.to_string();
+}
+
+}  // namespace
+}  // namespace systolize

@@ -1,0 +1,95 @@
+// True negatives: every catalog design must pass the static verifier
+// clean at every level — spec, program and plan — and the instantiate-time
+// verification gate must not reject a sound design.
+#include <gtest/gtest.h>
+
+#include "analysis/verify.hpp"
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+Env sizes_for(const LoopNest& nest) {
+  Env sizes;
+  for (const Symbol& s : nest.sizes()) {
+    sizes[s.name()] = Rational(s.name() == "m" ? 2 : 4);
+  }
+  return sizes;
+}
+
+std::string dump(const VerifyReport& rep) { return rep.to_string(); }
+
+TEST(VerifyCatalog, SpecRulesPassOnEveryDesign) {
+  for (const Design& d : all_designs()) {
+    VerifyReport rep = verify_spec(d.nest, d.spec);
+    EXPECT_EQ(rep.errors(), 0u) << dump(rep);
+    EXPECT_EQ(rep.warnings(), 0u) << dump(rep);
+  }
+}
+
+TEST(VerifyCatalog, ProgramRulesPassOnEveryDesign) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    VerifyReport rep = verify_program(prog, d.nest);
+    // Benign (provably value-equal) guard overlaps are info findings and
+    // do occur in the catalog; errors and warnings must not.
+    EXPECT_EQ(rep.errors(), 0u) << dump(rep);
+    EXPECT_EQ(rep.warnings(), 0u) << dump(rep);
+  }
+}
+
+TEST(VerifyCatalog, PlanRulesPassOnEveryDesign) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    auto plan = build_plan(prog, d.nest, sizes_for(d.nest), PlanShape{});
+    VerifyReport rep = verify_plan(*plan);
+    EXPECT_EQ(rep.findings.size(), 0u) << dump(rep);
+  }
+}
+
+TEST(VerifyCatalog, PlanRulesPassWithBufferedChannelsAndMergedBuffers) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    PlanShape shape;
+    shape.channel_capacity = 2;
+    shape.merge_internal_buffers = true;
+    auto plan = build_plan(prog, d.nest, sizes_for(d.nest), shape);
+    VerifyReport rep = verify_plan(*plan);
+    EXPECT_EQ(rep.errors(), 0u) << dump(rep);
+  }
+}
+
+TEST(VerifyCatalog, VerifyDesignPipelineIsCleanOnEveryDesign) {
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    VerifyReport rep =
+        verify_design(prog, d.nest, sizes_for(d.nest), PlanShape{});
+    EXPECT_TRUE(rep.clean()) << dump(rep);
+    EXPECT_EQ(rep.design, d.nest.name());
+  }
+}
+
+TEST(VerifyCatalog, InstantiateGateAcceptsASoundDesign) {
+  Design d = design_by_name("matmul2");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  Env sizes = sizes_for(d.nest);
+  IndexedStore store = make_initial_store(
+      d.nest, sizes,
+      [](const std::string&, const IntVec& p) { return p.is_zero() ? 2 : 1; });
+  IndexedStore expected = store;
+  InstantiateOptions opt;
+  opt.verify_plan = true;
+  RunMetrics metrics = execute(prog, d.nest, sizes, store, opt);
+  EXPECT_GT(metrics.statements, 0);
+  run_sequential(d.nest, sizes, expected);
+  for (const Stream& s : d.nest.streams()) {
+    EXPECT_EQ(store.elements(s.name()), expected.elements(s.name()))
+        << s.name();
+  }
+}
+
+}  // namespace
+}  // namespace systolize

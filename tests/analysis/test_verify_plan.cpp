@@ -1,0 +1,214 @@
+// Plan-level rules on hand-built NetworkPlans: channel discipline
+// violations, static deadlock detection, and schema identity of the
+// static wait-for report with the runtime forensics (PR-1's
+// DeadlockReport renderer is reused verbatim).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/verify.hpp"
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "runtime/metrics.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+NetworkPlan::ChannelSpec chan(const std::string& name, std::int32_t sender,
+                              std::int32_t receiver, Int capacity = 0) {
+  NetworkPlan::ChannelSpec c;
+  c.name = name;
+  c.stream = 0;
+  c.capacity = capacity;
+  c.sender = sender;
+  c.receiver = receiver;
+  return c;
+}
+
+NetworkPlan::ProcSpec pass(const std::string& name, std::int32_t in,
+                           std::int32_t out, Int count) {
+  NetworkPlan::ProcSpec p;
+  p.name = name;
+  p.kind = NetworkPlan::ProcKind::Pass;
+  p.chan_in = in;
+  p.chan_out = out;
+  p.count = count;
+  return p;
+}
+
+/// Two pass processes in a ring, both receiving first: the canonical
+/// static deadlock.
+NetworkPlan ring_plan() {
+  NetworkPlan plan;
+  plan.streams = {"s"};
+  plan.channels.push_back(chan("s[0].link", 0, 1));
+  plan.channels.push_back(chan("s[1].link", 1, 0));
+  plan.procs.push_back(pass("pass:(0)", 1, 0, 1));
+  plan.procs.push_back(pass("pass:(1)", 0, 1, 1));
+  return plan;
+}
+
+const Finding* find_rule(const VerifyReport& rep, const std::string& rule) {
+  for (const Finding& f : rep.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+TEST(VerifyPlan, CommunicationRingIsAStaticDeadlock) {
+  VerifyReport rep = verify_plan(ring_plan());
+  const Finding* f = find_rule(rep, "deadlock.cycle");
+  ASSERT_NE(f, nullptr) << rep.to_string();
+  EXPECT_EQ(f->severity, Severity::Error);
+  // The detail payload is a DeadlockReport::to_json() — the runtime
+  // forensics schema, cycle and carrying channels included.
+  EXPECT_NE(f->detail.find("\"reason\":\"deadlock\""), std::string::npos);
+  EXPECT_NE(f->detail.find("pass:(0)"), std::string::npos);
+  EXPECT_NE(f->detail.find("pass:(1)"), std::string::npos);
+  EXPECT_NE(f->detail.find("\"cycle\":["), std::string::npos);
+  EXPECT_NE(f->detail.find("s[0].link"), std::string::npos);
+  EXPECT_NE(f->detail.find("\"op\":\"recv\""), std::string::npos);
+}
+
+/// Every JSON object key of `json`, first-occurrence order, deduplicated.
+std::vector<std::string> json_keys(const std::string& json) {
+  std::vector<std::string> keys;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i + 1 < json.size(); ++i) {
+    if (json[i] != '"') continue;
+    std::size_t end = json.find('"', i + 1);
+    if (end == std::string::npos || end + 1 >= json.size()) break;
+    if (json[end + 1] == ':') {
+      std::string key = json.substr(i + 1, end - i - 1);
+      if (seen.insert(key).second) keys.push_back(key);
+    }
+    i = end;
+  }
+  return keys;
+}
+
+TEST(VerifyPlan, StaticCycleRendersTheRuntimeForensicsSchema) {
+  VerifyReport rep = verify_plan(ring_plan());
+  const Finding* f = find_rule(rep, "deadlock.cycle");
+  ASSERT_NE(f, nullptr);
+  // Render a runtime-style report through the PR-1 forensics renderer and
+  // compare the key sets: the static detail must be schema-identical.
+  DeadlockReport sample;
+  sample.reason = "deadlock";
+  sample.blocked.push_back(BlockedOpState{"p", "c", "recv", 0, 0});
+  sample.cycle = {"p"};
+  sample.cycle_channels = {"c"};
+  EXPECT_EQ(json_keys(f->detail), json_keys(sample.to_json()));
+}
+
+TEST(VerifyPlan, BufferedRingStillDeadlocksWhenCapacityRunsOut) {
+  NetworkPlan plan = ring_plan();
+  // One slot of slack would let a send complete alone, but both
+  // processes receive first — nobody ever produces the first value.
+  plan.channels[0].capacity = 1;
+  plan.channels[1].capacity = 1;
+  plan.procs[0].count = 2;
+  plan.procs[1].count = 2;
+  VerifyReport rep = verify_plan(plan);
+  EXPECT_NE(find_rule(rep, "deadlock.cycle"), nullptr) << rep.to_string();
+}
+
+TEST(VerifyPlan, InputPassOutputChainIsClean) {
+  // A well-formed 3-process chain with buffered channels: every check
+  // passes, including the abstract deadlock execution.
+  NetworkPlan plan;
+  plan.streams = {"s"};
+  plan.channels.push_back(chan("fwd", 0, 1, 1));
+  plan.channels.push_back(chan("bwd", 1, 0, 1));
+  NetworkPlan::ProcSpec p0;
+  p0.name = "input:fwd";
+  p0.kind = NetworkPlan::ProcKind::Input;
+  p0.chan_out = 0;
+  p0.count = 1;
+  NetworkPlan::ProcSpec p1 = pass("pass:(1)", 0, 1, 1);
+  NetworkPlan::ProcSpec p2;
+  p2.name = "output:bwd";
+  p2.kind = NetworkPlan::ProcKind::Output;
+  p2.chan_in = 1;
+  p2.count = 1;
+  plan.procs = {p0, p1, p2};
+  // Fix the recorded endpoints for the 3-process chain.
+  plan.channels[1].sender = 1;
+  plan.channels[1].receiver = 2;
+  VerifyReport rep = verify_plan(plan);
+  EXPECT_EQ(rep.findings.size(), 0u) << rep.to_string();
+}
+
+TEST(VerifyPlan, TwoWritersOnOneChannel) {
+  NetworkPlan plan = ring_plan();
+  plan.procs[1].chan_out = 0;  // both processes now send on channel 0
+  VerifyReport rep = verify_plan(plan);
+  EXPECT_NE(find_rule(rep, "channel.multi-writer"), nullptr)
+      << rep.to_string();
+  // Channel 1 lost its only writer.
+  EXPECT_NE(find_rule(rep, "channel.dangling"), nullptr) << rep.to_string();
+}
+
+TEST(VerifyPlan, SendRecvCountImbalance) {
+  NetworkPlan plan;
+  plan.streams = {"s"};
+  plan.channels.push_back(chan("c", 0, 1));
+  NetworkPlan::ProcSpec in;
+  in.name = "input:s";
+  in.kind = NetworkPlan::ProcKind::Input;
+  in.chan_out = 0;
+  in.count = 2;
+  NetworkPlan::ProcSpec out;
+  out.name = "output:s";
+  out.kind = NetworkPlan::ProcKind::Output;
+  out.chan_in = 0;
+  out.count = 1;
+  plan.procs = {in, out};
+  VerifyReport rep = verify_plan(plan);
+  const Finding* f = find_rule(rep, "channel.count-mismatch");
+  ASSERT_NE(f, nullptr) << rep.to_string();
+  EXPECT_NE(f->message.find("2 send(s)"), std::string::npos) << f->message;
+}
+
+TEST(VerifyPlan, RecordedEndpointMismatch) {
+  NetworkPlan plan = ring_plan();
+  plan.channels[0].sender = 1;  // actually written by process 0
+  VerifyReport rep = verify_plan(plan);
+  EXPECT_NE(find_rule(rep, "channel.endpoint-mismatch"), nullptr)
+      << rep.to_string();
+}
+
+TEST(VerifyPlan, BadChannelReference) {
+  NetworkPlan plan = ring_plan();
+  plan.procs[0].chan_out = 99;
+  VerifyReport rep = verify_plan(plan);
+  EXPECT_NE(find_rule(rep, "channel.bad-ref"), nullptr) << rep.to_string();
+}
+
+TEST(VerifyPlan, InstantiateGateRejectsACorruptedProgram) {
+  Design d = design_by_name("polyprod1");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  prog.repeater.count.add(Guard::always(), AffineExpr(123456));
+  Env sizes{{"n", Rational(4)}};
+  IndexedStore store = make_initial_store(
+      d.nest, sizes, [](const std::string&, const IntVec&) { return 1; });
+  InstantiateOptions opt;
+  opt.verify_plan = true;
+  try {
+    (void)execute(prog, d.nest, sizes, store, opt);
+    FAIL() << "expected the verification gate to reject the program";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Validation);
+    EXPECT_NE(std::string(e.what()).find("guard.overlap"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(e.diagnostic().find("\"rule\":\"guard.overlap\""),
+              std::string::npos)
+        << e.diagnostic();
+  }
+}
+
+}  // namespace
+}  // namespace systolize

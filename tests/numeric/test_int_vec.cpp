@@ -58,6 +58,35 @@ TEST(IntVec, NeighbourPredicate) {
   EXPECT_FALSE((IntVec{2, 0}).is_neighbour_offset());
 }
 
+TEST(IntVec, CheckedGcdNearInt64Limits) {
+  // The magnitude of INT64_MIN is 2^63 — computable as the gcd of the
+  // magnitudes, but not representable as a positive Int. The historic
+  // implementation negated INT64_MIN (UB); the checked one raises.
+  EXPECT_THROW((void)checked_gcd(INT64_MIN, INT64_MIN), Error);
+  EXPECT_THROW((void)checked_gcd(INT64_MIN, 0), Error);
+  // Any second argument that knocks the magnitude below 2^63 is fine.
+  EXPECT_EQ(checked_gcd(INT64_MIN, 2), 2);
+  EXPECT_EQ(checked_gcd(2, INT64_MIN), 2);
+  EXPECT_EQ(checked_gcd(INT64_MIN, INT64_MAX), 1);
+  EXPECT_EQ(checked_gcd(INT64_MAX, INT64_MAX), INT64_MAX);
+  EXPECT_EQ(gcd(-INT64_MAX, INT64_MAX), INT64_MAX);
+}
+
+TEST(IntVec, NormalizedWithNearLimitCoefficients) {
+  // The gcd-normalization path used by the increment derivation
+  // (null_generator -> normalized): primitive direction, orientation
+  // preserved, overflow-checked at the extremes.
+  EXPECT_EQ((IntVec{INT64_MAX, INT64_MAX}).normalized(), (IntVec{1, 1}));
+  EXPECT_EQ((IntVec{INT64_MAX, -INT64_MAX}).normalized(), (IntVec{1, -1}));
+  EXPECT_EQ((IntVec{0, INT64_MAX}).normalized(), (IntVec{0, 1}));
+  EXPECT_EQ((IntVec{6, -4}).normalized(), (IntVec{3, -2}));
+  EXPECT_EQ((IntVec{-6, -4}).normalized(), (IntVec{-3, -2}));
+  EXPECT_EQ((IntVec{0, 0}).normalized(), (IntVec{0, 0}));
+  // content() itself is the overflow-checked step.
+  EXPECT_THROW((void)(IntVec{INT64_MIN, INT64_MIN}).content(), Error);
+  EXPECT_THROW((void)(IntVec{INT64_MIN, INT64_MIN}).normalized(), Error);
+}
+
 TEST(RatVec, DenominatorLcmAndScaling) {
   RatVec f{Rational(1, 2), Rational(1, 3)};
   EXPECT_EQ(f.denominator_lcm(), 6);

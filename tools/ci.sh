@@ -20,6 +20,33 @@ run_config() {
 run_config "${repo}/build"
 run_config "${repo}/build-asan" -DSYSTOLIZE_SANITIZE=ON
 
+# Static verification lint gate: the whole catalog must prove clean, and
+# each deliberately-broken design must trip exactly its seeded rule id
+# (docs/static-analysis.md has the rule table).
+echo "=== verify: catalog must be clean ==="
+"${repo}/build/tools/systolize" verify all --n=4 --format=json \
+  | grep -q '"errors":0'
+"${repo}/build/tools/systolize" verify all --n=4
+
+expect_rule() {
+  local design="$1" rule="$2"
+  echo "=== verify: ${design} must trip ${rule} ==="
+  local out
+  if out="$("${repo}/build/tools/systolize" verify \
+      "${repo}/designs/broken/${design}.sa" --format=json)"; then
+    echo "expected non-zero exit for broken design ${design}" >&2
+    exit 1
+  fi
+  grep -q "\"rule\":\"${rule}\"" <<<"${out}" || {
+    echo "expected rule ${rule} in findings for ${design}: ${out}" >&2
+    exit 1
+  }
+}
+
+expect_rule step_on_nullplace schedule.injectivity
+expect_rule dependence_clash schedule.dependence-step
+expect_rule wide_flow flow.neighbour
+
 echo "=== bench smoke: substrate relay chain ==="
 "${repo}/build/bench/bench_endtoend" \
   --benchmark_filter='BM_SubstrateRelayChain/16' --benchmark_min_time=0.05

@@ -9,9 +9,17 @@
 //                    [--watchdog-blocked=N] [--deadlock-report]
 //   systolize graph  <design | file.sa> [--n=N] [--m=M]     (Graphviz dot)
 //   systolize schedule <design | file.sa> [--n=N] [--m=M]   (space-time table)
+//   systolize verify <design | file.sa | all> [--n=N] [--m=M] [--capacity=K]
+//                    [--merge-buffers] [--partition=G]
+//                    [--format=text|json] [--allow=rule,rule...]
 //
 // <design> is a catalog name (see `systolize list`); anything containing a
 // '.' or '/' is treated as a .sa file path.
+//
+// `verify` runs the static plan verifier (docs/static-analysis.md): spec,
+// program and plan-level rules, zero scheduler rounds. It exits non-zero
+// iff any error-severity finding remains; --allow downgrades the named
+// rules (or whole categories, e.g. "guard") to info.
 //
 // --inject takes the fault-plan syntax of FaultPlan::parse (';'-separated
 // directives, e.g. "seed=42;stall=0.1:4;delay=0.05:3" or
@@ -21,6 +29,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/verify.hpp"
 #include "ast/builder.hpp"
 #include "ast/print.hpp"
 #include "baseline/sequential.hpp"
@@ -47,7 +56,10 @@ int usage() {
       "                   [--watchdog-blocked=N] [--deadlock-report]\n"
       "                   [--threads=N]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
-      "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n";
+      "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n"
+      "  systolize verify <design | file.sa | all> [--n=N] [--m=M]\n"
+      "                   [--capacity=K] [--merge-buffers] [--partition=G]\n"
+      "                   [--format=text|json] [--allow=rule,rule...]\n";
   return 2;
 }
 
@@ -78,6 +90,9 @@ struct Options {
   Int watchdog_blocked = 0;      ///< 0 = unbounded
   bool deadlock_report = false;  ///< print JSON forensics on stall
   Int threads = 0;               ///< >1 = sharded parallel run
+  bool verify_plan = false;      ///< run: static verification gate first
+  std::string format = "text";   ///< verify: text | json
+  std::string allow;             ///< verify: comma-separated rule ids
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -108,6 +123,12 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.deadlock_report = true;
   } else if (arg.rfind("--threads=", 0) == 0) {
     opt.threads = std::stoll(value_of("--threads="));
+  } else if (arg == "--verify-plan") {
+    opt.verify_plan = true;
+  } else if (arg.rfind("--format=", 0) == 0) {
+    opt.format = value_of("--format=");
+  } else if (arg.rfind("--allow=", 0) == 0) {
+    opt.allow = value_of("--allow=");
   } else {
     return false;
   }
@@ -217,6 +238,7 @@ int cmd_run(const Design& design, const Options& opt) {
   iopt.watchdog.max_rounds = opt.watchdog_rounds;
   iopt.watchdog.max_blocked_rounds = opt.watchdog_blocked;
   if (opt.threads > 0) iopt.threads = static_cast<unsigned>(opt.threads);
+  iopt.verify_plan = opt.verify_plan;
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
   std::cout << metrics.to_string() << "\n";
@@ -238,6 +260,91 @@ int cmd_run(const Design& design, const Options& opt) {
   return 0;
 }
 
+/// The full static pipeline on one design: spec rules; when those pass,
+/// compile and run the program rules; when those pass too, intern the
+/// plan at the requested sizes/shape and run the plan rules. Compile or
+/// interning failures become findings instead of aborting the sweep.
+VerifyReport verify_one(const Design& design, const std::string& label,
+                        const Options& opt) {
+  VerifyReport rep;
+  rep.design = label;
+  verify_spec_into(rep, design.nest, design.spec);
+  if (rep.errors() == 0) {
+    try {
+      CompiledProgram prog = compile(design.nest, design.spec);
+      verify_program_into(rep, prog, design.nest);
+      if (rep.errors() == 0) {
+        PlanShape shape;
+        shape.channel_capacity = opt.capacity;
+        shape.merge_internal_buffers = opt.merge_buffers;
+        if (opt.partition > 0) {
+          std::vector<Int> comps(design.nest.depth() - 1, opt.partition);
+          shape.partition_grid = IntVec(comps);
+        }
+        auto plan = build_plan(prog, design.nest, sizes_of(design, opt),
+                               shape);
+        verify_plan_into(rep, *plan);
+      }
+    } catch (const Error& e) {
+      rep.add("compile.error", Severity::Error, design.nest.name(),
+              std::string(error_kind_name(e.kind())) + ": " + e.what(),
+              e.diagnostic());
+    }
+  }
+  // --allow downgrades (exact rule ids or whole categories).
+  std::istringstream allow(opt.allow);
+  std::string rule;
+  while (std::getline(allow, rule, ',')) {
+    if (!rule.empty()) rep.allow(rule);
+  }
+  return rep;
+}
+
+int cmd_verify(const std::string& what, const Options& opt) {
+  std::vector<VerifyReport> reports;
+  if (what == "all") {
+    // Catalog names, not nest names — several designs share a nest.
+    for (const char* name :
+         {"polyprod1", "polyprod2", "polyprod3", "matmul1", "matmul2",
+          "matmul3", "matmul4", "convolution", "correlation"}) {
+      reports.push_back(verify_one(design_by_name(name), name, opt));
+    }
+  } else {
+    reports.push_back(verify_one(load_design(what), what, opt));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const VerifyReport& rep : reports) {
+    errors += rep.errors();
+    warnings += rep.warnings();
+  }
+  if (opt.format == "json") {
+    if (what == "all") {
+      std::cout << '[';
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i != 0) std::cout << ',';
+        std::cout << reports[i].to_json();
+      }
+      std::cout << "]\n";
+    } else {
+      std::cout << reports.front().to_json() << "\n";
+    }
+  } else if (opt.format == "text") {
+    for (const VerifyReport& rep : reports) {
+      std::cout << rep.to_string() << "\n";
+    }
+    if (what == "all") {
+      std::cout << "verified " << reports.size() << " design(s): " << errors
+                << " error(s), " << warnings << " warning(s)\n";
+    }
+  } else {
+    std::cerr << "unknown format '" << opt.format << "'\n";
+    return 2;
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +361,7 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    if (cmd == "verify") return cmd_verify(argv[2], opt);
     Design design = load_design(argv[2]);
     if (cmd == "report") return cmd_report(design);
     if (cmd == "emit") return cmd_emit(design, opt);
