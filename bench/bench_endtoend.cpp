@@ -3,6 +3,7 @@
 // simulator substrate for every catalog design; throughput of the whole
 // compile -> instantiate -> execute -> verify pipeline.
 #include "bench_util.hpp"
+#include "runtime/plan_template.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace systolize::bench {
@@ -56,6 +57,134 @@ BENCHMARK(BM_EndToEnd_Matmul2);
 BENCHMARK(BM_EndToEnd_Matmul3);
 BENCHMARK(BM_EndToEnd_Convolution);
 BENCHMARK(BM_EndToEnd_Correlation);
+
+// ---------------------------------------------------------------------
+// Plan-construction microbenchmarks (PR4): the legacy one-shot symbolic
+// path (build_plan) vs the split pipeline (compile_template once, then
+// integer-only expand_template per size). BM_PlanExpand_* against
+// BM_PlanBuild_* at the same n is the headline per-size speedup;
+// BM_PlanCompileExpand_* shows the one-off template cost is amortizable.
+
+void plan_build(benchmark::State& state, const std::string& name) {
+  Design design = design_by_name(name);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, state.range(0));
+  std::size_t procs = 0;
+  for (auto _ : state) {
+    auto plan = build_plan(prog, design.nest, sizes, PlanShape{});
+    procs = plan->procs.size();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["processes"] = static_cast<double>(procs);
+}
+
+void plan_expand(benchmark::State& state, const std::string& name) {
+  Design design = design_by_name(name);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, state.range(0));
+  auto tmpl = compile_template(prog, design.nest, PlanShape{});
+  std::size_t procs = 0;
+  for (auto _ : state) {
+    auto plan = expand_template(*tmpl, sizes);
+    procs = plan->procs.size();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["processes"] = static_cast<double>(procs);
+  state.counters["template_bytes"] = static_cast<double>(tmpl->memory_bytes());
+}
+
+void plan_compile_expand(benchmark::State& state, const std::string& name) {
+  Design design = design_by_name(name);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, state.range(0));
+  for (auto _ : state) {
+    auto tmpl = compile_template(prog, design.nest, PlanShape{});
+    auto plan = expand_template(*tmpl, sizes);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+
+void BM_PlanBuild_Polyprod1(benchmark::State& s) { plan_build(s, "polyprod1"); }
+void BM_PlanBuild_Matmul2(benchmark::State& s) { plan_build(s, "matmul2"); }
+void BM_PlanBuild_Convolution(benchmark::State& s) {
+  plan_build(s, "convolution");
+}
+void BM_PlanExpand_Polyprod1(benchmark::State& s) {
+  plan_expand(s, "polyprod1");
+}
+void BM_PlanExpand_Matmul2(benchmark::State& s) { plan_expand(s, "matmul2"); }
+void BM_PlanExpand_Convolution(benchmark::State& s) {
+  plan_expand(s, "convolution");
+}
+void BM_PlanCompileExpand_Polyprod1(benchmark::State& s) {
+  plan_compile_expand(s, "polyprod1");
+}
+void BM_PlanCompileExpand_Matmul2(benchmark::State& s) {
+  plan_compile_expand(s, "matmul2");
+}
+
+BENCHMARK(BM_PlanBuild_Polyprod1)->Arg(16)->Arg(64);
+BENCHMARK(BM_PlanBuild_Matmul2)->Arg(6)->Arg(10);
+BENCHMARK(BM_PlanBuild_Convolution)->Arg(16);
+BENCHMARK(BM_PlanExpand_Polyprod1)->Arg(16)->Arg(64);
+BENCHMARK(BM_PlanExpand_Matmul2)->Arg(6)->Arg(10);
+BENCHMARK(BM_PlanExpand_Convolution)->Arg(16);
+BENCHMARK(BM_PlanCompileExpand_Polyprod1)->Arg(16);
+BENCHMARK(BM_PlanCompileExpand_Matmul2)->Arg(6);
+
+/// Cold-size serving loop: every request arrives with a size the plan
+/// cache has never kept (a 1-byte budget evicts all but the newest
+/// entry, and the sweep rotates through more sizes than that), so each
+/// lookup pays the full per-size construction cost of its path —
+/// template expansion here, the symbolic derivation in the _Legacy
+/// variant. This is the ISSUE's ≥10x target pair.
+void cold_size_sweep(benchmark::State& state, const std::string& name,
+                     bool use_template) {
+  Design design = design_by_name(name);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  std::vector<Env> sweep;
+  const Int base = state.range(0);
+  for (Int n = base; n < base + 12; ++n) {
+    sweep.push_back(sizes_for(design, n));
+  }
+  PlanCache cache(1);  // evicts every plan except the newest
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Env& sizes = sweep[i++ % sweep.size()];
+    if (use_template) {
+      auto plan = cache.lookup_or_build(prog, design.nest, sizes, PlanShape{});
+      benchmark::DoNotOptimize(plan);
+    } else {
+      auto plan = build_plan(prog, design.nest, sizes, PlanShape{});
+      benchmark::DoNotOptimize(plan);
+    }
+  }
+  state.counters["n"] = static_cast<double>(base);
+  state.counters["template_compiles"] =
+      static_cast<double>(cache.template_compiles());
+  state.counters["evictions"] = static_cast<double>(cache.evictions());
+}
+
+void BM_ColdSizeSweep_Polyprod1(benchmark::State& s) {
+  cold_size_sweep(s, "polyprod1", true);
+}
+void BM_ColdSizeSweep_Legacy_Polyprod1(benchmark::State& s) {
+  cold_size_sweep(s, "polyprod1", false);
+}
+void BM_ColdSizeSweep_Matmul2(benchmark::State& s) {
+  cold_size_sweep(s, "matmul2", true);
+}
+void BM_ColdSizeSweep_Legacy_Matmul2(benchmark::State& s) {
+  cold_size_sweep(s, "matmul2", false);
+}
+
+BENCHMARK(BM_ColdSizeSweep_Polyprod1)->Arg(16);
+BENCHMARK(BM_ColdSizeSweep_Legacy_Polyprod1)->Arg(16);
+BENCHMARK(BM_ColdSizeSweep_Matmul2)->Arg(6);
+BENCHMARK(BM_ColdSizeSweep_Legacy_Matmul2)->Arg(6);
 
 /// Raw substrate throughput: rendezvous transfers per second through a
 /// long relay pipeline (sizes the simulator itself, independent of any

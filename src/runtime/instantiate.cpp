@@ -14,8 +14,9 @@ namespace systolize {
 // into an interned NetworkPlan (runtime/plan_cache — dense process and
 // channel ids, flat element slices, the legacy spawn order preserved) and
 // execute() only stands the network up and runs it. With a PlanCache
-// attached, repeated executions of the same (program, sizes, shape) skip
-// the lowering entirely.
+// attached, the symbolic derivation is compiled once per (program, shape)
+// into a PlanTemplate and each new size costs only an integer expansion;
+// repeated executions at a known size skip even that.
 RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
                    const Env& sizes, IndexedStore& store,
                    const InstantiateOptions& options) {
@@ -23,12 +24,15 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
                         options.merge_internal_buffers,
                         options.partition_grid};
   std::unique_ptr<NetworkPlan> local_plan;
+  std::shared_ptr<const NetworkPlan> cached_plan;
   const NetworkPlan* plan = nullptr;
-  bool plan_reused = false;
+  PlanCache::LookupStats cache_stats;
   if (options.plan_cache != nullptr) {
-    const std::size_t hits_before = options.plan_cache->hits();
-    plan = &options.plan_cache->lookup_or_build(program, nest, sizes, shape);
-    plan_reused = options.plan_cache->hits() > hits_before;
+    // Keep a shared_ptr for the whole run: LRU eviction by a concurrent
+    // lookup must not free the plan under us.
+    cached_plan = options.plan_cache->lookup_or_build(program, nest, sizes,
+                                                      shape, &cache_stats);
+    plan = cached_plan.get();
   } else {
     local_plan = build_plan(program, nest, sizes, shape);
     plan = local_plan.get();
@@ -90,7 +94,13 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
   }
 
   RunMetrics metrics;
-  metrics.plan_reused = plan_reused;
+  metrics.plan_reused = cache_stats.plan_hit;
+  metrics.template_reused = cache_stats.template_hit;
+  metrics.plan_expand_ns = static_cast<Int>(cache_stats.expand_ns);
+  if (options.plan_cache != nullptr) {
+    metrics.plan_cache_bytes = options.plan_cache->bytes();
+    metrics.plan_cache_evictions = options.plan_cache->evictions();
+  }
   metrics.process_count = plan->procs.size();
   metrics.channel_count = plan->channels.size();
   metrics.computation_processes = plan->comp_count;

@@ -55,9 +55,11 @@ struct InstantiateOptions {
   /// with faults, watchdogs, tracing or partitioning — those raise
   /// Error(Validation).
   unsigned threads = 0;
-  /// When non-null, the interned NetworkPlan is memoized here per
-  /// (program, sizes, shape) so repeated executions of the same design
-  /// skip instantiation. The cache must outlive the call.
+  /// When non-null, plans are served from this two-level cache: the
+  /// symbolic derivation is compiled once per (program, shape) into a
+  /// PlanTemplate, and per-size NetworkPlans are expanded from it in pure
+  /// integer arithmetic (and memoized under an LRU byte budget). The
+  /// cache must outlive the call.
   PlanCache* plan_cache = nullptr;
   /// Run the static verifier (src/analysis) on the program and the
   /// interned plan before spawning anything; error findings raise

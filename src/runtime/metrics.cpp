@@ -48,7 +48,14 @@ std::string RunMetrics::to_string() const {
     os << " rounds=" << scheduler_rounds << " faults=" << faults_injected;
   }
   if (shards > 0) os << " shards=" << shards;
-  if (plan_reused) os << " plan=cached";
+  if (plan_reused) {
+    os << " plan=cached";
+  } else if (template_reused) {
+    os << " plan=expanded(" << plan_expand_ns << "ns)";
+  }
+  if (plan_cache_evictions > 0) {
+    os << " cache_evictions=" << plan_cache_evictions;
+  }
   return os.str();
 }
 

@@ -27,6 +27,17 @@ struct RunMetrics {
   Int faults_injected = 0;   ///< faults that actually fired (0 = clean run)
   std::size_t shards = 0;    ///< worker shards of a parallel run (0 = seq.)
   bool plan_reused = false;  ///< network plan came from a PlanCache hit
+  /// Plan came from a cached PlanTemplate (compile-once stage skipped);
+  /// true on every cache interaction after the first for a (program,
+  /// shape), including plan-level hits.
+  bool template_reused = false;
+  /// Nanoseconds spent expanding the template into this run's plan
+  /// (0 on a plan-level cache hit or when no cache is attached).
+  Int plan_expand_ns = 0;
+  /// PlanCache occupancy and cumulative LRU evictions after this run's
+  /// lookup (0 when no cache is attached).
+  std::size_t plan_cache_bytes = 0;
+  std::size_t plan_cache_evictions = 0;
   std::map<std::string, Int> transfers_per_stream;
 
   /// Fraction of computation-process time spent executing statements:

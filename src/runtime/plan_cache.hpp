@@ -15,12 +15,15 @@
 //   * flat stream-element offsets — each pipe's element identities are a
 //     contiguous [elem_begin, elem_end) slice of one `elems` vector, and
 //     the run-time values travel in parallel flat Value arrays.
-// A PlanCache memoizes plans per (program, sizes, shape) so that repeated
-// executions of the same design — the serve-heavy-traffic scenario in
-// bench_endtoend — skip instantiation entirely.
+// A PlanCache memoizes at two levels (see runtime/plan_template.hpp): the
+// symbolic derivation is compiled once per (program, shape) into a
+// PlanTemplate, and concrete plans are expanded from it per size vector —
+// so the serve-heavy-traffic scenario where every request brings its own
+// problem size pays one cheap integer expansion, not a re-derivation.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -111,35 +114,103 @@ struct NetworkPlan {
                                   ///< bound on simultaneously parked ops
   IntVec ps_min, ps_max;          ///< PS box (shard partitioning)
   NetworkGraph graph;             ///< topology, built once
+
+  /// Approximate deep heap footprint (vectors, strings, the graph) —
+  /// the byte currency of PlanCache's LRU accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
-/// Lower `program` at `sizes` into a NetworkPlan. Performs the same
-/// validation as the legacy instantiation (conservation law, partition
-/// grid arity) with identical error messages.
+/// Lower `program` at `sizes` into a NetworkPlan in one symbolic pass.
+/// Performs the same validation as the legacy instantiation (conservation
+/// law, partition grid arity) with identical error messages. This is the
+/// ground-truth reference for the template pipeline: expand_template()
+/// must reproduce its output bit for bit, and the cross-size differential
+/// suite (tests/runtime/test_plan_template.cpp) asserts exactly that.
 [[nodiscard]] std::unique_ptr<NetworkPlan> build_plan(
     const CompiledProgram& program, const LoopNest& nest, const Env& sizes,
     const PlanShape& shape);
 
-/// Thread-safe memo of NetworkPlans keyed by (program identity, sizes,
-/// shape). Program identity is (address, name, depth): callers must not
-/// feed one cache two different programs sharing all three. Plans are
-/// self-contained, so entries stay valid even after the source program is
+struct PlanTemplate;  // runtime/plan_template.hpp
+
+/// Thread-safe two-level memo built on the compile-once/specialize-cheaply
+/// split of runtime/plan_template.hpp:
+///
+///   * template level — one PlanTemplate per (program generation, shape).
+///     Program identity is CompiledProgram::generation, minted per
+///     derivation and preserved across copies, so two different programs
+///     that reuse one address and name can never alias. Each template is
+///     compiled exactly once per key (concurrent callers block on a
+///     std::once_flag rather than duplicating the symbolic work);
+///     templates are small and never evicted.
+///   * plan level — one expanded NetworkPlan per (template, sizes), under
+///     LRU eviction against a configurable byte budget measured with
+///     NetworkPlan::memory_bytes(). A never-seen size costs one integer
+///     expansion instead of a full symbolic derivation.
+///
+/// Plans and templates are self-contained and handed out as shared_ptr,
+/// so entries stay valid across eviction and after the source program is
 /// destroyed.
 class PlanCache {
  public:
-  const NetworkPlan& lookup_or_build(const CompiledProgram& program,
-                                     const LoopNest& nest, const Env& sizes,
-                                     const PlanShape& shape);
+  /// Default byte budget: generous enough that ordinary test/bench
+  /// workloads see zero evictions.
+  static constexpr std::size_t kDefaultByteBudget =
+      std::size_t{256} * 1024 * 1024;
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t hits() const;
-  [[nodiscard]] std::size_t misses() const;
+  explicit PlanCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// Per-call outcome, for RunMetrics reporting.
+  struct LookupStats {
+    bool plan_hit = false;      ///< plan came straight from the cache
+    bool template_hit = false;  ///< template was already compiled
+    std::uint64_t expand_ns = 0;  ///< time spent in expand_template (0 on hit)
+  };
+
+  [[nodiscard]] std::shared_ptr<const NetworkPlan> lookup_or_build(
+      const CompiledProgram& program, const LoopNest& nest, const Env& sizes,
+      const PlanShape& shape, LookupStats* stats = nullptr);
+
+  /// The compiled template for (program, shape), compiling it on first use
+  /// (deduplicated across threads).
+  [[nodiscard]] std::shared_ptr<const PlanTemplate> lookup_template(
+      const CompiledProgram& program, const LoopNest& nest,
+      const PlanShape& shape, LookupStats* stats = nullptr);
+
+  [[nodiscard]] std::size_t size() const;    ///< cached plans
+  [[nodiscard]] std::size_t hits() const;    ///< plan-level hits
+  [[nodiscard]] std::size_t misses() const;  ///< plan-level expansions
+  [[nodiscard]] std::size_t template_hits() const;
+  [[nodiscard]] std::size_t template_compiles() const;
+  [[nodiscard]] std::size_t evictions() const;
+  [[nodiscard]] std::size_t bytes() const;  ///< current plan bytes held
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return budget_; }
+  /// Cumulative nanoseconds spent expanding templates into plans.
+  [[nodiscard]] std::uint64_t expand_ns() const;
 
  private:
+  struct TemplateSlot;
+  struct PlanEntry {
+    std::string key;
+    std::shared_ptr<const NetworkPlan> plan;
+    std::size_t bytes = 0;
+  };
+
+  void insert_plan(std::string key, std::shared_ptr<const NetworkPlan> plan,
+                   LookupStats* stats);
+
+  const std::size_t budget_;
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<NetworkPlan>> plans_;
+  std::map<std::string, std::shared_ptr<TemplateSlot>> templates_;
+  /// LRU list, most-recently-used first; plans_ maps key -> list position.
+  std::list<PlanEntry> lru_;
+  std::map<std::string, std::list<PlanEntry>::iterator> plans_;
+  std::size_t bytes_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t template_hits_ = 0;
+  std::size_t template_compiles_ = 0;
+  std::size_t evictions_ = 0;
+  std::uint64_t expand_ns_ = 0;
 };
 
 /// Per-run bindings for the plan's process bodies: where input values

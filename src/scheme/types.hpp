@@ -3,6 +3,8 @@
 // process-space coordinates — exactly as in the paper's derivations.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,16 @@
 #include "systolic/array_spec.hpp"
 
 namespace systolize {
+
+/// Process-unique id minted for every CompiledProgram built from scratch.
+/// Copies keep their source's id (a copy is the same derivation), so the
+/// id identifies program *content lineage* rather than storage: two
+/// programs that happen to reuse one address and name never share an id.
+/// PlanCache keys on this instead of the raw address.
+[[nodiscard]] inline std::uint64_t next_program_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// PS_min / PS_max (Sect. 6.1): coord-free affine points spanning the
 /// smallest rectangular region enclosing the computation space.
@@ -72,6 +84,9 @@ struct StreamPlan {
 /// executable process network; the ast module renders it as text.
 struct CompiledProgram {
   std::string name;
+  /// Cache identity (see next_program_generation()); assigned at
+  /// construction, preserved across copies/moves.
+  std::uint64_t generation = next_program_generation();
   std::size_t depth = 0;  ///< r
   StepFunction step;
   PlaceFunction place;

@@ -2,7 +2,11 @@
 # Benchmark driver: build the Release configuration and record the
 # end-to-end runtime benchmarks into BENCH_runtime.json at the repo root.
 # Each invocation appends one run entry {label, commit, date, benchmarks}
-# so the file accumulates a perf trajectory across PRs.
+# so the file accumulates a perf trajectory across PRs. The suite covers
+# the end-to-end pipeline (BM_EndToEnd_*), the raw substrate
+# (BM_SubstrateRelayChain), and plan construction (BM_PlanBuild_* vs
+# BM_PlanExpand_*, plus the BM_ColdSizeSweep_* serving-loop pair — see
+# docs/performance.md "Plan templates").
 #
 # usage: tools/bench.sh [label] [extra benchmark args...]
 #   label defaults to the current commit's short hash.

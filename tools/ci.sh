@@ -51,4 +51,17 @@ echo "=== bench smoke: substrate relay chain ==="
 "${repo}/build/bench/bench_endtoend" \
   --benchmark_filter='BM_SubstrateRelayChain/16' --benchmark_min_time=0.05
 
+echo "=== bench smoke: template expansion ==="
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_PlanExpand_Matmul2/6' --benchmark_min_time=0.05
+
+echo "=== cross-size differential: expand_template == build_plan ==="
+ctest --test-dir "${repo}/build" --output-on-failure \
+  -R 'CrossSizeDifferential|PlanTemplate|PlanCache'
+
+echo "=== thread sanitizer: plan cache hammering ==="
+cmake -B "${repo}/build-tsan" -S "${repo}" -DSYSTOLIZE_SANITIZE=thread
+cmake --build "${repo}/build-tsan" -j "${jobs}" --target test_runtime
+"${repo}/build-tsan/tests/test_runtime" --gtest_filter='PlanCache.*'
+
 echo "=== CI OK: plain and sanitizer configurations both green ==="

@@ -7,6 +7,7 @@
 //                    [--merge-buffers] [--partition=G] [--no-verify]
 //                    [--inject=PLAN] [--watchdog-rounds=N]
 //                    [--watchdog-blocked=N] [--deadlock-report]
+//                    [--plan-cache-bytes=N]
 //   systolize graph  <design | file.sa> [--n=N] [--m=M]     (Graphviz dot)
 //   systolize schedule <design | file.sa> [--n=N] [--m=M]   (space-time table)
 //   systolize verify <design | file.sa | all> [--n=N] [--m=M] [--capacity=K]
@@ -27,6 +28,7 @@
 // the machine-readable JSON forensics payload when a run stalls.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/verify.hpp"
@@ -54,7 +56,7 @@ int usage() {
       "                   [--merge-buffers] [--partition=G] [--no-verify]\n"
       "                   [--inject=PLAN] [--watchdog-rounds=N]\n"
       "                   [--watchdog-blocked=N] [--deadlock-report]\n"
-      "                   [--threads=N]\n"
+      "                   [--threads=N] [--plan-cache-bytes=N]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize verify <design | file.sa | all> [--n=N] [--m=M]\n"
@@ -90,6 +92,7 @@ struct Options {
   Int watchdog_blocked = 0;      ///< 0 = unbounded
   bool deadlock_report = false;  ///< print JSON forensics on stall
   Int threads = 0;               ///< >1 = sharded parallel run
+  Int plan_cache_bytes = -1;     ///< >=0: attach a budgeted PlanCache
   bool verify_plan = false;      ///< run: static verification gate first
   std::string format = "text";   ///< verify: text | json
   std::string allow;             ///< verify: comma-separated rule ids
@@ -123,6 +126,8 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.deadlock_report = true;
   } else if (arg.rfind("--threads=", 0) == 0) {
     opt.threads = std::stoll(value_of("--threads="));
+  } else if (arg.rfind("--plan-cache-bytes=", 0) == 0) {
+    opt.plan_cache_bytes = std::stoll(value_of("--plan-cache-bytes="));
   } else if (arg == "--verify-plan") {
     opt.verify_plan = true;
   } else if (arg.rfind("--format=", 0) == 0) {
@@ -238,6 +243,15 @@ int cmd_run(const Design& design, const Options& opt) {
   iopt.watchdog.max_rounds = opt.watchdog_rounds;
   iopt.watchdog.max_blocked_rounds = opt.watchdog_blocked;
   if (opt.threads > 0) iopt.threads = static_cast<unsigned>(opt.threads);
+  // --plan-cache-bytes=N: route plan construction through the two-stage
+  // template pipeline with an N-byte plan budget (small budgets keep the
+  // template but evict expanded plans aggressively).
+  std::unique_ptr<PlanCache> cache;
+  if (opt.plan_cache_bytes >= 0) {
+    cache = std::make_unique<PlanCache>(
+        static_cast<std::size_t>(opt.plan_cache_bytes));
+    iopt.plan_cache = cache.get();
+  }
   iopt.verify_plan = opt.verify_plan;
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
