@@ -5,6 +5,7 @@
 #include "bench_util.hpp"
 #include "runtime/plan_template.hpp"
 #include "runtime/scheduler.hpp"
+#include "service/executor.hpp"
 
 namespace systolize::bench {
 namespace {
@@ -236,6 +237,52 @@ void BM_SubstrateRelayChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * transfers);
 }
 BENCHMARK(BM_SubstrateRelayChain)->Arg(16)->Arg(64)->Arg(256);
+
+// ------------------------------------------------------------ service path
+// What a daemon buys over one-shot invocation: a warm serve request rides
+// the shared compile cache (stable program generation) and plan cache
+// (template + plan hits), while a cold request — the CLI model — pays
+// compile + template + expansion every time. Same request, same engine;
+// the delta is the daemon's amortization. Recorded in BENCH_runtime.json
+// via `tools/bench.sh PR6-serve --benchmark_filter=BM_Serve`.
+void BM_ServeWarmRequest(benchmark::State& state) {
+  service::ExecutorConfig cfg;
+  cfg.default_wall_timeout_ms = 0;  // no deadline thread in the hot loop
+  service::Executor executor(cfg);
+  service::Request req;
+  req.op = "run";
+  req.design = "matmul2";
+  req.n = state.range(0);
+  (void)executor.handle(req);  // prime compile + template + plan caches
+  for (auto _ : state) {
+    service::Response r = executor.handle(req);
+    if (r.status != "ok") state.SkipWithError(r.message.c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["plan_hits"] =
+      static_cast<double>(executor.plan_cache().hits());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeWarmRequest)->Arg(4)->Arg(6);
+
+void BM_ServeColdRequest(benchmark::State& state) {
+  service::Request req;
+  req.op = "run";
+  req.design = "matmul2";
+  req.n = state.range(0);
+  for (auto _ : state) {
+    // A fresh executor per request: every cache is cold, exactly the
+    // work a one-shot `systolize run` does (minus process startup).
+    service::ExecutorConfig cfg;
+    cfg.default_wall_timeout_ms = 0;
+    service::Executor executor(cfg);
+    service::Response r = executor.handle(req);
+    if (r.status != "ok") state.SkipWithError(r.message.c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeColdRequest)->Arg(4)->Arg(6);
 
 }  // namespace
 }  // namespace systolize::bench

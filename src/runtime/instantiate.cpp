@@ -54,7 +54,8 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
   const bool faulted =
       options.faults != nullptr && !options.faults->empty();
   const bool instrumented = faulted || options.watchdog.max_rounds > 0 ||
-                            options.watchdog.max_blocked_rounds > 0;
+                            options.watchdog.max_blocked_rounds > 0 ||
+                            options.watchdog.cancel != nullptr;
 
   const unsigned threads = options.threads;
   if (threads > 1) {

@@ -59,6 +59,36 @@ std::string RunMetrics::to_string() const {
   return os.str();
 }
 
+std::string RunMetrics::to_json() const {
+  std::ostringstream os;
+  os << "{\"makespan\":" << makespan
+     << ",\"total_transfers\":" << total_transfers
+     << ",\"statements\":" << statements
+     << ",\"process_count\":" << process_count
+     << ",\"channel_count\":" << channel_count
+     << ",\"computation_processes\":" << computation_processes
+     << ",\"io_processes\":" << io_processes
+     << ",\"buffer_processes\":" << buffer_processes
+     << ",\"physical_processors\":" << physical_processors
+     << ",\"scheduler_rounds\":" << scheduler_rounds
+     << ",\"faults_injected\":" << faults_injected
+     << ",\"shards\":" << shards
+     << ",\"plan_reused\":" << (plan_reused ? "true" : "false")
+     << ",\"template_reused\":" << (template_reused ? "true" : "false")
+     << ",\"plan_expand_ns\":" << plan_expand_ns
+     << ",\"plan_cache_bytes\":" << plan_cache_bytes
+     << ",\"plan_cache_evictions\":" << plan_cache_evictions
+     << ",\"transfers_per_stream\":{";
+  bool first = true;
+  for (const auto& [stream, count] : transfers_per_stream) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(stream) << "\":" << count;
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::string DeadlockReport::to_string() const {
   std::ostringstream os;
   os << reason << ": " << blocked.size() << " blocked op(s)";

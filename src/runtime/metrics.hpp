@@ -47,6 +47,8 @@ struct RunMetrics {
   [[nodiscard]] double utilization() const;
 
   [[nodiscard]] std::string to_string() const;
+  /// JSON rendering, for the service wire protocol and stats endpoints.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// One parked (or fault-held) operation of a blocked process, captured at

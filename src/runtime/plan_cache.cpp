@@ -485,6 +485,11 @@ std::shared_ptr<const NetworkPlan> PlanCache::lookup_or_build(
   // Evict least-recently-used plans down to the budget; the entry just
   // inserted is always kept (handed-out shared_ptrs stay valid either
   // way — eviction only drops the cache's reference).
+  evict_to_budget_locked();
+  return lru_.front().plan;
+}
+
+void PlanCache::evict_to_budget_locked() {
   while (bytes_ > budget_ && lru_.size() > 1) {
     PlanEntry& victim = lru_.back();
     bytes_ -= victim.bytes;
@@ -492,7 +497,17 @@ std::shared_ptr<const NetworkPlan> PlanCache::lookup_or_build(
     lru_.pop_back();
     ++evictions_;
   }
-  return lru_.front().plan;
+}
+
+std::size_t PlanCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void PlanCache::set_byte_budget(std::size_t byte_budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = byte_budget;
+  evict_to_budget_locked();
 }
 
 std::size_t PlanCache::size() const {

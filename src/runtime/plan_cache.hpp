@@ -183,7 +183,14 @@ class PlanCache {
   [[nodiscard]] std::size_t template_compiles() const;
   [[nodiscard]] std::size_t evictions() const;
   [[nodiscard]] std::size_t bytes() const;  ///< current plan bytes held
-  [[nodiscard]] std::size_t byte_budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t byte_budget() const;
+  /// Resize the plan-level byte budget, evicting LRU entries down to the
+  /// new budget immediately. Shrinking is the service's memory-pressure
+  /// degradation lever: handed-out shared_ptrs stay valid (eviction only
+  /// drops the cache's reference) and templates are never evicted, so a
+  /// shrunken cache degrades to per-request integer expansion, not to
+  /// re-derivation. Thread-safe against concurrent lookups.
+  void set_byte_budget(std::size_t byte_budget);
   /// Cumulative nanoseconds spent expanding templates into plans.
   [[nodiscard]] std::uint64_t expand_ns() const;
 
@@ -197,8 +204,11 @@ class PlanCache {
 
   void insert_plan(std::string key, std::shared_ptr<const NetworkPlan> plan,
                    LookupStats* stats);
+  /// Evict LRU entries until bytes_ <= budget_ (keeps >= 1 entry).
+  /// Caller holds mu_.
+  void evict_to_budget_locked();
 
-  const std::size_t budget_;
+  std::size_t budget_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<TemplateSlot>> templates_;
   /// LRU list, most-recently-used first; plans_ maps key -> list position.

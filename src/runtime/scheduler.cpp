@@ -351,7 +351,8 @@ void Scheduler::check_starvation() {
       raise_stall(*this, "watchdog: process '" + p.name +
                              "' blocked for more than " +
                              std::to_string(watchdog_.max_blocked_rounds) +
-                             " rounds (starvation)");
+                             " rounds (starvation)",
+                  ErrorKind::Timeout);
     }
   }
 }
@@ -381,6 +382,13 @@ void Scheduler::run_fast() {
 
 void Scheduler::run_instrumented() {
   for (;;) {
+    // External cancellation (wall-clock deadline, shutdown): checked at
+    // every round boundary, including the fault fast-forward path below,
+    // so a cancelled run aborts within one round with full forensics.
+    if (watchdog_.cancel != nullptr &&
+        watchdog_.cancel->load(std::memory_order_relaxed)) {
+      raise_stall(*this, watchdog_.cancel_reason, watchdog_.cancel_kind);
+    }
     release_due();
     if (ready_.empty()) {
       if (stalled_.empty() && delayed_.empty()) break;
@@ -396,7 +404,8 @@ void Scheduler::run_instrumented() {
     if (watchdog_.max_rounds > 0 && round_ >= watchdog_.max_rounds) {
       raise_stall(*this, "watchdog: round budget of " +
                              std::to_string(watchdog_.max_rounds) +
-                             " exhausted (livelock?)");
+                             " exhausted (livelock?)",
+                  ErrorKind::Timeout);
     }
     // One round = the ready entries present at round start; processes
     // made ready during the round run in the next one. The order is the

@@ -365,7 +365,8 @@ class Scheduler {
   void finish_spawn(Process& ref);
   void refresh_mode() noexcept {
     instrumented_ = injector_ != nullptr || watchdog_.max_rounds > 0 ||
-                    watchdog_.max_blocked_rounds > 0;
+                    watchdog_.max_blocked_rounds > 0 ||
+                    watchdog_.cancel != nullptr;
   }
   /// The zero-overhead resume loop (no faults, no watchdog).
   void run_fast();

@@ -133,15 +133,15 @@ DeadlockReport build_deadlock_report(const Scheduler& sched,
                                std::move(reason));
 }
 
-void raise_stall(const Scheduler& sched, std::string reason) {
+void raise_stall(const Scheduler& sched, std::string reason, ErrorKind kind) {
   DeadlockReport report = build_deadlock_report(sched, std::move(reason));
-  raise(ErrorKind::Runtime, report.to_string(), report.to_json());
+  raise(kind, report.to_string(), report.to_json());
 }
 
 void raise_stall(const std::vector<const Scheduler*>& scheds,
-                 std::string reason) {
+                 std::string reason, ErrorKind kind) {
   DeadlockReport report = build_deadlock_report(scheds, std::move(reason));
-  raise(ErrorKind::Runtime, report.to_string(), report.to_json());
+  raise(kind, report.to_string(), report.to_json());
 }
 
 }  // namespace systolize

@@ -10,18 +10,21 @@
 // (the Error's diagnostic payload).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "runtime/metrics.hpp"
+#include "support/error.hpp"
 
 namespace systolize {
 
 class Scheduler;
 
 /// Progress bounds enforced by the scheduler each round. Zero disables a
-/// bound. With both disabled the scheduler behaves exactly as before:
-/// stalls are only detected when the ready queue drains.
+/// bound. With both disabled and no cancel token the scheduler behaves
+/// exactly as before: stalls are only detected when the ready queue
+/// drains.
 struct WatchdogConfig {
   /// Abort when the scheduler exceeds this many cooperative rounds
   /// (livelock guard: a finite program on a finite network bounds its
@@ -32,6 +35,19 @@ struct WatchdogConfig {
   /// guard). Must exceed any injected stall/delay duration, which park a
   /// process legitimately.
   Int max_blocked_rounds = 0;
+  /// External cancellation token: when non-null and set, the run aborts
+  /// at the next round boundary with Error(cancel_kind) and a full
+  /// forensic report of where every process stood. This is how wall-clock
+  /// deadlines reach the scheduler — a timer thread sets the flag, the
+  /// scheduler notices between rounds (it never blocks inside a round, so
+  /// the check granularity is one cooperative round). The pointee must
+  /// outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Reason string reported when `cancel` fires (e.g. the deadline that
+  /// expired); kind classifies it — Timeout for deadlines (retryable),
+  /// Cancelled for shutdown (terminal).
+  std::string cancel_reason = "externally cancelled";
+  ErrorKind cancel_kind = ErrorKind::Cancelled;
 };
 
 /// Reconstruct the stall state: every parked/held op per blocked process,
@@ -46,10 +62,16 @@ struct WatchdogConfig {
 [[nodiscard]] DeadlockReport build_deadlock_report(
     const std::vector<const Scheduler*>& scheds, std::string reason);
 
-/// Build the report and raise Error(Runtime) with the human-readable
+/// Build the report and raise Error(kind) with the human-readable
 /// rendering as the message and the JSON rendering as the diagnostic.
-[[noreturn]] void raise_stall(const Scheduler& sched, std::string reason);
+/// Genuine protocol stalls are ErrorKind::Runtime; watchdog budget trips
+/// raise Timeout and external cancellation raises the token's kind, so
+/// callers (and the service's retry policy) can tell a deadline from a
+/// deadlock without string-matching.
+[[noreturn]] void raise_stall(const Scheduler& sched, std::string reason,
+                              ErrorKind kind = ErrorKind::Runtime);
 [[noreturn]] void raise_stall(const std::vector<const Scheduler*>& scheds,
-                              std::string reason);
+                              std::string reason,
+                              ErrorKind kind = ErrorKind::Runtime);
 
 }  // namespace systolize

@@ -1,0 +1,122 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace systolize::service {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void Client::connect() {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    raise(ErrorKind::Validation, "client: socket path too long");
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    raise(ErrorKind::Io,
+          "client: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    raise(ErrorKind::Io,
+          "client: cannot connect to '" + socket_path_ + "': " + why);
+  }
+}
+
+void Client::send(const Request& req) {
+  if (fd_ < 0) connect();
+  const std::string line = req.to_json() + '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close();
+      raise(ErrorKind::Io, "client: send failed (server gone?)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      close();
+      raise(ErrorKind::Io, "client: connection closed by server");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::recv() {
+  if (fd_ < 0) {
+    raise(ErrorKind::Io, "client: not connected");
+  }
+  return parse_response(read_line());
+}
+
+Response Client::call(const Request& req) {
+  send(req);
+  return recv();
+}
+
+Response Client::call_with_retry(const Request& req, Int max_attempts) {
+  Response last;
+  for (Int attempt = 0; attempt < max_attempts; ++attempt) {
+    Int wait_ms = 10;
+    try {
+      last = call(req);
+      if (last.status != "rejected" && last.status != "shutting-down") {
+        return last;
+      }
+      if (last.retry_after_ms >= 0) wait_ms = last.retry_after_ms;
+    } catch (const Error& e) {
+      if (e.kind() != ErrorKind::Io) throw;
+      // Connection-level hiccup: reconnect on the next attempt. Report
+      // the failure as a response if the budget runs out.
+      last = Response{};
+      last.id = req.id;
+      last.op = req.op;
+      last.status = "error";
+      last.kind = error_kind_name(ErrorKind::Io);
+      last.retryable = true;
+      last.verdict = last.kind;
+      last.message = e.what();
+    }
+    if (attempt + 1 < max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+  }
+  return last;
+}
+
+}  // namespace systolize::service

@@ -1,0 +1,53 @@
+// Client side of the service protocol: connect to the daemon's socket,
+// send request lines, read response lines. Used by `systolize client`,
+// the ci.sh serve smoke stage and the soak tests.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace systolize::service {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect (or reconnect). Throws Error(Io) when the daemon is absent.
+  void connect();
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Fire one request line (connects lazily). Throws Error(Io).
+  void send(const Request& req);
+
+  /// Block for the next response line. Throws Error(Io) on EOF — the
+  /// server went away mid-conversation.
+  [[nodiscard]] Response recv();
+
+  /// send + recv. For pipelined use, send() several then recv() several
+  /// and correlate by id.
+  [[nodiscard]] Response call(const Request& req);
+
+  /// call(), honoring the admission-control contract: "rejected" and
+  /// "shutting-down" responses and Io failures are retried after the
+  /// server's retry_after_ms hint (or a small default), up to
+  /// `max_attempts` total. Returns the last response; a response whose
+  /// status is still "rejected" after the budget means the server stayed
+  /// saturated.
+  [[nodiscard]] Response call_with_retry(const Request& req,
+                                         Int max_attempts = 8);
+
+ private:
+  [[nodiscard]] std::string read_line();
+
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace systolize::service

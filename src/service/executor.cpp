@@ -1,0 +1,406 @@
+#include "service/executor.hpp"
+
+#include <chrono>
+#include <new>
+#include <sstream>
+
+#include "analysis/verify.hpp"
+#include "baseline/sequential.hpp"
+#include "frontend/parser.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+#include "service/json.hpp"
+#include "service/request_queue.hpp"
+#include "support/error.hpp"
+
+namespace systolize::service {
+
+namespace {
+
+Env sizes_of(const Design& design, const Request& req) {
+  Env sizes;
+  for (const Symbol& s : design.nest.sizes()) {
+    if (s.name() == "m") {
+      sizes["m"] = Rational(req.m);
+    } else {
+      sizes[s.name()] = Rational(req.n);
+    }
+  }
+  return sizes;
+}
+
+PlanShape shape_of(const Design& design, const Request& req) {
+  PlanShape shape;
+  shape.channel_capacity = req.capacity;
+  shape.merge_internal_buffers = req.merge_buffers;
+  if (req.partition > 0) {
+    std::vector<Int> comps(design.nest.depth() - 1, req.partition);
+    shape.partition_grid = IntVec(comps);
+  }
+  return shape;
+}
+
+/// Same deterministic value seeding as the CLI's run command, so daemon
+/// runs and one-shot runs verify against identical inputs.
+IndexedStore seeded_store(const Design& design, const Env& sizes) {
+  return make_initial_store(
+      design.nest, sizes, [](const std::string& var, const IntVec& p) {
+        Value h = var.empty() ? 1 : var[0];
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
+        return h % 23 - 11;
+      });
+}
+
+Response error_response(const Request& req, const Error& e, Int retries) {
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "error";
+  r.kind = error_kind_name(e.kind());
+  r.retryable = e.retryable();
+  r.retries = retries;
+  r.verdict = r.kind;  // the classified kind IS the definite verdict
+  r.message = e.what();
+  r.diagnostic_json = e.diagnostic();
+  return r;
+}
+
+}  // namespace
+
+void DeadlineTimer::arm(Int ms) {
+  if (ms <= 0) return;
+  disarm();
+  fired_.store(false, std::memory_order_relaxed);
+  stop_ = false;
+  thread_ = std::thread([this, ms] {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                     [this] { return stop_; })) {
+      return;  // disarmed before the deadline
+    }
+    fired_.store(true, std::memory_order_relaxed);
+  });
+}
+
+void DeadlineTimer::disarm() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+Executor::Executor(ExecutorConfig config)
+    : config_(config),
+      plan_cache_(config.cache_budget),
+      degradation_(
+          DegradationConfig{config.cache_budget, config.reduced_cache_budget,
+                            config.recovery_successes},
+          plan_cache_) {}
+
+std::shared_ptr<const Executor::CompiledEntry> Executor::compiled_for(
+    const Request& req, bool* cached) {
+  // Inline source keys on the text itself, catalog designs on the name.
+  // The compile happens under the lock: compilation is cheap (symbolic,
+  // no network construction) and a single cached CompiledProgram per key
+  // is what keeps its generation — and with it the PlanCache template —
+  // stable across requests.
+  const std::string key =
+      req.source.empty() ? "design:" + req.design : "source:" + req.source;
+  std::lock_guard<std::mutex> lock(compile_mu_);
+  auto it = compiled_.find(key);
+  if (it != compiled_.end()) {
+    if (cached != nullptr) *cached = true;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++compile_cache_hits_;
+    }
+    return it->second;
+  }
+  if (cached != nullptr) *cached = false;
+  Design design = req.source.empty() ? design_by_name(req.design)
+                                     : frontend::parse_design(req.source);
+  CompiledProgram prog = compile(design.nest, design.spec);
+  auto entry =
+      std::make_shared<CompiledEntry>(std::move(design), std::move(prog));
+  compiled_.emplace(key, entry);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++compile_cache_misses_;
+  }
+  return entry;
+}
+
+Response Executor::handle(const Request& req) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++op_counts_[req.op];
+  }
+  Response r;
+  try {
+    r = dispatch(req);
+  } catch (const Error& e) {
+    r = error_response(req, e, 0);
+  } catch (const std::bad_alloc&) {
+    degradation_.on_pressure();
+    Error e(ErrorKind::Overload,
+            "out of memory; server degraded to " +
+                std::string(degrade_level_name(degradation_.level())));
+    r = error_response(req, e, 0);
+  } catch (const std::exception& e) {
+    Error wrapped(ErrorKind::Internal, e.what());
+    r = error_response(req, wrapped, 0);
+  }
+  count_outcome(r);
+  return r;
+}
+
+void Executor::count_outcome(const Response& r) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (r.status == "ok") {
+    ++ok_;
+    if (r.verdict == "retried-success") ++retried_successes_;
+  } else {
+    ++errors_;
+    if (r.kind == "Timeout") ++timeouts_;
+  }
+  retries_ += static_cast<std::size_t>(r.retries);
+}
+
+Response Executor::dispatch(const Request& req) {
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  if (req.op == "ping" || req.op == "shutdown") {
+    r.status = "ok";
+    r.verdict = "success";
+    return r;
+  }
+  if (req.op == "stats") {
+    r.status = "ok";
+    r.verdict = "success";
+    r.data_json = stats_json();
+    return r;
+  }
+  if (req.op == "compile") return handle_compile(req);
+  if (req.op == "expand") return handle_expand(req);
+  if (req.op == "run") return handle_run(req);
+  if (req.op == "verify") return handle_verify(req);
+  raise(ErrorKind::Validation, "unknown op \"" + req.op + "\"");
+}
+
+Response Executor::handle_compile(const Request& req) {
+  bool cached = false;
+  auto ce = compiled_for(req, &cached);
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "ok";
+  r.verdict = "success";
+  std::ostringstream data;
+  data << "{\"name\":" << json_quote(ce->prog.name)
+       << ",\"generation\":" << ce->prog.generation
+       << ",\"depth\":" << ce->prog.depth
+       << ",\"cached\":" << (cached ? "true" : "false") << '}';
+  r.data_json = data.str();
+  return r;
+}
+
+Response Executor::handle_expand(const Request& req) {
+  auto ce = compiled_for(req, nullptr);
+  Env sizes = sizes_of(ce->design, req);
+  PlanCache::LookupStats stats;
+  auto plan = plan_cache_.lookup_or_build(ce->prog, ce->design.nest, sizes,
+                                          shape_of(ce->design, req), &stats);
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "ok";
+  r.verdict = "success";
+  std::ostringstream data;
+  data << "{\"processes\":" << plan->procs.size()
+       << ",\"channels\":" << plan->channels.size()
+       << ",\"comp\":" << plan->comp_count
+       << ",\"bytes\":" << plan->memory_bytes()
+       << ",\"plan_hit\":" << (stats.plan_hit ? "true" : "false")
+       << ",\"template_hit\":" << (stats.template_hit ? "true" : "false")
+       << '}';
+  r.data_json = data.str();
+  return r;
+}
+
+Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
+  Env sizes = sizes_of(ce.design, req);
+  IndexedStore store = seeded_store(ce.design, sizes);
+  IndexedStore expected = store;
+
+  InstantiateOptions iopt;
+  iopt.channel_capacity = req.capacity;
+  iopt.merge_internal_buffers = req.merge_buffers;
+  if (req.partition > 0) {
+    std::vector<Int> comps(ce.design.nest.depth() - 1, req.partition);
+    iopt.partition_grid = IntVec(comps);
+  }
+  iopt.plan_cache = &plan_cache_;
+
+  FaultPlan plan;
+  if (!req.inject.empty()) {
+    plan = FaultPlan::parse(req.inject);
+    iopt.faults = &plan;
+  }
+
+  // Fast-path eligibility: sharded execution cannot carry faults or a
+  // watchdog (execute() raises Validation on the combination), so only a
+  // clean request that asked for threads AND declined per-request budgets
+  // takes the sharded path — accepting that such a run has no in-run
+  // deadline. Everything else runs sequential instrumented under the
+  // watchdog, with server defaults filling unset budgets.
+  const unsigned threads =
+      degradation_.effective_threads(static_cast<unsigned>(req.threads));
+  const bool sharded = threads > 1 && req.inject.empty() &&
+                       req.round_budget == 0 && req.wall_timeout_ms == 0;
+  DeadlineTimer deadline;
+  if (sharded) {
+    iopt.threads = threads;
+  } else {
+    iopt.watchdog.max_rounds =
+        req.round_budget > 0 ? req.round_budget : config_.default_round_budget;
+    const Int wall_ms = req.wall_timeout_ms > 0 ? req.wall_timeout_ms
+                                                : config_.default_wall_timeout_ms;
+    if (wall_ms > 0) {
+      deadline.arm(wall_ms);
+      iopt.watchdog.cancel = deadline.token();
+      iopt.watchdog.cancel_kind = ErrorKind::Timeout;
+      iopt.watchdog.cancel_reason =
+          "wall-clock deadline of " + std::to_string(wall_ms) + "ms exceeded";
+    }
+  }
+
+  RunMetrics metrics = execute(ce.prog, ce.design.nest, sizes, store, iopt);
+  deadline.disarm();
+
+  if (req.verify) {
+    run_sequential(ce.design.nest, sizes, expected);
+    for (const Stream& s : ce.design.nest.streams()) {
+      if (store.elements(s.name()) != expected.elements(s.name())) {
+        raise(ErrorKind::Inconsistent,
+              "differential check failed for stream " + s.name() +
+                  " (parallel run disagrees with sequential baseline)");
+      }
+    }
+  }
+
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "ok";
+  r.verdict = "success";
+  r.metrics_json = metrics.to_json();
+  return r;
+}
+
+Response Executor::handle_run(const Request& req) {
+  auto ce = compiled_for(req, nullptr);
+  Int attempt = 0;
+  for (;;) {
+    try {
+      if (attempt < req.fail_attempts) {
+        raise(ErrorKind::Io,
+              "injected transient failure (test hook), attempt " +
+                  std::to_string(attempt));
+      }
+      Response r = run_attempt(*ce, req);
+      r.retries = attempt;
+      if (attempt > 0) r.verdict = "retried-success";
+      degradation_.on_success();
+      return r;
+    } catch (const std::bad_alloc&) {
+      degradation_.on_pressure();
+      Error e(ErrorKind::Overload,
+              "out of memory during run; server degraded to " +
+                  std::string(degrade_level_name(degradation_.level())));
+      if (attempt >= config_.max_retries) return error_response(req, e, attempt);
+    } catch (const Error& e) {
+      if (!e.retryable() || attempt >= config_.max_retries) {
+        return error_response(req, e, attempt);
+      }
+    }
+    // Capped exponential backoff before the next attempt.
+    Int delay = config_.backoff_base_ms;
+    for (Int i = 0; i < attempt && delay < config_.backoff_cap_ms; ++i) {
+      delay *= 2;
+    }
+    if (delay > config_.backoff_cap_ms) delay = config_.backoff_cap_ms;
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    ++attempt;
+  }
+}
+
+Response Executor::handle_verify(const Request& req) {
+  auto ce = compiled_for(req, nullptr);
+  VerifyReport rep;
+  rep.design = req.design.empty() ? ce->prog.name : req.design;
+  verify_spec_into(rep, ce->design.nest, ce->design.spec);
+  if (rep.errors() == 0) {
+    verify_program_into(rep, ce->prog, ce->design.nest);
+    if (rep.errors() == 0) {
+      Env sizes = sizes_of(ce->design, req);
+      auto plan = plan_cache_.lookup_or_build(ce->prog, ce->design.nest, sizes,
+                                              shape_of(ce->design, req));
+      verify_plan_into(rep, *plan);
+    }
+  }
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "ok";
+  r.verdict = rep.errors() == 0 ? "clean" : "findings";
+  r.data_json = rep.to_json();
+  return r;
+}
+
+std::string Executor::stats_json() const {
+  std::ostringstream os;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    os << "{\"requests\":{";
+    bool first = true;
+    for (const auto& [op, count] : op_counts_) {
+      if (!first) os << ',';
+      first = false;
+      os << json_quote(op) << ':' << count;
+    }
+    os << "},\"ok\":" << ok_ << ",\"errors\":" << errors_
+       << ",\"retries\":" << retries_
+       << ",\"retried_successes\":" << retried_successes_
+       << ",\"timeouts\":" << timeouts_
+       << ",\"compile_cache\":{\"hits\":" << compile_cache_hits_
+       << ",\"misses\":" << compile_cache_misses_ << '}';
+  }
+  os << ",\"plan_cache\":{\"plans\":" << plan_cache_.size()
+     << ",\"hits\":" << plan_cache_.hits()
+     << ",\"misses\":" << plan_cache_.misses()
+     << ",\"template_hits\":" << plan_cache_.template_hits()
+     << ",\"template_compiles\":" << plan_cache_.template_compiles()
+     << ",\"evictions\":" << plan_cache_.evictions()
+     << ",\"bytes\":" << plan_cache_.bytes()
+     << ",\"budget\":" << plan_cache_.byte_budget() << '}';
+  os << ",\"degradation\":" << degradation_.to_json();
+  if (queue_ != nullptr) {
+    os << ",\"admission\":{\"admitted\":" << queue_->admitted()
+       << ",\"shed_queue_full\":" << queue_->shed_queue_full()
+       << ",\"shed_tenant_cap\":" << queue_->shed_tenant_cap()
+       << ",\"shed_closed\":" << queue_->shed_closed()
+       << ",\"high_water\":" << queue_->high_water()
+       << ",\"queued\":" << queue_->queued()
+       << ",\"in_flight\":" << queue_->in_flight() << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace systolize::service

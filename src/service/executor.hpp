@@ -1,0 +1,149 @@
+// The service's request engine: everything between a parsed Request and
+// a definite Response, independent of sockets and threads so tests and
+// benchmarks can drive it directly.
+//
+// Fault isolation contract: handle() NEVER throws. Every failure mode —
+// parse errors, validation, watchdog trips, wall-clock deadlines,
+// injected faults, even std::bad_alloc — is caught at this boundary and
+// classified into an error Response (stable ErrorKind name + retryable
+// bit + forensic diagnostic when one exists). A wedged run is cancelled
+// by the deadline timer through the scheduler's cooperative cancel token
+// and reported with its DeadlockReport; the worker thread survives to
+// take the next job.
+//
+// Retry policy: failures whose kind is retryable (error_kind_retryable)
+// are re-attempted up to `max_retries` times with capped exponential
+// backoff; terminal kinds return immediately. A request that succeeds
+// after retries reports verdict "retried-success" so callers can see the
+// transient. Deterministic failures (an injected kill, a structural
+// deadlock) reproduce the same forensics on every attempt and then
+// classify as errors — retry makes transients invisible, not faults.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "designs/catalog.hpp"
+#include "runtime/plan_cache.hpp"
+#include "scheme/types.hpp"
+#include "service/degradation.hpp"
+#include "service/protocol.hpp"
+
+namespace systolize::service {
+
+class RequestQueue;
+
+/// One-shot wall-clock deadline: arm(ms) starts a timer thread that sets
+/// the cancel token when the deadline passes; the scheduler polls the
+/// token at round boundaries (WatchdogConfig::cancel) and turns it into a
+/// structured Error. Destruction (or disarm) joins the thread without
+/// firing. One timer per run attempt.
+class DeadlineTimer {
+ public:
+  DeadlineTimer() = default;
+  ~DeadlineTimer() { disarm(); }
+  DeadlineTimer(const DeadlineTimer&) = delete;
+  DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  void arm(Int ms);
+  void disarm();
+  [[nodiscard]] const std::atomic<bool>* token() const { return &fired_; }
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> fired_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+struct ExecutorConfig {
+  /// Watchdog round budget applied when the request does not choose one
+  /// (0 = unbounded). Generous: the largest catalog runs take thousands
+  /// of rounds, a wedged one spins forever without this.
+  Int default_round_budget = 2'000'000;
+  /// Wall-clock deadline applied when the request does not choose one
+  /// (0 = none).
+  Int default_wall_timeout_ms = 10'000;
+  /// Attempts beyond the first for retryable failures.
+  Int max_retries = 2;
+  /// Capped exponential backoff: base * 2^attempt, capped.
+  Int backoff_base_ms = 5;
+  Int backoff_cap_ms = 100;
+  /// Plan-cache budgets (Normal / degraded — see DegradationConfig).
+  std::size_t cache_budget = PlanCache::kDefaultByteBudget;
+  std::size_t reduced_cache_budget = std::size_t{1} * 1024 * 1024;
+  std::size_t recovery_successes = 32;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config = {});
+
+  /// Serve one request; never throws. (`shutdown` and admission are the
+  /// server's business — handle() treats an incoming "shutdown" op as a
+  /// plain acknowledgement.)
+  [[nodiscard]] Response handle(const Request& req);
+
+  /// Optional: let the stats op report admission counters too.
+  void set_queue(const RequestQueue* queue) { queue_ = queue; }
+
+  [[nodiscard]] PlanCache& plan_cache() { return plan_cache_; }
+  [[nodiscard]] Degradation& degradation() { return degradation_; }
+  [[nodiscard]] const ExecutorConfig& config() const { return config_; }
+
+  /// Stats payload (the stats op's data field): request counters, plan
+  /// cache, compile cache, degradation, admission (when a queue is set).
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  /// Compiled-program cache entry. Programs are cached per design name /
+  /// source text so repeated requests reuse one CompiledProgram
+  /// generation — the PlanCache templates key on that generation, so
+  /// without this cache every request would recompile its template.
+  struct CompiledEntry {
+    CompiledEntry(Design d, CompiledProgram p)
+        : design(std::move(d)), prog(std::move(p)) {}
+    Design design;
+    CompiledProgram prog;
+  };
+
+  [[nodiscard]] std::shared_ptr<const CompiledEntry> compiled_for(
+      const Request& req, bool* cached);
+  [[nodiscard]] Response dispatch(const Request& req);
+  [[nodiscard]] Response handle_compile(const Request& req);
+  [[nodiscard]] Response handle_expand(const Request& req);
+  [[nodiscard]] Response handle_run(const Request& req);
+  [[nodiscard]] Response run_attempt(const CompiledEntry& ce,
+                                     const Request& req);
+  [[nodiscard]] Response handle_verify(const Request& req);
+  void count_outcome(const Response& r);
+
+  const ExecutorConfig config_;
+  PlanCache plan_cache_;
+  Degradation degradation_;
+  const RequestQueue* queue_ = nullptr;
+
+  mutable std::mutex compile_mu_;
+  std::map<std::string, std::shared_ptr<const CompiledEntry>> compiled_;
+
+  mutable std::mutex stats_mu_;
+  std::map<std::string, std::size_t> op_counts_;
+  std::size_t ok_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t retries_ = 0;           ///< total extra attempts spent
+  std::size_t retried_successes_ = 0;
+  std::size_t timeouts_ = 0;          ///< error responses with kind Timeout
+  std::size_t compile_cache_hits_ = 0;
+  std::size_t compile_cache_misses_ = 0;
+};
+
+}  // namespace systolize::service

@@ -1,0 +1,356 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace systolize::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& why, std::size_t pos) {
+  raise(ErrorKind::Parse,
+        "json: " + why + " at offset " + std::to_string(pos));
+}
+
+}  // namespace
+
+/// Recursive-descent parser over the input string. Depth is bounded to
+/// keep a hostile request from exhausting the stack — requests are flat
+/// objects, so the bound is generous.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) bad("trailing characters", pos_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) bad("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      bad(std::string("expected '") + c + "', got '" + peek() + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) bad("nesting too deep", pos_);
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return parse_string_value();
+      case 't':
+        if (consume_literal("true")) return make_bool(true);
+        bad("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return make_bool(false);
+        bad("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return Json{};
+        bad("bad literal", pos_);
+      default: return parse_number();
+    }
+  }
+
+  static Json make_bool(bool b) {
+    Json v;
+    v.type_ = Json::Type::Bool;
+    v.bool_ = b;
+    return v;
+  }
+
+  Json parse_object(int depth) {
+    Json v;
+    v.type_ = Json::Type::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj_[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array(int depth) {
+    Json v;
+    v.type_ = Json::Type::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr_.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json parse_string_value() {
+    Json v;
+    v.type_ = Json::Type::String;
+    v.str_ = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) bad("unterminated string", pos_);
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        bad("raw control character in string", pos_ - 1);
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) bad("unterminated escape", pos_);
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) bad("truncated \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              bad("bad hex digit in \\u escape", pos_ - 1);
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by the protocol; lone surrogates encode as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: bad("bad escape", pos_ - 1);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      bad("bad number", start);
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    Json v;
+    v.type_ = Json::Type::Number;
+    errno = 0;
+    char* end = nullptr;
+    v.num_ = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      bad("bad number '" + tok + "'", start);
+    }
+    if (integral) {
+      errno = 0;
+      long long iv = std::strtoll(tok.c_str(), &end, 10);
+      if (*end == '\0' && errno != ERANGE) {
+        v.int_ = iv;
+        v.integral_ = true;
+      }
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) raise(ErrorKind::Validation, "json: not a bool");
+  return bool_;
+}
+
+Int Json::as_int() const {
+  if (type_ != Type::Number) {
+    raise(ErrorKind::Validation, "json: not a number");
+  }
+  if (integral_) return int_;
+  return static_cast<Int>(num_);
+}
+
+double Json::as_double() const {
+  if (type_ != Type::Number) {
+    raise(ErrorKind::Validation, "json: not a number");
+  }
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) raise(ErrorKind::Validation, "json: not a string");
+  return str_;
+}
+
+const Json* Json::get(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+Int Json::int_or(const std::string& key, Int fallback) const {
+  const Json* v = get(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  if (!v->is_number()) {
+    raise(ErrorKind::Validation, "json: field '" + key + "' must be a number");
+  }
+  return v->as_int();
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  const Json* v = get(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  if (!v->is_bool()) {
+    raise(ErrorKind::Validation, "json: field '" + key + "' must be a bool");
+  }
+  return v->as_bool();
+}
+
+std::string Json::str_or(const std::string& key,
+                         const std::string& fallback) const {
+  const Json* v = get(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  if (!v->is_string()) {
+    raise(ErrorKind::Validation, "json: field '" + key + "' must be a string");
+  }
+  return v->as_string();
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::Array || i >= arr_.size()) {
+    raise(ErrorKind::Validation, "json: array index out of range");
+  }
+  return arr_[i];
+}
+
+const std::map<std::string, Json>& Json::fields() const {
+  if (type_ != Type::Object) {
+    raise(ErrorKind::Validation, "json: not an object");
+  }
+  return obj_;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace systolize::service

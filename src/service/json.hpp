@@ -1,0 +1,80 @@
+// Minimal JSON value: exactly what the service's line-framed wire
+// protocol needs (parse a request object, read typed fields, quote
+// strings on the way out) and nothing more. The repo's JSON *output*
+// remains hand-formatted ostringstream code (metrics, findings, deadlock
+// reports) — this adds the missing *input* direction without pulling in
+// a dependency the container doesn't have.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numeric/checked.hpp"
+
+namespace systolize::service {
+
+/// Immutable parsed JSON value. Objects and arrays own their children.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  /// Parse one complete JSON document; trailing non-whitespace is an
+  /// error. Throws Error(Parse) with position information on malformed
+  /// input — the server turns that into a protocol-error response rather
+  /// than dropping the connection.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  [[nodiscard]] bool as_bool() const;          ///< throws unless Bool
+  [[nodiscard]] Int as_int() const;            ///< throws unless Number
+  [[nodiscard]] double as_double() const;      ///< throws unless Number
+  [[nodiscard]] const std::string& as_string() const;  ///< throws unless String
+
+  /// Object field access; null when absent or not an object.
+  [[nodiscard]] const Json* get(const std::string& key) const;
+
+  /// Typed object-field readers with defaults (absent or null fields fall
+  /// back; wrong-typed fields throw Error(Validation) naming the key).
+  [[nodiscard]] Int int_or(const std::string& key, Int fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback) const;
+
+  [[nodiscard]] std::size_t size() const;            ///< array/object arity
+  [[nodiscard]] const Json& at(std::size_t i) const; ///< array element
+  [[nodiscard]] const std::map<std::string, Json>& fields() const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  Int int_ = 0;
+  bool integral_ = false;  ///< number fits (and was written as) an Int
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+
+  friend class Parser;
+};
+
+/// JSON string literal (including the quotes) for `s`.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+}  // namespace systolize::service

@@ -1,0 +1,125 @@
+#include "service/request_queue.hpp"
+
+#include <algorithm>
+
+namespace systolize::service {
+
+Int RequestQueue::backoff_hint_locked() const {
+  // Deterministic, occupancy-proportional hint: an idle-ish server asks
+  // the client back quickly, a saturated one spreads retries out. Capped
+  // so a shed request never waits longer than a second before asking
+  // again.
+  const std::size_t backlog = queue_.size() - head_;
+  return static_cast<Int>(std::min<std::size_t>(1000, 25 * (backlog + 1)));
+}
+
+Admission RequestQueue::try_push(Job job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Admission a;
+  if (closed_) {
+    ++shed_closed_;
+    a.reason = "shutting down";
+    a.retry_after_ms = 0;  // retry against a restarted server, not this one
+    return a;
+  }
+  const std::size_t backlog = queue_.size() - head_;
+  if (backlog >= depth_) {
+    ++shed_queue_full_;
+    a.reason = "queue full";
+    a.retry_after_ms = backoff_hint_locked();
+    return a;
+  }
+  std::size_t& tenant_count = tenant_inflight_[job.req.tenant];
+  if (tenant_cap_ > 0 && tenant_count >= tenant_cap_) {
+    ++shed_tenant_cap_;
+    a.reason = "tenant cap";
+    a.retry_after_ms = backoff_hint_locked();
+    return a;
+  }
+  ++tenant_count;
+  ++in_flight_;
+  high_water_ = std::max(high_water_, in_flight_);
+  ++admitted_;
+  queue_.push_back(std::move(job));
+  a.admitted = true;
+  ready_cv_.notify_one();
+  return a;
+}
+
+std::optional<Job> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return head_ < queue_.size() || closed_; });
+  if (head_ >= queue_.size()) return std::nullopt;  // closed and drained
+  Job job = std::move(queue_[head_]);
+  ++head_;
+  if (head_ == queue_.size() || head_ >= 64) {
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return job;
+}
+
+void RequestQueue::finish(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && it->second > 0) {
+    if (--it->second == 0) tenant_inflight_.erase(it);
+  }
+  if (in_flight_ > 0) --in_flight_;
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void RequestQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  ready_cv_.notify_all();
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void RequestQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() - head_;
+}
+
+std::size_t RequestQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::size_t RequestQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+std::size_t RequestQueue::shed_queue_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_queue_full_;
+}
+
+std::size_t RequestQueue::shed_tenant_cap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_tenant_cap_;
+}
+
+std::size_t RequestQueue::shed_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_closed_;
+}
+
+std::size_t RequestQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace systolize::service

@@ -1,0 +1,104 @@
+// Admission control: the bounded queue between connection readers and the
+// worker pool. Load is shed at the door, not discovered by timeout — a
+// request is either admitted (and will get a worker) or rejected
+// immediately with a retry-after hint, the 429 discipline. Two limits:
+//
+//   * queue depth — total requests admitted but not yet completed may not
+//     exceed depth + workers; beyond that the server is saturated and
+//     accepting more would only grow latency unboundedly.
+//   * per-tenant in-flight cap — one hot tenant may not occupy the whole
+//     queue; admission counts each tenant's queued + executing requests
+//     and sheds that tenant first while others still fit.
+//
+// The queue is closed for admission during shutdown: already-admitted
+// requests drain through the workers (the SIGTERM contract), new ones are
+// rejected as "shutting-down".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace systolize::service {
+
+/// One admitted unit of work: the parsed request plus the completion
+/// callback that delivers the response (to a socket, a test vector, ...).
+/// Keeping the sink abstract keeps the queue and executor free of any
+/// socket dependency.
+struct Job {
+  Request req;
+  std::function<void(const Response&)> respond;
+};
+
+/// Outcome of an admission attempt.
+struct Admission {
+  bool admitted = false;
+  std::string reason;       ///< "queue full" | "tenant cap" | "shutting down"
+  Int retry_after_ms = 0;   ///< backoff hint for rejected requests
+};
+
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t depth, std::size_t tenant_cap)
+      : depth_(depth), tenant_cap_(tenant_cap) {}
+
+  /// Admit or shed `job`. Never blocks. The job's tenant stays "in
+  /// flight" until finish() — admission counts executing requests, not
+  /// just queued ones, so a tenant cannot monopolize the workers by
+  /// keeping the queue itself short.
+  [[nodiscard]] Admission try_push(Job job);
+
+  /// Block until a job is available or the queue is closed and drained;
+  /// nullopt means "closed and empty — worker should exit".
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Mark one of `tenant`'s requests complete (worker calls this after
+  /// responding).
+  void finish(const std::string& tenant);
+
+  /// Close for admission (shutdown): subsequent try_push is rejected,
+  /// blocked pops return once the backlog drains.
+  void close();
+
+  /// Block until every admitted request has finished (drain barrier for
+  /// graceful shutdown).
+  void wait_idle();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t queued() const;     ///< waiting for a worker
+  [[nodiscard]] std::size_t in_flight() const;  ///< queued + executing
+  // --- admission counters (lifetime totals) ---
+  [[nodiscard]] std::size_t admitted() const;
+  [[nodiscard]] std::size_t shed_queue_full() const;
+  [[nodiscard]] std::size_t shed_tenant_cap() const;
+  [[nodiscard]] std::size_t shed_closed() const;
+  [[nodiscard]] std::size_t high_water() const;  ///< max in_flight seen
+
+ private:
+  [[nodiscard]] Int backoff_hint_locked() const;
+
+  const std::size_t depth_;
+  const std::size_t tenant_cap_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<Job> queue_;  ///< FIFO; pop takes from the front
+  std::size_t head_ = 0;    ///< index of the front (amortized compaction)
+  std::map<std::string, std::size_t> tenant_inflight_;
+  std::size_t in_flight_ = 0;
+  bool closed_ = false;
+  std::size_t admitted_ = 0;
+  std::size_t shed_queue_full_ = 0;
+  std::size_t shed_tenant_cap_ = 0;
+  std::size_t shed_closed_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace systolize::service

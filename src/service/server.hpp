@@ -1,0 +1,103 @@
+// systolize serve: the long-running daemon. One Unix-domain stream
+// socket; each connection carries newline-delimited JSON requests
+// (service/protocol.hpp) that flow through admission control
+// (service/request_queue.hpp) into a fixed worker pool running the
+// Executor. Responses are written back on the request's connection,
+// correlated by id — a client may pipeline and receive out of order.
+//
+// Lifecycle contract (the SIGTERM test in ci.sh exercises this):
+//   1. stop accepting connections,
+//   2. close the queue — in-flight and queued requests DRAIN through the
+//      workers; new requests get a "shutting-down" rejection,
+//   3. wait for the drain barrier, join the workers,
+//   4. wake blocked readers, join them, unlink the socket,
+//   5. flush a final stats line, return from wait() — the CLI exits 0.
+//
+// Worker threads never die on a request failure: the Executor catches
+// and classifies everything (see service/executor.hpp), so a wedged or
+// faulted run costs its deadline, not the pool.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/executor.hpp"
+#include "service/request_queue.hpp"
+
+namespace systolize::service {
+
+struct ServerConfig {
+  std::string socket_path;
+  std::size_t workers = 4;
+  std::size_t queue_depth = 64;   ///< admitted-but-unfinished cap
+  std::size_t tenant_cap = 16;    ///< per-tenant in-flight cap (0 = off)
+  ExecutorConfig executor;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket, start workers and the acceptor. Throws Error(Io)
+  /// when the socket cannot be created or bound.
+  void start();
+
+  /// Trigger graceful shutdown (idempotent, thread-safe; also reachable
+  /// via the wire "shutdown" op and the installed signal handlers).
+  void shutdown();
+
+  /// Block until shutdown has fully drained; joins every thread, unlinks
+  /// the socket and emits the final stats line via `final_stats()`.
+  void wait();
+
+  [[nodiscard]] bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Executor& executor() { return executor_; }
+  [[nodiscard]] RequestQueue& queue() { return queue_; }
+
+  /// Stats snapshot flushed at shutdown (also readable after wait()).
+  [[nodiscard]] std::string final_stats() const { return final_stats_; }
+
+  /// SIGTERM/SIGINT -> graceful shutdown of the running server;
+  /// SIGPIPE ignored (a client hanging up mid-response must not kill the
+  /// daemon). Call once before start().
+  static void install_signal_handlers();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    ~Conn();
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void worker_loop();
+  void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
+  static void send_line(Conn& conn, const std::string& line);
+
+  const ServerConfig config_;
+  RequestQueue queue_;
+  Executor executor_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+  std::string final_stats_;
+  bool started_ = false;
+  bool waited_ = false;
+};
+
+}  // namespace systolize::service

@@ -7,7 +7,13 @@
 namespace systolize {
 
 /// Category of failure, so callers (and tests) can dispatch without
-/// string-matching the message.
+/// string-matching the message. Every kind additionally carries a
+/// retryable/terminal classification (error_kind_retryable) which the
+/// service daemon's retry policy is built on: retryable kinds describe
+/// transient conditions (load, deadlines, races, protocol stalls that an
+/// injected fault may have caused) where a fresh attempt can legitimately
+/// succeed; terminal kinds describe properties of the request itself that
+/// no retry will change.
 enum class ErrorKind {
   Overflow,         ///< checked 64-bit arithmetic overflowed
   DivideByZero,     ///< rational division by zero / zero denominator
@@ -19,9 +25,15 @@ enum class ErrorKind {
   Unsupported,      ///< outside the scheme's stated restrictions
   Runtime,          ///< simulator protocol failure (deadlock, bad count, ...)
   Parse,            ///< .sa frontend syntax error
+  Timeout,          ///< watchdog budget or wall-clock deadline exceeded
+  Cancelled,        ///< run aborted externally (shutdown, client gone)
+  Overload,         ///< admission control rejected the request (back off)
+  Io,               ///< socket / wire-protocol failure
+  Internal,         ///< invariant breakage that is a bug, not bad input
 };
 
-/// Stable name of an ErrorKind, for error printing and logs.
+/// Stable name of an ErrorKind, for error printing, logs and the service
+/// wire protocol (round-trips through error_kind_from_name).
 [[nodiscard]] constexpr const char* error_kind_name(ErrorKind kind) noexcept {
   switch (kind) {
     case ErrorKind::Overflow: return "Overflow";
@@ -34,9 +46,57 @@ enum class ErrorKind {
     case ErrorKind::Unsupported: return "Unsupported";
     case ErrorKind::Runtime: return "Runtime";
     case ErrorKind::Parse: return "Parse";
+    case ErrorKind::Timeout: return "Timeout";
+    case ErrorKind::Cancelled: return "Cancelled";
+    case ErrorKind::Overload: return "Overload";
+    case ErrorKind::Io: return "Io";
+    case ErrorKind::Internal: return "Internal";
   }
   return "Unknown";
 }
+
+/// Retryable (true) vs terminal (false) classification of a kind.
+///
+///   * Timeout — a deadline ran out; under lighter load or a larger
+///     budget the same request can finish.
+///   * Overload — admission control shed the request; by definition a
+///     retry after backoff is the intended reaction.
+///   * Io — wire/socket hiccups are transient by nature.
+///   * Runtime — protocol stalls (deadlock, bad transfer count) can be
+///     induced by injected or environmental faults; a clean re-run can
+///     succeed, and if the cause is structural the retry reproduces the
+///     same forensic report deterministically.
+///
+/// Everything else describes the request itself (malformed source,
+/// incompatible design, arithmetic that cannot be represented) or a bug
+/// (Internal), and retrying cannot change the outcome. Cancellation is
+/// terminal because the canceller does not want the work redone.
+[[nodiscard]] constexpr bool error_kind_retryable(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::Runtime:
+    case ErrorKind::Timeout:
+    case ErrorKind::Overload:
+    case ErrorKind::Io:
+      return true;
+    case ErrorKind::Overflow:
+    case ErrorKind::DivideByZero:
+    case ErrorKind::Dimension:
+    case ErrorKind::Singular:
+    case ErrorKind::NotRepresentable:
+    case ErrorKind::Validation:
+    case ErrorKind::Inconsistent:
+    case ErrorKind::Unsupported:
+    case ErrorKind::Parse:
+    case ErrorKind::Cancelled:
+    case ErrorKind::Internal:
+      return false;
+  }
+  return false;
+}
+
+/// Inverse of error_kind_name, for decoding kinds off the wire. Unknown
+/// names map to Internal (the safest terminal classification).
+[[nodiscard]] ErrorKind error_kind_from_name(const std::string& name) noexcept;
 
 /// Exception carrying an ErrorKind; all systolize failures throw this.
 /// An optional machine-readable diagnostic payload (JSON) rides along for
@@ -52,6 +112,9 @@ class Error : public std::runtime_error {
         diagnostic_(std::move(diagnostic)) {}
 
   [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool retryable() const noexcept {
+    return error_kind_retryable(kind_);
+  }
 
   /// Machine-readable payload (empty when the failure carries none).
   [[nodiscard]] const std::string& diagnostic() const noexcept {
@@ -70,6 +133,19 @@ class Error : public std::runtime_error {
 [[noreturn]] inline void raise(ErrorKind kind, const std::string& message,
                                std::string diagnostic) {
   throw Error(kind, message, std::move(diagnostic));
+}
+
+inline ErrorKind error_kind_from_name(const std::string& name) noexcept {
+  for (ErrorKind kind :
+       {ErrorKind::Overflow, ErrorKind::DivideByZero, ErrorKind::Dimension,
+        ErrorKind::Singular, ErrorKind::NotRepresentable,
+        ErrorKind::Validation, ErrorKind::Inconsistent, ErrorKind::Unsupported,
+        ErrorKind::Runtime, ErrorKind::Parse, ErrorKind::Timeout,
+        ErrorKind::Cancelled, ErrorKind::Overload, ErrorKind::Io,
+        ErrorKind::Internal}) {
+    if (name == error_kind_name(kind)) return kind;
+  }
+  return ErrorKind::Internal;
 }
 
 }  // namespace systolize

@@ -167,7 +167,7 @@ TEST(ResilienceFatal, StarvingDelayTripsTheWatchdogStructurally) {
     (void)run_with(design, prog, &plan, watchdog);
     FAIL() << "expected the watchdog to trip";
   } catch (const Error& e) {
-    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
     std::string what = e.what();
     EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
     EXPECT_NE(e.diagnostic().find("\"reason\""), std::string::npos);

@@ -273,7 +273,9 @@ TEST(Watchdog, RoundBudgetTurnsLivelockIntoStructuredError) {
     sched.run();
     FAIL() << "expected the watchdog to fire";
   } catch (const Error& e) {
-    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    // Budget exhaustion is a deadline, not a protocol failure: Timeout,
+    // which the service layer classifies as retryable.
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
     EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos)
         << e.what();
     EXPECT_NE(e.diagnostic().find("\"reason\""), std::string::npos);
@@ -300,7 +302,7 @@ TEST(Watchdog, StarvationBoundNamesTheStarvedProcess) {
     sched.run();
     FAIL() << "expected the starvation watchdog to fire";
   } catch (const Error& e) {
-    EXPECT_EQ(e.kind(), ErrorKind::Runtime);
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
     std::string what = e.what();
     EXPECT_NE(what.find("starvation"), std::string::npos) << what;
     EXPECT_NE(what.find("starved"), std::string::npos) << what;

@@ -4,6 +4,8 @@
 // (program, shape) key no matter how many threads race for it.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -211,6 +213,122 @@ TEST(PlanCache, ConcurrentHammeringCompilesEachTemplateOnce) {
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<std::size_t>(kThreads) * kIters);
   EXPECT_EQ(cache.size(), names.size() * ns.size());
+}
+
+// The daemon's worst case: many client threads, several distinct program
+// generations (fresh compiles of the same designs), and a byte budget so
+// small that plans churn through the LRU constantly. Every lookup must
+// still return a correct, self-contained plan — eviction only drops the
+// cache's reference, never a handed-out one.
+TEST(PlanCache, ConcurrentMultiClientMixedGenerationsUnderTinyBudget) {
+  const std::vector<std::string> names = {"polyprod1", "matmul2"};
+  struct Variant {
+    Design design;
+    CompiledProgram prog;  // each carries its own generation
+  };
+  std::vector<Variant> variants;
+  for (const std::string& name : names) {
+    for (int copy = 0; copy < 2; ++copy) {  // two generations per design
+      Design design = design_by_name(name);
+      CompiledProgram prog = compile(design.nest, design.spec);
+      variants.push_back(Variant{std::move(design), std::move(prog)});
+    }
+  }
+  const std::vector<Int> ns = {3, 4, 5};
+  std::vector<std::vector<std::size_t>> expected(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (Int n : ns) {
+      expected[v].push_back(build_plan(variants[v].prog, variants[v].design.nest,
+                                       sizes_for(variants[v].design, n),
+                                       PlanShape{})
+                                ->procs.size());
+    }
+  }
+
+  PlanCache cache(16 * 1024);  // tiny: a couple of plans at most
+  constexpr int kThreads = 8;
+  constexpr int kIters = 30;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t vi = (t * 3 + i) % variants.size();
+        const std::size_t si = (t + i * 5) % ns.size();
+        const Variant& v = variants[vi];
+        auto plan = cache.lookup_or_build(
+            v.prog, v.design.nest, sizes_for(v.design, ns[si]), PlanShape{});
+        if (plan == nullptr || plan->procs.size() != expected[vi][si]) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  // Four generations (two per design), templates never evicted: exactly
+  // one template compile per generation despite the churn below.
+  EXPECT_EQ(cache.template_compiles(), variants.size());
+  EXPECT_GT(cache.evictions(), 0u) << "budget was meant to force churn";
+  EXPECT_LE(cache.bytes(), std::size_t{16} * 1024 + (1u << 20))
+      << "bytes may overshoot by at most one plan (the keep->=1 rule)";
+}
+
+// The degradation lever raced against lookups: shrinking and restoring
+// the byte budget mid-traffic must neither crash, nor corrupt accounting,
+// nor invalidate plans already handed out.
+TEST(PlanCache, SetByteBudgetRacesWithLookupsSafely) {
+  Design design = design_by_name("polyprod1");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  const std::vector<Int> ns = {3, 4, 5, 6, 7};
+  std::vector<std::size_t> expected;
+  for (Int n : ns) {
+    expected.push_back(
+        build_plan(prog, design.nest, sizes_for(design, n), PlanShape{})
+            ->procs.size());
+  }
+
+  PlanCache cache;  // start at the default budget
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    // Oscillate between generous and starving budgets.
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      cache.set_byte_budget(i % 2 == 0 ? 4 * 1024 : 64 * 1024 * 1024);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 60;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t si = (t + i) % ns.size();
+        auto plan = cache.lookup_or_build(
+            prog, design.nest, sizes_for(design, ns[si]), PlanShape{});
+        if (plan == nullptr || plan->procs.size() != expected[si]) {
+          ++failures[t];
+          continue;
+        }
+        // Touch the plan after (possibly) being evicted underneath us:
+        // handed-out shared_ptrs stay fully valid.
+        if (plan->channels.empty() || plan->graph.nodes.empty()) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  resizer.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  // Accounting stayed coherent through the churn.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::size_t>(kThreads) * kIters);
+  cache.set_byte_budget(1);  // final shrink: at most one survivor
+  EXPECT_LE(cache.size(), 1u);
 }
 
 }  // namespace

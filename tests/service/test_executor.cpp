@@ -1,0 +1,285 @@
+// The request engine: never throws, classifies everything, retries
+// transients, cancels wedged runs at their deadline, shares one plan
+// cache and one compiled-program generation across requests.
+#include "service/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace systolize::service {
+namespace {
+
+ExecutorConfig fast_config() {
+  ExecutorConfig cfg;
+  cfg.default_wall_timeout_ms = 30'000;  // tests pick tighter ones per-request
+  cfg.max_retries = 2;
+  cfg.backoff_base_ms = 1;
+  cfg.backoff_cap_ms = 4;
+  return cfg;
+}
+
+Request run_req(const std::string& design, Int n = 4) {
+  Request req;
+  req.op = "run";
+  req.design = design;
+  req.n = n;
+  req.m = 3;
+  return req;
+}
+
+TEST(Executor, PingAndStatsAlwaysSucceed) {
+  Executor ex(fast_config());
+  Request ping;
+  ping.op = "ping";
+  Response r = ex.handle(ping);
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_TRUE(definite_verdict(r));
+
+  Request stats;
+  stats.op = "stats";
+  r = ex.handle(stats);
+  EXPECT_EQ(r.status, "ok");
+  // The stats payload is valid JSON with the documented sections.
+  Json doc = Json::parse(r.data_json);
+  EXPECT_NE(doc.get("plan_cache"), nullptr);
+  EXPECT_NE(doc.get("degradation"), nullptr);
+  EXPECT_NE(doc.get("requests"), nullptr);
+}
+
+TEST(Executor, RunSucceedsWithMetricsAndVerify) {
+  Executor ex(fast_config());
+  Request req = run_req("matmul2");
+  req.verify = true;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "success");
+  Json metrics = Json::parse(r.metrics_json);
+  EXPECT_GT(metrics.int_or("makespan", 0), 0);
+  EXPECT_GT(metrics.int_or("total_transfers", 0), 0);
+}
+
+TEST(Executor, CompileCacheKeepsOneGenerationPerDesign) {
+  // The PlanCache templates key on CompiledProgram::generation; a daemon
+  // that recompiled per request would never hit its own template cache.
+  Executor ex(fast_config());
+  Request req;
+  req.op = "compile";
+  req.design = "matmul2";
+  Response first = ex.handle(req);
+  Response second = ex.handle(req);
+  ASSERT_EQ(first.status, "ok");
+  ASSERT_EQ(second.status, "ok");
+  Json a = Json::parse(first.data_json);
+  Json b = Json::parse(second.data_json);
+  EXPECT_FALSE(a.bool_or("cached", true));
+  EXPECT_TRUE(b.bool_or("cached", false));
+  EXPECT_EQ(a.int_or("generation", -1), b.int_or("generation", -2));
+}
+
+TEST(Executor, WarmRunsHitTheSharedPlanCache) {
+  Executor ex(fast_config());
+  (void)ex.handle(run_req("matmul2"));
+  const std::size_t misses = ex.plan_cache().misses();
+  (void)ex.handle(run_req("matmul2"));
+  EXPECT_EQ(ex.plan_cache().misses(), misses);  // second run: pure hit
+  EXPECT_GE(ex.plan_cache().hits(), 1u);
+}
+
+TEST(Executor, ExpandReportsPlanShapeAndCacheOutcome) {
+  Executor ex(fast_config());
+  Request req;
+  req.op = "expand";
+  req.design = "polyprod1";
+  req.n = 5;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  Json data = Json::parse(r.data_json);
+  EXPECT_GT(data.int_or("processes", 0), 0);
+  EXPECT_GT(data.int_or("channels", 0), 0);
+  EXPECT_FALSE(data.bool_or("plan_hit", true));
+  r = ex.handle(req);
+  EXPECT_TRUE(Json::parse(r.data_json).bool_or("plan_hit", false));
+}
+
+TEST(Executor, UnknownDesignClassifiesAsTerminalError) {
+  Executor ex(fast_config());
+  Response r = ex.handle(run_req("no-such-design"));
+  EXPECT_EQ(r.status, "error");
+  EXPECT_FALSE(r.retryable);
+  EXPECT_TRUE(definite_verdict(r));
+  EXPECT_EQ(r.retries, 0);  // terminal: no attempts wasted
+}
+
+TEST(Executor, TransientFailuresRetryToSuccess) {
+  Executor ex(fast_config());
+  Request req = run_req("polyprod1");
+  req.fail_attempts = 2;  // test hook: first two attempts fail retryably
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "retried-success");
+  EXPECT_EQ(r.retries, 2);
+}
+
+TEST(Executor, RetryBudgetExhaustionClassifiesTheTransient) {
+  Executor ex(fast_config());
+  Request req = run_req("polyprod1");
+  req.fail_attempts = 99;  // more than the server will ever retry
+  Response r = ex.handle(req);
+  EXPECT_EQ(r.status, "error");
+  EXPECT_EQ(r.kind, "Io");
+  EXPECT_TRUE(r.retryable);  // still classified transient — client's call
+  EXPECT_EQ(r.retries, fast_config().max_retries);
+  EXPECT_TRUE(definite_verdict(r));
+}
+
+TEST(Executor, InjectedStallTripsTheWatchdogWithForensics) {
+  ExecutorConfig cfg = fast_config();
+  cfg.max_retries = 1;  // deterministic fault: retry once, then classify
+  Executor ex(cfg);
+  Request req = run_req("polyprod1");
+  req.inject = "kill@comp:(1)=1";  // killed process => stalled partners
+  req.round_budget = 200;
+  Response r = ex.handle(req);
+  EXPECT_EQ(r.status, "error");
+  EXPECT_TRUE(r.kind == "Timeout" || r.kind == "Runtime") << r.kind;
+  EXPECT_TRUE(definite_verdict(r));
+  // The DeadlockReport forensics ride along as machine-readable JSON.
+  ASSERT_FALSE(r.diagnostic_json.empty());
+  Json report = Json::parse(r.diagnostic_json);
+  EXPECT_NE(report.get("reason"), nullptr);
+  // The deterministic failure burned the whole retry budget.
+  EXPECT_EQ(r.retries, 1);
+}
+
+TEST(Executor, WallClockDeadlineCancelsAWedgedRun) {
+  ExecutorConfig cfg = fast_config();
+  cfg.max_retries = 0;  // measure one attempt
+  Executor ex(cfg);
+  // Injected stalls/delays advance *simulated* time — the scheduler
+  // fast-forwards past them — so they cannot wedge the wall clock. What
+  // the wall deadline exists for is a run that is simply too big for its
+  // budget: a large-size instrumented run takes seconds of real time
+  // while rounds keep turning, and the cancel token is polled at every
+  // round boundary.
+  Request req = run_req("matmul2", 64);
+  req.round_budget = 2'000'000'000;  // rounds alone would never trip
+  req.wall_timeout_ms = 150;
+  const auto before = std::chrono::steady_clock::now();
+  Response r = ex.handle(req);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_EQ(r.status, "error");
+  EXPECT_EQ(r.kind, "Timeout") << r.message;
+  EXPECT_TRUE(r.retryable);
+  EXPECT_TRUE(definite_verdict(r));
+  EXPECT_NE(r.message.find("wall-clock"), std::string::npos) << r.message;
+  // Cancelled promptly — not after the run's natural multi-second span.
+  EXPECT_LT(elapsed.count(), 10'000);
+  // The cancellation forensics name every process state at abort time.
+  EXPECT_FALSE(r.diagnostic_json.empty());
+}
+
+TEST(Executor, WorkerSurvivesAWedgedRunAndServesTheNext) {
+  ExecutorConfig cfg = fast_config();
+  cfg.max_retries = 0;
+  Executor ex(cfg);
+  Request wedged = run_req("matmul2", 64);
+  wedged.round_budget = 2'000'000'000;
+  wedged.wall_timeout_ms = 150;
+  Response dead = ex.handle(wedged);
+  EXPECT_EQ(dead.kind, "Timeout");
+  // Fault isolation: the same executor immediately serves a clean run.
+  Request clean = run_req("matmul2", 4);
+  clean.verify = true;
+  Response r = ex.handle(clean);
+  EXPECT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "success");
+}
+
+TEST(Executor, VerifyOpRunsTheStaticPipeline) {
+  Executor ex(fast_config());
+  Request req;
+  req.op = "verify";
+  req.design = "matmul2";
+  req.n = 4;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "clean");
+  Json report = Json::parse(r.data_json);
+  EXPECT_NE(report.get("findings"), nullptr);
+}
+
+TEST(Executor, InlineSourceCompilesAndRuns) {
+  // The convolution design as inline .sa text exercises the source path
+  // (and its compile-cache key).
+  Executor ex(fast_config());
+  Request req;
+  req.op = "run";
+  req.source =
+      "design convolution_inline\n"
+      "sizes n >= 1, m >= 1\n"
+      "loop i = 0 .. n\n"
+      "loop j = 0 .. m\n"
+      "stream w[j]   read   dims [0 .. m]\n"
+      "stream x[i+j] read   dims [0 .. n + m]\n"
+      "stream y[i]   update dims [0 .. n]\n"
+      "body y := y + w * x\n"
+      "step i + 2*j\n"
+      "place (i)\n"
+      "load y = (1)\n";
+  req.n = 6;
+  req.m = 3;
+  req.verify = true;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "success");
+}
+
+TEST(Executor, ConcurrentMixedRequestsAllGetDefiniteVerdicts) {
+  // A miniature in-process soak: clean runs, faulted runs, bad designs
+  // and retry-hook requests race on one executor; every one must come
+  // back with a definite verdict and the executor must stay consistent.
+  Executor ex(fast_config());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Response>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Request req;
+        switch ((t + i) % 4) {
+          case 0:
+            req = run_req("matmul2");
+            req.verify = true;
+            break;
+          case 1:
+            req = run_req("polyprod1");
+            req.fail_attempts = 1;
+            break;
+          case 2:
+            req = run_req("polyprod1");
+            req.inject = "kill@comp:(1)=1";
+            req.round_budget = 200;
+            break;
+          default: req = run_req("does-not-exist"); break;
+        }
+        results[t].push_back(ex.handle(req));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& per_thread : results) {
+    for (const Response& r : per_thread) {
+      EXPECT_TRUE(definite_verdict(r))
+          << r.status << " " << r.kind << " " << r.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace systolize::service

@@ -1,0 +1,73 @@
+// The service's minimal JSON layer: parse, typed field access, quoting.
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace systolize::service {
+namespace {
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  Json v = Json::parse(
+      R"({"a":1,"b":-2.5,"c":"hi","d":true,"e":null,"f":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.int_or("a", 0), 1);
+  EXPECT_DOUBLE_EQ(v.get("b")->as_double(), -2.5);
+  EXPECT_EQ(v.str_or("c", ""), "hi");
+  EXPECT_TRUE(v.bool_or("d", false));
+  EXPECT_TRUE(v.get("e")->is_null());
+  ASSERT_EQ(v.get("f")->size(), 3u);
+  EXPECT_EQ(v.get("f")->at(2).as_int(), 3);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string original = "line\nquote\"back\\slash\ttab";
+  Json v = Json::parse(json_quote(original));
+  EXPECT_EQ(v.as_string(), original);
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  Json v = Json::parse(R"("Aé€")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, MalformedInputRaisesParseWithOffset) {
+  for (const char* bad :
+       {"{", "[1,", "\"unterminated", "{\"a\":}", "tru", "1.2.3",
+        "{\"a\":1} trailing"}) {
+    try {
+      (void)Json::parse(bad);
+      FAIL() << "expected Parse error for: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::Parse) << bad;
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+  }
+}
+
+TEST(Json, NestingDepthIsBounded) {
+  std::string deep(64, '[');
+  deep += std::string(64, ']');
+  EXPECT_THROW((void)Json::parse(deep), Error);
+}
+
+TEST(Json, TypedReadersRejectWrongTypes) {
+  Json v = Json::parse(R"({"n":"not a number"})");
+  try {
+    (void)v.int_or("n", 0);
+    FAIL() << "expected Validation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Validation);
+  }
+  // Absent and null fields fall back instead of throwing.
+  EXPECT_EQ(v.int_or("missing", 7), 7);
+}
+
+TEST(Json, LargeIntegersSurviveExactly) {
+  Json v = Json::parse("{\"big\":123456789012345}");
+  EXPECT_EQ(v.int_or("big", 0), 123456789012345LL);
+}
+
+}  // namespace
+}  // namespace systolize::service

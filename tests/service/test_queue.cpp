@@ -1,0 +1,149 @@
+// Admission control: shed-at-the-door semantics, tenant fairness, drain.
+#include "service/request_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace systolize::service {
+namespace {
+
+Job job_for(const std::string& tenant) {
+  Job j;
+  j.req.op = "ping";
+  j.req.tenant = tenant;
+  j.respond = [](const Response&) {};
+  return j;
+}
+
+TEST(RequestQueue, AdmitsUpToDepthThenSheds) {
+  RequestQueue q(2, 0);
+  EXPECT_TRUE(q.try_push(job_for("a")).admitted);
+  EXPECT_TRUE(q.try_push(job_for("a")).admitted);
+  Admission shed = q.try_push(job_for("a"));
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, "queue full");
+  EXPECT_GT(shed.retry_after_ms, 0);
+  EXPECT_EQ(q.admitted(), 2u);
+  EXPECT_EQ(q.shed_queue_full(), 1u);
+}
+
+TEST(RequestQueue, TenantCapShedsTheHotTenantOnly) {
+  RequestQueue q(16, 2);
+  EXPECT_TRUE(q.try_push(job_for("hot")).admitted);
+  EXPECT_TRUE(q.try_push(job_for("hot")).admitted);
+  Admission shed = q.try_push(job_for("hot"));
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, "tenant cap");
+  // A different tenant still fits while the hot one is capped.
+  EXPECT_TRUE(q.try_push(job_for("cold")).admitted);
+  EXPECT_EQ(q.shed_tenant_cap(), 1u);
+}
+
+TEST(RequestQueue, TenantStaysInFlightUntilFinish) {
+  // Admission counts queued + executing: popping a job does NOT free the
+  // tenant's slot — only finish() does. This is what stops a tenant from
+  // monopolizing the workers with a short queue.
+  RequestQueue q(16, 1);
+  ASSERT_TRUE(q.try_push(job_for("t")).admitted);
+  auto job = q.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_FALSE(q.try_push(job_for("t")).admitted);  // still executing
+  q.finish("t");
+  EXPECT_TRUE(q.try_push(job_for("t")).admitted);
+}
+
+TEST(RequestQueue, CloseRejectsNewAndDrainsOld) {
+  RequestQueue q(16, 0);
+  ASSERT_TRUE(q.try_push(job_for("a")).admitted);
+  q.close();
+  Admission shed = q.try_push(job_for("b"));
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, "shutting down");
+  EXPECT_EQ(q.shed_closed(), 1u);
+  // The already-admitted job still drains.
+  auto job = q.pop();
+  ASSERT_TRUE(job.has_value());
+  q.finish("a");
+  // After the drain, pop unblocks with "no more work".
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(RequestQueue, PopBlocksUntilWorkOrClose) {
+  RequestQueue q(16, 0);
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto job = q.pop();
+    got.store(job.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(q.try_push(job_for("x")).admitted);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(RequestQueue, WaitIdleIsADrainBarrier) {
+  RequestQueue q(64, 0);
+  constexpr int kJobs = 20;
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(q.try_push(job_for("t")).admitted);
+  }
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        auto job = q.pop();
+        if (!job.has_value()) return;
+        ++done;
+        q.finish(job->req.tenant);
+      }
+    });
+  }
+  q.close();
+  q.wait_idle();
+  EXPECT_EQ(done.load(), kJobs);  // the barrier held until all finished
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(q.in_flight(), 0u);
+  EXPECT_EQ(q.high_water(), static_cast<std::size_t>(kJobs));
+}
+
+TEST(RequestQueue, ConcurrentPushPopKeepsCountsConsistent) {
+  RequestQueue q(32, 8);
+  std::atomic<int> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        auto job = q.pop();
+        if (!job.has_value()) return;
+        ++completed;
+        q.finish(job->req.tenant);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<int> pushed{0};
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 50; ++i) {
+        if (q.try_push(job_for("tenant" + std::to_string(p))).admitted) {
+          ++pushed;
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  q.close();
+  q.wait_idle();
+  for (auto& w : workers) w.join();
+  (void)stop;
+  EXPECT_EQ(completed.load(), pushed.load());
+  EXPECT_EQ(q.admitted(), static_cast<std::size_t>(pushed.load()));
+}
+
+}  // namespace
+}  // namespace systolize::service

@@ -17,6 +17,50 @@ TEST(ErrorKindName, EveryKindHasAStableName) {
   EXPECT_STREQ(error_kind_name(ErrorKind::Unsupported), "Unsupported");
   EXPECT_STREQ(error_kind_name(ErrorKind::Runtime), "Runtime");
   EXPECT_STREQ(error_kind_name(ErrorKind::Parse), "Parse");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Timeout), "Timeout");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Cancelled), "Cancelled");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Overload), "Overload");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Io), "Io");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Internal), "Internal");
+}
+
+TEST(ErrorKindName, RoundTripsThroughFromName) {
+  for (ErrorKind kind :
+       {ErrorKind::Overflow, ErrorKind::DivideByZero, ErrorKind::Dimension,
+        ErrorKind::Singular, ErrorKind::NotRepresentable,
+        ErrorKind::Validation, ErrorKind::Inconsistent, ErrorKind::Unsupported,
+        ErrorKind::Runtime, ErrorKind::Parse, ErrorKind::Timeout,
+        ErrorKind::Cancelled, ErrorKind::Overload, ErrorKind::Io,
+        ErrorKind::Internal}) {
+    EXPECT_EQ(error_kind_from_name(error_kind_name(kind)), kind);
+  }
+  EXPECT_EQ(error_kind_from_name("NoSuchKind"), ErrorKind::Internal);
+  EXPECT_EQ(error_kind_from_name(""), ErrorKind::Internal);
+}
+
+TEST(ErrorKindRetryable, TransientKindsRetryTerminalKindsDoNot) {
+  // Retryable: transient conditions a fresh attempt can outlive.
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::Runtime));
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::Timeout));
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::Overload));
+  EXPECT_TRUE(error_kind_retryable(ErrorKind::Io));
+  // Terminal: properties of the request (or bugs) that retry cannot fix.
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Overflow));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::DivideByZero));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Dimension));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Singular));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::NotRepresentable));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Validation));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Inconsistent));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Unsupported));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Parse));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Cancelled));
+  EXPECT_FALSE(error_kind_retryable(ErrorKind::Internal));
+}
+
+TEST(Error, RetryableMethodMatchesKindClassification) {
+  EXPECT_TRUE(Error(ErrorKind::Timeout, "deadline").retryable());
+  EXPECT_FALSE(Error(ErrorKind::Parse, "bad token").retryable());
 }
 
 TEST(Error, CarriesKindMessageAndOptionalDiagnostic) {

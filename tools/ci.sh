@@ -64,4 +64,66 @@ cmake -B "${repo}/build-tsan" -S "${repo}" -DSYSTOLIZE_SANITIZE=thread
 cmake --build "${repo}/build-tsan" -j "${jobs}" --target test_runtime
 "${repo}/build-tsan/tests/test_runtime" --gtest_filter='PlanCache.*'
 
+echo "=== serve smoke: daemon, concurrent clients, SIGTERM drain ==="
+# The daemon lifecycle contract end to end, with real processes and a
+# real signal: concurrent clients (one of them tripping the watchdog via
+# an injected kill), then SIGTERM mid-flight — the server must drain
+# in-flight work and exit 0.
+serve_sock="$(mktemp -u /tmp/systolize-ci-XXXXXX.sock)"
+"${repo}/build/tools/systolize" serve --socket="${serve_sock}" \
+  --workers=4 > /tmp/systolize-ci-serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 50); do [ -S "${serve_sock}" ] && break; sleep 0.1; done
+[ -S "${serve_sock}" ] || { echo "daemon never bound its socket" >&2; exit 1; }
+
+# Concurrent clients: clean runs, a warm rerun, and a fault-injected run
+# whose kill deadlocks the network — it must classify (exit 1 from the
+# client, error verdict with forensics), not wedge the daemon.
+"${repo}/build/tools/systolize" client --socket="${serve_sock}" \
+  --op=run --design=matmul2 --n=4 --verify --count=3 &
+c1=$!
+"${repo}/build/tools/systolize" client --socket="${serve_sock}" \
+  --op=run --design=polyprod1 --n=5 --tenant=ci &
+c2=$!
+if fault_out="$("${repo}/build/tools/systolize" client \
+    --socket="${serve_sock}" --op=run --design=polyprod1 \
+    --inject='kill@comp:(1)=1' --round-budget=300)"; then
+  echo "expected the faulted request to classify as an error" >&2; exit 1
+fi
+grep -q '"status":"error"' <<<"${fault_out}" || {
+  echo "faulted request did not return an error verdict: ${fault_out}" >&2
+  exit 1; }
+grep -q '"diagnostic"' <<<"${fault_out}" || {
+  echo "faulted request lacks DeadlockReport forensics: ${fault_out}" >&2
+  exit 1; }
+wait "${c1}" || { echo "clean client 1 failed" >&2; exit 1; }
+wait "${c2}" || { echo "clean client 2 failed" >&2; exit 1; }
+
+# The daemon survived the fault: a warm request still succeeds (and hits
+# the shared plan cache).
+"${repo}/build/tools/systolize" client --socket="${serve_sock}" \
+  --op=run --design=matmul2 --n=4 | grep -q '"plan_reused":true'
+
+# SIGTERM mid-flight: fire a batch of requests, signal the daemon while
+# they are in flight, and require a clean drain (exit 0).
+"${repo}/build/tools/systolize" client --socket="${serve_sock}" \
+  --op=run --design=matmul2 --n=6 --count=8 --retry > /dev/null 2>&1 &
+c3=$!
+sleep 0.2
+kill -TERM "${serve_pid}"
+serve_rc=0
+wait "${serve_pid}" || serve_rc=$?
+wait "${c3}" || true  # mid-drain clients may see shutting-down rejections
+[ "${serve_rc}" -eq 0 ] || {
+  echo "daemon exited ${serve_rc} on SIGTERM (expected clean drain, 0)" >&2
+  cat /tmp/systolize-ci-serve.log >&2
+  exit 1; }
+grep -q "drained, final stats" /tmp/systolize-ci-serve.log || {
+  echo "daemon did not flush final stats on drain" >&2; exit 1; }
+[ ! -S "${serve_sock}" ] || { echo "socket not unlinked after drain" >&2; exit 1; }
+
+echo "=== bench smoke: warm serve request ==="
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_ServeWarmRequest' --benchmark_min_time=0.05
+
 echo "=== CI OK: plain and sanitizer configurations both green ==="

@@ -30,6 +30,8 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "analysis/verify.hpp"
 #include "ast/builder.hpp"
@@ -41,6 +43,9 @@
 #include "scheme/compiler.hpp"
 #include "scheme/report.hpp"
 #include "scheme/schedule.hpp"
+#include "service/client.hpp"
+#include "service/executor.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -49,6 +54,7 @@ using namespace systolize;
 int usage() {
   std::cerr <<
       "usage:\n"
+      "  systolize help\n"
       "  systolize list\n"
       "  systolize report <design | file.sa>\n"
       "  systolize emit   <design | file.sa> [--syntax=paper|occam|c]\n"
@@ -57,12 +63,56 @@ int usage() {
       "                   [--inject=PLAN] [--watchdog-rounds=N]\n"
       "                   [--watchdog-blocked=N] [--deadlock-report]\n"
       "                   [--threads=N] [--plan-cache-bytes=N]\n"
+      "                   [--round-budget=N] [--wall-timeout-ms=N]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize verify <design | file.sa | all> [--n=N] [--m=M]\n"
       "                   [--capacity=K] [--merge-buffers] [--partition=G]\n"
-      "                   [--format=text|json] [--allow=rule,rule...]\n";
+      "                   [--format=text|json] [--allow=rule,rule...]\n"
+      "  systolize serve  --socket=PATH [--workers=N] [--queue-depth=N]\n"
+      "                   [--tenant-cap=N] [--round-budget=N]\n"
+      "                   [--wall-timeout-ms=N] [--max-retries=N]\n"
+      "                   [--plan-cache-bytes=N]\n"
+      "  systolize client --socket=PATH --op=OP [--design=NAME] [--n=N]\n"
+      "                   [--m=M] [--tenant=T] [--inject=PLAN] [--verify]\n"
+      "                   [--round-budget=N] [--wall-timeout-ms=N]\n"
+      "                   [--fail-attempts=N] [--count=N] [--retry]\n"
+      "\n"
+      "see `systolize help` for exit codes and the serve protocol.\n";
   return 2;
+}
+
+int cmd_help() {
+  std::cout <<
+      "systolize — systolizing-compilation-scheme toolchain.\n"
+      "\n"
+      "exit codes (run, client and serve commands):\n"
+      "  0  success — the run completed (and verified, unless --no-verify)\n"
+      "  1  classified error — compile/validation failure, injected-fault\n"
+      "     deadlock, differential-verify mismatch; details on stderr, and\n"
+      "     with --deadlock-report the forensic JSON on stdout\n"
+      "  2  usage error — unknown command or flag\n"
+      "  3  timeout — the watchdog round budget (--round-budget) or the\n"
+      "     wall-clock deadline (--wall-timeout-ms) expired before the run\n"
+      "     finished; rerun with a larger budget or inspect the partial\n"
+      "     forensics\n"
+      "\n"
+      "one-shot deadlines:\n"
+      "  --round-budget=N     abort the run after N scheduler rounds\n"
+      "                       (cooperative rounds are the runtime's time\n"
+      "                       base, so this bounds livelock deterministically)\n"
+      "  --wall-timeout-ms=N  abort the run N milliseconds after it starts\n"
+      "                       (checked at round boundaries — a wedged run is\n"
+      "                       cancelled cleanly, with forensics)\n"
+      "\n"
+      "daemon mode (docs/service.md):\n"
+      "  systolize serve  — long-running compile-and-run daemon on a Unix\n"
+      "                     socket; newline-delimited JSON requests, shared\n"
+      "                     plan cache, admission control, per-request\n"
+      "                     deadlines, graceful SIGTERM drain (exit 0)\n"
+      "  systolize client — send requests to a running daemon; prints one\n"
+      "                     response JSON line per request\n";
+  return 0;
 }
 
 Design load_design(const std::string& what) {
@@ -96,6 +146,21 @@ struct Options {
   bool verify_plan = false;      ///< run: static verification gate first
   std::string format = "text";   ///< verify: text | json
   std::string allow;             ///< verify: comma-separated rule ids
+  Int round_budget = 0;          ///< run/client: scheduler-round deadline
+  Int wall_timeout_ms = 0;       ///< run/client: wall-clock deadline
+  // --- serve / client ---
+  std::string socket;            ///< Unix-domain socket path
+  Int workers = 4;
+  Int queue_depth = 64;
+  Int tenant_cap = 16;
+  Int max_retries = 2;
+  std::string op = "run";        ///< client: request op
+  std::string design_name;       ///< client: design catalog name
+  std::string tenant;            ///< client: admission bucket
+  Int fail_attempts = 0;         ///< client: transient-failure test hook
+  Int count = 1;                 ///< client: pipelined request count
+  bool retry = false;            ///< client: honor retry-after hints
+  bool client_verify = false;    ///< client: differential-check runs
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -134,6 +199,34 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.format = value_of("--format=");
   } else if (arg.rfind("--allow=", 0) == 0) {
     opt.allow = value_of("--allow=");
+  } else if (arg.rfind("--round-budget=", 0) == 0) {
+    opt.round_budget = std::stoll(value_of("--round-budget="));
+  } else if (arg.rfind("--wall-timeout-ms=", 0) == 0) {
+    opt.wall_timeout_ms = std::stoll(value_of("--wall-timeout-ms="));
+  } else if (arg.rfind("--socket=", 0) == 0) {
+    opt.socket = value_of("--socket=");
+  } else if (arg.rfind("--workers=", 0) == 0) {
+    opt.workers = std::stoll(value_of("--workers="));
+  } else if (arg.rfind("--queue-depth=", 0) == 0) {
+    opt.queue_depth = std::stoll(value_of("--queue-depth="));
+  } else if (arg.rfind("--tenant-cap=", 0) == 0) {
+    opt.tenant_cap = std::stoll(value_of("--tenant-cap="));
+  } else if (arg.rfind("--max-retries=", 0) == 0) {
+    opt.max_retries = std::stoll(value_of("--max-retries="));
+  } else if (arg.rfind("--op=", 0) == 0) {
+    opt.op = value_of("--op=");
+  } else if (arg.rfind("--design=", 0) == 0) {
+    opt.design_name = value_of("--design=");
+  } else if (arg.rfind("--tenant=", 0) == 0) {
+    opt.tenant = value_of("--tenant=");
+  } else if (arg.rfind("--fail-attempts=", 0) == 0) {
+    opt.fail_attempts = std::stoll(value_of("--fail-attempts="));
+  } else if (arg.rfind("--count=", 0) == 0) {
+    opt.count = std::stoll(value_of("--count="));
+  } else if (arg == "--retry") {
+    opt.retry = true;
+  } else if (arg == "--verify") {
+    opt.client_verify = true;
   } else {
     return false;
   }
@@ -242,6 +335,25 @@ int cmd_run(const Design& design, const Options& opt) {
   }
   iopt.watchdog.max_rounds = opt.watchdog_rounds;
   iopt.watchdog.max_blocked_rounds = opt.watchdog_blocked;
+  // --round-budget is the service-style spelling of a run deadline in the
+  // runtime's own time base; it rides the same watchdog as
+  // --watchdog-rounds (the tighter of the two wins).
+  if (opt.round_budget > 0 &&
+      (iopt.watchdog.max_rounds == 0 ||
+       opt.round_budget < iopt.watchdog.max_rounds)) {
+    iopt.watchdog.max_rounds = opt.round_budget;
+  }
+  // --wall-timeout-ms arms a deadline timer whose token the scheduler
+  // polls at round boundaries; expiry raises Error(Timeout) → exit 3.
+  service::DeadlineTimer deadline;
+  if (opt.wall_timeout_ms > 0) {
+    deadline.arm(opt.wall_timeout_ms);
+    iopt.watchdog.cancel = deadline.token();
+    iopt.watchdog.cancel_kind = ErrorKind::Timeout;
+    iopt.watchdog.cancel_reason = "wall-clock deadline of " +
+                                  std::to_string(opt.wall_timeout_ms) +
+                                  "ms exceeded";
+  }
   if (opt.threads > 0) iopt.threads = static_cast<unsigned>(opt.threads);
   // --plan-cache-bytes=N: route plan construction through the two-stage
   // template pipeline with an N-byte plan budget (small budgets keep the
@@ -255,6 +367,7 @@ int cmd_run(const Design& design, const Options& opt) {
   iopt.verify_plan = opt.verify_plan;
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
+  deadline.disarm();
   std::cout << metrics.to_string() << "\n";
   if (opt.partition > 0) {
     std::cout << "physical processors: " << metrics.physical_processors
@@ -359,6 +472,77 @@ int cmd_verify(const std::string& what, const Options& opt) {
   return errors == 0 ? 0 : 1;
 }
 
+int cmd_serve(const Options& opt) {
+  service::ServerConfig cfg;
+  cfg.socket_path = opt.socket;
+  cfg.workers = static_cast<std::size_t>(opt.workers);
+  cfg.queue_depth = static_cast<std::size_t>(opt.queue_depth);
+  cfg.tenant_cap = static_cast<std::size_t>(opt.tenant_cap);
+  if (opt.round_budget > 0) cfg.executor.default_round_budget = opt.round_budget;
+  if (opt.wall_timeout_ms > 0) {
+    cfg.executor.default_wall_timeout_ms = opt.wall_timeout_ms;
+  }
+  cfg.executor.max_retries = opt.max_retries;
+  if (opt.plan_cache_bytes >= 0) {
+    cfg.executor.cache_budget = static_cast<std::size_t>(opt.plan_cache_bytes);
+  }
+  service::Server::install_signal_handlers();
+  service::Server server(cfg);
+  server.start();
+  std::cout << "systolize serve: listening on " << opt.socket << "\n"
+            << std::flush;
+  server.wait();
+  std::cout << "systolize serve: drained, final stats: "
+            << server.final_stats() << "\n";
+  return 0;
+}
+
+int cmd_client(const Options& opt) {
+  service::Client client(opt.socket);
+  std::vector<service::Request> reqs;
+  for (Int i = 0; i < opt.count; ++i) {
+    service::Request req;
+    req.id = i + 1;
+    req.op = opt.op;
+    req.tenant = opt.tenant;
+    req.design = opt.design_name;
+    req.n = opt.n;
+    req.m = opt.m;
+    req.capacity = opt.capacity;
+    req.partition = opt.partition;
+    req.merge_buffers = opt.merge_buffers;
+    req.threads = opt.threads;
+    req.verify = opt.client_verify;
+    req.inject = opt.inject;
+    req.round_budget = opt.round_budget;
+    req.wall_timeout_ms = opt.wall_timeout_ms;
+    req.fail_attempts = opt.fail_attempts;
+    reqs.push_back(req);
+  }
+  bool any_error = false;
+  bool any_timeout = false;
+  if (opt.retry) {
+    for (const service::Request& req : reqs) {
+      service::Response r = client.call_with_retry(req);
+      std::cout << r.to_json() << "\n";
+      any_error |= r.status != "ok";
+      any_timeout |= r.kind == "Timeout";
+    }
+  } else {
+    // Pipelined: fire everything, then collect one response per request
+    // (responses may arrive in any order — correlate by id).
+    for (const service::Request& req : reqs) client.send(req);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      service::Response r = client.recv();
+      std::cout << r.to_json() << "\n";
+      any_error |= r.status != "ok";
+      any_timeout |= r.kind == "Timeout";
+    }
+  }
+  if (any_timeout) return 3;
+  return any_error ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -366,7 +550,21 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     std::string cmd = argv[1];
+    if (cmd == "help") return cmd_help();
     if (cmd == "list") return cmd_list();
+    if (cmd == "serve" || cmd == "client") {
+      for (int i = 2; i < argc; ++i) {
+        if (!parse_flag(argv[i], opt)) {
+          std::cerr << "unknown flag '" << argv[i] << "'\n";
+          return usage();
+        }
+      }
+      if (opt.socket.empty()) {
+        std::cerr << cmd << " needs --socket=PATH\n";
+        return usage();
+      }
+      return cmd == "serve" ? cmd_serve(opt) : cmd_client(opt);
+    }
     if (argc < 3) return usage();
 
     for (int i = 3; i < argc; ++i) {
@@ -389,6 +587,8 @@ int main(int argc, char** argv) {
     if (opt.deadlock_report && !e.diagnostic().empty()) {
       std::cout << e.diagnostic() << "\n";
     }
-    return 1;
+    // Deadline expiry (round budget or wall clock) is distinguishable
+    // from ordinary failure: exit 3 (see `systolize help`).
+    return e.kind() == systolize::ErrorKind::Timeout ? 3 : 1;
   }
 }
