@@ -5,6 +5,7 @@
 #include "bench_util.hpp"
 #include "runtime/plan_template.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/worker_pool.hpp"
 #include "service/executor.hpp"
 
 namespace systolize::bench {
@@ -237,6 +238,48 @@ void BM_SubstrateRelayChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * transfers);
 }
 BENCHMARK(BM_SubstrateRelayChain)->Arg(16)->Arg(64)->Arg(256);
+
+/// Parallel substrate scaling on a skewed wavefront: matmul2's triangular
+/// process space ramps from one ready process to a wide diagonal and back
+/// down, so static partitions starve while work stealing rebalances.
+/// Args are {n, threads}; threads=0 is the sequential fast-path baseline.
+/// Plan and pool are amortized across iterations (the serve model).
+void BM_SubstrateSkewedWavefront(benchmark::State& state) {
+  const Int n = state.range(0);
+  const auto threads = static_cast<unsigned>(state.range(1));
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, n);
+  PlanCache cache;
+  WorkerPool pool;
+  InstantiateOptions options;
+  options.plan_cache = &cache;
+  options.threads = threads;
+  options.worker_pool = &pool;
+  IndexedStore base = seeded_store(design, sizes);
+  RunMetrics last{};
+  Int steals = 0;
+  for (auto _ : state) {
+    IndexedStore store = base;
+    last = execute(prog, design.nest, sizes, store, options);
+    steals = 0;
+    for (const WorkerCounters& w : last.workers) steals += w.steals;
+    benchmark::DoNotOptimize(store);
+  }
+  state.counters["processes"] = static_cast<double>(last.process_count);
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.SetItemsProcessed(state.iterations() * last.total_transfers);
+}
+BENCHMARK(BM_SubstrateSkewedWavefront)
+    ->Args({8, 0})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({12, 0})
+    ->Args({12, 4})
+    ->Args({12, 8})
+    ->UseRealTime();
 
 // ------------------------------------------------------------ service path
 // What a daemon buys over one-shot invocation: a warm serve request rides

@@ -272,8 +272,10 @@ bool FaultInjector::roll_duplicate(const Channel& chan, Int transfer_index) {
 
 void FaultInjector::record(FaultKind kind, const std::string& target,
                            Int detail) {
-  log_.push_back(std::string(fault_kind_name(kind)) + " " + target + " " +
-                 std::to_string(detail));
+  std::string entry = std::string(fault_kind_name(kind)) + " " + target +
+                      " " + std::to_string(detail);
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back(std::move(entry));
 }
 
 }  // namespace systolize

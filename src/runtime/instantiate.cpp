@@ -59,14 +59,42 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
 
   const unsigned threads = options.threads;
   if (threads > 1) {
-    // Sharded execution keeps results bit-identical to the sequential
-    // schedule only under the restrictions below; anything instrumented
-    // or arrival-order dependent must run sequentially.
-    if (instrumented || options.trace != nullptr) {
+    // The work-stealing substrate keeps results bit-identical to the
+    // sequential schedule only when nothing depends on arrival order or
+    // on schedule-order PRNG state; anything else must run sequentially.
+    if (options.trace != nullptr) {
       raise(ErrorKind::Validation,
             "parallel execution (threads > 1) cannot be combined with "
-            "fault injection, watchdogs, or tracing; run instrumented "
+            "tracing (trace order is schedule-dependent); run traced "
             "modes sequentially");
+    }
+    if (faulted) {
+      for (const FaultSpec& spec : options.faults->specs()) {
+        if (spec.kind == FaultKind::Delay ||
+            spec.kind == FaultKind::Duplicate) {
+          raise(ErrorKind::Validation,
+                "parallel execution cannot inject transfer faults "
+                "(delay/duplicate): their PRNG state is consumed in "
+                "schedule order; stall/kill faults roll at spawn time "
+                "and are allowed");
+        }
+      }
+      const FaultProfile& prof = options.faults->profile();
+      if (prof.delay_probability > 0.0 ||
+          prof.duplicate_probability > 0.0) {
+        raise(ErrorKind::Validation,
+              "parallel execution cannot inject transfer faults "
+              "(delay/duplicate): their PRNG state is consumed in "
+              "schedule order; stall/kill faults roll at spawn time "
+              "and are allowed");
+      }
+    }
+    if (options.watchdog.max_blocked_rounds > 0) {
+      raise(ErrorKind::Validation,
+            "parallel execution cannot enforce per-process starvation "
+            "bounds (--watchdog-blocked): they are defined in sequential "
+            "scheduler rounds; use --watchdog-rounds or a wall-clock "
+            "deadline instead");
     }
     if (options.channel_capacity > 0 || options.merge_internal_buffers) {
       raise(ErrorKind::Validation,
@@ -77,7 +105,7 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
     if (options.partition_grid.dim() != 0) {
       raise(ErrorKind::Validation,
             "parallel execution cannot be combined with partitioning "
-            "(partition blocks share a logical clock across shards)");
+            "(partition blocks share a logical clock across workers)");
     }
   }
 
@@ -119,13 +147,23 @@ RunMetrics execute(const CompiledProgram& program, const LoopNest& nest,
 
   if (threads > 1) {
     out_values.assign(plan->elems.size(), 0);
-    ShardRunStats stats =
-        run_sharded(*plan, threads, in_values.data(), out_values.data());
+    std::optional<FaultInjector> injector;
+    ShardRunOptions sopt;
+    sopt.watchdog = options.watchdog;
+    sopt.pool = options.worker_pool;
+    if (faulted) {
+      injector.emplace(*options.faults);
+      sopt.injector = &*injector;
+    }
+    ShardRunStats stats = run_sharded(*plan, threads, in_values.data(),
+                                      out_values.data(), sopt);
     metrics.makespan = stats.makespan;
     metrics.statements = stats.statements;
     metrics.total_transfers = stats.total_transfers;
     metrics.scheduler_rounds = stats.rounds;
     metrics.shards = stats.shards;
+    metrics.workers = std::move(stats.workers);
+    metrics.faults_injected = injector ? injector->injected() : 0;
     channel_transfers = std::move(stats.channel_transfers);
   } else {
     Scheduler sched;

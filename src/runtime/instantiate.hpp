@@ -21,6 +21,8 @@
 
 namespace systolize {
 
+class WorkerPool;
+
 struct InstantiateOptions {
   /// Rendezvous (0) by default; larger values add slack per channel.
   Int channel_capacity = 0;
@@ -48,13 +50,20 @@ struct InstantiateOptions {
   /// blocked time (0 = disabled). Turns livelock/starvation into a
   /// structured Error(Runtime) with a forensic report.
   WatchdogConfig watchdog;
-  /// Parallel sharded execution: number of worker threads (0 or 1 =
-  /// sequential). Results, makespan and transfer counts are bit-identical
-  /// to a sequential run (see runtime/shard.hpp for the determinism
-  /// argument); requires pure rendezvous channels and cannot be combined
-  /// with faults, watchdogs, tracing or partitioning — those raise
-  /// Error(Validation).
+  /// Parallel execution on the work-stealing substrate: number of worker
+  /// threads (0 or 1 = sequential). Results, makespan and transfer counts
+  /// are bit-identical to a sequential run (see runtime/shard.hpp for the
+  /// determinism argument). Requires pure rendezvous channels and no
+  /// partitioning or tracing; round budgets (`watchdog.max_rounds`),
+  /// cancel tokens, and stall/kill fault injection are supported, but
+  /// starvation bounds (`max_blocked_rounds`) and transfer-time faults
+  /// (delay/duplicate) are sequential-only — incompatible combinations
+  /// raise Error(Validation).
   unsigned threads = 0;
+  /// Thread pool for parallel runs; when null, each run spawns its own
+  /// threads. The service layer shares one pool across requests so warm
+  /// traffic skips per-run thread creation. Must outlive the call.
+  WorkerPool* worker_pool = nullptr;
   /// When non-null, plans are served from this two-level cache: the
   /// symbolic derivation is compiled once per (program, shape) into a
   /// PlanTemplate, and per-size NetworkPlans are expanded from it in pure

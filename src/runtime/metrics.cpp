@@ -48,6 +48,18 @@ std::string RunMetrics::to_string() const {
     os << " rounds=" << scheduler_rounds << " faults=" << faults_injected;
   }
   if (shards > 0) os << " shards=" << shards;
+  if (!workers.empty()) {
+    Int steals = 0;
+    Int tasks = 0;
+    Int idle_ns = 0;
+    for (const WorkerCounters& w : workers) {
+      steals += w.steals;
+      tasks += w.tasks;
+      idle_ns += w.idle_ns;
+    }
+    os << " steals=" << steals << "/" << tasks << " idle_us="
+       << idle_ns / 1000;
+  }
   if (plan_reused) {
     os << " plan=cached";
   } else if (template_reused) {
@@ -85,7 +97,15 @@ std::string RunMetrics::to_json() const {
     first = false;
     os << '"' << json_escape(stream) << "\":" << count;
   }
-  os << "}}";
+  os << "},\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerCounters& w = workers[i];
+    if (i != 0) os << ',';
+    os << "{\"steals\":" << w.steals
+       << ",\"failed_steals\":" << w.failed_steals << ",\"tasks\":" << w.tasks
+       << ",\"idle_ns\":" << w.idle_ns << '}';
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -9,6 +9,17 @@
 
 namespace systolize {
 
+/// What one worker of the work-stealing substrate did during a parallel
+/// run (runtime/shard). All counters are exact; `idle_ns` is wall time
+/// the worker spent with no claimable process (spinning/yielding), the
+/// direct measure of load imbalance.
+struct WorkerCounters {
+  Int steals = 0;        ///< processes claimed off another worker's queue
+  Int failed_steals = 0; ///< steal attempts that lost the claim race
+  Int tasks = 0;         ///< process resumptions executed
+  Int idle_ns = 0;       ///< wall nanoseconds spent idle
+};
+
 struct RunMetrics {
   Int makespan = 0;          ///< logical parallel time (max local clock)
   Int total_transfers = 0;   ///< messages moved across all channels
@@ -39,6 +50,8 @@ struct RunMetrics {
   std::size_t plan_cache_bytes = 0;
   std::size_t plan_cache_evictions = 0;
   std::map<std::string, Int> transfers_per_stream;
+  /// Per-worker substrate counters of a parallel run (empty = sequential).
+  std::vector<WorkerCounters> workers;
 
   /// Fraction of computation-process time spent executing statements:
   /// statements / (computation processes * makespan). D.1's processes all

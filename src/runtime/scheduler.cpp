@@ -13,6 +13,10 @@ void Task::promise_type::unhandled_exception() noexcept {
 }
 
 // ---------------------------------------------------------------- Channel
+//
+// The fast-path machinery (try_complete, park, complete_counterpart and
+// the after_transfer shell) is defined inline in scheduler.hpp; this file
+// keeps only the slow halves that run with faults or a watchdog attached.
 
 namespace {
 
@@ -27,102 +31,13 @@ CommOp* pop_front(std::vector<CommOp*>& q) {
 
 }  // namespace
 
-void Channel::complete_counterpart(CommOp& op, Value v, Int time) {
-  // `op` is a *parked* op of another process: finish it at logical time
-  // `time` and wake its owner when its whole par set is done.
-  if (!op.is_send) {
-    op.value = v;
-    if (op.out != nullptr) *op.out = v;
-  }
-  Process& p = *op.proc;
-  p.advance_to(time);
-  op.done = true;
-  if (op.is_send) {
-    ++p.sends;
-  } else {
-    ++p.recvs;
-  }
-  if (--p.pending == 0) p.sched->make_ready(p);
-}
-
-void Channel::after_transfer(Value v, Int time) {
-  FaultInjector* inj = sched_ == nullptr ? nullptr : sched_->injector();
-  if (inj == nullptr) return;
-  if (inj->roll_duplicate(*this, transfers_ - 1)) {
+void Channel::after_transfer_slow(Value v, Int time) {
+  if (sched_->injector()->roll_duplicate(*this, transfers_ - 1)) {
     // Ghost delivery: the value re-enters the channel as if sent a second
     // time. The next receive consumes it, shifting the stream — the
     // protocol breakage the resilience harness must then catch.
-    buffer_.push_back(Stamped{v, time});
+    buffer_push(Stamped{v, time});
   }
-}
-
-bool Channel::try_complete(CommOp& op) {
-  Process& self = *op.proc;
-  (op.is_send ? known_sender_ : known_receiver_) = &self;
-  if (op.is_send) {
-    if (!receivers_.empty()) {
-      CommOp* r = pop_front(receivers_);
-      // Rendezvous: both sides advance to max(issue times) + 1.
-      Int t = std::max(op.issue_time, r->issue_time) + 1;
-      self.advance_to(t);
-      ++self.sends;
-      ++transfers_;
-      op.done = true;
-      complete_counterpart(*r, op.value, t);
-      after_transfer(op.value, t);
-      return true;
-    }
-    if (static_cast<Int>(buffer_.size()) < capacity_) {
-      // Buffered hand-off: the value leaves the sender one step later.
-      self.advance_to(op.issue_time + 1);
-      buffer_.push_back(Stamped{op.value, self.time()});
-      ++self.sends;
-      ++transfers_;
-      op.done = true;
-      after_transfer(op.value, self.time());
-      return true;
-    }
-    return false;
-  }
-  // Receive.
-  if (!buffer_.empty()) {
-    Stamped s = buffer_.front();
-    buffer_.pop_front();
-    op.value = s.value;
-    if (op.out != nullptr) *op.out = s.value;
-    self.advance_to(std::max(op.issue_time + 1, s.time));
-    ++self.recvs;
-    op.done = true;
-    // A parked sender may now fit into the freed buffer slot.
-    if (!senders_.empty() && static_cast<Int>(buffer_.size()) < capacity_) {
-      CommOp* snd = pop_front(senders_);
-      Int t = snd->issue_time + 1;
-      buffer_.push_back(Stamped{snd->value, t});
-      ++transfers_;
-      complete_counterpart(*snd, snd->value, t);
-      after_transfer(snd->value, t);
-    }
-    return true;
-  }
-  if (!senders_.empty()) {
-    CommOp* snd = pop_front(senders_);
-    Int t = std::max(op.issue_time, snd->issue_time) + 1;
-    op.value = snd->value;
-    if (op.out != nullptr) *op.out = snd->value;
-    self.advance_to(t);
-    ++self.recvs;
-    op.done = true;
-    ++transfers_;
-    complete_counterpart(*snd, snd->value, t);
-    after_transfer(snd->value, t);
-    return true;
-  }
-  return false;
-}
-
-void Channel::park(CommOp& op) {
-  (op.is_send ? known_sender_ : known_receiver_) = op.proc;
-  (op.is_send ? senders_ : receivers_).push_back(&op);
 }
 
 void Channel::match_parked() {
@@ -132,10 +47,9 @@ void Channel::match_parked() {
   for (bool progress = true; progress;) {
     progress = false;
     // Parked receivers drain buffered values first (FIFO order).
-    while (!receivers_.empty() && !buffer_.empty()) {
+    while (!receivers_.empty() && !buffer_empty()) {
       CommOp* r = pop_front(receivers_);
-      Stamped s = buffer_.front();
-      buffer_.pop_front();
+      Stamped s = buffer_pop();
       complete_counterpart(*r, s.value, std::max(r->issue_time + 1, s.time));
       progress = true;
     }
@@ -152,11 +66,10 @@ void Channel::match_parked() {
       progress = true;
     }
     // A parked sender moves into free buffer space.
-    while (!senders_.empty() &&
-           static_cast<Int>(buffer_.size()) < capacity_) {
+    while (!senders_.empty() && buffer_size() < capacity_) {
       CommOp* snd = pop_front(senders_);
       Int t = snd->issue_time + 1;
-      buffer_.push_back(Stamped{snd->value, t});
+      buffer_push(Stamped{snd->value, t});
       ++transfers_;
       complete_counterpart(*snd, snd->value, t);
       after_transfer(snd->value, t);
@@ -165,35 +78,17 @@ void Channel::match_parked() {
   }
 }
 
-// ------------------------------------------------------------------- Ctx
+// ----------------------------------------------------------- CommAwaiter
 
-bool CommAwaiter::await_ready() {
+bool CommAwaiter::ready_instrumented() {
+  // Ops were already issued by the inline await_ready. Roll injected
+  // transfer delays once per issued op; a delayed op is forced to suspend
+  // and is offered to its channel only after the delay elapses
+  // (await_suspend hands it to the scheduler).
   Process& p = ctx_.process();
-  Scheduler* sched = p.sched;
-  const Int now = p.time();
-  // Issue the whole par set at the owner's current local time before any
-  // op is attempted (an earlier op's rendezvous must not advance the
-  // issue time of a later op in the same set).
+  FaultInjector* inj = p.sched->injector();
   for (std::size_t i = 0; i < count_; ++i) {
-    CommOp& op = ops_[i];
-    op.proc = &p;
-    op.issue_time = now;
-    op.done = false;
-    op.fault_delay = 0;
-  }
-  if (sched->sharded()) {
-    // Sharded runs complete every op on the channel-owner shard; the
-    // awaiter always suspends and hands the set to the shard executor.
-    return false;
-  }
-  FaultInjector* inj = sched->injector();
-  if (inj != nullptr) {
-    // Roll injected transfer delays once per issued op; a delayed op is
-    // forced to suspend and is offered to its channel only after the
-    // delay elapses (await_suspend hands it to the scheduler).
-    for (std::size_t i = 0; i < count_; ++i) {
-      ops_[i].fault_delay = inj->roll_delay(*ops_[i].chan);
-    }
+    ops_[i].fault_delay = inj->roll_delay(*ops_[i].chan);
   }
   bool all = true;
   for (std::size_t i = 0; i < count_; ++i) {
@@ -207,25 +102,9 @@ bool CommAwaiter::await_ready() {
   return all;
 }
 
-void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
-  (void)h;  // the scheduler resumes via the process handle
+void CommAwaiter::suspend_instrumented() {
   Process& p = ctx_.process();
   Scheduler* sched = p.sched;
-  if (sched->sharded()) {
-    shard_suspend(*sched->shard_exec(), p, ops_, count_);
-    return;
-  }
-  if (!sched->instrumented()) {
-    // Fast path: count and park, no diagnostics strings, no fault state.
-    p.pending = 0;
-    for (std::size_t i = 0; i < count_; ++i) {
-      CommOp& op = ops_[i];
-      if (op.done) continue;
-      ++p.pending;
-      op.chan->park(op);
-    }
-    return;
-  }
   p.pending = 0;
   std::ostringstream blocked;
   for (std::size_t i = 0; i < count_; ++i) {
@@ -246,58 +125,13 @@ void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
   // the partner's completion path re-queues this process at zero.
 }
 
-void CommAwaiter::await_resume() {
-  // A par set completes only when its slowest member does; the per-op
-  // times were already folded into the process clock.
-  ctx_.process().blocked_on.clear();
-}
-
-CommAwaiter Ctx::send(Channel& chan, Value v) {
-  return CommAwaiter(*this, send_op(chan, v));
-}
-
-CommAwaiter Ctx::recv(Channel& chan, Value& out) {
-  return CommAwaiter(*this, recv_op(chan, out));
-}
-
-CommAwaiter Ctx::par(std::vector<CommOp> ops) {
-  return CommAwaiter(*this, std::move(ops));
-}
-
-CommAwaiter Ctx::par(CommOp* ops, std::size_t count) {
-  return CommAwaiter(*this, ops, count);
-}
-
-CommOp Ctx::send_op(Channel& chan, Value v) const {
-  CommOp op;
-  op.chan = &chan;
-  op.is_send = true;
-  op.value = v;
-  op.proc = proc_;
-  return op;
-}
-
-CommOp Ctx::recv_op(Channel& chan, Value& out) const {
-  CommOp op;
-  op.chan = &chan;
-  op.is_send = false;
-  op.out = &out;
-  op.proc = proc_;
-  return op;
-}
-
-void Ctx::tick_statement() {
-  ++proc_->clock->time;
-  ++proc_->statements;
-  if (proc_->fault_kill_at >= 0 &&
-      proc_->statements == proc_->fault_kill_at) {
-    proc_->killed = true;
-    if (sched_->injector() != nullptr) {
-      sched_->injector()->record(FaultKind::Kill, proc_->name,
-                                 proc_->statements);
-    }
-    throw ProcessKilledSignal{};
+void Ctx::tick_kill() {
+  proc_->killed = true;
+  if (sched_->injector() != nullptr) {
+    sched_->injector()->record(FaultKind::Kill, proc_->name,
+                               proc_->statements);
   }
+  throw ProcessKilledSignal{};
 }
 
 // ------------------------------------------------------------- Scheduler
@@ -315,12 +149,6 @@ void Scheduler::finish_spawn(Process& ref) {
 
 Channel& Scheduler::make_channel(std::string name, Int capacity) {
   return channels_.emplace_back(std::move(name), this, capacity);
-}
-
-void Scheduler::make_ready(Process& proc) {
-  if (proc.finished || proc.in_ready_queue) return;
-  proc.in_ready_queue = true;
-  ready_.push_back(&proc);
 }
 
 void Scheduler::defer_op(CommOp& op, Int delay) {

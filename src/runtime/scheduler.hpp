@@ -21,23 +21,31 @@
 //     diagnostics strings and no stall/delay bookkeeping. Single sends and
 //     receives keep their CommOp inline in the awaiter (inside the
 //     coroutine frame — no heap allocation per communication), and par
-//     sets can reuse caller-owned op storage across awaits.
+//     sets can reuse caller-owned op storage across awaits. The whole
+//     per-operation machinery — issue, rendezvous match, park — is
+//     defined inline in this header so it compiles into the coroutine
+//     bodies themselves (no out-of-line call per communication).
 //   * the INSTRUMENTED path, taken whenever faults or a watchdog are
 //     attached: behaviourally identical to the pre-fast-path scheduler,
 //     with per-round fault release, stall service, starvation checks and
-//     human-readable blocked-on state for the forensics layer.
+//     human-readable blocked-on state for the forensics layer. Its
+//     awaiter halves live out of line in scheduler.cpp.
 // Both paths count rounds with the same batch boundaries, so a clean run
 // reports the same round count on either path.
 //
-// A third, opt-in mode runs the network sharded across worker threads
-// (runtime/shard): each shard owns a Scheduler and the awaiters route
-// cross-shard communications through the shard executor instead of
-// completing them synchronously. Logical clocks are dataflow-driven, so
-// sharded results and makespans are bit-identical to sequential runs.
+// A third, opt-in mode runs the network on the work-stealing parallel
+// substrate (runtime/shard): one shared arena of processes and channels,
+// worker threads claiming ready processes from a bitmap with per-worker
+// queues, and every communication completing through preallocated atomic
+// mailboxes instead of the parked-op vectors. Logical clocks are
+// dataflow-driven, so parallel results and makespans are bit-identical
+// to sequential runs regardless of steal order.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <string>
@@ -52,7 +60,7 @@ namespace systolize {
 class Scheduler;
 class Channel;
 class FaultInjector;
-class ShardExec;  // runtime/shard — drives one shard of a parallel run
+class ShardExec;  // runtime/shard — the work-stealing parallel substrate
 struct Process;
 
 /// One pending communication of a par set. Lives in the awaiter inside the
@@ -67,6 +75,11 @@ struct CommOp {
   Int issue_time = 0;  ///< owner's local time when the op was issued
   bool done = false;
   Int fault_delay = 0; ///< injected delay in rounds (0 = none)
+  /// Rendezvous completion time, recorded by the completing worker on the
+  /// parallel substrate; the last completer of the par set folds these
+  /// into the owner's clock (sequential paths advance the clock directly
+  /// and leave this untouched).
+  Int complete_time = 0;
 };
 
 /// Coroutine return object for process bodies.
@@ -119,6 +132,13 @@ struct Process {
   bool fault_stall_served = false;
   Int fault_kill_at = -1;        ///< die at this (1-based) statement
   bool killed = false;           ///< terminated by an injected kill
+  // --- work-stealing substrate state (runtime/shard) ---
+  // The sequential paths never touch these; the atomic makes Process
+  // non-movable, which the deque arena tolerates (elements never move).
+  std::uint32_t ws_pid = 0;       ///< dense plan process id
+  CommOp* ws_ops = nullptr;       ///< par set recorded at suspend
+  std::uint32_t ws_count = 0;
+  std::atomic<Int> ws_pending{0}; ///< undone ops of the current par set
 
   [[nodiscard]] Int time() const noexcept { return clock->time; }
   void advance_to(Int t) noexcept { clock->time = std::max(clock->time, t); }
@@ -153,6 +173,8 @@ class Ctx {
   [[nodiscard]] Process& process() const { return *proc_; }
 
  private:
+  void tick_kill();  ///< out-of-line kill service (scheduler.cpp)
+
   Scheduler* sched_ = nullptr;
   Process* proc_ = nullptr;
 };
@@ -185,6 +207,11 @@ class CommAwaiter {
   void await_resume();
 
  private:
+  /// Instrumented halves (fault rolls, blocked-on diagnostics) live out
+  /// of line in scheduler.cpp; the fast path never calls them.
+  [[nodiscard]] bool ready_instrumented();
+  void suspend_instrumented();
+
   Ctx ctx_;
   std::vector<CommOp> owned_;
   CommOp single_;
@@ -206,8 +233,8 @@ class Channel {
   [[nodiscard]] Int transfers() const noexcept { return transfers_; }
   [[nodiscard]] Scheduler* scheduler() const noexcept { return sched_; }
 
-  /// Opaque routing tag for sharded runs (the plan channel id, used to
-  /// look up the owning shard); -1 outside sharded execution.
+  /// Opaque routing tag for parallel runs (the plan channel id, used to
+  /// index the substrate's mailboxes); -1 outside parallel execution.
   void set_shard_tag(Int tag) noexcept { shard_tag_ = tag; }
   [[nodiscard]] Int shard_tag() const noexcept { return shard_tag_; }
 
@@ -246,7 +273,7 @@ class Channel {
   void declare_receiver(Process& p) noexcept { known_receiver_ = &p; }
 
  private:
-  friend class ShardExec;  // sharded offer/match runs on the owner shard
+  friend class ShardExec;  ///< folds substrate transfer counts back in
 
   struct Stamped {
     Value value;
@@ -255,12 +282,36 @@ class Channel {
 
   void complete_counterpart(CommOp& op, Value v, Int time);
   /// Post-transfer fault hook: may ghost-deliver the value a second time.
+  /// The inline shell only pays a pointer test on fault-free runs.
   void after_transfer(Value v, Int time);
+  void after_transfer_slow(Value v, Int time);  ///< scheduler.cpp
+
+  // --- flat FIFO over a vector (no allocation until first buffering) ---
+  [[nodiscard]] bool buffer_empty() const noexcept {
+    return buffer_head_ == buffer_.size();
+  }
+  [[nodiscard]] Int buffer_size() const noexcept {
+    return static_cast<Int>(buffer_.size() - buffer_head_);
+  }
+  void buffer_push(Stamped s) { buffer_.push_back(s); }
+  Stamped buffer_pop() {
+    Stamped s = buffer_[buffer_head_++];
+    if (buffer_head_ == buffer_.size()) {
+      buffer_.clear();
+      buffer_head_ = 0;
+    }
+    return s;
+  }
 
   std::string name_;
   Scheduler* sched_;
   Int capacity_;
-  std::deque<Stamped> buffer_;
+  /// Buffered values as a vector + head cursor instead of a deque: a
+  /// capacity-0 rendezvous channel never allocates, and the common
+  /// buffered case (drained every round) resets to empty instead of
+  /// shuffling deque nodes.
+  std::vector<Stamped> buffer_;
+  std::size_t buffer_head_ = 0;
   std::vector<CommOp*> senders_;
   std::vector<CommOp*> receivers_;
   Int transfers_ = 0;
@@ -304,7 +355,11 @@ class Scheduler {
   /// exception.
   void run();
 
-  void make_ready(Process& proc);
+  void make_ready(Process& proc) {
+    if (proc.finished || proc.in_ready_queue) return;
+    proc.in_ready_queue = true;
+    ready_.push_back(&proc);
+  }
 
   /// Attach a fault injector for the next run (nullptr = none). The
   /// injector must outlive the run.
@@ -323,9 +378,9 @@ class Scheduler {
   /// instrumented path and awaiters record blocked-on diagnostics.
   [[nodiscard]] bool instrumented() const noexcept { return instrumented_; }
 
-  /// Attach/detach the shard executor driving this scheduler as one shard
-  /// of a parallel run (runtime/shard). While attached, awaiters route
-  /// every communication through the executor.
+  /// Attach/detach the work-stealing executor driving this scheduler's
+  /// processes on the parallel substrate (runtime/shard). While attached,
+  /// awaiters route every communication through the executor's mailboxes.
   void set_shard_exec(ShardExec* exec) noexcept { shard_ = exec; }
   [[nodiscard]] ShardExec* shard_exec() const noexcept { return shard_; }
   [[nodiscard]] bool sharded() const noexcept { return shard_ != nullptr; }
@@ -337,6 +392,9 @@ class Scheduler {
   [[nodiscard]] Int round() const noexcept { return round_; }
 
   [[nodiscard]] const std::deque<Process>& processes() const noexcept {
+    return processes_;
+  }
+  [[nodiscard]] std::deque<Process>& processes() noexcept {
     return processes_;
   }
   [[nodiscard]] std::size_t channel_count() const noexcept {
@@ -359,7 +417,7 @@ class Scheduler {
   [[nodiscard]] Int makespan() const;
 
  private:
-  friend class ShardExec;  // shard workers drive ready_/batch_ directly
+  friend class ShardExec;
 
   /// Injector spawn hook + initial enqueue (out-of-line half of spawn).
   void finish_spawn(Process& ref);
@@ -395,9 +453,208 @@ class Scheduler {
   Int round_ = 0;
 };
 
-/// Route a suspending par set through the shard executor (defined in
-/// runtime/shard.cpp; never called on sequential runs).
+/// Route a suspending par set through the work-stealing executor (defined
+/// in runtime/shard.cpp; never called on sequential runs).
 void shard_suspend(ShardExec& exec, Process& proc, CommOp* ops,
                    std::size_t count);
+
+// ---------------------------------------------------------------------
+// Inline fast path. Everything below is the per-communication machinery
+// of the zero-overhead loop; defining it here lets it compile directly
+// into the coroutine bodies (measured ~35% of relay-chain time was spent
+// crossing these as out-of-line calls).
+
+inline void Channel::complete_counterpart(CommOp& op, Value v, Int time) {
+  // `op` is a *parked* op of another process: finish it at logical time
+  // `time` and wake its owner when its whole par set is done.
+  if (!op.is_send) {
+    op.value = v;
+    if (op.out != nullptr) *op.out = v;
+  }
+  Process& p = *op.proc;
+  p.advance_to(time);
+  op.done = true;
+  if (op.is_send) {
+    ++p.sends;
+  } else {
+    ++p.recvs;
+  }
+  if (--p.pending == 0) p.sched->make_ready(p);
+}
+
+inline void Channel::after_transfer(Value v, Int time) {
+  if (sched_ == nullptr || sched_->injector() == nullptr) return;
+  after_transfer_slow(v, time);
+}
+
+inline bool Channel::try_complete(CommOp& op) {
+  Process& self = *op.proc;
+  (op.is_send ? known_sender_ : known_receiver_) = &self;
+  if (op.is_send) {
+    if (!receivers_.empty()) {
+      CommOp* r = receivers_.front();
+      receivers_.erase(receivers_.begin());
+      // Rendezvous: both sides advance to max(issue times) + 1.
+      Int t = std::max(op.issue_time, r->issue_time) + 1;
+      self.advance_to(t);
+      ++self.sends;
+      ++transfers_;
+      op.done = true;
+      complete_counterpart(*r, op.value, t);
+      after_transfer(op.value, t);
+      return true;
+    }
+    if (buffer_size() < capacity_) {
+      // Buffered hand-off: the value leaves the sender one step later.
+      self.advance_to(op.issue_time + 1);
+      buffer_push(Stamped{op.value, self.time()});
+      ++self.sends;
+      ++transfers_;
+      op.done = true;
+      after_transfer(op.value, self.time());
+      return true;
+    }
+    return false;
+  }
+  // Receive.
+  if (!buffer_empty()) {
+    Stamped s = buffer_pop();
+    op.value = s.value;
+    if (op.out != nullptr) *op.out = s.value;
+    self.advance_to(std::max(op.issue_time + 1, s.time));
+    ++self.recvs;
+    op.done = true;
+    // A parked sender may now fit into the freed buffer slot.
+    if (!senders_.empty() && buffer_size() < capacity_) {
+      CommOp* snd = senders_.front();
+      senders_.erase(senders_.begin());
+      Int t = snd->issue_time + 1;
+      buffer_push(Stamped{snd->value, t});
+      ++transfers_;
+      complete_counterpart(*snd, snd->value, t);
+      after_transfer(snd->value, t);
+    }
+    return true;
+  }
+  if (!senders_.empty()) {
+    CommOp* snd = senders_.front();
+    senders_.erase(senders_.begin());
+    Int t = std::max(op.issue_time, snd->issue_time) + 1;
+    op.value = snd->value;
+    if (op.out != nullptr) *op.out = snd->value;
+    self.advance_to(t);
+    ++self.recvs;
+    op.done = true;
+    ++transfers_;
+    complete_counterpart(*snd, snd->value, t);
+    after_transfer(snd->value, t);
+    return true;
+  }
+  return false;
+}
+
+inline void Channel::park(CommOp& op) {
+  (op.is_send ? known_sender_ : known_receiver_) = op.proc;
+  (op.is_send ? senders_ : receivers_).push_back(&op);
+}
+
+inline bool CommAwaiter::await_ready() {
+  Process& p = ctx_.process();
+  Scheduler* sched = p.sched;
+  const Int now = p.time();
+  // Issue the whole par set at the owner's current local time before any
+  // op is attempted (an earlier op's rendezvous must not advance the
+  // issue time of a later op in the same set).
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
+    op.proc = &p;
+    op.issue_time = now;
+    op.done = false;
+    op.fault_delay = 0;
+  }
+  if (sched->sharded()) {
+    // Parallel runs complete every op through the substrate's mailboxes;
+    // the awaiter always suspends and hands the set to the executor.
+    return false;
+  }
+  if (sched->injector() != nullptr) return ready_instrumented();
+  bool all = true;
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
+    if (!op.chan->try_complete(op)) all = false;
+  }
+  return all;
+}
+
+inline void CommAwaiter::await_suspend(std::coroutine_handle<> h) {
+  (void)h;  // the scheduler resumes via the process handle
+  Process& p = ctx_.process();
+  Scheduler* sched = p.sched;
+  if (sched->sharded()) {
+    shard_suspend(*sched->shard_exec(), p, ops_, count_);
+    return;
+  }
+  if (sched->instrumented()) {
+    suspend_instrumented();
+    return;
+  }
+  // Fast path: count and park, no diagnostics strings, no fault state.
+  p.pending = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    CommOp& op = ops_[i];
+    if (op.done) continue;
+    ++p.pending;
+    op.chan->park(op);
+  }
+}
+
+inline void CommAwaiter::await_resume() {
+  // A par set completes only when its slowest member does; the per-op
+  // times were already folded into the process clock.
+  ctx_.process().blocked_on.clear();
+}
+
+inline CommOp Ctx::send_op(Channel& chan, Value v) const {
+  CommOp op;
+  op.chan = &chan;
+  op.is_send = true;
+  op.value = v;
+  op.proc = proc_;
+  return op;
+}
+
+inline CommOp Ctx::recv_op(Channel& chan, Value& out) const {
+  CommOp op;
+  op.chan = &chan;
+  op.is_send = false;
+  op.out = &out;
+  op.proc = proc_;
+  return op;
+}
+
+inline CommAwaiter Ctx::send(Channel& chan, Value v) {
+  return CommAwaiter(*this, send_op(chan, v));
+}
+
+inline CommAwaiter Ctx::recv(Channel& chan, Value& out) {
+  return CommAwaiter(*this, recv_op(chan, out));
+}
+
+inline CommAwaiter Ctx::par(std::vector<CommOp> ops) {
+  return CommAwaiter(*this, std::move(ops));
+}
+
+inline CommAwaiter Ctx::par(CommOp* ops, std::size_t count) {
+  return CommAwaiter(*this, ops, count);
+}
+
+inline void Ctx::tick_statement() {
+  ++proc_->clock->time;
+  ++proc_->statements;
+  if (proc_->fault_kill_at >= 0 &&
+      proc_->statements == proc_->fault_kill_at) {
+    tick_kill();  // throws ProcessKilledSignal
+  }
+}
 
 }  // namespace systolize

@@ -1,429 +1,751 @@
+// The work-stealing, lock-free execution substrate.
+//
+// One shared arena: a single Scheduler owns every process and channel of
+// the plan's network (spawned single-threaded, so fault rolls stay in
+// plan order and replay bit-identically). N symmetric workers then drive
+// the network to completion with three lock-free structures:
+//
+//  * READY BITMAP — one bit per dense plan process id. Publishing a
+//    process is `fetch_or(bit, release)`; claiming it for execution is
+//    `fetch_and(~bit, acq_rel)` and checking the bit was set. The bitmap
+//    is the single source of claim authority: whoever clears a set bit
+//    owns the process until it suspends or finishes, so every other
+//    structure can afford to be a lossy hint.
+//
+//  * PER-WORKER HINT QUEUES — a fixed ring of recently published ids per
+//    worker (the publisher pushes into its own ring for locality). The
+//    owner is the only producer; any worker may consume, stealing via a
+//    read-slot-then-CAS-head claim loop. Entries are hints, not work:
+//    a popped id must still win the bitmap claim, so duplicated, stale,
+//    or dropped-on-overflow hints are all benign. Workers that find
+//    their own ring empty steal from victims round-robin, then fall back
+//    to scanning the bitmap directly, so a dropped hint only costs time.
+//
+//  * SINGLE-SLOT MAILBOXES — one `atomic<CommOp*>` per plan channel,
+//    preallocated from the expanded NetworkPlan (allocation-free
+//    hand-off; the ops themselves live in suspended coroutine frames).
+//    A suspending process offers each op of its par set by CAS-ing the
+//    slot from null to &op (release). If the CAS fails, a counterpart is
+//    parked there: the offering worker claims it, clears the slot, and
+//    completes the rendezvous for BOTH sides at max(issue times) + 1.
+//    Depth 1 suffices because every plan channel has exactly one sender
+//    and one receiver process (the static verifier's single-writer/
+//    single-reader property) and each side has at most one outstanding
+//    op per channel; clearing the slot before publishing either side's
+//    readiness guarantees the next generation of ops finds it empty.
+//
+// The last completed op of a par set (an acq_rel countdown on the
+// owning process) folds the set's completion times into the process's
+// logical clock, deposits received values, and publishes the process
+// back to the bitmap. The acq_rel RMW chain on the countdown makes every
+// completer's writes visible to the folder, and the release publish /
+// acquire claim pair makes the fold visible to whichever worker resumes
+// the process — this chain is also what makes the plain (non-atomic)
+// per-channel transfer counters safe: consecutive rendezvous on one
+// channel are always separated by a resume of both endpoint processes.
+//
+// Termination and failure: an atomic count of unfinished processes ends
+// the run; a deadlock is declared when every started worker is idle, no stall is
+// deferred, the bitmap is empty and the progress epoch double-samples
+// stable with processes still unfinished. Forensics are rebuilt
+// single-threaded after the workers join, from the wait-for graph of
+// blocked process ids (each unfinished process's undone par ops point at
+// their channels; the plan's sender/receiver ids give the counterpart),
+// rendering the same DeadlockReport schema as the sequential paths.
 #include "runtime/shard.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <memory>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "runtime/faults.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/watchdog.hpp"
+#include "runtime/worker_pool.hpp"
 #include "support/error.hpp"
 
 namespace systolize {
 namespace {
 
-/// One cross-shard message. An Offer hands a freshly issued op to the
-/// channel-owner shard; a Complete hands a finished op (value already
-/// written into it) back to the process-owner shard.
-struct ShardMsg {
-  CommOp* op = nullptr;
-  Int time = 0;
-  enum class Kind : std::uint8_t { Offer, Complete } kind = Kind::Offer;
-};
+/// Which worker of the current run this thread is (set at worker-loop
+/// entry; used to route published ready-hints to the local queue).
+thread_local unsigned tl_worker = 0;
 
-/// Single-producer single-consumer ring. One ring per (source, target)
-/// shard pair keeps every ring strictly SPSC: only the source's worker
-/// pushes, only the target's worker pops. Monotonic 64-bit positions,
-/// release on publish / acquire on consume.
-class SpscRing {
- public:
-  explicit SpscRing(std::size_t min_capacity) {
-    std::size_t cap = 64;
-    while (cap < min_capacity) cap *= 2;
-    slots_.resize(cap);
-    mask_ = cap - 1;
-  }
+/// Set by ShardExec::suspend while a resume is on this thread's stack.
+/// The moment a suspending process's par set completes it is republished
+/// and may be claimed, re-run, even FINISHED by another worker — so the
+/// resuming worker must not touch the process (handle, error, finished)
+/// after resume() returns unless the frame provably never suspended.
+/// This flag is that proof: it is written strictly before any offer can
+/// publish the process, on the same thread that observes it.
+thread_local bool tl_suspended = false;
 
-  bool push(const ShardMsg& m) {
-    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
-    slots_[tail & mask_] = m;
-    tail_.store(tail + 1, std::memory_order_release);
+[[nodiscard]] Int now_ns() {
+  return static_cast<Int>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Fixed single-producer multi-consumer ring of ready-process hints.
+/// Only the owning worker pushes; any worker pops via a CAS claim loop
+/// on the head cursor. Entries are HINTS: the bitmap is the claim
+/// authority, so a lost race, a stale entry, or a push dropped on
+/// overflow never loses work — the bitmap fallback scan finds it.
+struct alignas(64) HintQueue {
+  static constexpr std::uint64_t kCap = 256;  // power of two
+  std::array<std::atomic<std::uint32_t>, kCap> slots;
+  alignas(64) std::atomic<std::uint64_t> tail{0};  ///< producer cursor
+  alignas(64) std::atomic<std::uint64_t> head{0};  ///< consumer cursor
+
+  /// Owner-only push; false (dropped) when full.
+  bool push(std::uint32_t pid) {
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    if (t - head.load(std::memory_order_acquire) >= kCap) return false;
+    slots[t & (kCap - 1)].store(pid, std::memory_order_relaxed);
+    tail.store(t + 1, std::memory_order_release);
     return true;
   }
 
-  bool pop(ShardMsg& out) {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head == tail_.load(std::memory_order_acquire)) return false;
-    out = slots_[head & mask_];
-    head_.store(head + 1, std::memory_order_release);
-    return true;
+  /// Multi-consumer pop. Reading the slot before the head CAS is safe:
+  /// the owner reuses a slot only once head has advanced past it, and
+  /// head is monotonic — so a successful CAS at position h proves the
+  /// slot value read for h was the one pushed there.
+  bool pop(std::uint32_t& pid) {
+    std::uint64_t h = head.load(std::memory_order_acquire);
+    for (;;) {
+      if (h == tail.load(std::memory_order_acquire)) return false;
+      const std::uint32_t v =
+          slots[h & (kCap - 1)].load(std::memory_order_relaxed);
+      if (head.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        pid = v;
+        return true;
+      }
+    }
   }
 
   [[nodiscard]] bool empty() const {
-    return head_.load(std::memory_order_acquire) ==
-           tail_.load(std::memory_order_acquire);
+    return head.load(std::memory_order_acquire) ==
+           tail.load(std::memory_order_acquire);
   }
-
- private:
-  std::vector<ShardMsg> slots_;
-  std::size_t mask_ = 0;
-  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
-  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
 };
 
-struct ShardRuntime;
+/// Per-worker mutable state. The hint queue and the task counter are
+/// read cross-thread; everything else is owner-only until the join.
+struct WorkerState {
+  HintQueue queue;
+  std::atomic<Int> tasks{0};  ///< resumptions executed (watchdog reads)
+  Int steals = 0;
+  Int failed_steals = 0;
+  Int idle_ns = 0;
+  /// Injected stalls deferred at claim time: (release iteration, pid).
+  /// Worker-local loop iterations are the stall's time base; idle
+  /// iterations count, so a deferred process is always released even
+  /// when the rest of the network is waiting on it.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> stalled;
+  std::uint64_t iter = 0;
+  bool idle_flag = false;
+  Int idle_since = 0;
+};
 
 }  // namespace
 
-/// One shard: its scheduler (owning the shard's processes and channels)
-/// and its worker loop. Declared at namespace scope because Channel and
-/// Scheduler befriend it by name.
+/// The run-scoped executor. Declared at namespace scope because Channel
+/// and Scheduler befriend it by name.
 class ShardExec {
  public:
-  ShardExec(unsigned id, ShardRuntime& rt) : id_(id), rt_(rt) {
-    sched_.set_shard_exec(this);
+  ShardExec(const NetworkPlan& plan, unsigned threads,
+            const Value* in_values, Value* out_values,
+            const ShardRunOptions& opt)
+      : plan_(plan),
+        in_values_(in_values),
+        out_values_(out_values),
+        injector_(opt.injector),
+        pool_(opt.pool),
+        watchdog_(opt.watchdog) {
+    nworkers_ = threads == 0 ? 1 : threads;
+    const std::size_t nprocs = plan.procs.size();
+    if (nworkers_ > nprocs) {
+      nworkers_ = static_cast<unsigned>(nprocs == 0 ? 1 : nprocs);
+    }
+    if (watchdog_.max_rounds > 0) {
+      // A sequential round resumes at most every live process once, so
+      // max_rounds * nprocs resumptions admits any run the sequential
+      // budget admits. Saturate rather than overflow on huge budgets.
+      const Int np = static_cast<Int>(std::max<std::size_t>(1, nprocs));
+      max_total_tasks_ =
+          watchdog_.max_rounds > std::numeric_limits<Int>::max() / np
+              ? std::numeric_limits<Int>::max()
+              : watchdog_.max_rounds * np;
+    }
   }
 
-  [[nodiscard]] Scheduler& sched() noexcept { return sched_; }
-  [[nodiscard]] const Scheduler& sched() const noexcept { return sched_; }
-  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  ShardRunStats run();
 
-  void suspend(Process& proc, CommOp* ops, std::size_t count);
-  void worker();
+  /// Awaiter hook: record the par set and offer every op (runtime
+  /// entry point from CommAwaiter::await_suspend via shard_suspend).
+  void suspend(Process& proc, CommOp* ops, std::size_t count) {
+    tl_suspended = true;  // run_proc: hands off ownership — see tl_suspended
+    proc.ws_ops = ops;
+    proc.ws_count = static_cast<std::uint32_t>(count);
+    // The +1 guard keeps the set incomplete while this thread is still
+    // offering: without it, op i's counterpart could complete the whole
+    // set and republish the process — whose resumed frame would clobber
+    // ws_ops — while op i+1 is still being offered from the same frame.
+    proc.ws_pending.store(static_cast<Int>(count) + 1,
+                          std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) offer(ops[i]);
+    if (proc.ws_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      fold_and_publish(proc);
+    }
+  }
 
  private:
-  void offer(CommOp& op);
-  void finish(CommOp& op, Value v, Int time);
-  void apply_completion(CommOp& op, Int time);
-  void post(unsigned target, const ShardMsg& msg);
-  bool drain_rings();
-  bool run_round();
-  bool detect_deadlock();
+  // --- bitmap ---
+  void publish(std::uint32_t pid) {
+    bits_[pid >> 6].fetch_or(std::uint64_t{1} << (pid & 63),
+                             std::memory_order_release);
+    // Locality hint into the publishing worker's own queue; dropped on
+    // overflow (the bitmap scan is the safety net).
+    workers_[tl_worker].queue.push(pid);
+  }
 
-  unsigned id_;
-  ShardRuntime& rt_;
-  Scheduler sched_;
-  bool idle_flag_ = false;
-};
+  bool claim(std::uint32_t pid) {
+    const std::uint64_t bit = std::uint64_t{1} << (pid & 63);
+    return (bits_[pid >> 6].fetch_and(~bit, std::memory_order_acq_rel) &
+            bit) != 0;
+  }
 
-namespace {
-
-struct ShardRuntime {
-  const NetworkPlan* plan = nullptr;
-  unsigned nshards = 0;
-  std::vector<std::unique_ptr<ShardExec>> execs;
-  /// rings[target][source]: strictly SPSC per pair.
-  std::vector<std::deque<SpscRing>> rings;
-  std::vector<std::uint32_t> chan_shard;  ///< owner shard by channel id
-  std::vector<Channel*> chans;            ///< by plan channel id
-  std::atomic<std::size_t> unfinished{0};
-  std::atomic<std::uint64_t> progress{0};
-  std::atomic<unsigned> idle{0};
-  std::atomic<bool> abort{false};
-  std::atomic<bool> stalled{false};
-  std::mutex error_mu;
-  std::vector<std::pair<unsigned, std::exception_ptr>> errors;
-
-  [[nodiscard]] bool all_rings_empty() const {
-    for (const auto& row : rings) {
-      for (const SpscRing& ring : row) {
-        if (!ring.empty()) return false;
-      }
+  [[nodiscard]] bool bitmap_empty() const {
+    for (const auto& w : bits_) {
+      if (w.load(std::memory_order_acquire) != 0) return false;
     }
     return true;
   }
-};
 
-/// Slab-partition the plan's processes over `threads` shards along the
-/// leading place-space coordinate, so neighbouring pipeline stages (which
-/// communicate every step) land on the same shard and cross-shard traffic
-/// is limited to slab boundaries.
-std::vector<std::uint32_t> partition_procs(const NetworkPlan& plan,
-                                           unsigned shards) {
-  const Int lo = plan.ps_min.dim() > 0 ? plan.ps_min[0] : 0;
-  const Int hi = plan.ps_max.dim() > 0 ? plan.ps_max[0] : 0;
-  const Int extent = std::max<Int>(1, hi - lo + 1);
-  std::vector<std::uint32_t> shard_of(plan.procs.size(), 0);
-  for (std::size_t i = 0; i < plan.procs.size(); ++i) {
-    const IntVec& place = plan.procs[i].place;
-    const Int c = place.dim() > 0 ? place[0] : lo;
-    Int s = (c - lo) * static_cast<Int>(shards) / extent;
-    s = std::max<Int>(0, std::min<Int>(s, static_cast<Int>(shards) - 1));
-    shard_of[i] = static_cast<std::uint32_t>(s);
-  }
-  return shard_of;
-}
-
-}  // namespace
-
-void ShardExec::post(unsigned target, const ShardMsg& msg) {
-  SpscRing& ring = rt_.rings[target][id_];
-  // The ring is sized for the plan's total par width, so a full ring can
-  // only mean the run is being aborted mid-flight; spin rather than drop
-  // (the consumer drains its rings every loop iteration).
-  while (!ring.push(msg)) {
-    if (rt_.abort.load()) return;
-    std::this_thread::yield();
-  }
-}
-
-void ShardExec::suspend(Process& proc, CommOp* ops, std::size_t count) {
-  // Count the whole set as pending BEFORE offering anything: a local
-  // offer can complete synchronously and decrement pending on the spot.
-  proc.pending = static_cast<Int>(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    CommOp& op = ops[i];
-    const std::uint32_t owner =
-        rt_.chan_shard[static_cast<std::size_t>(op.chan->shard_tag())];
-    if (owner == id_) {
-      offer(op);
-    } else {
-      post(owner, ShardMsg{&op, 0, ShardMsg::Kind::Offer});
+  /// Claim any set bit, preferring this worker's block of the id space.
+  bool scan_claim(unsigned w, std::uint32_t& out) {
+    const std::size_t nwords = bits_.size();
+    if (nwords == 0) return false;
+    const std::size_t start =
+        (static_cast<std::size_t>(w) * nwords) / nworkers_;
+    for (std::size_t k = 0; k < nwords; ++k) {
+      std::size_t wi = start + k;
+      if (wi >= nwords) wi -= nwords;
+      std::uint64_t word = bits_[wi].load(std::memory_order_acquire);
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        const std::uint32_t pid = static_cast<std::uint32_t>(wi * 64 + b);
+        if (claim(pid)) {
+          out = pid;
+          return true;
+        }
+        word &= word - 1;
+      }
     }
+    return false;
   }
-}
 
-void ShardExec::offer(CommOp& op) {
-  // Runs on the owning shard's thread; pure rendezvous (instantiate
-  // refuses sharded runs with buffered channels).
-  Channel& ch = *op.chan;
-  (op.is_send ? ch.known_sender_ : ch.known_receiver_) = op.proc;
-  std::vector<CommOp*>& counterpart = op.is_send ? ch.receivers_ : ch.senders_;
-  if (!counterpart.empty()) {
-    CommOp* other = counterpart.front();
-    counterpart.erase(counterpart.begin());
+  // --- rendezvous ---
+  void offer(CommOp& op) {
+    const std::size_t cid =
+        static_cast<std::size_t>(op.chan->shard_tag());
+    std::atomic<CommOp*>& slot = mail_[cid];
+    CommOp* other = nullptr;
+    if (slot.compare_exchange_strong(other, &op, std::memory_order_release,
+                                     std::memory_order_acquire)) {
+      return;  // parked; the counterpart's offer completes both sides
+    }
+    // A counterpart is parked: claim it. Clear the slot BEFORE completing
+    // either side — completion publishes readiness, and a resumed process
+    // may immediately offer its next op on this same channel; it must
+    // find the slot empty, not a stale pointer into a live frame.
+    slot.store(nullptr, std::memory_order_relaxed);
     const Int t = std::max(op.issue_time, other->issue_time) + 1;
-    ++ch.transfers_;
     const Value v = op.is_send ? op.value : other->value;
-    finish(op, v, t);
-    finish(*other, v, t);
-  } else {
-    (op.is_send ? ch.senders_ : ch.receivers_).push_back(&op);
+    // Plain increment: rendezvous k+1 on this channel cannot start until
+    // both endpoints resumed, which happens-after this completion via
+    // the countdown/publish/claim chain.
+    ++chan_transfers_[cid];
+    complete(*other, v, t);
+    complete(op, v, t);
   }
-}
 
-void ShardExec::finish(CommOp& op, Value v, Int time) {
-  // The owning coroutine is suspended until every op of its par set has
-  // been applied on its own shard, so writing into the op (which lives in
-  // the coroutine frame) is race-free: the ring's release/acquire pair —
-  // or same-thread program order — sequences it before the frame resumes.
-  if (!op.is_send) op.value = v;
-  op.done = true;
-  ShardExec* target = op.proc->sched->shard_exec();
-  if (target == this) {
-    apply_completion(op, time);
-  } else {
-    post(target->id_, ShardMsg{&op, time, ShardMsg::Kind::Complete});
+  void complete(CommOp& op, Value v, Int t) {
+    if (!op.is_send) op.value = v;
+    op.complete_time = t;
+    op.done = true;
+    Process& p = *op.proc;
+    if (p.ws_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      fold_and_publish(p);
+    }
   }
-}
 
-void ShardExec::apply_completion(CommOp& op, Int time) {
-  // Runs on the process-owner thread: every Process-field mutation —
-  // clock, counters, pending, ready queue — stays thread-local.
-  Process& p = *op.proc;
-  if (!op.is_send && op.out != nullptr) *op.out = op.value;
-  p.advance_to(time);
-  if (op.is_send) {
-    ++p.sends;
-  } else {
-    ++p.recvs;
-  }
-  if (--p.pending == 0) sched_.make_ready(p);
-}
-
-bool ShardExec::drain_rings() {
-  bool progress = false;
-  ShardMsg msg;
-  for (SpscRing& ring : rt_.rings[id_]) {
-    while (ring.pop(msg)) {
-      progress = true;
-      if (msg.kind == ShardMsg::Kind::Offer) {
-        offer(*msg.op);
+  /// Last completer of a par set: fold every op's completion time into
+  /// the owner's logical clock, deposit received values, publish ready.
+  void fold_and_publish(Process& p) {
+    Int t = p.clock->time;
+    for (std::uint32_t i = 0; i < p.ws_count; ++i) {
+      CommOp& op = p.ws_ops[i];
+      t = std::max(t, op.complete_time);
+      if (op.is_send) {
+        ++p.sends;
       } else {
-        apply_completion(*msg.op, msg.time);
+        ++p.recvs;
+        if (op.out != nullptr) *op.out = op.value;
       }
     }
+    p.clock->time = t;
+    publish(p.ws_pid);
   }
-  return progress;
-}
 
-bool ShardExec::run_round() {
-  if (sched_.ready_.empty()) return false;
-  std::swap(sched_.ready_, sched_.batch_);
-  for (Process* proc : sched_.batch_) {
-    proc->in_ready_queue = false;
-    if (proc->finished) continue;
-    proc->handle.resume();
-    if (proc->error) {
+  // --- execution ---
+  void run_proc(std::uint32_t pid, WorkerState& ws) {
+    Process& p = *procs_[pid];
+    if (p.fault_stall_round >= 0 && !p.fault_stall_served) {
+      // Injected stall, deferred at claim time: the process is held by
+      // this worker (its bit stays claimed) and re-published after
+      // `duration` worker-local loop iterations.
+      p.fault_stall_served = true;
+      if (injector_ != nullptr) {
+        injector_->record(FaultKind::Stall, p.name, p.fault_stall_duration);
+      }
+      deferred_.fetch_add(1, std::memory_order_acq_rel);
+      ws.stalled.emplace_back(
+          ws.iter + static_cast<std::uint64_t>(
+                        std::max<Int>(1, p.fault_stall_duration)),
+          pid);
+      return;
+    }
+    ws.tasks.fetch_add(1, std::memory_order_relaxed);
+    tl_suspended = false;
+    p.handle.resume();
+    if (tl_suspended) {
+      // The frame suspended and was offered to the network: ownership has
+      // escaped, and the process may already be running — or finished —
+      // on another worker. Touching p.handle/p.error here would race (the
+      // classic symptom: both workers observe done() and double-count
+      // finish_one, underflowing the termination counter).
+      return;
+    }
+    if (p.error) {
+      if (p.killed) {
+        // An injected kill unwound the coroutine: the process is dead
+        // but the run continues, so the rest of the network's failure
+        // can be observed and diagnosed (usually as a deadlock).
+        p.error = nullptr;
+        p.finished = true;
+        finish_one();
+        return;
+      }
       {
-        std::lock_guard<std::mutex> lock(rt_.error_mu);
-        rt_.errors.emplace_back(id_, proc->error);
+        std::lock_guard<std::mutex> lock(error_mu_);
+        errors_.push_back(p.error);
       }
-      rt_.abort.store(true);
-      return true;
+      abort_.store(true, std::memory_order_release);
+      return;
     }
-    if (proc->handle.done()) {
-      proc->finished = true;
-      rt_.unfinished.fetch_sub(1);
+    if (p.handle.done()) {
+      p.finished = true;
+      finish_one();
     }
   }
-  sched_.batch_.clear();
-  ++sched_.round_;
-  return true;
-}
 
-bool ShardExec::detect_deadlock() {
-  // Only meaningful when every worker is parked in its idle branch: an
-  // idle worker has verified it has no ring traffic and no ready work,
-  // and it un-idles before touching either, so idle==nshards means no
-  // shard is mutating anything. Empty rings then rule out in-flight
-  // wakeups; a double sample of the progress epoch (with a yield between)
-  // guards against stale atomic reads.
-  if (rt_.idle.load() != rt_.nshards) return false;
-  if (!rt_.all_rings_empty()) return false;
-  const std::uint64_t epoch = rt_.progress.load();
-  std::this_thread::yield();
-  if (rt_.idle.load() != rt_.nshards) return false;
-  if (!rt_.all_rings_empty()) return false;
-  if (rt_.progress.load() != epoch) return false;
-  if (rt_.unfinished.load() == 0) return false;
-  rt_.stalled.store(true);
-  rt_.abort.store(true);
-  return true;
-}
+  void finish_one() {
+    unfinished_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 
-void ShardExec::worker() {
-  for (;;) {
-    if (rt_.abort.load()) return;
-    bool has_ring_work = false;
-    for (const SpscRing& ring : rt_.rings[id_]) {
-      if (!ring.empty()) {
-        has_ring_work = true;
+  void service_stalls(WorkerState& ws) {
+    for (std::size_t i = 0; i < ws.stalled.size();) {
+      if (ws.stalled[i].first <= ws.iter) {
+        const std::uint32_t pid = ws.stalled[i].second;
+        ws.stalled[i] = ws.stalled.back();
+        ws.stalled.pop_back();
+        deferred_.fetch_sub(1, std::memory_order_acq_rel);
+        publish(pid);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  [[nodiscard]] Int total_tasks() const {
+    Int total = 0;
+    for (const WorkerState& ws : workers_) {
+      total += ws.tasks.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Only meaningful when the calling worker is idle. Claims only happen
+  /// after a worker un-idles (see the worker loop), so idle == started
+  /// means no claim or completion is in flight; an empty bitmap with no
+  /// deferred stall and unfinished processes is then a genuine deadlock.
+  /// Comparing against STARTED workers (not nworkers_) keeps detection
+  /// reachable when a borrowed pool delivers fewer participants than
+  /// requested: a worker that never started holds no claims, and one that
+  /// starts mid-detection either goes idle (idle_ changes) or can claim
+  /// nothing from an empty bitmap. The progress epoch is double-sampled
+  /// for stale-read paranoia.
+  bool detect_deadlock() {
+    if (idle_.load(std::memory_order_acquire) !=
+        started_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (deferred_.load(std::memory_order_acquire) != 0) return false;
+    if (!bitmap_empty()) return false;
+    const std::uint64_t epoch = progress_.load(std::memory_order_acquire);
+    std::this_thread::yield();
+    if (idle_.load(std::memory_order_acquire) !=
+        started_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (deferred_.load(std::memory_order_acquire) != 0) return false;
+    if (!bitmap_empty()) return false;
+    if (progress_.load(std::memory_order_acquire) != epoch) return false;
+    if (unfinished_.load(std::memory_order_acquire) == 0) return false;
+    stalled_.store(true, std::memory_order_release);
+    abort_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  void worker(unsigned w) {
+    tl_worker = w;
+    started_.fetch_add(1, std::memory_order_acq_rel);
+    WorkerState& ws = workers_[w];
+    for (;;) {
+      ++ws.iter;
+      if (abort_.load(std::memory_order_acquire)) break;
+      if (watchdog_.cancel != nullptr &&
+          watchdog_.cancel->load(std::memory_order_relaxed)) {
+        cancelled_.store(true, std::memory_order_release);
+        abort_.store(true, std::memory_order_release);
         break;
       }
-    }
-    if (!has_ring_work && sched_.ready_.empty()) {
-      if (rt_.unfinished.load() == 0) return;
-      if (!idle_flag_) {
-        idle_flag_ = true;
-        rt_.idle.fetch_add(1);
+      service_stalls(ws);
+      if (max_total_tasks_ > 0 && (ws.iter & 255) == 0 &&
+          total_tasks() > max_total_tasks_) {
+        timed_out_.store(true, std::memory_order_release);
+        abort_.store(true, std::memory_order_release);
+        break;
       }
-      if (id_ == 0 && detect_deadlock()) return;
-      std::this_thread::yield();
+      // Cheap work-visibility probe BEFORE un-idling: the deadlock
+      // detector's idle==nworkers test is only sound if a worker never
+      // claims while flagged idle, so the flag must drop first — but
+      // dropping it every iteration would make idleness unobservable.
+      bool maybe_work = !ws.queue.empty() || !bitmap_empty();
+      if (!maybe_work) {
+        for (unsigned k = 1; k < nworkers_ && !maybe_work; ++k) {
+          maybe_work = !workers_[(w + k) % nworkers_].queue.empty();
+        }
+      }
+      if (!maybe_work) {
+        if (unfinished_.load(std::memory_order_acquire) == 0) break;
+        if (!ws.idle_flag) {
+          ws.idle_flag = true;
+          ws.idle_since = now_ns();
+          idle_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        if (w == 0 && detect_deadlock()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      if (ws.idle_flag) {
+        ws.idle_flag = false;
+        ws.idle_ns += now_ns() - ws.idle_since;
+        idle_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      std::uint32_t pid = 0;
+      bool got = false;
+      while (ws.queue.pop(pid)) {
+        if (claim(pid)) {
+          got = true;
+          break;
+        }
+      }
+      if (!got) {
+        for (unsigned k = 1; k < nworkers_ && !got; ++k) {
+          HintQueue& victim = workers_[(w + k) % nworkers_].queue;
+          while (victim.pop(pid)) {
+            if (claim(pid)) {
+              got = true;
+              ++ws.steals;
+              break;
+            }
+            ++ws.failed_steals;
+          }
+        }
+      }
+      if (!got && scan_claim(w, pid)) {
+        got = true;
+        if (pid / block_size_ != w) ++ws.steals;
+      }
+      if (got) {
+        run_proc(pid, ws);
+        progress_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    if (ws.idle_flag) {
+      ws.idle_flag = false;
+      ws.idle_ns += now_ns() - ws.idle_since;
+      idle_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  [[nodiscard]] DeadlockReport build_report(std::string reason) const;
+  [[noreturn]] void raise_report(std::string reason, ErrorKind kind) const {
+    DeadlockReport report = build_report(std::move(reason));
+    raise(kind, report.to_string(), report.to_json());
+  }
+
+  const NetworkPlan& plan_;
+  const Value* in_values_;
+  Value* out_values_;
+  FaultInjector* injector_;
+  WorkerPool* pool_;
+  WatchdogConfig watchdog_;
+  unsigned nworkers_ = 1;
+  std::uint32_t block_size_ = 1;  ///< ids per worker in the initial seed
+  Int max_total_tasks_ = 0;
+
+  Scheduler sched_;
+  std::vector<Process*> procs_;             ///< by plan process id
+  std::vector<std::atomic<CommOp*>> mail_;  ///< by plan channel id
+  std::vector<Int> chan_transfers_;         ///< by plan channel id
+  std::vector<std::atomic<std::uint64_t>> bits_;
+  std::deque<WorkerState> workers_;  ///< deque: stable, non-movable elems
+
+  std::atomic<std::size_t> unfinished_{0};
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<unsigned> started_{0};
+  std::atomic<unsigned> idle_{0};
+  std::atomic<Int> deferred_{0};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> stalled_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> timed_out_{false};
+  std::mutex error_mu_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+DeadlockReport ShardExec::build_report(std::string reason) const {
+  DeadlockReport report;
+  report.reason = std::move(reason);
+
+  // Wait-for graph over dense plan ids: an unfinished process with undone
+  // par ops waits, per op, on the plan-declared counterpart of that op's
+  // channel — the structural ids cover counterparts that never reached
+  // the channel at all.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(
+      procs_.size());  // edges: (to pid, via channel id)
+  std::vector<bool> blocked(procs_.size(), false);
+
+  std::vector<std::uint32_t> stall_held;
+  for (const WorkerState& ws : workers_) {
+    for (const auto& [release, pid] : ws.stalled) {
+      (void)release;
+      stall_held.push_back(pid);
+    }
+  }
+
+  for (std::uint32_t pid = 0; pid < procs_.size(); ++pid) {
+    const Process& p = *procs_[pid];
+    if (p.finished) continue;
+    bool held = false;
+    for (std::uint32_t s : stall_held) held = held || s == pid;
+    if (held) {
+      report.blocked.push_back(
+          BlockedOpState{p.name, "", "stalled", p.time(), p.statements});
       continue;
     }
-    // Un-idle BEFORE consuming anything, so idle==nshards implies no
-    // shard holds popped-but-unprocessed work (the deadlock detector
-    // depends on this ordering).
-    if (idle_flag_) {
-      idle_flag_ = false;
-      rt_.idle.fetch_sub(1);
+    if (p.ws_ops == nullptr) continue;  // never suspended (aborted early)
+    for (std::uint32_t i = 0; i < p.ws_count; ++i) {
+      const CommOp& op = p.ws_ops[i];
+      if (op.done) continue;
+      const auto cid = static_cast<std::size_t>(op.chan->shard_tag());
+      const NetworkPlan::ChannelSpec& spec = plan_.channels[cid];
+      report.blocked.push_back(BlockedOpState{p.name, spec.name,
+                                              op.is_send ? "send" : "recv",
+                                              p.time(), p.statements});
+      blocked[pid] = true;
+      const Int cp = op.is_send ? spec.receiver : spec.sender;
+      if (cp >= 0 && static_cast<std::uint32_t>(cp) != pid &&
+          !procs_[static_cast<std::size_t>(cp)]->finished) {
+        adj[pid].emplace_back(static_cast<std::uint32_t>(cp),
+                              static_cast<std::uint32_t>(cid));
+      }
     }
-    bool progress = drain_rings();
-    if (run_round()) progress = true;
-    if (progress) rt_.progress.fetch_add(1);
   }
+
+  // Extract one blocking cycle with the classic three-colour DFS,
+  // remembering the channel each hop came in on (same rendering as the
+  // sequential forensics in runtime/watchdog.cpp).
+  std::vector<int> color(procs_.size(), 0);  // 0 white, 1 gray, 2 black
+  struct Frame {
+    std::uint32_t pid;
+    std::uint32_t via_in;  ///< channel of the edge into pid
+    std::size_t next = 0;  ///< next out-edge to explore
+  };
+  for (std::uint32_t root = 0; root < procs_.size(); ++root) {
+    if (color[root] != 0 || adj[root].empty()) continue;
+    std::vector<Frame> path;
+    path.push_back(Frame{root, 0});
+    color[root] = 1;
+    while (!path.empty()) {
+      Frame& top = path.back();
+      if (top.next >= adj[top.pid].size()) {
+        color[top.pid] = 2;
+        path.pop_back();
+        continue;
+      }
+      const auto [to, via] = adj[top.pid][top.next++];
+      if (color[to] == 0) {
+        color[to] = 1;
+        path.push_back(Frame{to, via});
+      } else if (color[to] == 1) {
+        // Back edge closes a cycle from `to`'s position down to the top.
+        std::size_t start = 0;
+        while (path[start].pid != to) ++start;
+        for (std::size_t i = start; i < path.size(); ++i) {
+          report.cycle.push_back(procs_[path[i].pid]->name);
+          const std::uint32_t via_out =
+              i + 1 < path.size() ? path[i + 1].via_in : via;
+          report.cycle_channels.push_back(plan_.channels[via_out].name);
+        }
+        return report;
+      }
+    }
+  }
+  return report;
 }
 
-ShardRunStats run_sharded(const NetworkPlan& plan, unsigned threads,
-                          const Value* in_values, Value* out_values) {
-  ShardRuntime rt;
-  rt.plan = &plan;
-  // More shards than place-space slabs would only idle; clamp.
-  const Int extent =
-      plan.ps_min.dim() > 0
-          ? std::max<Int>(1, plan.ps_max[0] - plan.ps_min[0] + 1)
-          : 1;
-  rt.nshards = static_cast<unsigned>(
-      std::max<Int>(1, std::min<Int>(static_cast<Int>(threads), extent)));
+ShardRunStats ShardExec::run() {
+  const std::size_t nprocs = plan_.procs.size();
+  const std::size_t nchans = plan_.channels.size();
 
-  const std::vector<std::uint32_t> proc_shard =
-      partition_procs(plan, rt.nshards);
-  // A channel lives on its receiver's shard (the receiver touches it at
-  // least as often as the sender); dangling channels default to shard 0.
-  rt.chan_shard.assign(plan.channels.size(), 0);
-  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
-    const NetworkPlan::ChannelSpec& spec = plan.channels[c];
-    if (spec.receiver >= 0) {
-      rt.chan_shard[c] = proc_shard[static_cast<std::size_t>(spec.receiver)];
-    } else if (spec.sender >= 0) {
-      rt.chan_shard[c] = proc_shard[static_cast<std::size_t>(spec.sender)];
-    }
-  }
+  sched_.set_shard_exec(this);
+  if (injector_ != nullptr) sched_.set_fault_injector(injector_);
 
-  for (unsigned s = 0; s < rt.nshards; ++s) {
-    rt.execs.push_back(std::make_unique<ShardExec>(s, rt));
-  }
-  // rings[target][source], each sized for the worst-case in-flight load.
-  rt.rings.resize(rt.nshards);
-  for (auto& row : rt.rings) {
-    row.clear();
-    for (unsigned s = 0; s < rt.nshards; ++s) {
-      row.emplace_back(plan.total_par_bound + 1);
-    }
-  }
-
-  // Build the network single-threaded: channels into their owner shards
-  // (tagged with their plan id so suspending processes can route offers),
-  // then processes in plan order into their shards.
-  rt.chans.resize(plan.channels.size());
-  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
-    Channel& chan = rt.execs[rt.chan_shard[c]]->sched().make_channel(
-        plan.channels[c].name, plan.channels[c].capacity);
+  // Build the network single-threaded: channels tagged with their plan id
+  // (the mailbox index), then processes in plan order — so injected fault
+  // rolls replay bit-identically to a sequential instrumented run.
+  mail_ = std::vector<std::atomic<CommOp*>>(nchans);
+  chan_transfers_.assign(nchans, 0);
+  std::vector<Channel*> chans;
+  chans.reserve(nchans);
+  for (std::size_t c = 0; c < nchans; ++c) {
+    Channel& chan = sched_.make_channel(plan_.channels[c].name,
+                                        plan_.channels[c].capacity);
     chan.set_shard_tag(static_cast<Int>(c));
-    rt.chans[c] = &chan;
+    chans.push_back(&chan);
   }
   PlanBindings bindings;
-  bindings.plan = &plan;
-  bindings.in_values = in_values;
-  bindings.out_values = out_values;
-  std::vector<Process*> procs;
-  procs.reserve(plan.procs.size());
-  for (std::uint32_t pi = 0; pi < plan.procs.size(); ++pi) {
-    procs.push_back(&spawn_plan_proc(rt.execs[proc_shard[pi]]->sched(), pi,
-                                     rt.chans.data(), nullptr, bindings));
+  bindings.plan = &plan_;
+  bindings.in_values = in_values_;
+  bindings.out_values = out_values_;
+  procs_.reserve(nprocs);
+  for (std::uint32_t pi = 0; pi < nprocs; ++pi) {
+    Process& p =
+        spawn_plan_proc(sched_, pi, chans.data(), nullptr, bindings);
+    p.ws_pid = pi;
+    procs_.push_back(&p);
   }
-  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
-    const NetworkPlan::ChannelSpec& spec = plan.channels[c];
-    if (spec.sender >= 0) rt.chans[c]->declare_sender(*procs[spec.sender]);
-    if (spec.receiver >= 0) {
-      rt.chans[c]->declare_receiver(*procs[spec.receiver]);
-    }
-  }
-  rt.unfinished.store(plan.procs.size());
+  // Spawning queued everything on the sequential ready queue; the bitmap
+  // replaces it here.
+  for (Process* p : procs_) p->in_ready_queue = false;
+  sched_.ready_.clear();
 
-  std::vector<std::thread> workers;
-  workers.reserve(rt.nshards);
-  for (unsigned s = 0; s < rt.nshards; ++s) {
-    workers.emplace_back([exec = rt.execs[s].get()] { exec->worker(); });
+  unfinished_.store(nprocs, std::memory_order_relaxed);
+  bits_ = std::vector<std::atomic<std::uint64_t>>((nprocs + 63) / 64);
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    const std::size_t base = w * 64;
+    std::uint64_t word = ~std::uint64_t{0};
+    if (nprocs - base < 64) word = (std::uint64_t{1} << (nprocs - base)) - 1;
+    bits_[w].store(word, std::memory_order_relaxed);
   }
-  for (std::thread& t : workers) t.join();
+  // Seed each worker's hint queue with a contiguous block of ids: plan
+  // order follows the place space, so neighbouring pipeline stages start
+  // on the same worker and stealing only kicks in as the load skews.
+  workers_ = std::deque<WorkerState>(nworkers_);
+  block_size_ = static_cast<std::uint32_t>(
+      (nprocs + nworkers_ - 1) / std::max<std::size_t>(1, nworkers_));
+  if (block_size_ == 0) block_size_ = 1;
+  for (std::uint32_t pid = 0; pid < nprocs; ++pid) {
+    workers_[std::min<std::uint32_t>(pid / block_size_, nworkers_ - 1)]
+        .queue.push(pid);
+  }
 
-  if (!rt.errors.empty()) {
-    auto first = rt.errors.front();
-    for (const auto& e : rt.errors) {
-      if (e.first < first.first) first = e;
+  if (pool_ != nullptr) {
+    pool_->run(nworkers_, [this](unsigned w) { worker(w); });
+  } else if (nworkers_ == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nworkers_ - 1);
+    for (unsigned w = 1; w < nworkers_; ++w) {
+      threads.emplace_back([this, w] { worker(w); });
     }
-    std::rethrow_exception(first.second);
+    worker(0);
+    for (std::thread& t : threads) t.join();
   }
-  if (rt.stalled.load() || rt.unfinished.load() != 0) {
-    std::vector<const Scheduler*> scheds;
-    scheds.reserve(rt.nshards);
-    for (const auto& exec : rt.execs) scheds.push_back(&exec->sched());
-    raise_stall(scheds, "deadlock");
+
+  if (!errors_.empty()) std::rethrow_exception(errors_.front());
+  if (cancelled_.load()) {
+    raise_report(watchdog_.cancel_reason, watchdog_.cancel_kind);
+  }
+  if (timed_out_.load()) {
+    raise_report("watchdog: round budget of " +
+                     std::to_string(watchdog_.max_rounds) +
+                     " exhausted (livelock?)",
+                 ErrorKind::Timeout);
+  }
+  if (stalled_.load() || unfinished_.load() != 0) {
+    raise_report("deadlock", ErrorKind::Runtime);
   }
 
   ShardRunStats stats;
-  stats.shards = rt.nshards;
-  stats.channel_transfers.reserve(plan.channels.size());
-  for (const Channel* chan : rt.chans) {
-    stats.channel_transfers.push_back(chan->transfers());
-    stats.total_transfers += chan->transfers();
+  stats.shards = nworkers_;
+  stats.channel_transfers = chan_transfers_;
+  for (Int t : chan_transfers_) stats.total_transfers += t;
+  // Fold transfer counts back into the channels so Scheduler-level
+  // accounting (total_transfers) would agree if anyone asks.
+  for (std::size_t c = 0; c < nchans; ++c) {
+    chans[c]->transfers_ = chan_transfers_[c];
   }
-  for (const auto& exec : rt.execs) {
-    const Scheduler& sched = exec->sched();
-    stats.makespan = std::max(stats.makespan, sched.makespan());
-    stats.rounds = std::max(stats.rounds, sched.round());
-    for (const Process& p : sched.processes()) {
-      stats.statements += p.statements;
-    }
+  for (const Process* p : procs_) {
+    stats.makespan = std::max(stats.makespan, p->time());
+    stats.statements += p->statements;
+  }
+  stats.workers.reserve(nworkers_);
+  for (WorkerState& ws : workers_) {
+    WorkerCounters wc;
+    wc.steals = ws.steals;
+    wc.failed_steals = ws.failed_steals;
+    wc.tasks = ws.tasks.load(std::memory_order_relaxed);
+    wc.idle_ns = ws.idle_ns;
+    stats.workers.push_back(wc);
+    stats.rounds = std::max(stats.rounds, wc.tasks);
   }
   return stats;
+}
+
+ShardRunStats run_sharded(const NetworkPlan& plan, unsigned threads,
+                          const Value* in_values, Value* out_values,
+                          const ShardRunOptions& options) {
+  ShardExec exec(plan, threads, in_values, out_values, options);
+  return exec.run();
 }
 
 void shard_suspend(ShardExec& exec, Process& proc, CommOp* ops,

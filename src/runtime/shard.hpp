@@ -1,72 +1,92 @@
-// Opt-in parallel execution: the interned network partitioned into shards
-// by place-space locality, one worker thread per shard, lock-free SPSC
-// rings for cross-shard communication.
+// Opt-in parallel execution: the plan's network run by a crew of
+// symmetric work-stealing workers over one shared arena — per-worker
+// ready queues with an atomic claim loop for stealing, a bitmap-based
+// ready tracker over the dense plan process ids, and allocation-free
+// channel hand-off through preallocated single-slot atomic mailboxes.
 //
 // Determinism argument (why parallel results are bit-identical to the
 // sequential schedule): logical clocks are driven purely by the dataflow
 // — a rendezvous completes at max(issue times) + 1 and a basic statement
 // adds 1 — never by scheduling order. Every channel of a plan network has
-// exactly one sending and one receiving process, and a process has at
-// most one outstanding op per channel (it suspends until its par set
-// completes), so the k-th send on a channel always pairs with the k-th
-// receive no matter how shard execution interleaves. By induction over
-// the dataflow DAG, every transfer gets the same timestamp, every process
-// the same final clock, and every channel the same transfer count as the
-// sequential run. Results are committed through per-element slots that
-// only the owning output process writes. What is NOT schedule-invariant
-// is the cooperative round count (each shard counts its own rounds) and
-// anything arrival-order dependent — which is why sharded execution is
-// restricted to pure rendezvous networks (capacity 0, no merged buffers)
-// and refuses fault injection, watchdogs, tracing and partitioning
-// (instantiate.cpp validates; those modes run sequentially).
+// exactly one sending and one receiving process (the static verifier's
+// single-writer/single-reader property), and a process has at most one
+// outstanding op per channel (it suspends until its par set completes),
+// so the k-th send on a channel always pairs with the k-th receive no
+// matter which workers execute the two sides or in what order processes
+// are claimed and stolen. By induction over the dataflow DAG, every
+// transfer gets the same timestamp, every process the same final clock,
+// and every channel the same transfer count as the sequential run.
+// Results are committed through per-element slots that only the owning
+// output process writes. What is NOT schedule-invariant is anything
+// arrival-order dependent — which is why parallel execution is
+// restricted to pure rendezvous networks (capacity 0, no merged buffers,
+// no partitioning) and to faults whose randomness is consumed at spawn
+// time (stall/kill); transfer-time faults (delay/duplicate) and tracing
+// run sequentially (instantiate.cpp validates).
 //
-// Protocol: every channel is owned by the shard of its receiving process.
-// A suspending process offers each op of its par set to the op's channel
-// — directly when the channel is local, else as an Offer message on the
-// owner's ring. The owner matches offers rendezvous-style and routes each
-// completion back to the op's process — directly when local, else as a
-// Complete message. All Process-field mutation (clock, counters, pending,
-// ready queue) happens on the process-owner thread; all Channel-field
-// mutation happens on the channel-owner thread. Ring capacity is bounded
-// by the plan's total par width (each op contributes at most one in-flight
-// message per ring), so pushes cannot overflow in steady state.
-//
-// Termination: a global count of unfinished processes; when it reaches
-// zero no message can be in flight (a process finishes only after all its
-// ops completed) and workers exit. Deadlock: when every worker is idle,
-// every ring is empty and unfinished processes remain, shard 0 trips the
-// abort flag after a double sample of the progress epoch, and the caller
-// raises the same forensic report as a sequential stall, merged across
-// all shards.
+// The same single-writer/single-reader property is what proves a
+// depth-1 mailbox per channel suffices: at most two ops — the sender's
+// and the receiver's current one — can reference a channel concurrently,
+// and the rendezvous completer clears the slot before either side can
+// issue its next op. See shard.cpp for the full protocol.
 #pragma once
 
 #include <vector>
 
 #include "numeric/checked.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace systolize {
 
-/// What a sharded run reports back for metrics. `rounds` is the maximum
-/// over the shards' cooperative round counters — unlike every other field
+class FaultInjector;
+class WorkerPool;
+
+/// What a parallel run reports back for metrics. `rounds` is the maximum
+/// number of process resumptions any single worker executed — the closest
+/// parallel analog of a cooperative round count; unlike every other field
 /// it is NOT comparable to a sequential run's value.
 struct ShardRunStats {
   Int makespan = 0;
   Int statements = 0;
   Int total_transfers = 0;
   Int rounds = 0;
-  unsigned shards = 0;
-  std::vector<Int> channel_transfers;  ///< by plan channel id
+  unsigned shards = 0;  ///< workers the run actually used
+  std::vector<Int> channel_transfers;    ///< by plan channel id
+  std::vector<WorkerCounters> workers;   ///< by worker index
 };
 
-/// Execute the plan's network across `threads` worker shards (clamped to
-/// the place-space extent). Inputs are read from `in_values` and outputs
+/// Robustness attachments for a parallel run. All optional; pointees must
+/// outlive the call.
+struct ShardRunOptions {
+  /// `max_rounds` bounds total process resumptions at max_rounds *
+  /// process-count (a sequential round resumes at most every process
+  /// once, so any budget that admits the sequential run admits the
+  /// parallel one); checked periodically, so the trip is approximate.
+  /// `cancel` is polled by every worker each loop iteration.
+  /// `max_blocked_rounds` is a sequential-round notion and must be 0
+  /// (instantiate.cpp validates).
+  WatchdogConfig watchdog;
+  /// Stall/kill injection (spawn-time rolls — deterministic under any
+  /// steal order). Plans with delay/duplicate faults are rejected
+  /// upstream: their PRNG state is consumed in schedule order.
+  FaultInjector* injector = nullptr;
+  /// Thread pool to borrow workers from; nullptr spawns plain threads
+  /// for this run. The calling thread always participates as worker 0.
+  WorkerPool* pool = nullptr;
+};
+
+/// Execute the plan's network on `threads` work-stealing workers (clamped
+/// to the process count). Inputs are read from `in_values` and outputs
 /// written to `out_values`, both aligned with plan.elems. Throws
-/// Error(Runtime) with a merged forensic report on deadlock and rethrows
-/// the first process exception (by shard id) on failure.
+/// Error(Runtime) with a forensic deadlock report on stall, Error with
+/// the watchdog's kind on budget/cancel trips, and rethrows the first
+/// process exception on failure.
 [[nodiscard]] ShardRunStats run_sharded(const NetworkPlan& plan,
                                         unsigned threads,
                                         const Value* in_values,
-                                        Value* out_values);
+                                        Value* out_values,
+                                        const ShardRunOptions& options = {});
 
 }  // namespace systolize

@@ -77,8 +77,8 @@ void find_cycle(
 
 }  // namespace
 
-DeadlockReport build_deadlock_report(
-    const std::vector<const Scheduler*>& scheds, std::string reason) {
+DeadlockReport build_deadlock_report(const Scheduler& sched,
+                                     std::string reason) {
   DeadlockReport report;
   report.reason = std::move(reason);
 
@@ -90,57 +90,40 @@ DeadlockReport build_deadlock_report(
         p->statements});
   };
 
-  // Wait-for edges may cross schedulers in a sharded run (a parked op's
-  // counterpart lives on another shard); merging every shard's channels
-  // into one graph captures them uniformly.
-  for (const Scheduler* sched : scheds) {
-    for (const Channel& chan : sched->channels()) {
-      for (const CommOp* op : chan.parked_senders()) {
-        add_blocked(op->proc, &chan, "send");
-        Process* cp = chan.known_receiver();
-        if (cp != nullptr && cp != op->proc && !cp->finished) {
-          adj[op->proc].push_back(WaitEdge{cp, &chan});
-        }
-      }
-      for (const CommOp* op : chan.parked_receivers()) {
-        add_blocked(op->proc, &chan, "recv");
-        Process* cp = chan.known_sender();
-        if (cp != nullptr && cp != op->proc && !cp->finished) {
-          adj[op->proc].push_back(WaitEdge{cp, &chan});
-        }
+  for (const Channel& chan : sched.channels()) {
+    for (const CommOp* op : chan.parked_senders()) {
+      add_blocked(op->proc, &chan, "send");
+      Process* cp = chan.known_receiver();
+      if (cp != nullptr && cp != op->proc && !cp->finished) {
+        adj[op->proc].push_back(WaitEdge{cp, &chan});
       }
     }
-    // Ops and processes held by injected faults are blocked on the fault
-    // clock, not on a partner: report them without wait-for edges.
-    for (const auto& [release, op] : sched->delayed_ops()) {
-      (void)release;
-      add_blocked(op->proc, op->chan,
-                  op->is_send ? "delayed-send" : "delayed-recv");
+    for (const CommOp* op : chan.parked_receivers()) {
+      add_blocked(op->proc, &chan, "recv");
+      Process* cp = chan.known_sender();
+      if (cp != nullptr && cp != op->proc && !cp->finished) {
+        adj[op->proc].push_back(WaitEdge{cp, &chan});
+      }
     }
-    for (const auto& [release, proc] : sched->stalled_processes()) {
-      (void)release;
-      add_blocked(proc, nullptr, "stalled");
-    }
+  }
+  // Ops and processes held by injected faults are blocked on the fault
+  // clock, not on a partner: report them without wait-for edges.
+  for (const auto& [release, op] : sched.delayed_ops()) {
+    (void)release;
+    add_blocked(op->proc, op->chan,
+                op->is_send ? "delayed-send" : "delayed-recv");
+  }
+  for (const auto& [release, proc] : sched.stalled_processes()) {
+    (void)release;
+    add_blocked(proc, nullptr, "stalled");
   }
 
   find_cycle(adj, report);
   return report;
 }
 
-DeadlockReport build_deadlock_report(const Scheduler& sched,
-                                     std::string reason) {
-  return build_deadlock_report(std::vector<const Scheduler*>{&sched},
-                               std::move(reason));
-}
-
 void raise_stall(const Scheduler& sched, std::string reason, ErrorKind kind) {
   DeadlockReport report = build_deadlock_report(sched, std::move(reason));
-  raise(kind, report.to_string(), report.to_json());
-}
-
-void raise_stall(const std::vector<const Scheduler*>& scheds,
-                 std::string reason, ErrorKind kind) {
-  DeadlockReport report = build_deadlock_report(scheds, std::move(reason));
   raise(kind, report.to_string(), report.to_json());
 }
 

@@ -55,12 +55,10 @@ struct WatchdogConfig {
 /// blocked process waits on the counterpart of each channel it is parked
 /// on; the counterpart is whichever live process is parked on — or last
 /// used — the channel's other side.
+/// (The parallel substrate builds its own report over dense plan ids —
+/// see runtime/shard.cpp — with the same rendering.)
 [[nodiscard]] DeadlockReport build_deadlock_report(const Scheduler& sched,
                                                    std::string reason);
-/// Merged report over the shards of a parallel run: wait-for edges may
-/// cross schedulers (a parked op's counterpart lives on another shard).
-[[nodiscard]] DeadlockReport build_deadlock_report(
-    const std::vector<const Scheduler*>& scheds, std::string reason);
 
 /// Build the report and raise Error(kind) with the human-readable
 /// rendering as the message and the JSON rendering as the diagnostic.
@@ -69,9 +67,6 @@ struct WatchdogConfig {
 /// callers (and the service's retry policy) can tell a deadline from a
 /// deadlock without string-matching.
 [[noreturn]] void raise_stall(const Scheduler& sched, std::string reason,
-                              ErrorKind kind = ErrorKind::Runtime);
-[[noreturn]] void raise_stall(const std::vector<const Scheduler*>& scheds,
-                              std::string reason,
                               ErrorKind kind = ErrorKind::Runtime);
 
 }  // namespace systolize

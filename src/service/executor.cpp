@@ -251,35 +251,44 @@ Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
     iopt.faults = &plan;
   }
 
-  // Fast-path eligibility: sharded execution cannot carry faults or a
-  // watchdog (execute() raises Validation on the combination), so only a
-  // clean request that asked for threads AND declined per-request budgets
-  // takes the sharded path — accepting that such a run has no in-run
-  // deadline. Everything else runs sequential instrumented under the
-  // watchdog, with server defaults filling unset budgets.
+  // Sharded eligibility: the work-stealing substrate carries round
+  // budgets, wall-clock deadlines and cancel tokens natively, so a
+  // threaded request keeps its server-default protections. Only fault
+  // injection forces the sequential instrumented path — requests may ask
+  // for sequential-only fault kinds (delay/duplicate) and the service
+  // promises every inject spec works.
   const unsigned threads =
       degradation_.effective_threads(static_cast<unsigned>(req.threads));
-  const bool sharded = threads > 1 && req.inject.empty() &&
-                       req.round_budget == 0 && req.wall_timeout_ms == 0;
-  DeadlineTimer deadline;
+  const bool sharded = threads > 1 && req.inject.empty();
   if (sharded) {
     iopt.threads = threads;
-  } else {
-    iopt.watchdog.max_rounds =
-        req.round_budget > 0 ? req.round_budget : config_.default_round_budget;
-    const Int wall_ms = req.wall_timeout_ms > 0 ? req.wall_timeout_ms
-                                                : config_.default_wall_timeout_ms;
-    if (wall_ms > 0) {
-      deadline.arm(wall_ms);
-      iopt.watchdog.cancel = deadline.token();
-      iopt.watchdog.cancel_kind = ErrorKind::Timeout;
-      iopt.watchdog.cancel_reason =
-          "wall-clock deadline of " + std::to_string(wall_ms) + "ms exceeded";
-    }
+    iopt.worker_pool = &pool_;
+  }
+  DeadlineTimer deadline;
+  iopt.watchdog.max_rounds =
+      req.round_budget > 0 ? req.round_budget : config_.default_round_budget;
+  const Int wall_ms = req.wall_timeout_ms > 0 ? req.wall_timeout_ms
+                                              : config_.default_wall_timeout_ms;
+  if (wall_ms > 0) {
+    deadline.arm(wall_ms);
+    iopt.watchdog.cancel = deadline.token();
+    iopt.watchdog.cancel_kind = ErrorKind::Timeout;
+    iopt.watchdog.cancel_reason =
+        "wall-clock deadline of " + std::to_string(wall_ms) + "ms exceeded";
   }
 
   RunMetrics metrics = execute(ce.prog, ce.design.nest, sizes, store, iopt);
   deadline.disarm();
+
+  if (!metrics.workers.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++substrate_runs_;
+    for (const WorkerCounters& w : metrics.workers) {
+      substrate_steals_ += w.steals;
+      substrate_tasks_ += w.tasks;
+      substrate_idle_ns_ += w.idle_ns;
+    }
+  }
 
   if (req.verify) {
     run_sequential(ce.design.nest, sizes, expected);
@@ -379,7 +388,12 @@ std::string Executor::stats_json() const {
        << ",\"retried_successes\":" << retried_successes_
        << ",\"timeouts\":" << timeouts_
        << ",\"compile_cache\":{\"hits\":" << compile_cache_hits_
-       << ",\"misses\":" << compile_cache_misses_ << '}';
+       << ",\"misses\":" << compile_cache_misses_ << '}'
+       << ",\"substrate\":{\"runs\":" << substrate_runs_
+       << ",\"steals\":" << substrate_steals_
+       << ",\"tasks\":" << substrate_tasks_
+       << ",\"idle_ns\":" << substrate_idle_ns_
+       << ",\"pool_threads\":" << pool_.spawned() << '}';
   }
   os << ",\"plan_cache\":{\"plans\":" << plan_cache_.size()
      << ",\"hits\":" << plan_cache_.hits()

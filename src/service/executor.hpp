@@ -30,6 +30,7 @@
 
 #include "designs/catalog.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/worker_pool.hpp"
 #include "scheme/types.hpp"
 #include "service/degradation.hpp"
 #include "service/protocol.hpp"
@@ -130,6 +131,9 @@ class Executor {
   const ExecutorConfig config_;
   PlanCache plan_cache_;
   Degradation degradation_;
+  /// Shared across requests: parallel runs borrow their extra workers
+  /// here instead of spawning threads per run (warm-serve latency).
+  WorkerPool pool_;
   const RequestQueue* queue_ = nullptr;
 
   mutable std::mutex compile_mu_;
@@ -144,6 +148,11 @@ class Executor {
   std::size_t timeouts_ = 0;          ///< error responses with kind Timeout
   std::size_t compile_cache_hits_ = 0;
   std::size_t compile_cache_misses_ = 0;
+  /// Work-stealing substrate totals accumulated over sharded runs.
+  std::size_t substrate_runs_ = 0;
+  Int substrate_steals_ = 0;
+  Int substrate_tasks_ = 0;
+  Int substrate_idle_ns_ = 0;
 };
 
 }  // namespace systolize::service

@@ -184,10 +184,29 @@ TEST(ShardedValidation, RejectsIncompatibleAttachments) {
   CompiledProgram prog = compile(design.nest, design.spec);
   Env sizes{{"n", Rational(3)}};
   {
+    // Round budgets are legal on the work-stealing substrate (bounded as
+    // total resumptions); a generous budget must not perturb the run.
     IndexedStore store = seeded(design, sizes);
     InstantiateOptions opt;
     opt.threads = 2;
-    opt.watchdog.max_rounds = 100;
+    opt.watchdog.max_rounds = 100000;
+    EXPECT_NO_THROW((void)execute(prog, design.nest, sizes, store, opt));
+  }
+  {
+    // Starvation bounds are a sequential-round notion: still rejected.
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 2;
+    opt.watchdog.max_blocked_rounds = 50;
+    EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+  }
+  {
+    // Transfer-time faults consume PRNG state in schedule order: rejected.
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 2;
+    FaultPlan faults = FaultPlan::parse("seed=1;delay=0.5:3");
+    opt.faults = &faults;
     EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
   }
   {

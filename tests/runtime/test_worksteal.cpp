@@ -1,0 +1,322 @@
+// The work-stealing substrate's contract (runtime/shard.hpp): results,
+// makespan and transfer counts bit-identical to the sequential fast path
+// for every design, every thread count and every steal interleaving; the
+// watchdog, cancel tokens and stall/kill fault injection keep working;
+// deadlocks surface as the same structured wait-for forensics as the
+// sequential paths. The hammer tests here repeat runs to churn steal
+// interleavings — under TSan they double as the data-race suite for the
+// mailbox/bitmap/hint-queue protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "baseline/sequential.hpp"
+#include "designs/catalog.hpp"
+#include "runtime/instantiate.hpp"
+#include "runtime/worker_pool.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize {
+namespace {
+
+Value pseudo_random(const std::string& var, const IntVec& p) {
+  Value h = 1469598103934665603LL;
+  for (char c : var) h = (h ^ c) * 1099511628211LL;
+  for (std::size_t i = 0; i < p.dim(); ++i) {
+    h = (h ^ static_cast<Value>(p[i] + 1315423911LL)) * 1099511628211LL;
+  }
+  return (h % 19) - 9;
+}
+
+Env sizes_for(const Design& design, Int n) {
+  Env env{{"n", Rational(n)}};
+  for (const Symbol& s : design.nest.sizes()) {
+    if (!env.contains(s.name())) env[s.name()] = Rational(std::max<Int>(1, n - 1));
+  }
+  return env;
+}
+
+IndexedStore seeded(const Design& design, const Env& sizes) {
+  return make_initial_store(design.nest, sizes,
+                            [](const auto& v, const auto& p) {
+                              return pseudo_random(v, p);
+                            });
+}
+
+void expect_same_stores(const Design& design, const IndexedStore& a,
+                        const IndexedStore& b, const std::string& what) {
+  for (const Stream& s : design.nest.streams()) {
+    EXPECT_EQ(a.elements(s.name()), b.elements(s.name()))
+        << what << " stream " << s.name();
+  }
+}
+
+// --- steal-race hammer: many repetitions churn the interleavings -------
+
+TEST(WorkSteal, HammeredBitIdentityUnderContention) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4);
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore base = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  for (unsigned threads : {2u, 4u, 8u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      IndexedStore par_store = base;
+      InstantiateOptions opt;
+      opt.threads = threads;
+      RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+      expect_same_stores(design, seq_store, par_store,
+                         "t=" + std::to_string(threads));
+      ASSERT_EQ(seq.makespan, par.makespan) << "t=" << threads;
+      ASSERT_EQ(seq.total_transfers, par.total_transfers) << "t=" << threads;
+      ASSERT_EQ(seq.statements, par.statements) << "t=" << threads;
+      ASSERT_EQ(seq.transfers_per_stream, par.transfers_per_stream)
+          << "t=" << threads;
+    }
+  }
+}
+
+TEST(WorkSteal, OddThreadCountsAcrossDesigns) {
+  // More workers than processes, prime counts, single extra worker: the
+  // clamp and the block-seeding must hold for every catalog design.
+  for (const char* name : {"polyprod1", "polyprod3", "matmul2", "matmul4",
+                           "convolution", "correlation"}) {
+    Design design = design_by_name(name);
+    CompiledProgram prog = compile(design.nest, design.spec);
+    Env sizes = sizes_for(design, 3);
+    IndexedStore seq_store = seeded(design, sizes);
+    IndexedStore base = seq_store;
+    RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+    for (unsigned threads : {2u, 3u, 7u, 16u}) {
+      IndexedStore par_store = base;
+      InstantiateOptions opt;
+      opt.threads = threads;
+      RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+      expect_same_stores(design, seq_store, par_store,
+                         std::string(name) + " t=" + std::to_string(threads));
+      EXPECT_EQ(seq.makespan, par.makespan) << name << " t=" << threads;
+      EXPECT_EQ(seq.total_transfers, par.total_transfers)
+          << name << " t=" << threads;
+    }
+  }
+}
+
+// --- substrate metrics -------------------------------------------------
+
+TEST(WorkSteal, PerWorkerCountersAccountForEveryResumption) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4);
+  IndexedStore store = seeded(design, sizes);
+  InstantiateOptions opt;
+  opt.threads = 4;
+  RunMetrics m = execute(prog, design.nest, sizes, store, opt);
+  ASSERT_EQ(m.workers.size(), 4u);
+  Int tasks = 0;
+  Int max_tasks = 0;
+  for (const WorkerCounters& w : m.workers) {
+    EXPECT_GE(w.steals, 0);
+    EXPECT_GE(w.failed_steals, 0);
+    EXPECT_GE(w.idle_ns, 0);
+    tasks += w.tasks;
+    max_tasks = std::max(max_tasks, w.tasks);
+  }
+  // Every process is resumed at least once, and the rounds stat is the
+  // busiest single worker's task count.
+  EXPECT_GE(tasks, static_cast<Int>(m.process_count));
+  EXPECT_EQ(m.scheduler_rounds, max_tasks);
+  // The counters reach the JSON rendering.
+  std::string json = m.to_json();
+  EXPECT_NE(json.find("\"workers\":[{\"steals\":"), std::string::npos) << json;
+}
+
+// --- fault injection under stealing ------------------------------------
+
+TEST(WorkSteal, StallSoakStaysBitIdentical) {
+  // Spawn-time stall rolls are schedule-independent: a heavily stalled
+  // parallel run must still produce the sequential answer, and the same
+  // plan must inject the same fault count on every repetition.
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 3);
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore base = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  FaultPlan faults = FaultPlan::parse("seed=42;stall=0.5:64");
+  Int injected = -1;
+  for (int rep = 0; rep < 6; ++rep) {
+    IndexedStore par_store = base;
+    InstantiateOptions opt;
+    opt.threads = 4;
+    opt.faults = &faults;
+    RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+    expect_same_stores(design, seq_store, par_store, "stall-soak");
+    EXPECT_EQ(seq.makespan, par.makespan);
+    EXPECT_EQ(seq.total_transfers, par.total_transfers);
+    EXPECT_GT(par.faults_injected, 0);
+    if (injected < 0) injected = par.faults_injected;
+    EXPECT_EQ(par.faults_injected, injected) << "fault rolls must replay";
+  }
+}
+
+TEST(WorkSteal, KillSoakYieldsWaitForForensics) {
+  // A killed process leaves its peers blocked on its channels forever;
+  // the substrate's detector must fire on every interleaving and the
+  // report must carry the wait-for state (who is blocked, on which
+  // channel) exactly like the sequential forensics.
+  Design design = polyprod_design1();
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(3)}};
+  FaultPlan faults = FaultPlan::parse("kill@comp:(1)=2");
+  for (int rep = 0; rep < 6; ++rep) {
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 4;
+    opt.faults = &faults;
+    try {
+      (void)execute(prog, design.nest, sizes, store, opt);
+      FAIL() << "expected a structured runtime error";
+    } catch (const Error& e) {
+      ASSERT_EQ(e.kind(), ErrorKind::Runtime) << e.what();
+      std::string what = e.what();
+      EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+      EXPECT_NE(what.find("blocked"), std::string::npos) << what;
+      EXPECT_NE(e.diagnostic().find("\"reason\":\"deadlock\""),
+                std::string::npos)
+          << e.diagnostic();
+      EXPECT_NE(e.diagnostic().find("\"blocked\":["), std::string::npos)
+          << e.diagnostic();
+    }
+  }
+}
+
+TEST(WorkSteal, StallAndKillCombinedSoak) {
+  // Stalls defer work while a kill wedges the network: the detector must
+  // wait out every held process before declaring deadlock (no false
+  // positives from the stall queue) yet still fire.
+  Design design = polyprod_design1();
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes{{"n", Rational(3)}};
+  FaultPlan faults =
+      FaultPlan::parse("seed=7;stall=0.5:32;kill@comp:(1)=2");
+  for (int rep = 0; rep < 4; ++rep) {
+    IndexedStore store = seeded(design, sizes);
+    InstantiateOptions opt;
+    opt.threads = 4;
+    opt.faults = &faults;
+    EXPECT_THROW((void)execute(prog, design.nest, sizes, store, opt), Error);
+  }
+}
+
+// --- watchdog and cancellation on the substrate -------------------------
+
+TEST(WorkSteal, CancelTokenAbortsWithForensics) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4);
+  IndexedStore store = seeded(design, sizes);
+  std::atomic<bool> cancel{true};  // pre-fired: abort on the first poll
+  InstantiateOptions opt;
+  opt.threads = 4;
+  opt.watchdog.cancel = &cancel;
+  opt.watchdog.cancel_kind = ErrorKind::Timeout;
+  opt.watchdog.cancel_reason = "deadline expired (test)";
+  try {
+    (void)execute(prog, design.nest, sizes, store, opt);
+    FAIL() << "expected cancellation";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
+    EXPECT_NE(std::string(e.what()).find("deadline expired (test)"),
+              std::string::npos)
+        << e.what();
+    EXPECT_FALSE(e.diagnostic().empty());
+  }
+}
+
+TEST(WorkSteal, RoundBudgetBoundsTotalResumptions) {
+  // max_rounds on the substrate caps total resumptions at
+  // max_rounds * nprocs; a budget of 1 cannot complete matmul2 (every
+  // process suspends many times) and must trip as a Timeout.
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4);
+  IndexedStore store = seeded(design, sizes);
+  InstantiateOptions opt;
+  opt.threads = 4;
+  opt.watchdog.max_rounds = 1;
+  try {
+    (void)execute(prog, design.nest, sizes, store, opt);
+    FAIL() << "expected the round budget to trip";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
+    EXPECT_NE(std::string(e.what()).find("round budget"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkSteal, GenerousBudgetDoesNotPerturbTheRun) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 3);
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore par_store = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  InstantiateOptions opt;
+  opt.threads = 4;
+  opt.watchdog.max_rounds = Int{1} << 40;
+  RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+  expect_same_stores(design, seq_store, par_store, "budgeted");
+  EXPECT_EQ(seq.makespan, par.makespan);
+  EXPECT_EQ(seq.total_transfers, par.total_transfers);
+}
+
+// --- pool reuse ---------------------------------------------------------
+
+TEST(WorkSteal, WorkerPoolIsReusedAcrossRuns) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 4);
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore base = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  WorkerPool pool(4);
+  for (int rep = 0; rep < 6; ++rep) {
+    IndexedStore par_store = base;
+    InstantiateOptions opt;
+    opt.threads = 4;
+    opt.worker_pool = &pool;
+    RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+    expect_same_stores(design, seq_store, par_store, "pooled");
+    ASSERT_EQ(seq.makespan, par.makespan);
+    ASSERT_EQ(seq.total_transfers, par.total_transfers);
+  }
+  // The run borrows its extra workers from the pool; the caller is
+  // worker 0, so at most capacity() threads ever get spawned, once.
+  EXPECT_LE(pool.spawned(), pool.capacity());
+}
+
+TEST(WorkSteal, PoolSmallerThanRequestStillCompletes) {
+  // A saturated pool hands a run fewer live workers than requested; the
+  // caller-as-worker-0 rule plus stealing means the run still finishes
+  // with the right answer.
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 3);
+  IndexedStore seq_store = seeded(design, sizes);
+  IndexedStore par_store = seq_store;
+  RunMetrics seq = execute(prog, design.nest, sizes, seq_store, {});
+  WorkerPool pool(1);  // one pool thread for an 8-worker request
+  InstantiateOptions opt;
+  opt.threads = 8;
+  opt.worker_pool = &pool;
+  RunMetrics par = execute(prog, design.nest, sizes, par_store, opt);
+  expect_same_stores(design, seq_store, par_store, "starved-pool");
+  EXPECT_EQ(seq.makespan, par.makespan);
+  EXPECT_EQ(seq.total_transfers, par.total_transfers);
+}
+
+}  // namespace
+}  // namespace systolize

@@ -10,10 +10,58 @@
 #
 # usage: tools/bench.sh [label] [extra benchmark args...]
 #   label defaults to the current commit's short hash.
+#        tools/bench.sh --compare <labelA> <labelB> [threshold-pct] [regex]
+#   pure-data mode: no build, no run — diff two recorded runs from
+#   BENCH_runtime.json on the benchmarks they share (optionally filtered
+#   by a name regex) and exit non-zero if any real_time regresses by more
+#   than threshold-pct (default 10) going from labelA (baseline) to
+#   labelB (candidate). Duplicate labels resolve to the latest recorded
+#   run.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [ "${1:-}" = "--compare" ]; then
+  [ $# -ge 3 ] || { echo "usage: tools/bench.sh --compare <labelA> <labelB> [threshold-pct] [regex]" >&2; exit 2; }
+  python3 - "${repo}/BENCH_runtime.json" "$2" "$3" "${4:-10}" "${5:-}" <<'PY'
+import json, re, sys
+path, label_a, label_b, threshold = sys.argv[1], sys.argv[2], sys.argv[3], float(sys.argv[4])
+name_filter = sys.argv[5]
+with open(path) as f:
+    doc = json.load(f)
+
+def run_for(label):
+    matches = [r for r in doc.get("runs", []) if r.get("label") == label]
+    if not matches:
+        known = ", ".join(sorted({r.get("label", "?") for r in doc.get("runs", [])}))
+        sys.exit(f"no run labelled '{label}' in {path} (known: {known})")
+    return {b["name"]: b["real_time_ns"] for b in matches[-1]["benchmarks"]}
+
+base, cand = run_for(label_a), run_for(label_b)
+shared = sorted(set(base) & set(cand))
+if name_filter:
+    shared = [n for n in shared if re.search(name_filter, n)]
+if not shared:
+    sys.exit(f"runs '{label_a}' and '{label_b}' share no benchmarks"
+             + (f" matching /{name_filter}/" if name_filter else ""))
+regressions = 0
+print(f"{'benchmark':50s} {label_a:>14s} {label_b:>14s}  delta")
+for name in shared:
+    a, b = base[name], cand[name]
+    pct = (b - a) / a * 100.0 if a > 0 else 0.0
+    flag = ""
+    if pct > threshold:
+        flag = f"  REGRESSION (>{threshold:g}%)"
+        regressions += 1
+    print(f"{name:50s} {a:12.0f}ns {b:12.0f}ns {pct:+6.1f}%{flag}")
+print(f"{len(shared)} shared benchmarks; {regressions} regression(s) "
+      f"beyond {threshold:g}% going {label_a} -> {label_b}")
+sys.exit(1 if regressions else 0)
+PY
+  exit $?
+fi
+
 label="${1:-$(git -C "${repo}" rev-parse --short HEAD)}"
 shift || true
 

@@ -59,10 +59,21 @@ echo "=== cross-size differential: expand_template == build_plan ==="
 ctest --test-dir "${repo}/build" --output-on-failure \
   -R 'CrossSizeDifferential|PlanTemplate|PlanCache'
 
-echo "=== thread sanitizer: plan cache hammering ==="
+echo "=== thread sanitizer: plan cache + work-stealing substrate ==="
 cmake -B "${repo}/build-tsan" -S "${repo}" -DSYSTOLIZE_SANITIZE=thread
 cmake --build "${repo}/build-tsan" -j "${jobs}" --target test_runtime
 "${repo}/build-tsan/tests/test_runtime" --gtest_filter='PlanCache.*'
+# The WorkSteal hammer repeats sharded runs across thread counts — under
+# TSan it exercises every mailbox/bitmap/hint-queue race the substrate
+# claims to have closed (runtime/shard.hpp's determinism argument).
+"${repo}/build-tsan/tests/test_runtime" --gtest_filter='WorkSteal.*'
+
+echo "=== bench gate: relay chain must hold the post-PR2 numbers ==="
+# Pure-data regression gate over the recorded trajectory: the substrate
+# rewrite (PR7) must keep BM_SubstrateRelayChain within 10% of the best
+# recorded numbers (post-PR2-fastpath), closing PR4's regression.
+"${repo}/tools/bench.sh" --compare post-PR2-fastpath PR7-worksteal 10 \
+  'BM_SubstrateRelayChain'
 
 echo "=== serve smoke: daemon, concurrent clients, SIGTERM drain ==="
 # The daemon lifecycle contract end to end, with real processes and a
