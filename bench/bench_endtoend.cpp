@@ -2,8 +2,10 @@
 // programs execute correctly on parallel machines, reproduced on the
 // simulator substrate for every catalog design; throughput of the whole
 // compile -> instantiate -> execute -> verify pipeline.
+#include "analysis/cost.hpp"
 #include "bench_util.hpp"
 #include "runtime/plan_template.hpp"
+#include "systolic/enumerate.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/worker_pool.hpp"
 #include "service/executor.hpp"
@@ -326,6 +328,53 @@ void BM_ServeColdRequest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeColdRequest)->Arg(4)->Arg(6);
+
+// -------------------------------------------------------- static analysis
+// The PR8 cost model and design-space search. BM_AnalyzeCost is the cold
+// `systolize analyze` path (formulas + plan interning + metrics, zero
+// scheduler rounds); BM_ExploreMatmul2 is the `--same-projection` search
+// the CI smoke runs — enumerate, prune, compile, verify and rank every
+// candidate sharing matmul2's projection. Recorded in BENCH_runtime.json
+// as 'PR8-explore'.
+void BM_AnalyzeCost(benchmark::State& state) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, state.range(0));
+  Int processes = 0;
+  for (auto _ : state) {
+    CostReport report = analyze_cost(prog, design.nest, {sizes});
+    processes = report.at.back().metrics.processes;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["processes"] = static_cast<double>(processes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeCost)->Arg(6)->Arg(10);
+
+void BM_ExploreMatmul2(benchmark::State& state) {
+  Design design = design_by_name("matmul2");
+  EnumerateOptions options;
+  options.same_projection = true;
+  Env sizes = sizes_for(design, state.range(0));
+  options.sizes = {sizes};
+  std::size_t survivors = 0;
+  bool seed_first = true;
+  for (auto _ : state) {
+    ExploreResult result =
+        enumerate_designs(design.nest, &design.spec, options);
+    survivors = result.stats.survivors;
+    seed_first = !result.ranked.empty() && result.ranked.front().matches_seed;
+    benchmark::DoNotOptimize(result);
+  }
+  if (!seed_first) {
+    state.SkipWithError("seed design did not rank first in its own space");
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["survivors"] = static_cast<double>(survivors);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExploreMatmul2)->Arg(4);
 
 }  // namespace
 }  // namespace systolize::bench

@@ -4,6 +4,7 @@
 #include <new>
 #include <sstream>
 
+#include "analysis/cost.hpp"
 #include "analysis/verify.hpp"
 #include "baseline/sequential.hpp"
 #include "frontend/parser.hpp"
@@ -188,6 +189,7 @@ Response Executor::dispatch(const Request& req) {
   if (req.op == "expand") return handle_expand(req);
   if (req.op == "run") return handle_run(req);
   if (req.op == "verify") return handle_verify(req);
+  if (req.op == "analyze") return handle_analyze(req);
   raise(ErrorKind::Validation, "unknown op \"" + req.op + "\"");
 }
 
@@ -369,6 +371,40 @@ Response Executor::handle_verify(const Request& req) {
   r.status = "ok";
   r.verdict = rep.errors() == 0 ? "clean" : "findings";
   r.data_json = rep.to_json();
+  return r;
+}
+
+Response Executor::handle_analyze(const Request& req) {
+  Response r;
+  r.id = req.id;
+  r.op = req.op;
+  r.status = "ok";
+  // Verifier-first, like the CLI: a design the verifier rejects has no
+  // meaningful cost — return its findings under the "findings" verdict.
+  // The spec rules run before compilation so a broken design cannot
+  // throw out of compile() and classify as a request error.
+  Design design = req.source.empty() ? design_by_name(req.design)
+                                     : frontend::parse_design(req.source);
+  VerifyReport rep;
+  rep.design = req.design.empty() ? design.nest.name() : req.design;
+  verify_spec_into(rep, design.nest, design.spec);
+  if (rep.errors() > 0) {
+    r.verdict = "findings";
+    r.data_json = rep.to_json();
+    return r;
+  }
+  auto ce = compiled_for(req, nullptr);
+  verify_program_into(rep, ce->prog, ce->design.nest);
+  if (rep.errors() > 0) {
+    r.verdict = "findings";
+    r.data_json = rep.to_json();
+    return r;
+  }
+  const CostReport cost =
+      analyze_cost(ce->prog, ce->design.nest, {sizes_of(ce->design, req)},
+                   shape_of(ce->design, req), &plan_cache_);
+  r.verdict = "success";
+  r.data_json = cost.to_json();
   return r;
 }
 

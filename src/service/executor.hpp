@@ -126,6 +126,7 @@ class Executor {
   [[nodiscard]] Response run_attempt(const CompiledEntry& ce,
                                      const Request& req);
   [[nodiscard]] Response handle_verify(const Request& req);
+  [[nodiscard]] Response handle_analyze(const Request& req);
   void count_outcome(const Response& r);
 
   const ExecutorConfig config_;

@@ -11,7 +11,8 @@ namespace {
 
 bool known_op(const std::string& op) {
   return op == "ping" || op == "compile" || op == "expand" || op == "run" ||
-         op == "verify" || op == "stats" || op == "shutdown";
+         op == "verify" || op == "analyze" || op == "stats" ||
+         op == "shutdown";
 }
 
 }  // namespace
@@ -73,7 +74,8 @@ Request parse_request(const std::string& line) {
     raise(ErrorKind::Validation, "numeric request fields must be >= 0");
   }
   const bool needs_design = req.op == "compile" || req.op == "expand" ||
-                            req.op == "run" || req.op == "verify";
+                            req.op == "run" || req.op == "verify" ||
+                            req.op == "analyze";
   if (needs_design && req.design.empty() && req.source.empty()) {
     raise(ErrorKind::Validation,
           "op \"" + req.op + "\" needs a \"design\" or \"source\"");

@@ -7,7 +7,7 @@
 // Request fields (all optional except op):
 //   id               integer correlation id (echoed back)
 //   op               "ping" | "compile" | "expand" | "run" | "verify"
-//                    | "stats" | "shutdown"
+//                    | "analyze" | "stats" | "shutdown"
 //   tenant           admission-control bucket; "" = anonymous bucket
 //   design           catalog name (see `systolize list`)
 //   source           inline .sa program text (overrides design)

@@ -1,0 +1,106 @@
+// Design-space enumeration: turn the verifier and the cost model into a
+// generator of systolic designs.
+//
+// The paper takes (step, place) as given; AutoSA-style tools search the
+// space-time mapping space instead. This module enumerates every linear
+// candidate pair with coefficients in [-K, K], prunes with the exact
+// machinery the repo already trusts, and ranks the survivors statically:
+//
+//   structural   place must have rank r-1 (Theorem 1's projection);
+//   Theorem 3    step must not vanish on null.place (Equation (1));
+//   spec rules   the PR-3 verifier at spec level (dependence order,
+//                flow neighbourhood, loading vectors);
+//   compile      the full scheme must accept the pair;
+//   program/plan verifier-clean at program level and, per probe size, at
+//                plan level off the interned NetworkPlan;
+//   cost         survivors are scored by the static cost model and ranked
+//                under a lexicographic objective (docs/static-analysis.md
+//                "Cost model & exploration").
+//
+// Candidates are canonicalized before any expensive work: negating a
+// place row or permuting rows only reflects/permutes the process grid, so
+// each equivalence class is explored once, represented with every row's
+// first non-zero component positive and rows in descending lexicographic
+// order. Ties under the objective are broken deterministically: prefer
+// the candidate whose place matrix is the canonical (reduced row-echelon)
+// representative of its row space, then the lexicographically greatest
+// step, then the smallest place matrix — so `explore` output is stable
+// run to run.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cost.hpp"
+#include "systolic/array_spec.hpp"
+
+namespace systolize {
+
+struct EnumerateOptions {
+  /// Coefficients of step and place searched over [-K, K].
+  Int coeff_range = 1;
+  /// Probe sizes: plan-level verification and the concrete cost metrics
+  /// run at each. The last (largest) binding decides the ranking.
+  std::vector<Env> sizes;
+  /// Survivors kept after ranking.
+  std::size_t top_k = 10;
+  /// Drop candidates with stationary streams (no loading vectors needed).
+  bool moving_only = false;
+  /// Restrict to places sharing the seed's projection direction
+  /// (null.place generator) — "the seed design's own search space".
+  /// Requires a seed spec.
+  bool same_projection = false;
+  /// Explicit projection restriction (normalized, sign-insensitive);
+  /// empty = unrestricted. same_projection fills this from the seed.
+  IntVec projection;
+};
+
+/// One surviving candidate, verifier-clean at every probe size.
+struct ExploreCandidate {
+  StepFunction step;
+  PlaceFunction place;
+  /// Auto-supplied loading & recovery vectors for stationary streams.
+  std::map<std::string, IntVec> loading;
+  CostReport cost;
+  /// The candidate is the seed spec's equivalence class.
+  bool matches_seed = false;
+};
+
+/// Where the pruning pipeline spent the candidates.
+struct ExploreStats {
+  std::size_t enumerated = 0;       ///< canonical (step, place) pairs
+  std::size_t pruned_rank = 0;      ///< place rank < r-1
+  std::size_t pruned_projection = 0;///< projection restriction
+  std::size_t pruned_theorem3 = 0;  ///< step vanishes on null.place
+  std::size_t pruned_stationary = 0;///< moving_only dropped them
+  std::size_t pruned_spec = 0;      ///< spec-level verifier errors
+  std::size_t pruned_compile = 0;   ///< compile() refused
+  std::size_t pruned_program = 0;   ///< program-level verifier errors
+  std::size_t pruned_plan = 0;      ///< plan build/verify failed at a size
+  std::size_t survivors = 0;        ///< ranked (before top_k truncation)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ExploreResult {
+  std::vector<ExploreCandidate> ranked;  ///< best first, <= top_k entries
+  ExploreStats stats;
+};
+
+/// The default objective's comparison: lexicographic over the last probe
+/// size's metrics — makespan, total processes, i/o + buffer overhead,
+/// soak + drain prologue, channels, imbalance. True when a scores
+/// strictly better than b.
+[[nodiscard]] bool cost_preferred(const CostMetrics& a, const CostMetrics& b);
+
+/// Enumerate, prune, score and rank. `seed` (optional) marks its own
+/// class in the result and anchors --same-projection. Throws
+/// Error(Validation) on unusable options (no probe sizes,
+/// same_projection without seed); candidate-level failures never throw —
+/// they are pruned and tallied.
+[[nodiscard]] ExploreResult enumerate_designs(const LoopNest& nest,
+                                              const ArraySpec* seed,
+                                              const EnumerateOptions& options);
+
+}  // namespace systolize

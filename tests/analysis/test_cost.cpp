@@ -1,0 +1,158 @@
+// Golden-value tests for the static cost model: the four appendix
+// designs at two sizes each, checked against numbers read off the
+// interned plans (PR8). The broken fixtures prove the analyze path
+// degrades to findings instead of crashing.
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "analysis/cost.hpp"
+#include "analysis/verify.hpp"
+#include "designs/catalog.hpp"
+#include "frontend/parser.hpp"
+#include "scheme/compiler.hpp"
+
+#ifndef SYSTOLIZE_DESIGN_DIR
+#define SYSTOLIZE_DESIGN_DIR "designs"
+#endif
+
+namespace systolize {
+namespace {
+
+Env sizes_n(Int n) { return Env{{"n", Rational(n)}}; }
+
+CostReport analyze(const std::string& name, std::vector<Int> ns) {
+  Design d = design_by_name(name);
+  CompiledProgram prog = compile(d.nest, d.spec);
+  std::vector<Env> envs;
+  envs.reserve(ns.size());
+  for (Int n : ns) envs.push_back(sizes_n(n));
+  return analyze_cost(prog, d.nest, envs);
+}
+
+struct Golden {
+  Int n;
+  Int processes, comp, io, buffer, channels;
+  Int makespan, soak, drain, chain, work, max_work;
+  std::string imbalance, overhead;
+};
+
+void expect_row(const CostReport& rep, std::size_t i, const Golden& g) {
+  ASSERT_LT(i, rep.at.size());
+  const CostMetrics& m = rep.at[i].metrics;
+  EXPECT_EQ(rep.at[i].sizes.at("n"), g.n);
+  EXPECT_EQ(m.processes, g.processes) << "n=" << g.n;
+  EXPECT_EQ(m.comp, g.comp) << "n=" << g.n;
+  EXPECT_EQ(m.io, g.io) << "n=" << g.n;
+  EXPECT_EQ(m.buffer, g.buffer) << "n=" << g.n;
+  EXPECT_EQ(m.channels, g.channels) << "n=" << g.n;
+  EXPECT_EQ(m.makespan, g.makespan) << "n=" << g.n;
+  EXPECT_EQ(m.soak_max, g.soak) << "n=" << g.n;
+  EXPECT_EQ(m.drain_max, g.drain) << "n=" << g.n;
+  EXPECT_EQ(m.longest_chain, g.chain) << "n=" << g.n;
+  EXPECT_EQ(m.total_work, g.work) << "n=" << g.n;
+  EXPECT_EQ(m.max_proc_work, g.max_work) << "n=" << g.n;
+  EXPECT_EQ(m.imbalance.to_string(), g.imbalance) << "n=" << g.n;
+  EXPECT_EQ(m.overhead.to_string(), g.overhead) << "n=" << g.n;
+}
+
+TEST(CostModel, Polyprod1Golden) {
+  CostReport rep = analyze("polyprod1", {4, 8});
+  EXPECT_EQ(rep.formulas.makespan.to_string(), "3*n");
+  EXPECT_EQ(rep.formulas.ps_box_to_string(), "(n + 1)");
+  EXPECT_EQ(rep.formulas.work_to_string(), "(n + 1) * (n + 1)");
+  expect_row(rep, 0,
+             {4, 16, 5, 6, 5, 23, 12, 4, 4, 5, 25, 5, "1", "11/5"});
+  expect_row(rep, 1,
+             {8, 24, 9, 6, 9, 39, 24, 8, 8, 9, 81, 9, "1", "5/3"});
+}
+
+TEST(CostModel, Polyprod2Golden) {
+  CostReport rep = analyze("polyprod2", {4, 8});
+  EXPECT_EQ(rep.formulas.makespan.to_string(), "3*n");
+  EXPECT_EQ(rep.formulas.ps_box_to_string(), "(2*n + 1)");
+  expect_row(rep, 0,
+             {4, 24, 9, 6, 9, 39, 12, 8, 8, 5, 25, 5, "9/5", "5/3"});
+  expect_row(rep, 1,
+             {8, 40, 17, 6, 17, 71, 24, 16, 16, 9, 81, 9, "17/9", "23/17"});
+}
+
+TEST(CostModel, Matmul1Golden) {
+  CostReport rep = analyze("matmul1", {4, 8});
+  EXPECT_EQ(rep.formulas.makespan.to_string(), "3*n");
+  EXPECT_EQ(rep.formulas.ps_box_to_string(), "(n + 1) * (n + 1)");
+  EXPECT_EQ(rep.formulas.work_to_string(),
+            "(n + 1) * (n + 1) * (n + 1)");
+  // The stationary-c design: no internal buffers at all.
+  expect_row(rep, 0,
+             {4, 55, 25, 30, 0, 90, 12, 4, 4, 5, 125, 5, "1", "6/5"});
+  expect_row(rep, 1,
+             {8, 135, 81, 54, 0, 270, 24, 8, 8, 9, 729, 9, "1", "2/3"});
+}
+
+TEST(CostModel, Matmul2Golden) {
+  CostReport rep = analyze("matmul2", {4, 8});
+  EXPECT_EQ(rep.formulas.makespan.to_string(), "3*n");
+  EXPECT_EQ(rep.formulas.ps_box_to_string(), "(2*n + 1) * (2*n + 1)");
+  expect_row(rep, 0, {4, 191, 61, 70, 60, 278, 12, 4, 4, 5, 125, 5,
+                      "61/25", "130/61"});
+  expect_row(rep, 1, {8, 567, 217, 134, 216, 934, 24, 8, 8, 9, 729, 9,
+                      "217/81", "50/31"});
+}
+
+TEST(CostModel, ChainFormulaPerUpdateStream) {
+  CostReport rep = analyze("matmul2", {4});
+  ASSERT_EQ(rep.formulas.chain_formulas.size(), 1u);
+  EXPECT_EQ(rep.formulas.chain_formulas.front(), "n + 1");
+}
+
+TEST(CostModel, ReportRendersBothFormats) {
+  CostReport rep = analyze("polyprod1", {4});
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("at n=4"), std::string::npos);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"formulas\""), std::string::npos);
+  EXPECT_NE(json.find("\"processes\":16"), std::string::npos);
+}
+
+TEST(CostModel, MetricsScaleWithCache) {
+  // The cache path and the direct path must agree exactly.
+  Design d = design_by_name("matmul2");
+  CompiledProgram prog = compile(d.nest, d.spec);
+  PlanCache cache;
+  CostMetrics direct = analyze_cost_at(prog, d.nest, sizes_n(5));
+  CostMetrics cached =
+      analyze_cost_at(prog, d.nest, sizes_n(5), PlanShape{}, &cache);
+  EXPECT_EQ(direct.processes, cached.processes);
+  EXPECT_EQ(direct.channels, cached.channels);
+  EXPECT_EQ(direct.makespan, cached.makespan);
+  EXPECT_EQ(direct.imbalance, cached.imbalance);
+  EXPECT_GE(cache.misses(), 1u);
+}
+
+// ------------------------------------------------- broken designs degrade
+
+Design broken_design(const std::string& name) {
+  std::string path =
+      std::string(SYSTOLIZE_DESIGN_DIR) + "/broken/" + name + ".sa";
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return frontend::parse_design(buf.str());
+}
+
+TEST(CostModel, BrokenDesignsYieldFindingsNotCrashes) {
+  // The analyze pipeline (CLI and service) is verifier-first: every
+  // broken fixture must stop at findings before the cost model runs.
+  for (const char* name :
+       {"step_on_nullplace", "dependence_clash", "wide_flow"}) {
+    Design d = broken_design(name);
+    VerifyReport rep = verify_spec(d.nest, d.spec);
+    EXPECT_GE(rep.errors(), 1u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace systolize

@@ -234,6 +234,65 @@ TEST(Executor, VerifyOpRunsTheStaticPipeline) {
   EXPECT_NE(report.get("findings"), nullptr);
 }
 
+TEST(Executor, AnalyzeOpReturnsCostReportAndReusesCompileCache) {
+  Executor ex(fast_config());
+  Request req;
+  req.op = "analyze";
+  req.design = "matmul2";
+  req.n = 4;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "success");
+  EXPECT_TRUE(definite_verdict(r));
+  Json report = Json::parse(r.data_json);
+  ASSERT_NE(report.get("formulas"), nullptr) << r.data_json;
+  const Json* at = report.get("at");
+  ASSERT_NE(at, nullptr) << r.data_json;
+  // The metrics are the cost model's goldens (tests/analysis/test_cost).
+  EXPECT_NE(r.data_json.find("\"processes\":191"), std::string::npos)
+      << r.data_json;
+  EXPECT_NE(r.data_json.find("\"makespan\":12"), std::string::npos);
+
+  // A follow-up analyze (and a verify) ride the same compiled program —
+  // the compile cache must not miss again for this design.
+  Request stats;
+  stats.op = "stats";
+  Json before = Json::parse(ex.handle(stats).data_json);
+  (void)ex.handle(req);
+  Json after = Json::parse(ex.handle(stats).data_json);
+  const Json* cc_before = before.get("compile_cache");
+  const Json* cc_after = after.get("compile_cache");
+  ASSERT_NE(cc_before, nullptr);
+  ASSERT_NE(cc_after, nullptr);
+  EXPECT_EQ(cc_after->int_or("misses", -1), cc_before->int_or("misses", -2));
+  EXPECT_GT(cc_after->int_or("hits", 0), cc_before->int_or("hits", 0));
+}
+
+TEST(Executor, AnalyzeOpOnBrokenSourceReturnsFindings) {
+  // A spec the verifier rejects has no meaningful cost: the analyze op
+  // must come back ok/"findings" with the findings JSON, not an error.
+  Executor ex(fast_config());
+  Request req;
+  req.op = "analyze";
+  req.source =
+      "design broken_inline\n"
+      "sizes n >= 1\n"
+      "loop i = 0 .. n\n"
+      "loop j = 0 .. n\n"
+      "stream a[i] read dims [0 .. n]\n"
+      "stream c[i+j] update dims [0 .. 2*n]\n"
+      "body c := c + a\n"
+      "step i + j\n"
+      "place (j)\n";
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "findings");
+  EXPECT_TRUE(definite_verdict(r));
+  Json report = Json::parse(r.data_json);
+  EXPECT_NE(report.get("findings"), nullptr) << r.data_json;
+  EXPECT_GT(report.int_or("errors", 0), 0) << r.data_json;
+}
+
 TEST(Executor, InlineSourceCompilesAndRuns) {
   // The convolution design as inline .sa text exercises the source path
   // (and its compile-cache key).

@@ -50,6 +50,7 @@ TEST(Protocol, RequestValidationRejectsGarbage) {
            Case{"{\"op\":\"run\",\"design\":\"x\",\"n\":0}",
                 ErrorKind::Validation},  // size < 1
            Case{"{\"op\":\"run\"}", ErrorKind::Validation},  // no design/source
+           Case{"{\"op\":\"analyze\"}", ErrorKind::Validation},  // ditto
            Case{"{\"op\":\"run\",\"design\":\"x\",\"round_budget\":-5}",
                 ErrorKind::Validation},
            Case{"{\"op\":\"run\",\"design\":5}", ErrorKind::Validation},
@@ -61,6 +62,14 @@ TEST(Protocol, RequestValidationRejectsGarbage) {
       EXPECT_EQ(e.kind(), c.kind) << c.line;
     }
   }
+}
+
+TEST(Protocol, AnalyzeOpParsesWithDesignOrSource) {
+  Request req = parse_request("{\"op\":\"analyze\",\"design\":\"matmul2\"}");
+  EXPECT_EQ(req.op, "analyze");
+  EXPECT_EQ(req.design, "matmul2");
+  req = parse_request("{\"op\":\"analyze\",\"source\":\"design x...\"}");
+  EXPECT_EQ(req.source, "design x...");
 }
 
 TEST(Protocol, ResponseRoundTripsIncludingRawPayloads) {

@@ -1,0 +1,151 @@
+// Design-space enumeration (PR8): the search must re-discover the
+// appendix designs from their loop nests alone, rank the seed at the top
+// of its own projection class, and degrade to empty results — never
+// crashes — on hostile input.
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "designs/catalog.hpp"
+#include "frontend/parser.hpp"
+#include "systolic/enumerate.hpp"
+
+#ifndef SYSTOLIZE_DESIGN_DIR
+#define SYSTOLIZE_DESIGN_DIR "designs"
+#endif
+
+namespace systolize {
+namespace {
+
+EnumerateOptions options_at(Int n) {
+  EnumerateOptions opt;
+  opt.sizes = {Env{{"n", Rational(n)}}};
+  return opt;
+}
+
+TEST(Enumerate, Matmul2RanksFirstInItsOwnProjectionClass) {
+  // The PR8 acceptance criterion: over matmul2's nest, restricted to its
+  // own projection direction (null.place = (1,1,1)), the search must put
+  // the appendix design at the top under the default objective.
+  Design d = design_by_name("matmul2");
+  EnumerateOptions opt = options_at(4);
+  opt.same_projection = true;
+  ExploreResult result = enumerate_designs(d.nest, &d.spec, opt);
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_TRUE(result.ranked.front().matches_seed)
+      << "winner: step " << result.ranked.front().step.to_string();
+  EXPECT_EQ(result.ranked.front().step.coeffs(), d.spec.step().coeffs());
+  // Every survivor in the class shares the seed's projection, so they all
+  // project onto the same hex grid and tie on makespan.
+  for (const ExploreCandidate& c : result.ranked) {
+    EXPECT_EQ(c.cost.at.back().metrics.makespan, 12);
+  }
+}
+
+TEST(Enumerate, FullSpaceContainsSeedAndRanksStationaryFirst) {
+  // Unrestricted, the coefficient-1 space contains matmul1-style
+  // stationary designs with strictly fewer processes (no buffers);
+  // they must win, and matmul2's class must still survive.
+  Design d = design_by_name("matmul2");
+  ExploreResult result = enumerate_designs(d.nest, &d.spec, options_at(4));
+  ASSERT_FALSE(result.ranked.empty());
+  const CostMetrics& best = result.ranked.front().cost.at.back().metrics;
+  EXPECT_EQ(best.buffer, 0);
+  EXPECT_EQ(best.processes, 55);
+  EXPECT_GE(result.stats.survivors, 12u);
+  EXPECT_EQ(result.stats.enumerated,
+            result.stats.pruned_rank + result.stats.pruned_projection +
+                result.stats.pruned_theorem3 + result.stats.pruned_stationary +
+                result.stats.pruned_spec + result.stats.pruned_compile +
+                result.stats.pruned_program + result.stats.pruned_plan +
+                result.stats.survivors);
+}
+
+TEST(Enumerate, MovingOnlyDropsStationaryCandidates) {
+  Design d = design_by_name("matmul2");
+  EnumerateOptions opt = options_at(4);
+  opt.moving_only = true;
+  ExploreResult result = enumerate_designs(d.nest, &d.spec, opt);
+  EXPECT_GT(result.stats.pruned_stationary, 0u);
+  for (const ExploreCandidate& c : result.ranked) {
+    EXPECT_TRUE(c.loading.empty());
+  }
+}
+
+TEST(Enumerate, Polyprod1SeedSurvivesItsOwnSpace) {
+  Design d = design_by_name("polyprod1");
+  EnumerateOptions opt = options_at(4);
+  opt.coeff_range = 2;   // the seed's step is 2*i + j
+  opt.top_k = 1000;      // the seed needn't medal, it must survive
+  ExploreResult result = enumerate_designs(d.nest, &d.spec, opt);
+  ASSERT_FALSE(result.ranked.empty());
+  bool seed_found = false;
+  for (const ExploreCandidate& c : result.ranked) {
+    seed_found |= c.matches_seed;
+  }
+  EXPECT_TRUE(seed_found);
+}
+
+TEST(Enumerate, RankingIsDeterministic) {
+  Design d = design_by_name("matmul2");
+  ExploreResult a = enumerate_designs(d.nest, &d.spec, options_at(3));
+  ExploreResult b = enumerate_designs(d.nest, &d.spec, options_at(3));
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].step.coeffs(), b.ranked[i].step.coeffs()) << i;
+    EXPECT_EQ(a.ranked[i].place.matrix().to_string(),
+              b.ranked[i].place.matrix().to_string())
+        << i;
+  }
+}
+
+TEST(Enumerate, BadOptionsThrowValidation) {
+  Design d = design_by_name("matmul2");
+  EnumerateOptions no_sizes;
+  EXPECT_THROW((void)enumerate_designs(d.nest, &d.spec, no_sizes), Error);
+  EnumerateOptions bad_range = options_at(4);
+  bad_range.coeff_range = 0;
+  EXPECT_THROW((void)enumerate_designs(d.nest, &d.spec, bad_range), Error);
+  EnumerateOptions anchorless = options_at(4);
+  anchorless.same_projection = true;
+  EXPECT_THROW((void)enumerate_designs(d.nest, nullptr, anchorless), Error);
+}
+
+TEST(Enumerate, BrokenSeedNestStillSearchesWithoutCrashing) {
+  // The fixtures under designs/broken/ have defective (step, place)
+  // pairs, but their nests are fine — the search over those nests must
+  // complete and tally every candidate, crash-free.
+  for (const char* name :
+       {"step_on_nullplace", "dependence_clash", "wide_flow"}) {
+    std::string path =
+        std::string(SYSTOLIZE_DESIGN_DIR) + "/broken/" + name + ".sa";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Design d = frontend::parse_design(buf.str());
+    ExploreResult result = enumerate_designs(d.nest, &d.spec, options_at(3));
+    EXPECT_GT(result.stats.enumerated, 0u) << name;
+    // The broken pair itself must not be among the survivors.
+    for (const ExploreCandidate& c : result.ranked) {
+      EXPECT_FALSE(c.matches_seed) << name;
+    }
+  }
+}
+
+TEST(Enumerate, CostPreferredIsAStrictWeakOrdering) {
+  CostMetrics a;
+  a.makespan = 10;
+  CostMetrics b = a;
+  EXPECT_FALSE(cost_preferred(a, b));
+  EXPECT_FALSE(cost_preferred(b, a));
+  b.makespan = 12;
+  EXPECT_TRUE(cost_preferred(a, b));
+  EXPECT_FALSE(cost_preferred(b, a));
+  b = a;
+  b.processes = a.processes + 1;
+  EXPECT_TRUE(cost_preferred(a, b));
+}
+
+}  // namespace
+}  // namespace systolize

@@ -16,7 +16,8 @@
 #   by a name regex) and exit non-zero if any real_time regresses by more
 #   than threshold-pct (default 10) going from labelA (baseline) to
 #   labelB (candidate). Duplicate labels resolve to the latest recorded
-#   run.
+#   run; the pseudo-label "latest" resolves to the most recent run of any
+#   label.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,6 +33,13 @@ with open(path) as f:
     doc = json.load(f)
 
 def run_for(label):
+    # "latest" resolves to the most recently recorded run regardless of
+    # label, so CI can gate "recorded baseline vs whatever ran last".
+    if label == "latest":
+        if not doc.get("runs"):
+            sys.exit(f"no runs recorded in {path}")
+        return {b["name"]: b["real_time_ns"]
+                for b in doc["runs"][-1]["benchmarks"]}
     matches = [r for r in doc.get("runs", []) if r.get("label") == label]
     if not matches:
         known = ", ".join(sorted({r.get("label", "?") for r in doc.get("runs", [])}))

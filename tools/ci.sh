@@ -20,6 +20,22 @@ run_config() {
 run_config "${repo}/build"
 run_config "${repo}/build-asan" -DSYSTOLIZE_SANITIZE=ON
 
+# Static-analysis lint: clang-tidy over the sources changed most often by
+# the analysis/search work, with the root .clang-tidy profile (bugprone,
+# performance, concurrency; warnings are errors). Gated on availability —
+# the reference container ships no clang-tidy, real CI machines do.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== lint: clang-tidy (bugprone, performance, concurrency) ==="
+  clang-tidy -p "${repo}/build" --quiet \
+    "${repo}/src/analysis/cost.cpp" \
+    "${repo}/src/systolic/enumerate.cpp" \
+    "${repo}/src/frontend/render.cpp" \
+    "${repo}/src/service/executor.cpp" \
+    "${repo}/src/service/protocol.cpp"
+else
+  echo "=== lint: clang-tidy not installed, skipping (install to enable) ==="
+fi
+
 # Static verification lint gate: the whole catalog must prove clean, and
 # each deliberately-broken design must trip exactly its seeded rule id
 # (docs/static-analysis.md has the rule table).
@@ -46,6 +62,35 @@ expect_rule() {
 expect_rule step_on_nullplace schedule.injectivity
 expect_rule dependence_clash schedule.dependence-step
 expect_rule wide_flow flow.neighbour
+
+echo "=== analyze: cost model over the catalog + broken fixtures ==="
+# Spot-check one golden number (matmul2's process count at n=4) and make
+# sure every broken fixture degrades to findings, not a crash.
+"${repo}/build/tools/systolize" analyze matmul2 --sizes=4 --format=json \
+  | grep -q '"processes":191'
+for broken in step_on_nullplace dependence_clash wide_flow; do
+  if "${repo}/build/tools/systolize" analyze \
+      "${repo}/designs/broken/${broken}.sa" > /dev/null; then
+    echo "expected analyze to exit non-zero for ${broken}" >&2; exit 1
+  fi
+done
+
+echo "=== explore smoke: matmul2 must win its own search space ==="
+# The PR8 acceptance criterion, end to end through the CLI: restricted to
+# the appendix design's projection, the search re-discovers it at rank 1,
+# and the exported winner round-trips compile -> verify -> run against
+# the sequential baseline.
+explore_out="$(mktemp -u /tmp/systolize-ci-XXXXXX.sa)"
+"${repo}/build/tools/systolize" explore matmul2 --same-projection \
+  --sizes=4 --export="${explore_out}" \
+  | grep -q '#1 \[seed\]' || {
+  echo "matmul2 did not rank first in its own projection class" >&2
+  exit 1; }
+"${repo}/build/tools/systolize" run "${explore_out}" --n=5 --verify \
+  | grep -q 'verify: OK' || {
+  echo "exported explore winner failed the differential run" >&2
+  exit 1; }
+rm -f "${explore_out}"
 
 echo "=== bench smoke: substrate relay chain ==="
 "${repo}/build/bench/bench_endtoend" \
@@ -136,5 +181,19 @@ grep -q "drained, final stats" /tmp/systolize-ci-serve.log || {
 echo "=== bench smoke: warm serve request ==="
 "${repo}/build/bench/bench_endtoend" \
   --benchmark_filter='BM_ServeWarmRequest' --benchmark_min_time=0.05
+
+echo "=== bench smoke: static analysis + design-space search ==="
+# BM_ExploreMatmul2 doubles as a correctness assertion: it SkipWithError's
+# (non-zero exit) if the seed ever stops ranking first in its own space.
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_AnalyzeCost/6|BM_ExploreMatmul2' \
+  --benchmark_min_time=0.05
+
+echo "=== bench gate: analysis must hold the PR8 numbers ==="
+# Recorded-baseline gate: the PR8 run is the floor; "latest" resolves to
+# the most recent recorded run, so future tools/bench.sh recordings are
+# automatically compared against it.
+"${repo}/tools/bench.sh" --compare PR8-explore latest 10 \
+  'BM_AnalyzeCost|BM_ExploreMatmul2'
 
 echo "=== CI OK: plain and sanitizer configurations both green ==="

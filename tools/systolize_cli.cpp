@@ -13,6 +13,11 @@
 //   systolize verify <design | file.sa | all> [--n=N] [--m=M] [--capacity=K]
 //                    [--merge-buffers] [--partition=G]
 //                    [--format=text|json] [--allow=rule,rule...]
+//   systolize analyze <design | file.sa> [--sizes=4,8] [--m=M]
+//                    [--format=text|json]              (static cost report)
+//   systolize explore <design | file.sa> [--coeff-range=K] [--sizes=4]
+//                    [--top=N] [--moving-only] [--same-projection]
+//                    [--export=FILE] [--format=text|json]
 //
 // <design> is a catalog name (see `systolize list`); anything containing a
 // '.' or '/' is treated as a .sa file path.
@@ -33,13 +38,16 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/cost.hpp"
 #include "analysis/verify.hpp"
 #include "ast/builder.hpp"
 #include "ast/print.hpp"
 #include "baseline/sequential.hpp"
 #include "designs/catalog.hpp"
 #include "frontend/parser.hpp"
+#include "frontend/render.hpp"
 #include "runtime/instantiate.hpp"
+#include "systolic/enumerate.hpp"
 #include "scheme/compiler.hpp"
 #include "scheme/report.hpp"
 #include "scheme/schedule.hpp"
@@ -69,6 +77,13 @@ int usage() {
       "  systolize verify <design | file.sa | all> [--n=N] [--m=M]\n"
       "                   [--capacity=K] [--merge-buffers] [--partition=G]\n"
       "                   [--format=text|json] [--allow=rule,rule...]\n"
+      "  systolize analyze <design | file.sa> [--sizes=4,8] [--m=M]\n"
+      "                   [--capacity=K] [--merge-buffers] [--partition=G]\n"
+      "                   [--format=text|json]\n"
+      "  systolize explore <design | file.sa> [--coeff-range=K]\n"
+      "                   [--sizes=4] [--m=M] [--top=N] [--moving-only]\n"
+      "                   [--same-projection] [--export=FILE]\n"
+      "                   [--format=text|json]\n"
       "  systolize serve  --socket=PATH [--workers=N] [--queue-depth=N]\n"
       "                   [--tenant-cap=N] [--round-budget=N]\n"
       "                   [--wall-timeout-ms=N] [--max-retries=N]\n"
@@ -161,6 +176,13 @@ struct Options {
   Int count = 1;                 ///< client: pipelined request count
   bool retry = false;            ///< client: honor retry-after hints
   bool client_verify = false;    ///< client: differential-check runs
+  // --- analyze / explore ---
+  std::string sizes_list;        ///< comma-separated probe sizes
+  Int coeff_range = 1;           ///< explore: coefficients in [-K, K]
+  Int top = 10;                  ///< explore: ranked table length
+  bool moving_only = false;      ///< explore: no stationary streams
+  bool same_projection = false;  ///< explore: keep the seed's null.place
+  std::string export_path;       ///< explore: write the winner as .sa
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -227,6 +249,18 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.retry = true;
   } else if (arg == "--verify") {
     opt.client_verify = true;
+  } else if (arg.rfind("--sizes=", 0) == 0) {
+    opt.sizes_list = value_of("--sizes=");
+  } else if (arg.rfind("--coeff-range=", 0) == 0) {
+    opt.coeff_range = std::stoll(value_of("--coeff-range="));
+  } else if (arg.rfind("--top=", 0) == 0) {
+    opt.top = std::stoll(value_of("--top="));
+  } else if (arg == "--moving-only") {
+    opt.moving_only = true;
+  } else if (arg == "--same-projection") {
+    opt.same_projection = true;
+  } else if (arg.rfind("--export=", 0) == 0) {
+    opt.export_path = value_of("--export=");
   } else {
     return false;
   }
@@ -472,6 +506,174 @@ int cmd_verify(const std::string& what, const Options& opt) {
   return errors == 0 ? 0 : 1;
 }
 
+/// --sizes=4,8 → one Env per listed value (every size symbol gets the
+/// value, except "m" which keeps --m, matching sizes_of). Defaults to
+/// 4 and 8 for analyze, 4 for explore (the caller passes the default).
+std::vector<Env> probe_sizes(const Design& design, const Options& opt,
+                             const std::string& fallback) {
+  std::vector<Env> envs;
+  std::string list = opt.sizes_list.empty() ? fallback : opt.sizes_list;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const Int value = std::stoll(item);
+    Env env;
+    for (const Symbol& s : design.nest.sizes()) {
+      env[s.name()] = s.name() == "m" ? Rational(opt.m) : Rational(value);
+    }
+    envs.push_back(std::move(env));
+  }
+  if (envs.empty()) {
+    raise(ErrorKind::Validation, "--sizes needs at least one value");
+  }
+  return envs;
+}
+
+PlanShape shape_of_options(const Design& design, const Options& opt) {
+  PlanShape shape;
+  shape.channel_capacity = opt.capacity;
+  shape.merge_internal_buffers = opt.merge_buffers;
+  if (opt.partition > 0) {
+    std::vector<Int> comps(design.nest.depth() - 1, opt.partition);
+    shape.partition_grid = IntVec(comps);
+  }
+  return shape;
+}
+
+/// Static cost report. Verifier-first: a broken design yields its
+/// findings (exit 1), never a crash — the cost model only runs on specs
+/// the verifier proves clean at spec and program level.
+int cmd_analyze(const std::string& what, const Options& opt) {
+  const Design design = load_design(what);
+  VerifyReport rep;
+  rep.design = what;
+  verify_spec_into(rep, design.nest, design.spec);
+  std::vector<Env> envs = probe_sizes(design, opt, "4,8");
+  CostReport cost;
+  if (rep.errors() == 0) {
+    try {
+      const CompiledProgram prog = compile(design.nest, design.spec);
+      verify_program_into(rep, prog, design.nest);
+      if (rep.errors() == 0) {
+        cost = analyze_cost(prog, design.nest, envs,
+                            shape_of_options(design, opt));
+      }
+    } catch (const Error& e) {
+      rep.add("compile.error", Severity::Error, design.nest.name(),
+              std::string(error_kind_name(e.kind())) + ": " + e.what(),
+              e.diagnostic());
+    }
+  }
+  if (rep.errors() > 0) {
+    if (opt.format == "json") {
+      std::cout << rep.to_json() << "\n";
+    } else {
+      std::cout << rep.to_string() << "\n";
+    }
+    return 1;
+  }
+  if (opt.format == "json") {
+    std::cout << cost.to_json() << "\n";
+  } else if (opt.format == "text") {
+    std::cout << cost.to_string();
+  } else {
+    std::cerr << "unknown format '" << opt.format << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+/// Design-space search over the seed design's loop nest.
+int cmd_explore(const std::string& what, const Options& opt) {
+  const Design design = load_design(what);
+
+  // A broken seed reports its findings instead of searching: the nest the
+  // search would cover is only trustworthy when the seed's own spec rules
+  // hold (stream ranks, dependence directions).
+  VerifyReport rep = verify_spec(design.nest, design.spec);
+  if (rep.errors() > 0) {
+    if (opt.format == "json") {
+      std::cout << rep.to_json() << "\n";
+    } else {
+      std::cout << rep.to_string() << "\n";
+    }
+    return 1;
+  }
+
+  EnumerateOptions eopt;
+  eopt.coeff_range = opt.coeff_range;
+  eopt.sizes = probe_sizes(design, opt, "4");
+  eopt.top_k = static_cast<std::size_t>(opt.top);
+  eopt.moving_only = opt.moving_only;
+  eopt.same_projection = opt.same_projection;
+  const ExploreResult result =
+      enumerate_designs(design.nest, &design.spec, eopt);
+
+  if (opt.format == "json") {
+    std::cout << "{\"design\":\"" << design.nest.name() << "\",\"survivors\":"
+              << result.stats.survivors << ",\"enumerated\":"
+              << result.stats.enumerated << ",\"ranked\":[";
+    for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+      const ExploreCandidate& c = result.ranked[i];
+      if (i != 0) std::cout << ',';
+      std::cout << "{\"rank\":" << (i + 1) << ",\"step\":\""
+                << frontend::lin_expr_text(c.step.coeffs(), design.nest)
+                << "\",\"place\":\""
+                << frontend::place_text(c.place.matrix(), design.nest)
+                << "\",\"seed\":" << (c.matches_seed ? "true" : "false")
+                << ",\"cost\":" << c.cost.to_json() << '}';
+    }
+    std::cout << "]}\n";
+  } else if (opt.format == "text") {
+    std::cout << "explore " << design.nest.name() << " (seed: step "
+              << frontend::lin_expr_text(design.spec.step().coeffs(),
+                                         design.nest)
+              << ", place "
+              << frontend::place_text(design.spec.place().matrix(),
+                                      design.nest)
+              << ")\n"
+              << result.stats.to_string() << "\n";
+    for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+      const ExploreCandidate& c = result.ranked[i];
+      const CostMetrics& m = c.cost.at.back().metrics;
+      std::cout << "  #" << (i + 1) << (c.matches_seed ? " [seed]" : "")
+                << " step " << frontend::lin_expr_text(c.step.coeffs(),
+                                                       design.nest)
+                << "  place "
+                << frontend::place_text(c.place.matrix(), design.nest)
+                << "\n     makespan=" << m.makespan << " processes="
+                << m.processes << " (comp=" << m.comp << " io=" << m.io
+                << " buffer=" << m.buffer << ") channels=" << m.channels
+                << " soak<=" << m.soak_max << " drain<=" << m.drain_max
+                << " imbalance=" << m.imbalance.to_string() << "\n";
+    }
+  } else {
+    std::cerr << "unknown format '" << opt.format << "'\n";
+    return 2;
+  }
+
+  if (result.ranked.empty()) {
+    std::cerr << "no verifier-clean candidate survived the search\n";
+    return 1;
+  }
+  if (!opt.export_path.empty()) {
+    const ExploreCandidate& winner = result.ranked.front();
+    ArraySpec winner_spec(winner.step, winner.place, winner.loading);
+    std::ofstream out(opt.export_path);
+    if (!out) {
+      raise(ErrorKind::Io, "cannot write '" + opt.export_path + "'");
+    }
+    out << frontend::render_design(
+        design.nest, winner_spec,
+        "Exported by `systolize explore " + what + "`: rank 1 of " +
+            std::to_string(result.stats.survivors) +
+            " verifier-clean candidate(s).");
+    std::cout << "exported rank-1 design to " << opt.export_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_serve(const Options& opt) {
   service::ServerConfig cfg;
   cfg.socket_path = opt.socket;
@@ -574,6 +776,8 @@ int main(int argc, char** argv) {
       }
     }
     if (cmd == "verify") return cmd_verify(argv[2], opt);
+    if (cmd == "analyze") return cmd_analyze(argv[2], opt);
+    if (cmd == "explore") return cmd_explore(argv[2], opt);
     Design design = load_design(argv[2]);
     if (cmd == "report") return cmd_report(design);
     if (cmd == "emit") return cmd_emit(design, opt);
