@@ -63,6 +63,84 @@ BENCHMARK(BM_EndToEnd_Convolution);
 BENCHMARK(BM_EndToEnd_Correlation);
 
 // ---------------------------------------------------------------------
+// Native bytecode backend (docs/performance.md "Native backend &
+// batching"): the same network, bit-identical results, no coroutines.
+// BM_BytecodeVsInterp_* isolates the engine swap at batch 1;
+// BM_BatchSweep measures SoA multi-instance batching (one schedule walk
+// for N instances) against BM_BatchSweep_Interp's sequential
+// run-them-one-by-one baseline — the per-instance gap at batch 8/64 is
+// the headline number.
+
+IndexedStore seeded_lane(const Design& design, const Env& sizes, Int b) {
+  return make_initial_store(
+      design.nest, sizes, [b](const std::string& var, const IntVec& p) {
+        Value h = 1099511628211LL * (var.empty() ? 7 : var[0]);
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
+        return (h + 13 * b) % 17 - 8;
+      });
+}
+
+void bytecode_vs_interp(benchmark::State& state, Backend backend) {
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 6);
+  PlanCache cache;
+  InstantiateOptions options;
+  options.plan_cache = &cache;
+  options.backend = backend;
+  RunMetrics last{};
+  for (auto _ : state) {
+    IndexedStore store = seeded_store(design, sizes);
+    last = execute(prog, design.nest, sizes, store, options);
+    benchmark::DoNotOptimize(store);
+  }
+  state.counters["makespan"] = static_cast<double>(last.makespan);
+}
+
+void BM_BytecodeVsInterp_Interp(benchmark::State& s) {
+  bytecode_vs_interp(s, Backend::Interp);
+}
+void BM_BytecodeVsInterp_Bytecode(benchmark::State& s) {
+  bytecode_vs_interp(s, Backend::Bytecode);
+}
+BENCHMARK(BM_BytecodeVsInterp_Interp);
+BENCHMARK(BM_BytecodeVsInterp_Bytecode);
+
+void batch_sweep(benchmark::State& state, Backend backend) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Design design = design_by_name("matmul2");
+  CompiledProgram prog = compile(design.nest, design.spec);
+  Env sizes = sizes_for(design, 6);
+  PlanCache cache;
+  InstantiateOptions options;
+  options.plan_cache = &cache;
+  options.backend = backend;
+  for (auto _ : state) {
+    std::vector<IndexedStore> stores;
+    stores.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      stores.push_back(seeded_lane(design, sizes, static_cast<Int>(b)));
+    }
+    RunMetrics m = execute_batch(prog, design.nest, sizes, stores.data(),
+                                 batch, options);
+    benchmark::DoNotOptimize(stores);
+    benchmark::DoNotOptimize(m);
+  }
+  // items/s is instances per second — the cross-batch comparable rate.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+
+void BM_BatchSweep(benchmark::State& s) {
+  batch_sweep(s, Backend::Bytecode);
+}
+void BM_BatchSweep_Interp(benchmark::State& s) {
+  batch_sweep(s, Backend::Interp);
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_BatchSweep_Interp)->Arg(1)->Arg(8)->Arg(64);
+
+// ---------------------------------------------------------------------
 // Plan-construction microbenchmarks (PR4): the legacy one-shot symbolic
 // path (build_plan) vs the split pipeline (compile_template once, then
 // integer-only expand_template per size). BM_PlanExpand_* against

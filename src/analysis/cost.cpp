@@ -1,7 +1,10 @@
 #include "analysis/cost.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+
+#include "runtime/bytecode.hpp"
 
 namespace systolize {
 namespace {
@@ -191,6 +194,10 @@ CostMetrics cost_metrics_of(const CompiledProgram& program,
     if (s.access() != StreamAccess::Update) continue;
     m.longest_chain = std::max(m.longest_chain, chain_length_at(s, nest, sizes));
   }
+
+  const std::unique_ptr<BytecodeProgram> bytecode = lower_plan(plan);
+  m.bytecode_instructions = static_cast<Int>(bytecode->instruction_count());
+  m.bytecode_bytes = static_cast<Int>(bytecode->memory_bytes());
   return m;
 }
 
@@ -242,7 +249,9 @@ std::string CostReport::to_string() const {
        << " chain=" << m.longest_chain << " work=" << m.total_work
        << " max/proc=" << m.max_proc_work
        << " imbalance=" << m.imbalance.to_string()
-       << " overhead=" << m.overhead.to_string() << "\n";
+       << " overhead=" << m.overhead.to_string()
+       << "\n    bytecode: insns=" << m.bytecode_instructions
+       << " bytes=" << m.bytecode_bytes << "\n";
   }
   return os.str();
 }
@@ -274,7 +283,9 @@ std::string CostReport::to_json() const {
        << ",\"total_work\":" << m.total_work
        << ",\"max_proc_work\":" << m.max_proc_work << ",\"imbalance\":\""
        << m.imbalance.to_string() << "\",\"overhead\":\""
-       << m.overhead.to_string() << "\"}";
+       << m.overhead.to_string()
+       << "\",\"bytecode_instructions\":" << m.bytecode_instructions
+       << ",\"bytecode_bytes\":" << m.bytecode_bytes << '}';
   }
   os << "]}";
   return os.str();

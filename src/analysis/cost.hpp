@@ -74,6 +74,12 @@ struct CostMetrics {
   /// (io + buffer) / comp: processes spent moving data per process
   /// spent computing.
   Rational overhead;
+  /// Lowered bytecode footprint (runtime/bytecode.hpp): flat instruction
+  /// count and resident bytes of the program the native backend executes
+  /// for this plan. Static like everything else here — lowering is a
+  /// linear walk of the plan, no scheduler rounds.
+  Int bytecode_instructions = 0;
+  Int bytecode_bytes = 0;
 };
 
 /// The analyzer's result for one design: formulas + one row per size.

@@ -23,6 +23,20 @@ namespace systolize {
 
 class WorkerPool;
 
+/// Which engine executes the expanded plan.
+///
+///   * Auto — single-instance runs take the coroutine scheduler exactly
+///     as before; batched runs (execute_batch with batch > 1) take the
+///     bytecode VM when the options are eligible and fall back to a
+///     sequential per-instance interp loop otherwise.
+///   * Interp — force the coroutine scheduler (batched runs loop over
+///     instances sequentially; the baseline the batching benchmarks
+///     compare against).
+///   * Bytecode — force the lowered VM (runtime/bytecode + runtime/vm);
+///     incompatible options raise Error(Validation). Bit-identical to
+///     the interpreted fast path via the dataflow clocks.
+enum class Backend { Auto, Interp, Bytecode };
+
 struct InstantiateOptions {
   /// Rendezvous (0) by default; larger values add slack per channel.
   Int channel_capacity = 0;
@@ -75,6 +89,11 @@ struct InstantiateOptions {
   /// Error(Validation) with the verify report as message and its JSON as
   /// the diagnostic payload. Costs zero scheduler rounds.
   bool verify_plan = false;
+  /// Execution engine selection (see Backend). The bytecode VM requires
+  /// pure rendezvous channels (capacity 0, unmerged buffers), no
+  /// partitioning, no tracing, no fault injection and no starvation
+  /// bound; round budgets and cancel tokens are supported.
+  Backend backend = Backend::Auto;
 };
 
 /// Execute the program at the problem size bound in `sizes`, reading
@@ -84,5 +103,25 @@ struct InstantiateOptions {
                                  const LoopNest& nest, const Env& sizes,
                                  IndexedStore& store,
                                  const InstantiateOptions& options = {});
+
+/// Execute `batch` independent problem instances through ONE expanded
+/// plan: stores[0..batch) each hold one instance's inputs and receive its
+/// outputs. All instances share the schedule (it is value-independent),
+/// so on the bytecode backend the whole batch runs as SoA lanes of a
+/// single VM dispatch — plan expansion, lowering and all per-transfer
+/// control cost are paid once for the batch. Backend::Interp (or an
+/// ineligible Auto) degrades to a sequential per-instance loop with
+/// identical results. The returned metrics describe the shared schedule
+/// (identical for every instance) with `batch` set.
+///
+/// Fault injection is per-instance by nature (a kill produces a verdict
+/// for one instance, not the batch), so `options.faults` must be empty —
+/// callers wanting faulted batches run instances individually through
+/// execute(). Throws Error(Validation) otherwise.
+[[nodiscard]] RunMetrics execute_batch(const CompiledProgram& program,
+                                       const LoopNest& nest, const Env& sizes,
+                                       IndexedStore* stores,
+                                       std::size_t batch,
+                                       const InstantiateOptions& options = {});
 
 }  // namespace systolize

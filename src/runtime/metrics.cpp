@@ -68,6 +68,15 @@ std::string RunMetrics::to_string() const {
   if (plan_cache_evictions > 0) {
     os << " cache_evictions=" << plan_cache_evictions;
   }
+  if (backend != "interp") {
+    os << " backend=" << backend << " insns=" << bytecode_instructions;
+    if (bytecode_reused) {
+      os << " program=cached";
+    } else if (bytecode_lower_ns > 0) {
+      os << " program=lowered(" << bytecode_lower_ns << "ns)";
+    }
+  }
+  if (batch > 1) os << " batch=" << batch;
   return os.str();
 }
 
@@ -90,6 +99,11 @@ std::string RunMetrics::to_json() const {
      << ",\"plan_expand_ns\":" << plan_expand_ns
      << ",\"plan_cache_bytes\":" << plan_cache_bytes
      << ",\"plan_cache_evictions\":" << plan_cache_evictions
+     << ",\"backend\":\"" << json_escape(backend) << '"'
+     << ",\"batch\":" << batch
+     << ",\"bytecode_reused\":" << (bytecode_reused ? "true" : "false")
+     << ",\"bytecode_lower_ns\":" << bytecode_lower_ns
+     << ",\"bytecode_instructions\":" << bytecode_instructions
      << ",\"transfers_per_stream\":{";
   bool first = true;
   for (const auto& [stream, count] : transfers_per_stream) {

@@ -49,6 +49,20 @@ struct RunMetrics {
   /// lookup (0 when no cache is attached).
   std::size_t plan_cache_bytes = 0;
   std::size_t plan_cache_evictions = 0;
+  /// Execution backend that ran the plan: "interp" (the coroutine
+  /// scheduler) or "bytecode" (the lowered VM, runtime/vm.hpp).
+  std::string backend = "interp";
+  /// Problem instances executed by this dispatch (SoA lanes); 1 means an
+  /// ordinary single-instance run. All schedule metrics above are per
+  /// schedule, not per instance — lanes share one schedule by design.
+  std::size_t batch = 1;
+  /// Lowered program came from the PlanCache's bytecode level.
+  bool bytecode_reused = false;
+  /// Nanoseconds spent lowering the plan for this run (0 on a cache hit
+  /// or on interp runs).
+  Int bytecode_lower_ns = 0;
+  /// Instruction count of the lowered program (0 on interp runs).
+  std::size_t bytecode_instructions = 0;
   std::map<std::string, Int> transfers_per_stream;
   /// Per-worker substrate counters of a parallel run (empty = sequential).
   std::vector<WorkerCounters> workers;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "runtime/bytecode.hpp"
 #include "runtime/plan_template.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/error.hpp"
@@ -499,6 +500,56 @@ void PlanCache::evict_to_budget_locked() {
   }
 }
 
+std::shared_ptr<const BytecodeProgram> PlanCache::lookup_or_lower(
+    std::shared_ptr<const NetworkPlan> plan, BytecodeStats* stats) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bc_index_.find(plan.get());
+    if (it != bc_index_.end()) {
+      ++bc_hits_;
+      bc_lru_.splice(bc_lru_.begin(), bc_lru_, it->second);
+      if (stats != nullptr) stats->hit = true;
+      return it->second->program;
+    }
+  }
+  // Miss: lower outside the lock (concurrent callers for different plans
+  // should not serialize; a racing duplicate of the same plan is harmless
+  // — first insert wins, like the plan level).
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const BytecodeProgram> lowered = lower_plan(*plan);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  if (stats != nullptr) stats->lower_ns = static_cast<std::uint64_t>(elapsed);
+  std::lock_guard<std::mutex> lock(mu_);
+  lower_ns_ += static_cast<std::uint64_t>(elapsed);
+  auto it = bc_index_.find(plan.get());
+  if (it != bc_index_.end()) {
+    ++bc_hits_;
+    bc_lru_.splice(bc_lru_.begin(), bc_lru_, it->second);
+    if (stats != nullptr) stats->hit = true;
+    return it->second->program;
+  }
+  ++bc_misses_;
+  const std::size_t program_bytes = lowered->memory_bytes();
+  bc_lru_.push_front(BytecodeEntry{plan.get(), std::move(plan),
+                                   std::move(lowered), program_bytes});
+  bc_index_.emplace(bc_lru_.front().key, bc_lru_.begin());
+  bc_bytes_ += program_bytes;
+  evict_bytecode_locked();
+  return bc_lru_.front().program;
+}
+
+void PlanCache::evict_bytecode_locked() {
+  while (bc_bytes_ > budget_ && bc_lru_.size() > 1) {
+    BytecodeEntry& victim = bc_lru_.back();
+    bc_bytes_ -= victim.bytes;
+    bc_index_.erase(victim.key);
+    bc_lru_.pop_back();
+    ++bc_evictions_;
+  }
+}
+
 std::size_t PlanCache::byte_budget() const {
   std::lock_guard<std::mutex> lock(mu_);
   return budget_;
@@ -508,6 +559,7 @@ void PlanCache::set_byte_budget(std::size_t byte_budget) {
   std::lock_guard<std::mutex> lock(mu_);
   budget_ = byte_budget;
   evict_to_budget_locked();
+  evict_bytecode_locked();
 }
 
 std::size_t PlanCache::size() const {
@@ -548,6 +600,36 @@ std::size_t PlanCache::bytes() const {
 std::uint64_t PlanCache::expand_ns() const {
   std::lock_guard<std::mutex> lock(mu_);
   return expand_ns_;
+}
+
+std::size_t PlanCache::bytecode_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bc_index_.size();
+}
+
+std::size_t PlanCache::bytecode_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bc_hits_;
+}
+
+std::size_t PlanCache::bytecode_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bc_misses_;
+}
+
+std::size_t PlanCache::bytecode_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bc_evictions_;
+}
+
+std::size_t PlanCache::bytecode_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bc_bytes_;
+}
+
+std::uint64_t PlanCache::lower_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lower_ns_;
 }
 
 // ------------------------------------------------------- plan execution

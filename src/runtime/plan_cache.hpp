@@ -130,7 +130,8 @@ struct NetworkPlan {
     const CompiledProgram& program, const LoopNest& nest, const Env& sizes,
     const PlanShape& shape);
 
-struct PlanTemplate;  // runtime/plan_template.hpp
+struct PlanTemplate;    // runtime/plan_template.hpp
+struct BytecodeProgram; // runtime/bytecode.hpp
 
 /// Thread-safe two-level memo built on the compile-once/specialize-cheaply
 /// split of runtime/plan_template.hpp:
@@ -176,6 +177,29 @@ class PlanCache {
       const CompiledProgram& program, const LoopNest& nest,
       const PlanShape& shape, LookupStats* stats = nullptr);
 
+  /// Per-call outcome of the bytecode level, for RunMetrics reporting.
+  struct BytecodeStats {
+    bool hit = false;           ///< lowered program came from the cache
+    std::uint64_t lower_ns = 0; ///< time spent in lower_plan (0 on hit)
+  };
+
+  /// Third cache level: the lowered bytecode program of an expanded plan
+  /// (runtime/bytecode.hpp), keyed by plan identity. The entry pins the
+  /// plan's shared_ptr, so the address key can never alias a recycled
+  /// allocation while cached. Same LRU byte budget as the plan level
+  /// (accounted separately — lowered programs are tiny next to plans).
+  [[nodiscard]] std::shared_ptr<const BytecodeProgram> lookup_or_lower(
+      std::shared_ptr<const NetworkPlan> plan,
+      BytecodeStats* stats = nullptr);
+
+  [[nodiscard]] std::size_t bytecode_size() const;    ///< cached programs
+  [[nodiscard]] std::size_t bytecode_hits() const;
+  [[nodiscard]] std::size_t bytecode_misses() const;  ///< lowerings
+  [[nodiscard]] std::size_t bytecode_evictions() const;
+  [[nodiscard]] std::size_t bytecode_bytes() const;
+  /// Cumulative nanoseconds spent lowering plans to bytecode.
+  [[nodiscard]] std::uint64_t lower_ns() const;
+
   [[nodiscard]] std::size_t size() const;    ///< cached plans
   [[nodiscard]] std::size_t hits() const;    ///< plan-level hits
   [[nodiscard]] std::size_t misses() const;  ///< plan-level expansions
@@ -202,11 +226,20 @@ class PlanCache {
     std::size_t bytes = 0;
   };
 
+  struct BytecodeEntry {
+    const NetworkPlan* key = nullptr;
+    std::shared_ptr<const NetworkPlan> plan;  ///< pins the key's identity
+    std::shared_ptr<const BytecodeProgram> program;
+    std::size_t bytes = 0;
+  };
+
   void insert_plan(std::string key, std::shared_ptr<const NetworkPlan> plan,
                    LookupStats* stats);
   /// Evict LRU entries until bytes_ <= budget_ (keeps >= 1 entry).
   /// Caller holds mu_.
   void evict_to_budget_locked();
+  /// Same, for the bytecode level's own byte accounting.
+  void evict_bytecode_locked();
 
   std::size_t budget_;
   mutable std::mutex mu_;
@@ -221,6 +254,14 @@ class PlanCache {
   std::size_t template_compiles_ = 0;
   std::size_t evictions_ = 0;
   std::uint64_t expand_ns_ = 0;
+  /// Bytecode level: LRU list (most-recent first) + address index.
+  std::list<BytecodeEntry> bc_lru_;
+  std::map<const NetworkPlan*, std::list<BytecodeEntry>::iterator> bc_index_;
+  std::size_t bc_bytes_ = 0;
+  std::size_t bc_hits_ = 0;
+  std::size_t bc_misses_ = 0;
+  std::size_t bc_evictions_ = 0;
+  std::uint64_t lower_ns_ = 0;
 };
 
 /// Per-run bindings for the plan's process bodies: where input values

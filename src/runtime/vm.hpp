@@ -1,0 +1,92 @@
+// The bytecode VM: threaded-dispatch execution of a lowered NetworkPlan
+// (runtime/bytecode.hpp), bit-identical to the coroutine fast path.
+//
+// Identity argument: the VM replicates the fast scheduler's observable
+// semantics op for op —
+//   * the same FIFO double-buffered round structure (one round = the
+//     ready entries present at round start; initial queue = spawn order),
+//   * the same rendezvous clock math (both sides advance to
+//     max(issue times) + 1; par sets issue every op at the owner's time
+//     before any op is attempted, then attempt in set order),
+//   * the same statement tick (+1 after each basic statement),
+// so results, makespan, per-channel transfer counts, statement counts AND
+// scheduler_rounds all match the interpreted fast path exactly. The
+// differential suite (tests/integration/test_bytecode_differential.cpp)
+// asserts this across the whole design catalog.
+//
+// What the VM removes is the per-communication *mechanism*: no coroutine
+// frames, no awaiter objects, no parked-op vectors — a channel is two
+// single-op park slots (pure rendezvous networks have single writers and
+// readers with at most one outstanding op per side), a process is a dozen
+// integers of resume state, and dispatch is computed goto over a flat
+// instruction array.
+//
+// SoA multi-instance batching: one VM run executes the same schedule over
+// N independent problem instances ("lanes"). Registers and the in/out
+// value buffers are instance-major arrays (value of register r in lane l
+// at regs[r*stride + l]); a rendezvous copies all lanes at once, while
+// every clock, counter and control decision stays scalar — the schedule
+// is value-independent, so all lanes share it. This amortizes the entire
+// control overhead across the batch. Lanes can additionally be split
+// across WorkerPool threads (run_vm_batched): each worker executes the
+// full schedule over its own lane chunk with private scalar state, so no
+// synchronization is needed beyond the final join.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/bytecode.hpp"
+#include "support/error.hpp"
+
+namespace systolize {
+
+class WorkerPool;
+
+struct VmRunOptions {
+  /// Round budget (0 = unbounded); trips Error(Timeout) like the
+  /// instrumented scheduler's watchdog.
+  Int max_rounds = 0;
+  /// External cancellation token, polled at round boundaries.
+  const std::atomic<bool>* cancel = nullptr;
+  std::string cancel_reason = "externally cancelled";
+  ErrorKind cancel_kind = ErrorKind::Cancelled;
+};
+
+/// Schedule metrics of one VM run. All fields are schedule properties,
+/// identical across lanes (and across lane chunks of a batched run).
+struct VmResult {
+  Int makespan = 0;
+  Int total_transfers = 0;
+  Int statements = 0;
+  Int rounds = 0;
+  std::vector<Int> channel_transfers;  ///< by plan channel id
+};
+
+/// Execute `prog` (lowered from `plan`) over lanes [lane_begin, lane_end)
+/// of instance-major buffers with `lane_stride` total lanes: element e of
+/// lane l lives at in[e * lane_stride + l] / out[e * lane_stride + l],
+/// both aligned with plan.elems. Throws Error(Runtime) with a forensic
+/// DeadlockReport on stall, Error(Timeout) on budget exhaustion, and
+/// `opt.cancel_kind` on cancellation.
+[[nodiscard]] VmResult run_vm(const BytecodeProgram& prog,
+                              const NetworkPlan& plan, const Value* in,
+                              Value* out, std::size_t lane_stride,
+                              std::size_t lane_begin, std::size_t lane_end,
+                              const VmRunOptions& opt = {});
+
+/// Batched driver: run all `lanes` lanes, splitting them into contiguous
+/// chunks across up to `threads` workers (worker 0 is the calling
+/// thread). `pool` may be null (threads are spawned per call); with
+/// threads <= 1 this is a single run_vm call. Chunk failures are
+/// captured and the first is rethrown after every worker returns.
+[[nodiscard]] VmResult run_vm_batched(const BytecodeProgram& prog,
+                                      const NetworkPlan& plan,
+                                      const Value* in, Value* out,
+                                      std::size_t lanes, unsigned threads,
+                                      WorkerPool* pool,
+                                      const VmRunOptions& opt = {});
+
+}  // namespace systolize

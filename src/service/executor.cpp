@@ -1,5 +1,6 @@
 #include "service/executor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <new>
 #include <sstream>
@@ -42,14 +43,23 @@ PlanShape shape_of(const Design& design, const Request& req) {
 }
 
 /// Same deterministic value seeding as the CLI's run command, so daemon
-/// runs and one-shot runs verify against identical inputs.
-IndexedStore seeded_store(const Design& design, const Env& sizes) {
+/// runs and one-shot runs verify against identical inputs. Instance `b`
+/// of a batch is deterministically perturbed (instance 0 stays the
+/// historical single-run seeding).
+IndexedStore seeded_store(const Design& design, const Env& sizes,
+                          Int b = 0) {
   return make_initial_store(
-      design.nest, sizes, [](const std::string& var, const IntVec& p) {
+      design.nest, sizes, [b](const std::string& var, const IntVec& p) {
         Value h = var.empty() ? 1 : var[0];
         for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
-        return h % 23 - 11;
+        return (h + 13 * b) % 23 - 11;
       });
+}
+
+Backend backend_of(const Request& req) {
+  if (req.backend == "interp") return Backend::Interp;
+  if (req.backend == "bytecode") return Backend::Bytecode;
+  return Backend::Auto;  // parse_request already rejected anything else
 }
 
 Response error_response(const Request& req, const Error& e, Int retries) {
@@ -235,8 +245,6 @@ Response Executor::handle_expand(const Request& req) {
 
 Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
   Env sizes = sizes_of(ce.design, req);
-  IndexedStore store = seeded_store(ce.design, sizes);
-  IndexedStore expected = store;
 
   InstantiateOptions iopt;
   iopt.channel_capacity = req.capacity;
@@ -246,6 +254,7 @@ Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
     iopt.partition_grid = IntVec(comps);
   }
   iopt.plan_cache = &plan_cache_;
+  iopt.backend = backend_of(req);
 
   FaultPlan plan;
   if (!req.inject.empty()) {
@@ -279,18 +288,106 @@ Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
         "wall-clock deadline of " + std::to_string(wall_ms) + "ms exceeded";
   }
 
+  const std::size_t batch = static_cast<std::size_t>(req.batch);
+
+  if (batch > 1 && iopt.faults != nullptr) {
+    // Faulted batches have per-instance semantics: a kill is a verdict
+    // for ONE instance, never for the batch. Replay each instance
+    // through the instrumented engine with its own derived fault seed
+    // and report a verdict per instance in the data payload.
+    std::ostringstream instances;
+    std::size_t failures = 0;
+    Int faults_total = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      FaultPlan per_plan = FaultPlan::parse(req.inject);
+      per_plan.set_seed(per_plan.seed() + b);
+      InstantiateOptions per = iopt;
+      per.faults = &per_plan;
+      IndexedStore store =
+          seeded_store(ce.design, sizes, static_cast<Int>(b));
+      IndexedStore expected = store;
+      std::string verdict = "success";
+      std::string detail;
+      try {
+        RunMetrics m =
+            execute(ce.prog, ce.design.nest, sizes, store, per);
+        faults_total += m.faults_injected;
+        if (req.verify) {
+          run_sequential(ce.design.nest, sizes, expected);
+          for (const Stream& s : ce.design.nest.streams()) {
+            if (store.elements(s.name()) != expected.elements(s.name())) {
+              verdict = "Inconsistent";
+              detail = "differential check failed for stream " + s.name();
+              ++failures;
+              break;
+            }
+          }
+        }
+      } catch (const Error& e) {
+        verdict = error_kind_name(e.kind());
+        const std::string what = e.what();
+        detail = what.substr(0, what.find('\n'));
+        ++failures;
+      }
+      if (b != 0) instances << ',';
+      instances << "{\"instance\":" << b << ",\"verdict\":"
+                << json_quote(verdict);
+      if (!detail.empty()) instances << ",\"message\":" << json_quote(detail);
+      instances << '}';
+    }
+    deadline.disarm();
+    Response r;
+    r.id = req.id;
+    r.op = req.op;
+    r.status = "ok";
+    r.verdict = failures == 0 ? "success" : "instance-failures";
+    std::ostringstream data;
+    data << "{\"batch\":" << batch << ",\"failures\":" << failures
+         << ",\"faults_injected\":" << faults_total << ",\"instances\":["
+         << instances.str() << "]}";
+    r.data_json = data.str();
+    return r;
+  }
+
+  if (batch > 1) {
+    std::vector<IndexedStore> stores;
+    stores.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      stores.push_back(seeded_store(ce.design, sizes, static_cast<Int>(b)));
+    }
+    RunMetrics metrics = execute_batch(ce.prog, ce.design.nest, sizes,
+                                       stores.data(), batch, iopt);
+    deadline.disarm();
+    note_run_metrics(metrics);
+    if (req.verify) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        IndexedStore expected =
+            seeded_store(ce.design, sizes, static_cast<Int>(b));
+        run_sequential(ce.design.nest, sizes, expected);
+        for (const Stream& s : ce.design.nest.streams()) {
+          if (stores[b].elements(s.name()) != expected.elements(s.name())) {
+            raise(ErrorKind::Inconsistent,
+                  "differential check failed for instance " +
+                      std::to_string(b) + " stream " + s.name() +
+                      " (batched run disagrees with sequential baseline)");
+          }
+        }
+      }
+    }
+    Response r;
+    r.id = req.id;
+    r.op = req.op;
+    r.status = "ok";
+    r.verdict = "success";
+    r.metrics_json = metrics.to_json();
+    return r;
+  }
+
+  IndexedStore store = seeded_store(ce.design, sizes);
+  IndexedStore expected = store;
   RunMetrics metrics = execute(ce.prog, ce.design.nest, sizes, store, iopt);
   deadline.disarm();
-
-  if (!metrics.workers.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++substrate_runs_;
-    for (const WorkerCounters& w : metrics.workers) {
-      substrate_steals_ += w.steals;
-      substrate_tasks_ += w.tasks;
-      substrate_idle_ns_ += w.idle_ns;
-    }
-  }
+  note_run_metrics(metrics);
 
   if (req.verify) {
     run_sequential(ce.design.nest, sizes, expected);
@@ -310,6 +407,147 @@ Response Executor::run_attempt(const CompiledEntry& ce, const Request& req) {
   r.verdict = "success";
   r.metrics_json = metrics.to_json();
   return r;
+}
+
+void Executor::note_run_metrics(const RunMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!metrics.workers.empty()) {
+    ++substrate_runs_;
+    for (const WorkerCounters& w : metrics.workers) {
+      substrate_steals_ += w.steals;
+      substrate_tasks_ += w.tasks;
+      substrate_idle_ns_ += w.idle_ns;
+    }
+  }
+  if (metrics.backend == "bytecode") {
+    ++bytecode_runs_;
+    bytecode_instances_ += metrics.batch;
+    max_batch_ = std::max(max_batch_, metrics.batch);
+  }
+}
+
+std::vector<Response> Executor::handle_group(
+    const std::vector<Request>& reqs) {
+  if (reqs.empty()) return {};
+  if (reqs.size() == 1) return {handle(reqs.front())};
+  try {
+    std::vector<Response> rs = group_attempt(reqs);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      for (const Request& req : reqs) ++op_counts_[req.op];
+      ++coalesced_groups_;
+      coalesced_requests_ += reqs.size();
+    }
+    for (const Response& r : rs) count_outcome(r);
+    degradation_.on_success();
+    return rs;
+  } catch (...) {
+    // Coalescing is an optimization, never a semantic change: on ANY
+    // group-dispatch failure, serve each request independently — that
+    // path carries the full retry/degradation/classification machinery.
+    std::vector<Response> rs;
+    rs.reserve(reqs.size());
+    for (const Request& req : reqs) rs.push_back(handle(req));
+    return rs;
+  }
+}
+
+std::vector<Response> Executor::group_attempt(
+    const std::vector<Request>& reqs) {
+  const Request& proto = reqs.front();
+  auto ce = compiled_for(proto, nullptr);
+  Env sizes = sizes_of(ce->design, proto);
+
+  // Lanes are request-major: request j's instances are contiguous, each
+  // seeded exactly as they would be in a solo run of that request — a
+  // coalesced response is bit-identical to an uncoalesced one.
+  std::size_t lanes = 0;
+  for (const Request& r : reqs) lanes += static_cast<std::size_t>(r.batch);
+  std::vector<IndexedStore> stores;
+  stores.reserve(lanes);
+  for (const Request& r : reqs) {
+    for (Int b = 0; b < r.batch; ++b) {
+      stores.push_back(seeded_store(ce->design, sizes, b));
+    }
+  }
+
+  InstantiateOptions iopt;
+  iopt.channel_capacity = proto.capacity;
+  iopt.merge_internal_buffers = proto.merge_buffers;
+  if (proto.partition > 0) {
+    std::vector<Int> comps(ce->design.nest.depth() - 1, proto.partition);
+    iopt.partition_grid = IntVec(comps);
+  }
+  iopt.plan_cache = &plan_cache_;
+  iopt.backend = backend_of(proto);
+  const unsigned threads =
+      degradation_.effective_threads(static_cast<unsigned>(proto.threads));
+  if (threads > 1) {
+    iopt.threads = threads;
+    iopt.worker_pool = &pool_;
+  }
+  DeadlineTimer deadline;
+  iopt.watchdog.max_rounds = proto.round_budget > 0
+                                 ? proto.round_budget
+                                 : config_.default_round_budget;
+  const Int wall_ms = proto.wall_timeout_ms > 0
+                          ? proto.wall_timeout_ms
+                          : config_.default_wall_timeout_ms;
+  if (wall_ms > 0) {
+    deadline.arm(wall_ms);
+    iopt.watchdog.cancel = deadline.token();
+    iopt.watchdog.cancel_kind = ErrorKind::Timeout;
+    iopt.watchdog.cancel_reason =
+        "wall-clock deadline of " + std::to_string(wall_ms) + "ms exceeded";
+  }
+
+  RunMetrics metrics = execute_batch(ce->prog, ce->design.nest, sizes,
+                                     stores.data(), lanes, iopt);
+  deadline.disarm();
+  note_run_metrics(metrics);
+
+  if (proto.verify) {
+    // Only req.batch distinct seedings exist across the group; verify
+    // each distinct instance index once against the sequential baseline,
+    // then compare every lane against its index's expectation.
+    std::map<Int, IndexedStore> expected_by_instance;
+    std::size_t lane = 0;
+    for (const Request& r : reqs) {
+      for (Int b = 0; b < r.batch; ++b, ++lane) {
+        auto it = expected_by_instance.find(b);
+        if (it == expected_by_instance.end()) {
+          IndexedStore expected = seeded_store(ce->design, sizes, b);
+          run_sequential(ce->design.nest, sizes, expected);
+          it = expected_by_instance.emplace(b, std::move(expected)).first;
+        }
+        for (const Stream& s : ce->design.nest.streams()) {
+          if (stores[lane].elements(s.name()) !=
+              it->second.elements(s.name())) {
+            raise(ErrorKind::Inconsistent,
+                  "differential check failed for coalesced lane " +
+                      std::to_string(lane) + " stream " + s.name());
+          }
+        }
+      }
+    }
+  }
+
+  std::ostringstream coalesced;
+  coalesced << "{\"coalesced\":true,\"group\":" << reqs.size()
+            << ",\"lanes\":" << lanes << '}';
+  std::vector<Response> rs;
+  rs.reserve(reqs.size());
+  for (const Request& req : reqs) {
+    Response r;
+    r.id = req.id;
+    r.op = req.op;
+    r.status = "ok";
+    r.verdict = "success";
+    r.metrics_json = metrics.to_json();
+    r.data_json = coalesced.str();
+    rs.push_back(std::move(r));
+  }
+  return rs;
 }
 
 Response Executor::handle_run(const Request& req) {
@@ -429,7 +667,12 @@ std::string Executor::stats_json() const {
        << ",\"steals\":" << substrate_steals_
        << ",\"tasks\":" << substrate_tasks_
        << ",\"idle_ns\":" << substrate_idle_ns_
-       << ",\"pool_threads\":" << pool_.spawned() << '}';
+       << ",\"pool_threads\":" << pool_.spawned() << '}'
+       << ",\"bytecode\":{\"runs\":" << bytecode_runs_
+       << ",\"batched_instances\":" << bytecode_instances_
+       << ",\"max_batch\":" << max_batch_
+       << ",\"coalesced_groups\":" << coalesced_groups_
+       << ",\"coalesced_requests\":" << coalesced_requests_ << '}';
   }
   os << ",\"plan_cache\":{\"plans\":" << plan_cache_.size()
      << ",\"hits\":" << plan_cache_.hits()
@@ -438,7 +681,12 @@ std::string Executor::stats_json() const {
      << ",\"template_compiles\":" << plan_cache_.template_compiles()
      << ",\"evictions\":" << plan_cache_.evictions()
      << ",\"bytes\":" << plan_cache_.bytes()
-     << ",\"budget\":" << plan_cache_.byte_budget() << '}';
+     << ",\"budget\":" << plan_cache_.byte_budget()
+     << ",\"bytecode_programs\":" << plan_cache_.bytecode_size()
+     << ",\"bytecode_hits\":" << plan_cache_.bytecode_hits()
+     << ",\"bytecode_misses\":" << plan_cache_.bytecode_misses()
+     << ",\"bytecode_evictions\":" << plan_cache_.bytecode_evictions()
+     << ",\"bytecode_bytes\":" << plan_cache_.bytecode_bytes() << '}';
   os << ",\"degradation\":" << degradation_.to_json();
   if (queue_ != nullptr) {
     os << ",\"admission\":{\"admitted\":" << queue_->admitted()

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "designs/catalog.hpp"
 #include "runtime/plan_cache.hpp"
@@ -34,6 +35,10 @@
 #include "scheme/types.hpp"
 #include "service/degradation.hpp"
 #include "service/protocol.hpp"
+
+namespace systolize {
+struct RunMetrics;
+}
 
 namespace systolize::service {
 
@@ -94,6 +99,17 @@ class Executor {
   /// plain acknowledgement.)
   [[nodiscard]] Response handle(const Request& req);
 
+  /// Serve a coalesced group of run requests (RequestQueue::pop_group)
+  /// with ONE batched dispatch: the requests' instances become SoA lanes
+  /// of a single bytecode run, so k warm requests pay one schedule
+  /// instead of k. Every request gets its own response (same order as
+  /// `reqs`), marked with a "coalesced" data payload. Coalescing is an
+  /// optimization, never a semantic change: any group-dispatch failure
+  /// falls back to independent handle() calls, preserving per-request
+  /// retry and degradation behaviour. Never throws.
+  [[nodiscard]] std::vector<Response> handle_group(
+      const std::vector<Request>& reqs);
+
   /// Optional: let the stats op report admission counters too.
   void set_queue(const RequestQueue* queue) { queue_ = queue; }
 
@@ -125,9 +141,13 @@ class Executor {
   [[nodiscard]] Response handle_run(const Request& req);
   [[nodiscard]] Response run_attempt(const CompiledEntry& ce,
                                      const Request& req);
+  [[nodiscard]] std::vector<Response> group_attempt(
+      const std::vector<Request>& reqs);
   [[nodiscard]] Response handle_verify(const Request& req);
   [[nodiscard]] Response handle_analyze(const Request& req);
   void count_outcome(const Response& r);
+  /// Accumulate substrate and bytecode-backend counters off a run.
+  void note_run_metrics(const RunMetrics& metrics);
 
   const ExecutorConfig config_;
   PlanCache plan_cache_;
@@ -154,6 +174,12 @@ class Executor {
   Int substrate_steals_ = 0;
   Int substrate_tasks_ = 0;
   Int substrate_idle_ns_ = 0;
+  /// Bytecode backend and request-coalescing counters.
+  std::size_t bytecode_runs_ = 0;       ///< dispatches the VM executed
+  std::size_t bytecode_instances_ = 0;  ///< SoA lanes across those runs
+  std::size_t max_batch_ = 0;           ///< widest single dispatch seen
+  std::size_t coalesced_groups_ = 0;    ///< shared dispatches (group > 1)
+  std::size_t coalesced_requests_ = 0;  ///< requests riding those groups
 };
 
 }  // namespace systolize::service

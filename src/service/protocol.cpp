@@ -30,6 +30,8 @@ std::string Request::to_json() const {
   if (threads != 0) os << ",\"threads\":" << threads;
   if (verify) os << ",\"verify\":true";
   if (!inject.empty()) os << ",\"inject\":" << json_quote(inject);
+  if (!backend.empty()) os << ",\"backend\":" << json_quote(backend);
+  if (batch != 1) os << ",\"batch\":" << batch;
   if (round_budget != 0) os << ",\"round_budget\":" << round_budget;
   if (wall_timeout_ms != 0) os << ",\"wall_timeout_ms\":" << wall_timeout_ms;
   if (fail_attempts != 0) os << ",\"fail_attempts\":" << fail_attempts;
@@ -62,6 +64,8 @@ Request parse_request(const std::string& line) {
   req.threads = doc.int_or("threads", 0);
   req.verify = doc.bool_or("verify", false);
   req.inject = doc.str_or("inject", "");
+  req.backend = doc.str_or("backend", "");
+  req.batch = doc.int_or("batch", 1);
   req.round_budget = doc.int_or("round_budget", 0);
   req.wall_timeout_ms = doc.int_or("wall_timeout_ms", 0);
   req.fail_attempts = doc.int_or("fail_attempts", 0);
@@ -72,6 +76,15 @@ Request parse_request(const std::string& line) {
       req.fail_attempts < 0 || req.threads < 0 || req.capacity < 0 ||
       req.partition < 0) {
     raise(ErrorKind::Validation, "numeric request fields must be >= 0");
+  }
+  if (req.batch < 1) {
+    raise(ErrorKind::Validation, "\"batch\" must be >= 1");
+  }
+  if (!req.backend.empty() && req.backend != "interp" &&
+      req.backend != "bytecode") {
+    raise(ErrorKind::Validation,
+          "unknown backend \"" + req.backend +
+              "\" (expected \"interp\" or \"bytecode\")");
   }
   const bool needs_design = req.op == "compile" || req.op == "expand" ||
                             req.op == "run" || req.op == "verify" ||

@@ -19,6 +19,11 @@
 //   verify           run op: differential-check against the sequential
 //                    baseline (the CLI's "verify: OK")
 //   inject           fault plan, FaultPlan::parse syntax
+//   backend          "" (auto) | "interp" | "bytecode" — execution engine
+//   batch            independent problem instances per run (default 1);
+//                    eligible batched runs execute as SoA lanes of one
+//                    bytecode dispatch, faulted ones replay per instance
+//                    with derived seeds and per-instance verdicts
 //   round_budget     watchdog round budget (0 = server default)
 //   wall_timeout_ms  wall-clock deadline (0 = server default)
 //   fail_attempts    TEST HOOK: fail the first N execution attempts with
@@ -62,6 +67,8 @@ struct Request {
   Int threads = 0;
   bool verify = false;
   std::string inject;
+  std::string backend;  ///< "" = auto
+  Int batch = 1;
   Int round_budget = 0;
   Int wall_timeout_ms = 0;
   Int fail_attempts = 0;

@@ -4,6 +4,20 @@
 
 namespace systolize::service {
 
+bool coalescible(const Request& req) {
+  return req.op == "run" && req.inject.empty() && req.fail_attempts == 0;
+}
+
+bool requests_coalesce(const Request& a, const Request& b) {
+  return coalescible(a) && coalescible(b) && a.design == b.design &&
+         a.source == b.source && a.n == b.n && a.m == b.m &&
+         a.capacity == b.capacity && a.partition == b.partition &&
+         a.merge_buffers == b.merge_buffers && a.threads == b.threads &&
+         a.verify == b.verify && a.backend == b.backend &&
+         a.round_budget == b.round_budget &&
+         a.wall_timeout_ms == b.wall_timeout_ms;
+}
+
 Int RequestQueue::backoff_hint_locked() const {
   // Deterministic, occupancy-proportional hint: an idle-ish server asks
   // the client back quickly, a saturated one spreads retries out. Capped
@@ -58,6 +72,34 @@ std::optional<Job> RequestQueue::pop() {
     head_ = 0;
   }
   return job;
+}
+
+std::vector<Job> RequestQueue::pop_group(std::size_t max_group) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return head_ < queue_.size() || closed_; });
+  std::vector<Job> group;
+  if (head_ >= queue_.size()) return group;  // closed and drained
+  group.push_back(std::move(queue_[head_]));
+  ++head_;
+  if (max_group > 1 && coalescible(group.front().req)) {
+    // Sweep the backlog for jobs that share this dispatch. Extraction
+    // preserves the FIFO order of everything left behind.
+    for (std::size_t i = head_;
+         i < queue_.size() && group.size() < max_group;) {
+      if (requests_coalesce(group.front().req, queue_[i].req)) {
+        group.push_back(std::move(queue_[i]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (head_ == queue_.size() || head_ >= 64) {
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return group;
 }
 
 void RequestQueue::finish(const std::string& tenant) {

@@ -44,6 +44,17 @@ struct Admission {
   Int retry_after_ms = 0;   ///< backoff hint for rejected requests
 };
 
+/// True when `req` may ride a shared batched dispatch at all: a clean run
+/// op with no fault plan and no transient-failure test hook. (Faulted
+/// runs have per-instance semantics, and the fail_attempts hook must
+/// exercise the per-request retry path.)
+[[nodiscard]] bool coalescible(const Request& req);
+
+/// True when two coalescible requests hit the same expanded plan with the
+/// same execution options and may therefore share one batched dispatch.
+/// Batch sizes may differ (lanes add up); tenants and ids may differ.
+[[nodiscard]] bool requests_coalesce(const Request& a, const Request& b);
+
 class RequestQueue {
  public:
   RequestQueue(std::size_t depth, std::size_t tenant_cap)
@@ -58,6 +69,15 @@ class RequestQueue {
   /// Block until a job is available or the queue is closed and drained;
   /// nullopt means "closed and empty — worker should exit".
   [[nodiscard]] std::optional<Job> pop();
+
+  /// Like pop(), but when the popped job is a coalescible warm run
+  /// request, also extract every queued job that may share one batched
+  /// dispatch with it (same design/sizes/shape/engine, no per-request
+  /// attachments — see requests_coalesce), up to `max_group` jobs total.
+  /// Tenants are deliberately not part of the key: each job still
+  /// finishes against its own tenant bucket. An empty vector means
+  /// "closed and drained — worker should exit".
+  [[nodiscard]] std::vector<Job> pop_group(std::size_t max_group);
 
   /// Mark one of `tenant`'s requests complete (worker calls this after
   /// responding).

@@ -195,12 +195,20 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
 }
 
 void Server::worker_loop() {
+  // Warm identical run requests waiting together become SoA lanes of one
+  // batched dispatch; the group cap bounds dispatch latency and memory.
+  constexpr std::size_t kMaxCoalesce = 64;
   for (;;) {
-    std::optional<Job> job = queue_.pop();
-    if (!job.has_value()) return;  // closed and drained
-    const Response r = executor_.handle(job->req);
-    job->respond(r);
-    queue_.finish(job->req.tenant);
+    std::vector<Job> group = queue_.pop_group(kMaxCoalesce);
+    if (group.empty()) return;  // closed and drained
+    std::vector<Request> reqs;
+    reqs.reserve(group.size());
+    for (const Job& job : group) reqs.push_back(job.req);
+    const std::vector<Response> rs = executor_.handle_group(reqs);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i].respond(rs[i]);
+      queue_.finish(group[i].req.tenant);
+    }
   }
 }
 

@@ -319,6 +319,154 @@ TEST(Executor, InlineSourceCompilesAndRuns) {
   EXPECT_EQ(r.verdict, "success");
 }
 
+TEST(Executor, BatchedRunRidesTheBytecodeBackendAndCountsInStats) {
+  Executor ex(fast_config());
+  Request req = run_req("matmul2");
+  req.batch = 8;
+  req.verify = true;  // every lane checked against the sequential baseline
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "success");
+  Json metrics = Json::parse(r.metrics_json);
+  EXPECT_EQ(metrics.str_or("backend", ""), "bytecode") << r.metrics_json;
+  EXPECT_EQ(metrics.int_or("batch", 0), 8);
+  EXPECT_GT(metrics.int_or("bytecode_instructions", 0), 0);
+
+  Request stats;
+  stats.op = "stats";
+  Json doc = Json::parse(ex.handle(stats).data_json);
+  const Json* bc = doc.get("bytecode");
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->int_or("runs", 0), 1);
+  EXPECT_EQ(bc->int_or("batched_instances", 0), 8);
+  EXPECT_EQ(bc->int_or("max_batch", 0), 8);
+  const Json* pc = doc.get("plan_cache");
+  ASSERT_NE(pc, nullptr);
+  EXPECT_GE(pc->int_or("bytecode_programs", 0), 1);
+
+  // The lowered program is shared: a second batched run is a pure hit.
+  Response again = ex.handle(req);
+  ASSERT_EQ(again.status, "ok") << again.message;
+  EXPECT_TRUE(Json::parse(again.metrics_json)
+                  .bool_or("bytecode_reused", false));
+}
+
+TEST(Executor, ForcedBackendsAreHonoured) {
+  Executor ex(fast_config());
+  Request req = run_req("polyprod1");
+  req.backend = "interp";
+  req.batch = 3;
+  Response r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(Json::parse(r.metrics_json).str_or("backend", ""), "interp");
+
+  req.backend = "bytecode";
+  req.batch = 1;
+  r = ex.handle(req);
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(Json::parse(r.metrics_json).str_or("backend", ""), "bytecode");
+
+  // Forcing the VM onto an incompatible request is a terminal error
+  // naming the blocker, not a silent fallback.
+  req.inject = "seed=1;stall=0.5:3";
+  r = ex.handle(req);
+  EXPECT_EQ(r.status, "error");
+  EXPECT_EQ(r.kind, "Validation");
+  EXPECT_NE(r.message.find("bytecode backend"), std::string::npos)
+      << r.message;
+}
+
+TEST(Executor, BatchedFaultedRunReportsPerInstanceVerdicts) {
+  ExecutorConfig cfg = fast_config();
+  cfg.max_retries = 0;
+  Executor ex(cfg);
+  Request req = run_req("polyprod1");
+  req.batch = 4;
+  req.inject = "kill@comp:(1)=1";  // deterministic: every instance dies
+  req.round_budget = 200;
+  Response r = ex.handle(req);
+  // A kill is a verdict for one instance, never for the batch: the
+  // request itself comes back ok with per-instance verdicts in data.
+  ASSERT_EQ(r.status, "ok") << r.message;
+  EXPECT_EQ(r.verdict, "instance-failures");
+  Json data = Json::parse(r.data_json);
+  EXPECT_EQ(data.int_or("batch", 0), 4);
+  EXPECT_EQ(data.int_or("failures", 0), 4);
+  const Json* instances = data.get("instances");
+  ASSERT_NE(instances, nullptr) << r.data_json;
+  // Each instance entry names its index and a classified verdict.
+  for (Int b = 0; b < 4; ++b) {
+    EXPECT_NE(r.data_json.find("\"instance\":" + std::to_string(b)),
+              std::string::npos)
+        << r.data_json;
+  }
+  EXPECT_NE(r.data_json.find("\"verdict\":"), std::string::npos);
+
+  // A seeded probabilistic stall recovers: all instances succeed.
+  req.inject = "seed=7;stall=0.05:2";
+  req.round_budget = 0;
+  Response clean = ex.handle(req);
+  ASSERT_EQ(clean.status, "ok") << clean.message;
+  EXPECT_EQ(clean.verdict, "success");
+  EXPECT_EQ(Json::parse(clean.data_json).int_or("failures", -1), 0);
+}
+
+TEST(Executor, HandleGroupCoalescesWarmRequestsIntoOneDispatch) {
+  Executor ex(fast_config());
+  std::vector<Request> reqs;
+  for (Int i = 0; i < 3; ++i) {
+    Request req = run_req("matmul2");
+    req.id = 10 + i;
+    req.tenant = "t" + std::to_string(i);
+    req.batch = i + 1;  // 1 + 2 + 3 = 6 lanes
+    req.verify = true;
+    reqs.push_back(req);
+  }
+  std::vector<Response> rs = ex.handle_group(reqs);
+  ASSERT_EQ(rs.size(), 3u);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].status, "ok") << rs[i].message;
+    EXPECT_EQ(rs[i].id, reqs[i].id);  // responses keep request order
+    Json data = Json::parse(rs[i].data_json);
+    EXPECT_TRUE(data.bool_or("coalesced", false)) << rs[i].data_json;
+    EXPECT_EQ(data.int_or("group", 0), 3);
+    EXPECT_EQ(data.int_or("lanes", 0), 6);
+  }
+  Request stats;
+  stats.op = "stats";
+  Json doc = Json::parse(ex.handle(stats).data_json);
+  const Json* bc = doc.get("bytecode");
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->int_or("coalesced_groups", 0), 1);
+  EXPECT_EQ(bc->int_or("coalesced_requests", 0), 3);
+  EXPECT_EQ(bc->int_or("runs", 0), 1);  // ONE dispatch for all three
+  EXPECT_EQ(bc->int_or("batched_instances", 0), 6);
+}
+
+TEST(Executor, GroupDispatchFailureFallsBackToIndependentHandling) {
+  // An unknown design makes the group dispatch throw; every request must
+  // still get its own definite (error) verdict through the fallback.
+  Executor ex(fast_config());
+  std::vector<Request> reqs;
+  for (Int i = 0; i < 3; ++i) {
+    Request req = run_req("does-not-exist");
+    req.id = i;
+    reqs.push_back(req);
+  }
+  std::vector<Response> rs = ex.handle_group(reqs);
+  ASSERT_EQ(rs.size(), 3u);
+  for (const Response& r : rs) {
+    EXPECT_EQ(r.status, "error");
+    EXPECT_TRUE(definite_verdict(r));
+  }
+  Request stats;
+  stats.op = "stats";
+  Json doc = Json::parse(ex.handle(stats).data_json);
+  const Json* bc = doc.get("bytecode");
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->int_or("coalesced_groups", 0), 0);  // no shared dispatch
+}
+
 TEST(Executor, ConcurrentMixedRequestsAllGetDefiniteVerdicts) {
   // A miniature in-process soak: clean runs, faulted runs, bad designs
   // and retry-hook requests race on one executor; every one must come

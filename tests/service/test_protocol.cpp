@@ -22,6 +22,8 @@ TEST(Protocol, RequestRoundTripsThroughJson) {
   req.round_budget = 500;
   req.wall_timeout_ms = 2000;
   req.fail_attempts = 1;
+  req.backend = "bytecode";
+  req.batch = 16;
 
   Request back = parse_request(req.to_json());
   EXPECT_EQ(back.id, 42);
@@ -36,6 +38,20 @@ TEST(Protocol, RequestRoundTripsThroughJson) {
   EXPECT_EQ(back.round_budget, 500);
   EXPECT_EQ(back.wall_timeout_ms, 2000);
   EXPECT_EQ(back.fail_attempts, 1);
+  EXPECT_EQ(back.backend, "bytecode");
+  EXPECT_EQ(back.batch, 16);
+}
+
+TEST(Protocol, BackendAndBatchDefaultsStayOffTheWire) {
+  Request req;
+  req.op = "run";
+  req.design = "matmul2";
+  const std::string json = req.to_json();
+  EXPECT_EQ(json.find("backend"), std::string::npos);
+  EXPECT_EQ(json.find("batch"), std::string::npos);
+  Request back = parse_request(json);
+  EXPECT_EQ(back.backend, "");
+  EXPECT_EQ(back.batch, 1);
 }
 
 TEST(Protocol, RequestValidationRejectsGarbage) {
@@ -54,6 +70,12 @@ TEST(Protocol, RequestValidationRejectsGarbage) {
            Case{"{\"op\":\"run\",\"design\":\"x\",\"round_budget\":-5}",
                 ErrorKind::Validation},
            Case{"{\"op\":\"run\",\"design\":5}", ErrorKind::Validation},
+           Case{"{\"op\":\"run\",\"design\":\"x\",\"batch\":0}",
+                ErrorKind::Validation},
+           Case{"{\"op\":\"run\",\"design\":\"x\",\"batch\":-3}",
+                ErrorKind::Validation},
+           Case{"{\"op\":\"run\",\"design\":\"x\",\"backend\":\"jit\"}",
+                ErrorKind::Validation},
        }) {
     try {
       (void)parse_request(c.line);

@@ -145,5 +145,94 @@ TEST(RequestQueue, ConcurrentPushPopKeepsCountsConsistent) {
   EXPECT_EQ(q.admitted(), static_cast<std::size_t>(pushed.load()));
 }
 
+Job run_job(const std::string& tenant, const std::string& design, Int n,
+            Int batch = 1, const std::string& backend = "") {
+  Job j;
+  j.req.op = "run";
+  j.req.tenant = tenant;
+  j.req.design = design;
+  j.req.n = n;
+  j.req.batch = batch;
+  j.req.backend = backend;
+  j.respond = [](const Response&) {};
+  return j;
+}
+
+TEST(Coalescing, KeyMatchesExecutionOptionsNotIdentity) {
+  Request a = run_job("t1", "matmul2", 6).req;
+  Request b = run_job("t2", "matmul2", 6, 8, "").req;
+  b.id = 99;
+  // Different tenant, id and batch still coalesce — lanes add up and
+  // each job finishes against its own tenant bucket.
+  EXPECT_TRUE(requests_coalesce(a, b));
+
+  Request c = a;
+  c.n = 8;
+  EXPECT_FALSE(requests_coalesce(a, c));  // different expanded plan
+  c = a;
+  c.backend = "interp";
+  EXPECT_FALSE(requests_coalesce(a, c));  // different engine
+  c = a;
+  c.verify = true;
+  EXPECT_FALSE(requests_coalesce(a, c));
+  c = a;
+  c.inject = "seed=1;stall=0.5:3";
+  EXPECT_FALSE(requests_coalesce(a, c));  // faulted: per-instance verdicts
+  c = a;
+  c.fail_attempts = 1;
+  EXPECT_FALSE(requests_coalesce(a, c));  // must hit the retry path
+  Request ping = job_for("t").req;
+  EXPECT_FALSE(coalescible(ping));  // only run ops batch
+}
+
+TEST(Coalescing, PopGroupSweepsMatchesAndPreservesFifo) {
+  RequestQueue q(16, 0);
+  ASSERT_TRUE(q.try_push(run_job("a", "matmul2", 6)).admitted);
+  ASSERT_TRUE(q.try_push(run_job("b", "polyprod1", 4)).admitted);
+  ASSERT_TRUE(q.try_push(run_job("c", "matmul2", 6, 4)).admitted);
+  ASSERT_TRUE(q.try_push(run_job("d", "matmul2", 6)).admitted);
+
+  std::vector<Job> group = q.pop_group(64);
+  ASSERT_EQ(group.size(), 3u);  // both matmul2/n=6 jobs rode along
+  EXPECT_EQ(group[0].req.tenant, "a");
+  EXPECT_EQ(group[1].req.tenant, "c");
+  EXPECT_EQ(group[2].req.tenant, "d");
+
+  // The non-matching job kept its place at the front of the queue.
+  std::vector<Job> rest = q.pop_group(64);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].req.design, "polyprod1");
+}
+
+TEST(Coalescing, GroupCapBoundsTheSweep) {
+  RequestQueue q(16, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_push(run_job("t" + std::to_string(i), "matmul2", 4))
+                    .admitted);
+  }
+  EXPECT_EQ(q.pop_group(2).size(), 2u);
+  EXPECT_EQ(q.pop_group(2).size(), 2u);
+  EXPECT_EQ(q.pop_group(2).size(), 1u);
+}
+
+TEST(Coalescing, NonCoalescibleFrontPopsAlone) {
+  RequestQueue q(16, 0);
+  Job faulted = run_job("a", "matmul2", 6);
+  faulted.req.inject = "seed=1;stall=0.5:3";
+  ASSERT_TRUE(q.try_push(std::move(faulted)).admitted);
+  ASSERT_TRUE(q.try_push(run_job("b", "matmul2", 6)).admitted);
+  EXPECT_EQ(q.pop_group(64).size(), 1u);  // faulted never groups
+  EXPECT_EQ(q.pop_group(64).size(), 1u);
+}
+
+TEST(Coalescing, PopGroupEmptyMeansClosedAndDrained) {
+  RequestQueue q(16, 0);
+  ASSERT_TRUE(q.try_push(run_job("a", "matmul2", 6)).admitted);
+  q.close();
+  EXPECT_EQ(q.pop_group(64).size(), 1u);  // admitted work still drains
+  q.finish("a");
+  EXPECT_TRUE(q.pop_group(64).empty());  // worker-exit signal
+}
+
 }  // namespace
 }  // namespace systolize::service

@@ -274,6 +274,93 @@ TEST(Server, SoakWithInjectedFaultsYieldsOnlyDefiniteVerdicts) {
   EXPECT_FALSE(server.final_stats().empty());
 }
 
+// PR 5's 112-request soak, re-aimed at the coalescing path: few workers,
+// heavily pipelined identical warm requests so the backlog builds and
+// warm groups share batched dispatches, mixed with faulted and
+// transient-hook requests that must NOT coalesce. Every response is a
+// definite verdict and the final stats show shared dispatches happened.
+TEST(Server, CoalescingSoakSharesDispatchesAndStaysDefinite) {
+  ServerConfig cfg = fast_server("coalesce");
+  cfg.workers = 2;  // small pool => real backlog => groups actually form
+  cfg.queue_depth = 256;
+  cfg.tenant_cap = 64;
+  Server server(cfg);
+  server.start();
+
+  // Warm the caches so the coalesced dispatches are pure execution.
+  {
+    Client warm(temp_socket("coalesce"));
+    Response r = warm.call(run_req(1));
+    ASSERT_EQ(r.status, "ok") << r.message;
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 14;  // 112 requests total
+  std::vector<std::vector<Response>> results(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(temp_socket("coalesce"));
+      // Pipeline the whole burst before reading: identical warm requests
+      // pile up behind the two workers and ride shared dispatches.
+      int sent = 0;
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req = run_req(c * 100 + i);
+        req.tenant = "client" + std::to_string(c);
+        switch (i % 7) {
+          case 5:
+            // Faulted: must run per instance, never coalesce.
+            req.inject = "seed=" + std::to_string(c * 31 + i) +
+                         ";stall=0.05:3";
+            break;
+          case 6:
+            req.fail_attempts = 1;  // must hit the per-request retry path
+            break;
+          default:
+            req.batch = 1 + (i % 3);  // identical coalescible warm runs
+            req.verify = true;
+            break;
+        }
+        client.send(req);
+        ++sent;
+      }
+      for (int i = 0; i < sent; ++i) results[c].push_back(client.recv());
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  int coalesced_responses = 0;
+  for (const auto& per_client : results) {
+    ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kPerClient));
+    for (const Response& r : per_client) {
+      EXPECT_TRUE(definite_verdict(r))
+          << r.status << "/" << r.kind << ": " << r.message;
+      if (r.data_json.find("\"coalesced\":true") != std::string::npos) {
+        ++coalesced_responses;
+      }
+    }
+  }
+
+  // The accounting is authoritative even if scheduling luck varied how
+  // many groups formed: stats must agree with what the responses said.
+  Client stats_client(temp_socket("coalesce"));
+  Request stats;
+  stats.id = 9999;
+  stats.op = "stats";
+  Response sr = stats_client.call(stats);
+  ASSERT_EQ(sr.status, "ok");
+  const std::string& s = sr.data_json;
+  EXPECT_NE(s.find("\"bytecode\":{"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"coalesced_groups\":"), std::string::npos) << s;
+  // Two workers against 112 pipelined requests: shared dispatches are
+  // effectively guaranteed; this pins the path actually exercised.
+  EXPECT_GT(coalesced_responses, 0);
+
+  server.shutdown();
+  server.wait();
+  EXPECT_FALSE(server.final_stats().empty());
+}
+
 TEST(Server, ShutdownMidFlightDrainsAdmittedWork) {
   ServerConfig cfg = fast_server("drain");
   cfg.workers = 2;

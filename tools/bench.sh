@@ -17,7 +17,9 @@
 #   than threshold-pct (default 10) going from labelA (baseline) to
 #   labelB (candidate). Duplicate labels resolve to the latest recorded
 #   run; the pseudo-label "latest" resolves to the most recent run of any
-#   label.
+#   label. Exit codes: 0 clean, 1 regression found, 2 usage or data error
+#   (unknown label, missing/corrupt BENCH_runtime.json) — a gate can tell
+#   "comparison failed to run" apart from "comparison found a regression".
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,21 +31,33 @@ if [ "${1:-}" = "--compare" ]; then
 import json, re, sys
 path, label_a, label_b, threshold = sys.argv[1], sys.argv[2], sys.argv[3], float(sys.argv[4])
 name_filter = sys.argv[5]
-with open(path) as f:
-    doc = json.load(f)
+
+def die(msg):
+    # Usage/data problems exit 2 so CI can tell "the comparison could not
+    # run" apart from "the comparison ran and found a regression" (1).
+    print(f"bench compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    die(f"{path} does not exist (record a run first: tools/bench.sh <label>)")
+except json.JSONDecodeError as e:
+    die(f"{path} is not valid JSON: {e}")
 
 def run_for(label):
     # "latest" resolves to the most recently recorded run regardless of
     # label, so CI can gate "recorded baseline vs whatever ran last".
     if label == "latest":
         if not doc.get("runs"):
-            sys.exit(f"no runs recorded in {path}")
+            die(f"no runs recorded in {path}")
         return {b["name"]: b["real_time_ns"]
                 for b in doc["runs"][-1]["benchmarks"]}
     matches = [r for r in doc.get("runs", []) if r.get("label") == label]
     if not matches:
         known = ", ".join(sorted({r.get("label", "?") for r in doc.get("runs", [])}))
-        sys.exit(f"no run labelled '{label}' in {path} (known: {known})")
+        die(f"no run labelled '{label}' in {path} (known: {known})")
     return {b["name"]: b["real_time_ns"] for b in matches[-1]["benchmarks"]}
 
 base, cand = run_for(label_a), run_for(label_b)
@@ -51,8 +65,8 @@ shared = sorted(set(base) & set(cand))
 if name_filter:
     shared = [n for n in shared if re.search(name_filter, n)]
 if not shared:
-    sys.exit(f"runs '{label_a}' and '{label_b}' share no benchmarks"
-             + (f" matching /{name_filter}/" if name_filter else ""))
+    die(f"runs '{label_a}' and '{label_b}' share no benchmarks"
+        + (f" matching /{name_filter}/" if name_filter else ""))
 regressions = 0
 print(f"{'benchmark':50s} {label_a:>14s} {label_b:>14s}  delta")
 for name in shared:

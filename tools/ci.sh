@@ -92,6 +92,26 @@ explore_out="$(mktemp -u /tmp/systolize-ci-XXXXXX.sa)"
   exit 1; }
 rm -f "${explore_out}"
 
+echo "=== bytecode differential: every design, interp vs VM vs batched ==="
+# The native-backend contract (docs/performance.md "Native backend &
+# batching"): on every catalog design the VM must produce bit-identical
+# results to the interpreted engine, solo and as an 8-lane SoA batch,
+# each lane verified against the sequential ground truth.
+for design in polyprod1 polyprod2 polyprod3 matmul1 matmul2 matmul3 \
+              matmul4 convolution correlation; do
+  "${repo}/build/tools/systolize" run "${design}" --n=4 \
+    --backend=bytecode --verify | grep -q 'verify: OK' || {
+    echo "bytecode run diverged from sequential for ${design}" >&2; exit 1; }
+  "${repo}/build/tools/systolize" run "${design}" --n=4 --batch=8 \
+    --verify | grep -q 'verify: OK (all 8 instances' || {
+    echo "batched run diverged from sequential for ${design}" >&2; exit 1; }
+done
+# The exhaustive schedule-level identity (makespan, transfers, rounds,
+# per-stream counts) lives in the differential suite; re-run it by name
+# so a filtered CI invocation cannot silently skip it.
+ctest --test-dir "${repo}/build" --output-on-failure \
+  -R 'BytecodeDifferential|BytecodeValidation|BytecodeCache'
+
 echo "=== bench smoke: substrate relay chain ==="
 "${repo}/build/bench/bench_endtoend" \
   --benchmark_filter='BM_SubstrateRelayChain/16' --benchmark_min_time=0.05
@@ -106,12 +126,22 @@ ctest --test-dir "${repo}/build" --output-on-failure \
 
 echo "=== thread sanitizer: plan cache + work-stealing substrate ==="
 cmake -B "${repo}/build-tsan" -S "${repo}" -DSYSTOLIZE_SANITIZE=thread
-cmake --build "${repo}/build-tsan" -j "${jobs}" --target test_runtime
+cmake --build "${repo}/build-tsan" -j "${jobs}" --target test_runtime \
+  test_service
 "${repo}/build-tsan/tests/test_runtime" --gtest_filter='PlanCache.*'
 # The WorkSteal hammer repeats sharded runs across thread counts — under
 # TSan it exercises every mailbox/bitmap/hint-queue race the substrate
 # claims to have closed (runtime/shard.hpp's determinism argument).
 "${repo}/build-tsan/tests/test_runtime" --gtest_filter='WorkSteal.*'
+
+echo "=== thread sanitizer: coalesced batched serve ==="
+# The coalescing path under TSan: pop_group's backlog sweep, the shared
+# batched VM dispatch chunked over the worker pool, and the per-backend
+# stats counters all race 8 pipelined clients against 2 workers in the
+# coalescing soak; the executor group/batch tests cover the same code
+# single-threaded with exact counter assertions.
+"${repo}/build-tsan/tests/test_service" \
+  --gtest_filter='Coalescing.*:Executor.HandleGroup*:Executor.Batched*:Server.CoalescingSoak*'
 
 echo "=== bench gate: relay chain must hold the post-PR2 numbers ==="
 # Pure-data regression gate over the recorded trajectory: the substrate
@@ -195,5 +225,14 @@ echo "=== bench gate: analysis must hold the PR8 numbers ==="
 # automatically compared against it.
 "${repo}/tools/bench.sh" --compare PR8-explore latest 10 \
   'BM_AnalyzeCost|BM_ExploreMatmul2'
+
+echo "=== bench smoke: bytecode backend + batch sweep ==="
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_BytecodeVsInterp_|BM_BatchSweep/8' \
+  --benchmark_min_time=0.05
+
+echo "=== bench gate: bytecode backend must hold the PR9 numbers ==="
+"${repo}/tools/bench.sh" --compare PR9-bytecode latest 10 \
+  'BM_BytecodeVsInterp|BM_BatchSweep'
 
 echo "=== CI OK: plain and sanitizer configurations both green ==="

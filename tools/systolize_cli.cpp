@@ -72,6 +72,7 @@ int usage() {
       "                   [--watchdog-blocked=N] [--deadlock-report]\n"
       "                   [--threads=N] [--plan-cache-bytes=N]\n"
       "                   [--round-budget=N] [--wall-timeout-ms=N]\n"
+      "                   [--backend=interp|bytecode] [--batch=N]\n"
       "  systolize graph  <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize schedule <design | file.sa> [--n=N] [--m=M]\n"
       "  systolize verify <design | file.sa | all> [--n=N] [--m=M]\n"
@@ -92,6 +93,7 @@ int usage() {
       "                   [--m=M] [--tenant=T] [--inject=PLAN] [--verify]\n"
       "                   [--round-budget=N] [--wall-timeout-ms=N]\n"
       "                   [--fail-attempts=N] [--count=N] [--retry]\n"
+      "                   [--backend=interp|bytecode] [--batch=N]\n"
       "\n"
       "see `systolize help` for exit codes and the serve protocol.\n";
   return 2;
@@ -157,6 +159,8 @@ struct Options {
   Int watchdog_blocked = 0;      ///< 0 = unbounded
   bool deadlock_report = false;  ///< print JSON forensics on stall
   Int threads = 0;               ///< >1 = sharded parallel run
+  std::string backend;           ///< "", "interp" or "bytecode"
+  Int batch = 1;                 ///< problem instances per dispatch
   Int plan_cache_bytes = -1;     ///< >=0: attach a budgeted PlanCache
   bool verify_plan = false;      ///< run: static verification gate first
   std::string format = "text";   ///< verify: text | json
@@ -213,6 +217,10 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.deadlock_report = true;
   } else if (arg.rfind("--threads=", 0) == 0) {
     opt.threads = std::stoll(value_of("--threads="));
+  } else if (arg.rfind("--backend=", 0) == 0) {
+    opt.backend = value_of("--backend=");
+  } else if (arg.rfind("--batch=", 0) == 0) {
+    opt.batch = std::stoll(value_of("--batch="));
   } else if (arg.rfind("--plan-cache-bytes=", 0) == 0) {
     opt.plan_cache_bytes = std::stoll(value_of("--plan-cache-bytes="));
   } else if (arg == "--verify-plan") {
@@ -342,19 +350,48 @@ int cmd_schedule(const Design& design, const Options& opt) {
   return 0;
 }
 
+bool parse_backend(const std::string& name, Backend* out) {
+  if (name.empty() || name == "auto") {
+    *out = Backend::Auto;
+  } else if (name == "interp") {
+    *out = Backend::Interp;
+  } else if (name == "bytecode") {
+    *out = Backend::Bytecode;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Instance `b` of a batch: instance 0 is exactly the historical single-
+/// run seeding, later instances are deterministically perturbed so lanes
+/// carry genuinely different data.
+IndexedStore seeded_store(const Design& design, const Env& sizes, Int b) {
+  return make_initial_store(
+      design.nest, sizes, [b](const std::string& var, const IntVec& p) {
+        Value h = var.empty() ? 1 : var[0];
+        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
+        return (h + 13 * b) % 23 - 11;
+      });
+}
+
 int cmd_run(const Design& design, const Options& opt) {
   CompiledProgram prog = compile(design.nest, design.spec);
   Env sizes = sizes_of(design, opt);
 
-  IndexedStore store = make_initial_store(
-      design.nest, sizes, [](const std::string& var, const IntVec& p) {
-        Value h = var.empty() ? 1 : var[0];
-        for (std::size_t i = 0; i < p.dim(); ++i) h = h * 31 + p[i];
-        return h % 23 - 11;
-      });
+  IndexedStore store = seeded_store(design, sizes, 0);
   IndexedStore expected = store;
 
   InstantiateOptions iopt;
+  if (!parse_backend(opt.backend, &iopt.backend)) {
+    std::cerr << "unknown backend '" << opt.backend
+              << "' (expected interp or bytecode)\n";
+    return 2;
+  }
+  if (opt.batch < 1) {
+    std::cerr << "--batch needs a positive instance count\n";
+    return 2;
+  }
   iopt.channel_capacity = opt.capacity;
   iopt.merge_internal_buffers = opt.merge_buffers;
   if (opt.partition > 0) {
@@ -399,6 +436,77 @@ int cmd_run(const Design& design, const Options& opt) {
     iopt.plan_cache = cache.get();
   }
   iopt.verify_plan = opt.verify_plan;
+
+  if (opt.batch > 1) {
+    const std::size_t batch = static_cast<std::size_t>(opt.batch);
+    if (iopt.faults != nullptr) {
+      // Faults are per-instance by nature: replay each instance through
+      // the instrumented engine with its own derived fault seed, and
+      // report one verdict per instance instead of failing the batch.
+      int worst = 0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        FaultPlan instance_plan = FaultPlan::parse(opt.inject);
+        instance_plan.set_seed(instance_plan.seed() + b);
+        InstantiateOptions per = iopt;
+        per.faults = &instance_plan;
+        IndexedStore bstore =
+            seeded_store(design, sizes, static_cast<Int>(b));
+        IndexedStore bexpected = bstore;
+        try {
+          RunMetrics m = execute(prog, design.nest, sizes, bstore, per);
+          std::string verdict = "ok";
+          if (opt.verify) {
+            run_sequential(design.nest, sizes, bexpected);
+            for (const Stream& s : design.nest.streams()) {
+              if (bstore.elements(s.name()) !=
+                  bexpected.elements(s.name())) {
+                verdict = "verify-failed stream " + s.name();
+                worst = std::max(worst, 1);
+              }
+            }
+          }
+          std::cout << "instance " << b << ": " << verdict
+                    << " faults=" << m.faults_injected
+                    << " makespan=" << m.makespan << "\n";
+        } catch (const Error& e) {
+          const std::string what = e.what();
+          std::cout << "instance " << b << ": error ["
+                    << error_kind_name(e.kind()) << "] "
+                    << what.substr(0, what.find('\n')) << "\n";
+          worst = std::max(worst, e.kind() == ErrorKind::Timeout ? 3 : 1);
+        }
+      }
+      deadline.disarm();
+      return worst;
+    }
+    std::vector<IndexedStore> stores;
+    stores.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      stores.push_back(seeded_store(design, sizes, static_cast<Int>(b)));
+    }
+    RunMetrics metrics =
+        execute_batch(prog, design.nest, sizes, stores.data(), batch, iopt);
+    deadline.disarm();
+    std::cout << metrics.to_string() << "\n";
+    if (opt.verify) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        IndexedStore bexpected =
+            seeded_store(design, sizes, static_cast<Int>(b));
+        run_sequential(design.nest, sizes, bexpected);
+        for (const Stream& s : design.nest.streams()) {
+          if (stores[b].elements(s.name()) !=
+              bexpected.elements(s.name())) {
+            std::cout << "VERIFY FAILED for instance " << b << " stream "
+                      << s.name() << "\n";
+            return 1;
+          }
+        }
+      }
+      std::cout << "verify: OK (all " << batch
+                << " instances match sequential execution)\n";
+    }
+    return 0;
+  }
 
   RunMetrics metrics = execute(prog, design.nest, sizes, store, iopt);
   deadline.disarm();
@@ -716,6 +824,8 @@ int cmd_client(const Options& opt) {
     req.threads = opt.threads;
     req.verify = opt.client_verify;
     req.inject = opt.inject;
+    req.backend = opt.backend;
+    req.batch = opt.batch;
     req.round_budget = opt.round_budget;
     req.wall_timeout_ms = opt.wall_timeout_ms;
     req.fail_attempts = opt.fail_attempts;
