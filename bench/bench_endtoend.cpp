@@ -4,6 +4,7 @@
 // compile -> instantiate -> execute -> verify pipeline.
 #include "analysis/cost.hpp"
 #include "bench_util.hpp"
+#include "fuzz/fuzz.hpp"
 #include "runtime/plan_template.hpp"
 #include "systolic/enumerate.hpp"
 #include "runtime/scheduler.hpp"
@@ -139,6 +140,31 @@ void BM_BatchSweep_Interp(benchmark::State& s) {
 }
 BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(8)->Arg(64);
 BENCHMARK(BM_BatchSweep_Interp)->Arg(1)->Arg(8)->Arg(64);
+
+// ---------------------------------------------------------------------
+// Differential fuzzing throughput (PR10): samples generated AND driven
+// through the whole oracle — parse, compile, static verify, then every
+// backend (interp, instrumented, threads=2, bytecode solo + batch=3)
+// cross-checked against the sequential baseline. items/s is oracle
+// verdicts per second; any disagreement fails the bench outright.
+
+void BM_FuzzThroughput(benchmark::State& state) {
+  fuzz::GeneratorOptions gen;
+  fuzz::OracleOptions oracle;
+  std::size_t index = 0;
+  std::size_t disagreements = 0;
+  for (auto _ : state) {
+    const fuzz::FuzzSample sample = fuzz::generate_sample(99, index++, gen);
+    const fuzz::OracleResult verdict = fuzz::classify(sample, oracle);
+    if (fuzz::is_disagreement(verdict.outcome)) ++disagreements;
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (disagreements != 0) {
+    state.SkipWithError("fuzz oracle found a disagreement");
+  }
+}
+BENCHMARK(BM_FuzzThroughput);
 
 // ---------------------------------------------------------------------
 // Plan-construction microbenchmarks (PR4): the legacy one-shot symbolic

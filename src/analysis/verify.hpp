@@ -53,6 +53,16 @@ void verify_program_into(VerifyReport& report, const CompiledProgram& program,
 [[nodiscard]] VerifyReport verify_plan(const NetworkPlan& plan);
 void verify_plan_into(VerifyReport& report, const NetworkPlan& plan);
 
+/// Concrete-size check that every stationary stream's declared element
+/// box is exactly the index-map image of the iteration domain. The
+/// loading & recovery pipelines enumerate the box while the cells hold
+/// the image, so any mismatch deposits elements into the wrong cells
+/// (rule flow.loading-cover; found by differential fuzzing). Moving
+/// streams derive element identities per chord and are immune.
+void verify_loading_cover_into(VerifyReport& report,
+                               const CompiledProgram& program,
+                               const LoopNest& nest, const Env& sizes);
+
 /// The full pipeline on a compiled design: program-level checks, then —
 /// when those leave no errors — intern the plan at `sizes` and run the
 /// plan-level checks. No scheduler is ever constructed.

@@ -7,10 +7,12 @@
 #include "analysis/verify.hpp"
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "numeric/rat_matrix.hpp"
+#include "runtime/host.hpp"
 #include "symbolic/fourier_motzkin.hpp"
 #include "systolic/flow.hpp"
 
@@ -280,6 +282,8 @@ VerifyReport verify_design(const CompiledProgram& prog, const LoopNest& nest,
   report.design = prog.name;
   verify_program_into(report, prog, nest);
   if (report.errors() != 0) return report;  // plan would inherit the rot
+  verify_loading_cover_into(report, prog, nest, sizes);
+  if (report.errors() != 0) return report;
   try {
     std::unique_ptr<NetworkPlan> plan = build_plan(prog, nest, sizes, shape);
     verify_plan_into(report, *plan);
@@ -289,6 +293,47 @@ VerifyReport verify_design(const CompiledProgram& prog, const LoopNest& nest,
                e.diagnostic().empty() ? "" : e.diagnostic());
   }
   return report;
+}
+
+void verify_loading_cover_into(VerifyReport& report,
+                               const CompiledProgram& prog,
+                               const LoopNest& nest, const Env& sizes) {
+  // Loading cover (stationary streams only): the loading & recovery
+  // pipelines enumerate the declared element box, while the cells that
+  // hold the elements are the index-map image of the iteration domain.
+  // When the image is not exactly the box — the map's image over the
+  // domain is not rectangular — the two sequences misalign and loading
+  // deposits elements into the wrong cells (found by differential
+  // fuzzing: the recovered values come back cyclically shifted along
+  // the loading direction). Moving streams are immune: their element
+  // identities are derived per chord from the iteration domain itself.
+  for (const StreamPlan& sp : prog.streams) {
+    if (!sp.motion.stationary) continue;
+    const Stream* stream = nullptr;
+    for (const Stream& s : nest.streams()) {
+      if (s.name() == sp.name) stream = &s;
+    }
+    if (stream == nullptr) continue;  // flow.consistency already fired
+    std::set<IntVec, IntVecLess> image;
+    for (const IntVec& x : nest.enumerate_index_space(sizes)) {
+      image.insert(stream->element_of(x));
+    }
+    const std::vector<IntVec> box = IndexedStore::domain(*stream, sizes);
+    bool covered = image.size() == box.size();
+    for (std::size_t i = 0; covered && i < box.size(); ++i) {
+      covered = image.contains(box[i]);
+    }
+    if (!covered) {
+      report.add("flow.loading-cover", Severity::Error, sp.name,
+                 "stationary stream's declared element box (" +
+                     std::to_string(box.size()) +
+                     " elements) is not exactly the index-map image of "
+                     "the iteration domain (" +
+                     std::to_string(image.size()) +
+                     " elements) — the loading & recovery pipelines "
+                     "would deposit elements into the wrong cells");
+    }
+  }
 }
 
 }  // namespace systolize

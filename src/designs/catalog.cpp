@@ -170,6 +170,71 @@ Design correlation_design() {
                 "correlation c[i-j] += a[i]*b[j]: stream c has flow 1/3"};
 }
 
+Design fir_bank_design() {
+  Symbol n = size_symbol("n");
+  Symbol m = size_symbol("m");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  AffineExpr em(m);
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"f", zero, em, 1},
+      {"j", zero, em, 1},
+  };
+  // The signal is replicated per filter row (x indexed [i+j, f]) so every
+  // stream keeps the rank r-1 = 2 full-pipelining restriction demands.
+  std::vector<Stream> streams = {
+      Stream("w", IntMatrix{{0, 1, 0}, {0, 0, 1}},
+             {VarDim{zero, em}, VarDim{zero, em}}, StreamAccess::Read),
+      Stream("x", IntMatrix{{1, 0, 1}, {0, 1, 0}},
+             {VarDim{zero, en + em}, VarDim{zero, em}}, StreamAccess::Read),
+      Stream("y", IntMatrix{{1, 0, 0}, {0, 1, 0}},
+             {VarDim{zero, en}, VarDim{zero, em}}, StreamAccess::Update),
+  };
+  Guard g;
+  g.add(Constraint{AffineExpr(1), en});
+  g.add(Constraint{AffineExpr(1), em});
+  LoopNest nest("fir_bank", std::move(loops), std::move(streams), {n, m},
+                std::move(g), mul_accumulate("w", "x", "y"),
+                "y := y + w * x");
+  return Design{std::move(nest),
+                ArraySpec(StepFunction(IntVec{1, 1, 2}),
+                          PlaceFunction(IntMatrix{{1, 0, 0}, {0, 1, 0}}),
+                          {{"y", IntVec{1, 0}}}),
+                "FIR filter bank, place.(i,f,j) = (i,f): y stationary, "
+                "w and x counter-flow along the tap axis"};
+}
+
+Design closure_design() {
+  Symbol n = size_symbol("n");
+  AffineExpr zero(0);
+  AffineExpr en(n);
+  // The k loop runs descending; the step's negative k coefficient keeps
+  // c's update order consistent with sequential execution.
+  std::vector<LoopSpec> loops = {
+      {"i", zero, en, 1},
+      {"j", zero, en, 1},
+      {"k", zero, en, -1},
+  };
+  std::vector<Stream> streams = {
+      Stream("t", IntMatrix{{1, 0, 0}, {0, 0, 1}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Read),
+      Stream("u", IntMatrix{{0, 0, 1}, {0, 1, 0}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Read),
+      Stream("c", IntMatrix{{1, 0, 0}, {0, 1, 0}},
+             {VarDim{zero, en}, VarDim{zero, en}}, StreamAccess::Update),
+  };
+  LoopNest nest("closure", std::move(loops), std::move(streams), {n},
+                n_at_least_one(), mul_accumulate("t", "u", "c"),
+                "c := c + t * u");
+  return Design{std::move(nest),
+                ArraySpec(StepFunction(IntVec{1, 1, -1}),
+                          PlaceFunction(IntMatrix{{1, 0, 0}, {0, 1, 0}}),
+                          {{"c", IntVec{1, 0}}}),
+                "transitive-closure step c[i,j] += t[i,k]*u[k,j] with a "
+                "descending k loop, place.(i,j,k) = (i,j)"};
+}
+
 std::vector<Design> all_designs() {
   std::vector<Design> designs;
   designs.push_back(polyprod_design1());
@@ -181,7 +246,15 @@ std::vector<Design> all_designs() {
   designs.push_back(polyprod_design3());
   designs.push_back(convolution_design());
   designs.push_back(correlation_design());
+  designs.push_back(fir_bank_design());
+  designs.push_back(closure_design());
   return designs;
+}
+
+std::vector<std::string> catalog_names() {
+  return {"polyprod1",   "polyprod2",   "matmul1", "matmul2",
+          "matmul3",     "matmul4",     "polyprod3",
+          "convolution", "correlation", "fir_bank", "closure"};
 }
 
 Design design_by_name(const std::string& name) {
@@ -194,6 +267,8 @@ Design design_by_name(const std::string& name) {
   if (name == "polyprod3") return polyprod_design3();
   if (name == "convolution") return convolution_design();
   if (name == "correlation") return correlation_design();
+  if (name == "fir_bank") return fir_bank_design();
+  if (name == "closure") return closure_design();
   raise(ErrorKind::Validation, "unknown design '" + name + "'");
 }
 

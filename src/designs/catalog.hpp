@@ -53,8 +53,22 @@ struct Design {
 /// place.(i,j) = i: stream c has flow 1/3 (two internal buffers per hop).
 [[nodiscard]] Design correlation_design();
 
+/// Extension — FIR filter bank y[i,f] += w[f,j]*x[i+j] with the signal
+/// replicated per filter row; step.(i,f,j) = i+f+2j, place.(i,f,j) = (i,f):
+/// y stationary on an (n+1) x (m+1) grid, w and x counter-flowing.
+[[nodiscard]] Design fir_bank_design();
+
+/// Extension — transitive-closure step c[i,j] += t[i,k]*u[k,j] with a
+/// DESCENDING k loop; step.(i,j,k) = i+j-k, place.(i,j,k) = (i,j).
+[[nodiscard]] Design closure_design();
+
 /// All catalog designs, for parameterized tests and benches.
 [[nodiscard]] std::vector<Design> all_designs();
+
+/// The catalog keys accepted by design_by_name(), in all_designs() order.
+/// Distinct from LoopNest names, which are shared across design variants
+/// of one source program (e.g. all four matmul arrays are nest "matmul").
+[[nodiscard]] std::vector<std::string> catalog_names();
 
 /// Look up a catalog design by name ("polyprod1", "matmul2", ...).
 [[nodiscard]] Design design_by_name(const std::string& name);

@@ -1,0 +1,248 @@
+// The campaign driver: generate -> classify -> shrink -> corpus-ify, plus
+// corpus replay. Reproducers are plain `.sa` files with the campaign
+// seed, sample index, probe sizes and finding embedded as `#` comments,
+// so `systolize run <file>` and `systolize verify <file>` work on them
+// directly and replay re-runs the exact differential that found them.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "fuzz/fuzz.hpp"
+
+namespace systolize::fuzz {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string joined_rules(const std::vector<std::string>& rules) {
+  std::string out;
+  for (const std::string& r : rules) {
+    if (!out.empty()) out += ",";
+    out += r;
+  }
+  return out;
+}
+
+/// Scan a reproducer's comment header for "# probe: n=2 m=1".
+std::map<std::string, Int> parse_probe_comment(const std::string& text) {
+  std::map<std::string, Int> probe;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string tag = "# probe:";
+    if (line.rfind(tag, 0) != 0) continue;
+    std::istringstream fields(line.substr(tag.size()));
+    std::string field;
+    while (fields >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      probe[field.substr(0, eq)] =
+          static_cast<Int>(std::stoll(field.substr(eq + 1)));
+    }
+  }
+  return probe;
+}
+
+}  // namespace
+
+std::string reproducer_text(const FuzzSample& sample,
+                            const OracleResult& verdict) {
+  std::ostringstream os;
+  os << "# fuzz reproducer: seed=" << sample.seed << " index=" << sample.index
+     << "\n";
+  os << "# outcome: " << outcome_name(verdict.outcome);
+  if (!verdict.rules.empty()) os << " rules=" << joined_rules(verdict.rules);
+  os << "\n";
+  if (!verdict.detail.empty()) {
+    // Diagnostics can be multi-line (deadlock forensics); only the first
+    // line is headline material, and unprefixed continuation lines would
+    // corrupt the `.sa` source.
+    os << "# detail: "
+       << verdict.detail.substr(0, verdict.detail.find('\n')) << "\n";
+  }
+  os << "# probe:";
+  for (const auto& [sym, value] : sample.probe) {
+    os << " " << sym << "=" << value;
+  }
+  os << "\n";
+  os << to_sa(sample);
+  return os.str();
+}
+
+std::string FuzzReport::to_string() const {
+  std::ostringstream os;
+  os << "fuzz seed=" << seed << " count=" << count << ": " << passed
+     << " pass, " << static_rejects << " static-reject, " << source_rejects
+     << " source-reject, " << no_design << " no-design, " << disagreements
+     << " disagreement(s)";
+  for (const SampleRecord& r : records) {
+    os << "\n  [" << r.index << "] " << outcome_name(r.outcome);
+    if (!r.rules.empty()) os << " rules=" << joined_rules(r.rules);
+    if (!r.detail.empty()) os << " — " << r.detail;
+    if (!r.reproducer.empty()) os << " -> " << r.reproducer;
+  }
+  return os.str();
+}
+
+std::string FuzzReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"count\":" << count
+     << ",\"passed\":" << passed << ",\"static_rejects\":" << static_rejects
+     << ",\"source_rejects\":" << source_rejects
+     << ",\"no_design\":" << no_design
+     << ",\"disagreements\":" << disagreements << ",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SampleRecord& r = records[i];
+    if (i > 0) os << ",";
+    os << "{\"index\":" << r.index << ",\"outcome\":\""
+       << outcome_name(r.outcome) << "\",\"rules\":[";
+    for (std::size_t j = 0; j < r.rules.size(); ++j) {
+      if (j > 0) os << ",";
+      os << '"' << escape(r.rules[j]) << '"';
+    }
+    os << "],\"detail\":\"" << escape(r.detail) << '"';
+    if (!r.reproducer.empty()) {
+      os << ",\"reproducer\":\"" << escape(r.reproducer) << '"';
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+FuzzReport run_campaign(const FuzzOptions& options) {
+  FuzzReport report;
+  report.seed = options.seed;
+  report.count = options.count;
+
+  for (std::size_t i = 0; i < options.count; ++i) {
+    FuzzSample sample = generate_sample(options.seed, i, options.gen);
+    OracleResult verdict = classify(sample, options.oracle);
+    switch (verdict.outcome) {
+      case Outcome::Pass: ++report.passed; break;
+      case Outcome::StaticReject: ++report.static_rejects; break;
+      case Outcome::SourceReject: ++report.source_rejects; break;
+      case Outcome::NoDesign: ++report.no_design; break;
+      case Outcome::FalseAccept:
+      case Outcome::FalseReject: ++report.disagreements; break;
+    }
+    if (verdict.outcome == Outcome::Pass ||
+        verdict.outcome == Outcome::NoDesign) {
+      continue;
+    }
+
+    SampleRecord record;
+    record.index = i;
+    record.outcome = verdict.outcome;
+    record.rules = verdict.rules;
+    record.detail = verdict.detail;
+
+    const bool reproduce =
+        is_disagreement(verdict.outcome) ||
+        (options.keep_rejects && (verdict.outcome == Outcome::StaticReject ||
+                                  verdict.outcome == Outcome::SourceReject));
+    if (reproduce && !options.corpus_dir.empty()) {
+      if (options.shrink) {
+        // A reduction counts only while it reproduces the same outcome
+        // and (for rejects) still trips the original lead rule.
+        const Outcome want = verdict.outcome;
+        const std::optional<std::string> want_rule =
+            verdict.rules.empty()
+                ? std::nullopt
+                : std::make_optional(verdict.rules.front());
+        ShrinkResult reduced = shrink(
+            sample, options.oracle, [&](const OracleResult& candidate) {
+              if (candidate.outcome != want) return false;
+              if (!want_rule.has_value()) return true;
+              return std::find(candidate.rules.begin(),
+                               candidate.rules.end(),
+                               *want_rule) != candidate.rules.end();
+            });
+        sample = std::move(reduced.sample);
+        verdict = classify(sample, options.oracle);
+      }
+      std::filesystem::create_directories(options.corpus_dir);
+      std::ostringstream name;
+      name << "s" << options.seed << "_i";
+      name.width(4);
+      name.fill('0');
+      name << i;
+      const std::filesystem::path path =
+          std::filesystem::path(options.corpus_dir) / (name.str() + ".sa");
+      std::ofstream out(path);
+      out << reproducer_text(sample, verdict);
+      record.reproducer = path.string();
+    }
+    report.records.push_back(std::move(record));
+  }
+  return report;
+}
+
+ReplayResult replay_corpus(const std::string& dir,
+                           const OracleOptions& options) {
+  ReplayResult result;
+  std::vector<std::filesystem::path> files;
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".sa") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::filesystem::path& path : files) {
+    ++result.files;
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::optional<Design> design;
+    try {
+      design.emplace(frontend::parse_design(text.str()));
+    } catch (const Error& e) {
+      ++result.disagreements;
+      result.violations.push_back(path.string() +
+                                  ": does not parse: " + e.what());
+      continue;
+    }
+    Env sizes;
+    for (const auto& [sym, value] : parse_probe_comment(text.str())) {
+      sizes[sym] = Rational(value);
+    }
+    for (const Symbol& s : design->nest.sizes()) {
+      if (!sizes.contains(s.name())) sizes[s.name()] = Rational(2);
+    }
+    const OracleResult verdict = run_oracle(*design, sizes, options);
+    if (is_disagreement(verdict.outcome)) {
+      ++result.disagreements;
+      result.violations.push_back(path.string() + ": " +
+                                  outcome_name(verdict.outcome) + " — " +
+                                  verdict.detail);
+    }
+  }
+  return result;
+}
+
+}  // namespace systolize::fuzz

@@ -1,0 +1,386 @@
+// Sample generation: random Appendix-A-conformant source programs plus a
+// compatible (step, place) design picked from the enumerate.cpp pruning
+// pipeline, with an optional deliberately-seeded breakage. Everything is
+// a pure function of (campaign seed, sample index), via mt19937_64 and
+// modulo draws only — no distribution objects, whose mappings are
+// implementation-defined and would break cross-platform replay.
+#include <optional>
+#include <random>
+#include <sstream>
+
+#include "analysis/verify.hpp"
+#include "frontend/parser.hpp"
+#include "fuzz/fuzz.hpp"
+#include "scheme/compiler.hpp"
+#include "systolic/enumerate.hpp"
+
+namespace systolize::fuzz {
+namespace {
+
+using Rng = std::mt19937_64;
+
+std::uint64_t mix(std::uint64_t seed, std::size_t index) {
+  // splitmix64-style avalanche so consecutive indices land far apart.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t draw(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng() % n);
+}
+
+/// "2*i - j" over the loop index names; "0" for the zero vector.
+std::string lin_text(const std::vector<Int>& coeffs,
+                     const std::vector<GenLoop>& loops) {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    const Int c = coeffs[j];
+    if (c == 0) continue;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    first = false;
+    const Int a = c < 0 ? -c : c;
+    if (a != 1) os << a << "*";
+    os << loops[j].index;
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+/// "2*n + m - 1" over the size symbols; "0" when empty.
+std::string size_affine_text(const std::map<std::string, Int>& coeffs,
+                             Int konst) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [sym, c] : coeffs) {
+    if (c == 0) continue;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    first = false;
+    const Int a = c < 0 ? -c : c;
+    if (a != 1) os << a << "*";
+    os << sym;
+  }
+  if (first) {
+    os << konst;
+  } else if (konst != 0) {
+    os << (konst < 0 ? " - " : " + ") << (konst < 0 ? -konst : konst);
+  }
+  return os.str();
+}
+
+struct Affine {
+  std::map<std::string, Int> coeffs;
+  Int konst = 0;
+};
+
+void accumulate(Affine& into, const GenLoop& loop, Int scale) {
+  for (const auto& [sym, c] : loop.upper) into.coeffs[sym] += scale * c;
+  into.konst += scale * loop.upper_const;
+}
+
+/// Exact min/max of `row . x` over the (all-lower-bounds-zero) index box:
+/// negative coefficients contribute their loop's upper bound to the min,
+/// positive ones to the max.
+std::pair<Affine, Affine> dim_bounds(const std::vector<Int>& row,
+                                     const std::vector<GenLoop>& loops) {
+  Affine lo;
+  Affine hi;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] < 0) accumulate(lo, loops[j], row[j]);
+    if (row[j] > 0) accumulate(hi, loops[j], row[j]);
+  }
+  return {lo, hi};
+}
+
+Int matrix_rank(const std::vector<std::vector<Int>>& rows, std::size_t cols) {
+  IntMatrix m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m.at(i, j) = rows[i][j];
+  }
+  return static_cast<Int>(m.rank());
+}
+
+std::vector<std::vector<Int>> sample_index_map(Rng& rng, std::size_t r) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<std::vector<Int>> rows(r - 1, std::vector<Int>(r, 0));
+    for (auto& row : rows) {
+      for (Int& c : row) {
+        // Mostly unit coefficients: magnitude-2 entries force non-primitive
+        // element increments for every spec, so they would drown the
+        // campaign in compile rejects — keep them rare but present.
+        c = draw(rng, 8) == 0 ? (draw(rng, 2) == 0 ? Int{2} : Int{-2})
+                              : static_cast<Int>(draw(rng, 3)) - 1;  // [-1,1]
+      }
+    }
+    if (matrix_rank(rows, r) == static_cast<Int>(r - 1)) return rows;
+  }
+  // Pathologically unlucky stream: fall back to the leading unit rows,
+  // which always have full rank.
+  std::vector<std::vector<Int>> rows(r - 1, std::vector<Int>(r, 0));
+  for (std::size_t i = 0; i + 1 < r; ++i) rows[i][i] = 1;
+  return rows;
+}
+
+void apply_mutation(Rng& rng, FuzzSample& s) {
+  if (!s.spec.present) return;
+  const std::size_t r = s.loops.size();
+  std::size_t kind = draw(rng, 4);
+  if (kind == 2 && s.spec.loading.empty()) kind = 0;
+  switch (kind) {
+    case 0:
+      // Step in the place's row space: vanishes on null.place, so the
+      // schedule cannot be injective (Theorem 3 / schedule.injectivity).
+      s.mutation = "step-on-nullplace";
+      s.spec.step = s.spec.place[0];
+      break;
+    case 1: {
+      // Step orthogonal to the update stream's dependence direction
+      // (null of its index map): any row of the map qualifies
+      // (schedule.dependence-step).
+      s.mutation = "dependence-clash";
+      const GenStream* update = nullptr;
+      for (const GenStream& st : s.streams) {
+        if (st.update) update = &st;
+      }
+      for (const auto& row : update->map) {
+        bool nonzero = false;
+        for (Int c : row) nonzero |= c != 0;
+        if (nonzero) {
+          s.spec.step = row;
+          break;
+        }
+      }
+      break;
+    }
+    case 2:
+      // Stationary streams with no loading & recovery vector
+      // (flow.loading).
+      s.mutation = "drop-loading";
+      s.spec.loading.clear();
+      break;
+    default:
+      // Rank-deficient index map: Appendix A's full-pipelining restriction
+      // fails, so validate_source (and compile) must refuse the nest and
+      // the spec verifier must flag stream.rank.
+      s.mutation = "rank-deficient-stream";
+      if (r == 2) {
+        for (Int& c : s.streams[0].map[0]) c = 0;
+      } else {
+        s.streams[0].map[1] = s.streams[0].map[0];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_sa(const FuzzSample& s) {
+  std::ostringstream os;
+  os << "# fuzz sample: seed=" << s.seed << " index=" << s.index;
+  if (!s.mutation.empty()) os << " mutation=" << s.mutation;
+  os << "\n";
+  os << "design fuzz_" << s.index << "\n";
+  os << "sizes ";
+  for (std::size_t i = 0; i < s.size_syms.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << s.size_syms[i] << " >= 1";
+  }
+  os << "\n";
+  for (const GenLoop& loop : s.loops) {
+    os << "loop " << loop.index << " = 0 .. "
+       << size_affine_text(loop.upper, loop.upper_const);
+    if (loop.dir < 0) os << " by -1";
+    os << "\n";
+  }
+  for (const GenStream& st : s.streams) {
+    os << "stream " << st.name << "[";
+    for (std::size_t i = 0; i < st.map.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << lin_text(st.map[i], s.loops);
+    }
+    os << "] " << (st.update ? "update" : "read") << " dims [";
+    for (std::size_t i = 0; i < st.map.size(); ++i) {
+      if (i > 0) os << ", ";
+      const auto [lo, hi] = dim_bounds(st.map[i], s.loops);
+      os << size_affine_text(lo.coeffs, lo.konst) << " .. "
+         << size_affine_text(hi.coeffs, hi.konst);
+    }
+    os << "]\n";
+  }
+  std::string target;
+  for (const GenStream& st : s.streams) {
+    if (st.update) target = st.name;
+  }
+  os << "body " << target << " := " << target;
+  for (const GenTerm& t : s.terms) {
+    os << (t.negate ? " - " : " + ");
+    if (t.scale != 1) os << t.scale << "*";
+    for (std::size_t i = 0; i < t.streams.size(); ++i) {
+      if (i > 0) os << " * ";
+      os << s.streams[t.streams[i]].name;
+    }
+  }
+  if (s.guarded) {
+    os << " when " << lin_text(s.guard_coeffs, s.loops);
+    if (s.guard_const != 0) {
+      os << (s.guard_const < 0 ? " - " : " + ")
+         << (s.guard_const < 0 ? -s.guard_const : s.guard_const);
+    }
+    os << " >= 0";
+  }
+  os << "\n";
+  if (s.spec.present) {
+    os << "step " << lin_text(s.spec.step, s.loops) << "\n";
+    os << "place (";
+    for (std::size_t i = 0; i < s.spec.place.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << lin_text(s.spec.place[i], s.loops);
+    }
+    os << ")\n";
+    for (const auto& [stream, vec] : s.spec.loading) {
+      os << "load " << stream << " = (";
+      for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << vec[i];
+      }
+      os << ")\n";
+    }
+  } else {
+    // Placeholder so the text stays parseable; classify() reports the
+    // sample as NoDesign without running it.
+    os << "step " << lin_text(std::vector<Int>(s.loops.size(), 1), s.loops)
+       << "\n";
+    os << "place (";
+    for (std::size_t i = 0; i + 1 < s.loops.size(); ++i) {
+      std::vector<Int> row(s.loops.size(), 0);
+      row[i] = 1;
+      if (i > 0) os << ", ";
+      os << lin_text(row, s.loops);
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+FuzzSample generate_sample(std::uint64_t seed, std::size_t index,
+                           const GeneratorOptions& options) {
+  Rng rng(mix(seed, index));
+  FuzzSample s;
+  s.seed = seed;
+  s.index = index;
+
+  const std::size_t r = 2 + draw(rng, 2);  // nesting depth 2 or 3
+  s.size_syms.push_back("n");
+  if (r == 3 && draw(rng, 2) == 0) s.size_syms.push_back("m");
+
+  static const char* kIndices[] = {"i", "j", "k"};
+  for (std::size_t j = 0; j < r; ++j) {
+    GenLoop loop;
+    loop.index = kIndices[j];
+    const std::string& sym = s.size_syms[draw(rng, s.size_syms.size())];
+    switch (draw(rng, 8)) {
+      case 0: loop.upper[sym] = 1; loop.upper_const = 1; break;  // n + 1
+      case 1: loop.upper[sym] = 2; break;                        // 2*n
+      default: loop.upper[sym] = 1; break;                       // n
+    }
+    loop.dir = draw(rng, 4) == 0 ? -1 : 1;
+    s.loops.push_back(std::move(loop));
+  }
+
+  const std::size_t nstreams = 2 + draw(rng, 3);  // 2..4
+  const std::size_t update_at = draw(rng, nstreams);
+  static const char* kReadNames[] = {"a", "b", "c", "d"};
+  std::size_t reads = 0;
+  for (std::size_t i = 0; i < nstreams; ++i) {
+    GenStream st;
+    st.update = i == update_at;
+    st.name = st.update ? "u" : kReadNames[reads++];
+    st.map = sample_index_map(rng, r);
+    s.streams.push_back(std::move(st));
+  }
+
+  // Body: every read stream appears exactly once, grouped into products.
+  GenTerm term;
+  for (std::size_t i = 0; i < s.streams.size(); ++i) {
+    if (s.streams[i].update) continue;
+    if (!term.streams.empty() && draw(rng, 5) < 2) {
+      s.terms.push_back(term);
+      term = GenTerm{};
+    }
+    term.streams.push_back(i);
+  }
+  s.terms.push_back(term);
+  for (GenTerm& t : s.terms) {
+    if (draw(rng, 5) == 0) t.scale = 2 + static_cast<Int>(draw(rng, 2));
+    t.negate = draw(rng, 5) == 0;
+  }
+
+  if (draw(rng, 4) == 0) {
+    s.guarded = true;
+    s.guard_coeffs.assign(r, 0);
+    bool nonzero = false;
+    for (Int& c : s.guard_coeffs) {
+      c = static_cast<Int>(draw(rng, 3)) - 1;  // [-1, 1]
+      nonzero |= c != 0;
+    }
+    if (!nonzero) s.guard_coeffs[0] = 1;
+    s.guard_const = static_cast<Int>(draw(rng, 4)) - 1;  // [-1, 2]
+  }
+
+  for (const std::string& sym : s.size_syms) {
+    s.probe[sym] = 1 + static_cast<Int>(draw(rng, 3));  // 1..3
+  }
+
+  // Sample a compatible design from the cheap half of the explore
+  // pipeline (rank -> Theorem 3 -> spec verifier), off the parsed nest so
+  // the meaning is exactly the parser's. Spec-clean candidates can still
+  // be refused deeper in the stack (non-primitive element increments at
+  // compile time, plan-level deadlocks), so walk the pool from a random
+  // start and prefer the first candidate that is clean end to end —
+  // falling back to the bare random pick when none is, which keeps
+  // deep-reject samples in the mix for the consistency oracle.
+  const Design parsed = frontend::parse_design(to_sa(s));
+  const std::vector<ArraySpec> pool = enumerate_spec_candidates(
+      parsed.nest, options.coeff_range, options.spec_limit);
+  if (!pool.empty()) {
+    Env probe_env;
+    for (const auto& [sym, value] : s.probe) probe_env[sym] = Rational(value);
+    const std::size_t start = draw(rng, pool.size());
+    std::optional<std::size_t> clean;
+    const std::size_t tries = std::min<std::size_t>(pool.size(), 64);
+    for (std::size_t k = 0; k < tries && !clean.has_value(); ++k) {
+      const std::size_t idx = (start + k) % pool.size();
+      try {
+        const CompiledProgram prog = compile(parsed.nest, pool[idx]);
+        if (verify_design(prog, parsed.nest, probe_env).errors() == 0) {
+          clean = idx;
+        }
+      } catch (const Error&) {
+      }
+    }
+    const ArraySpec& pick = pool[clean.value_or(start)];
+    s.spec.present = true;
+    s.spec.step = pick.step().coeffs().comps();
+    for (std::size_t i = 0; i < pick.place().matrix().rows(); ++i) {
+      s.spec.place.push_back(pick.place().matrix().row(i).comps());
+    }
+    for (const auto& [stream, vec] : pick.loading_vectors()) {
+      s.spec.loading[stream] = vec.comps();
+    }
+  }
+
+  if (draw(rng, 100) < options.mutate_percent) apply_mutation(rng, s);
+  return s;
+}
+
+}  // namespace systolize::fuzz

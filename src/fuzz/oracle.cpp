@@ -1,0 +1,313 @@
+// The differential oracle: one sample, two independent judgments —
+//
+//   static  = validate_source + verify_spec + compile + verify_design
+//   dynamic = the sequential baseline vs every eligible backend
+//
+// A statically-clean design must run on every backend and reproduce the
+// baseline's results and the reference engine's schedule metrics; a
+// statically-rejected one must be refused by compile/instantiate, fail at
+// runtime, or produce diverging results. Rejections on *model* rules
+// (flow discipline, dependence rules whose violations commute away in an
+// associative accumulation body) are tolerated when the run still
+// matches; rejections on *semantic* rules (injectivity, arity, rank) are
+// not — see docs/static-analysis.md "Differential fuzzing".
+#include <optional>
+#include <sstream>
+
+#include "analysis/verify.hpp"
+#include "baseline/sequential.hpp"
+#include "frontend/parser.hpp"
+#include "fuzz/fuzz.hpp"
+#include "loopnest/validate.hpp"
+#include "runtime/instantiate.hpp"
+#include "scheme/compiler.hpp"
+
+namespace systolize::fuzz {
+namespace {
+
+/// Same deterministic value seeding as the CLI and the bytecode
+/// differential suite: FNV-mix of the variable name and coordinates,
+/// offset per batch lane so cross-lane mixups cannot cancel out.
+Value pseudo_random(const std::string& var, const IntVec& p) {
+  Value h = 1469598103934665603LL;
+  for (char c : var) h = (h ^ c) * 1099511628211LL;
+  for (std::size_t i = 0; i < p.dim(); ++i) {
+    h = (h ^ static_cast<Value>(p[i] + 1315423911LL)) * 1099511628211LL;
+  }
+  return (h % 19) - 9;
+}
+
+IndexedStore seeded_lane(const LoopNest& nest, const Env& sizes, Int lane) {
+  return make_initial_store(nest, sizes,
+                            [lane](const std::string& v, const IntVec& p) {
+                              return pseudo_random(v, p) + 13 * lane;
+                            });
+}
+
+/// "" when equal, else a one-line description of the first divergence.
+std::string diff_stores(const LoopNest& nest, const IndexedStore& expected,
+                        const IndexedStore& got, const std::string& what) {
+  for (const Stream& s : nest.streams()) {
+    if (expected.elements(s.name()) != got.elements(s.name())) {
+      return what + ": stream '" + s.name() +
+             "' diverges from the sequential baseline";
+    }
+  }
+  return "";
+}
+
+void collect_error_rules(const VerifyReport& report,
+                         std::vector<std::string>& rules) {
+  for (const Finding& f : report.findings) {
+    if (f.severity != Severity::Error) continue;
+    bool seen = false;
+    for (const std::string& r : rules) seen |= r == f.rule;
+    if (!seen) rules.push_back(f.rule);
+  }
+}
+
+/// Rules whose violation must be observable dynamically: a design
+/// rejected on one of these that still runs and matches the baseline is
+/// a false reject. Dependence and flow rules are excluded — with the
+/// generator's associative accumulation bodies a reordered or
+/// mis-pipelined schedule can legitimately reproduce the sequential
+/// result, and flow rules constrain the systolic-array *model* (neighbour
+/// connections), not the simulated values.
+bool semantic_rule(const std::string& rule) {
+  return rule == "schedule.injectivity" || rule == "schedule.arity" ||
+         rule == "schedule.place-rank" || rule == "stream.rank";
+}
+
+struct MetricCheck {
+  std::string detail;
+
+  void expect_eq(Int a, Int b, const std::string& what) {
+    if (detail.empty() && a != b) {
+      std::ostringstream os;
+      os << what << ": " << a << " != " << b;
+      detail = os.str();
+    }
+  }
+};
+
+}  // namespace
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Pass: return "pass";
+    case Outcome::StaticReject: return "static-reject";
+    case Outcome::SourceReject: return "source-reject";
+    case Outcome::NoDesign: return "no-design";
+    case Outcome::FalseAccept: return "false-accept";
+    case Outcome::FalseReject: return "false-reject";
+  }
+  return "unknown";
+}
+
+bool is_disagreement(Outcome o) noexcept {
+  return o == Outcome::FalseAccept || o == Outcome::FalseReject;
+}
+
+OracleResult run_oracle(const Design& design, const Env& sizes,
+                        const OracleOptions& options) {
+  OracleResult result;
+
+  bool source_ok = true;
+  std::string source_msg;
+  try {
+    validate_source(design.nest);
+  } catch (const Error& e) {
+    source_ok = false;
+    source_msg = e.what();
+  }
+
+  collect_error_rules(verify_spec(design.nest, design.spec), result.rules);
+
+  std::optional<CompiledProgram> prog;
+  std::string compile_msg;
+  try {
+    prog.emplace(compile(design.nest, design.spec));
+  } catch (const Error& e) {
+    compile_msg = e.what();
+  }
+  if (prog.has_value()) {
+    collect_error_rules(verify_design(*prog, design.nest, sizes),
+                        result.rules);
+  }
+
+  if (!source_ok) {
+    // Appendix-A violation: compile() re-runs validate_source, so the two
+    // must agree.
+    if (!prog.has_value()) {
+      result.outcome = Outcome::SourceReject;
+      result.detail = source_msg;
+    } else {
+      result.outcome = Outcome::FalseAccept;
+      result.detail =
+          "validate_source refused ('" + source_msg + "') but compile() "
+          "accepted the same nest";
+    }
+    return result;
+  }
+
+  const bool static_accept = prog.has_value() && result.rules.empty();
+
+  if (!static_accept) {
+    if (!prog.has_value()) {
+      result.outcome = Outcome::StaticReject;
+      result.detail = "compile refused: " + compile_msg;
+      return result;
+    }
+    // Verifier findings on a compilable design: the runtime must confirm
+    // (instantiation failure, runtime error, or diverging results).
+    IndexedStore expected = seeded_lane(design.nest, sizes, 0);
+    IndexedStore got = expected;
+    run_sequential(design.nest, sizes, expected);
+    try {
+      (void)execute(*prog, design.nest, sizes, got, {});
+    } catch (const Error& e) {
+      result.outcome = Outcome::StaticReject;
+      result.detail = std::string("runtime confirmed: ") + e.what();
+      return result;
+    }
+    const std::string diff = diff_stores(design.nest, expected, got, "interp");
+    if (!diff.empty()) {
+      result.outcome = Outcome::StaticReject;
+      result.detail = "runtime confirmed: " + diff;
+      return result;
+    }
+    bool semantic = false;
+    for (const std::string& r : result.rules) semantic |= semantic_rule(r);
+    if (semantic) {
+      result.outcome = Outcome::FalseReject;
+      result.detail =
+          "rejected on a semantic rule, yet the run matches the baseline";
+    } else {
+      result.outcome = Outcome::StaticReject;
+      result.detail = "model-only rule; run matches the baseline (tolerated)";
+    }
+    return result;
+  }
+
+  // ---- statically clean: the full backend matrix ------------------------
+  IndexedStore expected = seeded_lane(design.nest, sizes, 0);
+  run_sequential(design.nest, sizes, expected);
+
+  std::string stage;
+  try {
+    // Reference engine: the sequential interp fast path.
+    stage = "interp";
+    IndexedStore interp_store = seeded_lane(design.nest, sizes, 0);
+    const RunMetrics ref = execute(*prog, design.nest, sizes, interp_store);
+    std::string diff = diff_stores(design.nest, expected, interp_store, stage);
+
+    MetricCheck mc;
+    auto check_engine = [&](const std::string& what,
+                            const InstantiateOptions& opt, bool rounds) {
+      if (!diff.empty() || !mc.detail.empty()) return;
+      stage = what;
+      IndexedStore store = seeded_lane(design.nest, sizes, 0);
+      const RunMetrics got = execute(*prog, design.nest, sizes, store, opt);
+      diff = diff_stores(design.nest, expected, store, what);
+      mc.expect_eq(ref.makespan, got.makespan, what + " makespan");
+      mc.expect_eq(ref.total_transfers, got.total_transfers,
+                   what + " transfers");
+      mc.expect_eq(ref.statements, got.statements, what + " statements");
+      if (mc.detail.empty() &&
+          ref.transfers_per_stream != got.transfers_per_stream) {
+        mc.detail = what + " per-stream transfer counts diverge";
+      }
+      if (rounds) {
+        mc.expect_eq(ref.scheduler_rounds, got.scheduler_rounds,
+                     what + " rounds");
+      }
+    };
+
+    // Plan-template expansion (compile_template + expand_template) instead
+    // of the direct build_plan() path.
+    PlanCache cache;
+    InstantiateOptions templ;
+    templ.plan_cache = &cache;
+    check_engine("template", templ, true);
+
+    // The instrumented scheduler (a positive round budget forces it).
+    InstantiateOptions instr;
+    instr.watchdog.max_rounds = Int{1} << 40;
+    check_engine("instrumented", instr, true);
+
+    // Work-stealing substrate; scheduler_rounds is a max over shards and
+    // legitimately differs from the sequential engines.
+    if (options.threads > 0) {
+      InstantiateOptions par;
+      par.threads = options.threads;
+      check_engine("threads", par, false);
+    }
+
+    // Bytecode VM, solo: replicates the fast loop's round structure, so
+    // even the round count must agree.
+    InstantiateOptions vm;
+    vm.backend = Backend::Bytecode;
+    check_engine("bytecode", vm, true);
+
+    // Bytecode SoA batch: every lane against its own sequential baseline.
+    if (diff.empty() && mc.detail.empty() && options.batch > 1) {
+      stage = "batch";
+      std::vector<IndexedStore> lanes;
+      std::vector<IndexedStore> lane_expected;
+      for (std::size_t l = 0; l < options.batch; ++l) {
+        lanes.push_back(
+            seeded_lane(design.nest, sizes, static_cast<Int>(l)));
+        lane_expected.push_back(lanes.back());
+        run_sequential(design.nest, sizes, lane_expected.back());
+      }
+      const RunMetrics got = execute_batch(*prog, design.nest, sizes,
+                                           lanes.data(), options.batch, vm);
+      for (std::size_t l = 0; l < options.batch && diff.empty(); ++l) {
+        diff = diff_stores(design.nest, lane_expected[l], lanes[l],
+                           "batch lane " + std::to_string(l));
+      }
+      mc.expect_eq(ref.makespan, got.makespan, "batch makespan");
+      mc.expect_eq(ref.total_transfers, got.total_transfers,
+                   "batch transfers");
+      mc.expect_eq(ref.statements, got.statements, "batch statements");
+      mc.expect_eq(ref.scheduler_rounds, got.scheduler_rounds,
+                   "batch rounds");
+    }
+
+    if (!diff.empty()) {
+      result.outcome = Outcome::FalseAccept;
+      result.detail = diff;
+    } else if (!mc.detail.empty()) {
+      result.outcome = Outcome::FalseAccept;
+      result.detail = mc.detail;
+    } else {
+      result.outcome = Outcome::Pass;
+    }
+  } catch (const Error& e) {
+    result.outcome = Outcome::FalseAccept;
+    result.detail = stage + ": " + e.what();
+  }
+  return result;
+}
+
+OracleResult classify(const FuzzSample& sample, const OracleOptions& options) {
+  if (!sample.spec.present) {
+    OracleResult result;
+    result.outcome = Outcome::NoDesign;
+    return result;
+  }
+  std::optional<Design> design;
+  try {
+    design.emplace(frontend::parse_design(to_sa(sample)));
+  } catch (const Error& e) {
+    OracleResult result;
+    result.outcome = Outcome::FalseAccept;
+    result.detail = std::string("generated text does not parse: ") + e.what();
+    return result;
+  }
+  Env sizes;
+  for (const auto& [sym, value] : sample.probe) sizes[sym] = Rational(value);
+  return run_oracle(*design, sizes, options);
+}
+
+}  // namespace systolize::fuzz

@@ -1,0 +1,224 @@
+// Greedy structural shrinking: apply type-correct reductions to a failing
+// sample, keep each one only when the caller's predicate still holds on
+// the re-classified candidate, and iterate to a fixpoint. The reduction
+// order is fixed, so shrinking is as deterministic as generation.
+//
+// Accepting a candidate replaces the working sample wholesale, so no pass
+// may hold references or iterators into it across a try_accept call —
+// every pass re-reads through `result.sample` and snapshots loop domains
+// (counts, key sets) up front.
+#include "fuzz/fuzz.hpp"
+
+namespace systolize::fuzz {
+namespace {
+
+/// Remove read stream `victim` and renumber the body terms. The update
+/// stream is never dropped (the body needs its target).
+FuzzSample without_stream(const FuzzSample& s, std::size_t victim) {
+  FuzzSample out = s;
+  out.streams.erase(out.streams.begin() + static_cast<std::ptrdiff_t>(victim));
+  out.spec.loading.erase(s.streams[victim].name);
+  std::vector<GenTerm> terms;
+  for (const GenTerm& t : s.terms) {
+    GenTerm kept;
+    kept.scale = t.scale;
+    kept.negate = t.negate;
+    for (std::size_t idx : t.streams) {
+      if (idx == victim) continue;
+      kept.streams.push_back(idx > victim ? idx - 1 : idx);
+    }
+    if (!kept.streams.empty()) terms.push_back(std::move(kept));
+  }
+  out.terms = std::move(terms);
+  return out;
+}
+
+std::size_t read_stream_count(const FuzzSample& s) {
+  std::size_t n = 0;
+  for (const GenStream& st : s.streams) n += st.update ? 0 : 1;
+  return n;
+}
+
+/// Remove loop `victim` and re-shape everything whose width is tied to
+/// the nest depth: index maps and the place lose column `victim`; every
+/// (r-1)-sized object (map rows, place rows, step is r-sized, loading
+/// vectors and guard coefficients) loses one entry. Rows that become
+/// all-zero are dropped first; otherwise the last row goes. The keep
+/// predicate decides whether the reshaped sample still reproduces.
+FuzzSample without_loop(const FuzzSample& s, std::size_t victim) {
+  FuzzSample out = s;
+  out.loops.erase(out.loops.begin() + static_cast<std::ptrdiff_t>(victim));
+  const std::size_t rows_wanted = out.loops.size() - 1;
+
+  auto drop_column_and_row = [&](std::vector<std::vector<Int>>& rows) {
+    for (auto& row : rows) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    while (rows.size() > rows_wanted) {
+      std::size_t doomed = rows.size() - 1;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool zero = true;
+        for (Int c : rows[i]) zero &= c == 0;
+        if (zero) {
+          doomed = i;
+          break;
+        }
+      }
+      rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(doomed));
+    }
+  };
+
+  for (GenStream& st : out.streams) drop_column_and_row(st.map);
+  if (out.spec.present) {
+    out.spec.step.erase(out.spec.step.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+    drop_column_and_row(out.spec.place);
+    for (auto& [stream, vec] : out.spec.loading) {
+      if (!vec.empty()) vec.pop_back();
+    }
+  }
+  if (out.guarded) {
+    out.guard_coeffs.erase(out.guard_coeffs.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzSample& sample, const OracleOptions& options,
+                    const std::function<bool(const OracleResult&)>& keep) {
+  ShrinkResult result;
+  result.sample = sample;
+
+  auto try_accept = [&](FuzzSample candidate) {
+    if (!keep(classify(candidate, options))) return false;
+    result.sample = std::move(candidate);
+    ++result.steps;
+    return true;
+  };
+
+  /// Try `*target(candidate) = value` for each value in turn (0 first,
+  /// then the same-signed unit); true when a reduction was accepted.
+  auto shrink_coeff = [&](const std::function<Int*(FuzzSample&)>& target) {
+    const Int current = *target(result.sample);
+    if (current == 0) return false;
+    for (Int value : {Int{0}, current > 0 ? Int{1} : Int{-1}}) {
+      if (current == value) continue;
+      FuzzSample candidate = result.sample;
+      *target(candidate) = value;
+      if (try_accept(std::move(candidate))) return true;
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // 1. Drop the guard — the biggest single simplification.
+    if (result.sample.guarded) {
+      FuzzSample candidate = result.sample;
+      candidate.guarded = false;
+      candidate.guard_coeffs.clear();
+      candidate.guard_const = 0;
+      changed |= try_accept(std::move(candidate));
+    }
+
+    // 2. Drop read streams (and their body occurrences), last first.
+    for (std::size_t i = result.sample.streams.size(); i-- > 0;) {
+      if (i >= result.sample.streams.size()) continue;
+      if (result.sample.streams[i].update) continue;
+      if (read_stream_count(result.sample) <= 1) break;
+      changed |= try_accept(without_stream(result.sample, i));
+    }
+
+    // 3. Drop whole loops (depth stays >= 2, Appendix A), last first —
+    //    one fewer loop removes a source line and a column everywhere.
+    for (std::size_t j = result.sample.loops.size(); j-- > 0;) {
+      if (result.sample.loops.size() <= 2) break;
+      if (j >= result.sample.loops.size()) continue;
+      changed |= try_accept(without_loop(result.sample, j));
+    }
+
+    // 4. Shrink probe sizes toward 1.
+    {
+      std::vector<std::string> syms;
+      for (const auto& [sym, value] : result.sample.probe) {
+        syms.push_back(sym);
+      }
+      for (const std::string& sym : syms) {
+        while (result.sample.probe.at(sym) > 1) {
+          FuzzSample candidate = result.sample;
+          candidate.probe[sym] = result.sample.probe.at(sym) - 1;
+          if (!try_accept(std::move(candidate))) break;
+          changed = true;
+        }
+      }
+    }
+
+    // 5. Simplify loop bounds toward plain `0 .. n` ascending loops.
+    for (std::size_t j = 0; j < result.sample.loops.size(); ++j) {
+      if (result.sample.loops[j].upper_const != 0) {
+        FuzzSample candidate = result.sample;
+        candidate.loops[j].upper_const = 0;
+        changed |= try_accept(std::move(candidate));
+      }
+      {
+        std::vector<std::string> syms;
+        for (const auto& [sym, c] : result.sample.loops[j].upper) {
+          if (c > 1) syms.push_back(sym);
+        }
+        for (const std::string& sym : syms) {
+          FuzzSample candidate = result.sample;
+          candidate.loops[j].upper[sym] = 1;
+          changed |= try_accept(std::move(candidate));
+        }
+      }
+      if (result.sample.loops[j].dir < 0) {
+        FuzzSample candidate = result.sample;
+        candidate.loops[j].dir = 1;
+        changed |= try_accept(std::move(candidate));
+      }
+    }
+
+    // 6. Shrink coefficients toward zero: index maps first, then the
+    //    design's step and place, then the body's term decorations.
+    for (std::size_t si = 0; si < result.sample.streams.size(); ++si) {
+      for (std::size_t ri = 0; ri < result.sample.streams[si].map.size();
+           ++ri) {
+        for (std::size_t ci = 0;
+             ci < result.sample.streams[si].map[ri].size(); ++ci) {
+          changed |= shrink_coeff(
+              [=](FuzzSample& c) { return &c.streams[si].map[ri][ci]; });
+        }
+      }
+    }
+    for (std::size_t ci = 0; ci < result.sample.spec.step.size(); ++ci) {
+      changed |=
+          shrink_coeff([=](FuzzSample& c) { return &c.spec.step[ci]; });
+    }
+    for (std::size_t ri = 0; ri < result.sample.spec.place.size(); ++ri) {
+      for (std::size_t ci = 0; ci < result.sample.spec.place[ri].size();
+           ++ci) {
+        changed |= shrink_coeff(
+            [=](FuzzSample& c) { return &c.spec.place[ri][ci]; });
+      }
+    }
+    for (std::size_t ti = 0; ti < result.sample.terms.size(); ++ti) {
+      if (result.sample.terms[ti].scale != 1) {
+        FuzzSample candidate = result.sample;
+        candidate.terms[ti].scale = 1;
+        changed |= try_accept(std::move(candidate));
+      }
+      if (result.sample.terms[ti].negate) {
+        FuzzSample candidate = result.sample;
+        candidate.terms[ti].negate = false;
+        changed |= try_accept(std::move(candidate));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace systolize::fuzz

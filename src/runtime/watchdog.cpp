@@ -18,14 +18,24 @@ struct WaitEdge {
   const Channel* via = nullptr;
 };
 
+/// Order processes by name, not address: heap layout varies between
+/// runs, and pointer-ordered traversal would rotate the reported cycle
+/// nondeterministically (two identical runs naming different "first"
+/// processes of the same cycle).
+struct ByName {
+  bool operator()(const Process* a, const Process* b) const {
+    return a->name < b->name;
+  }
+};
+
+using WaitGraph = std::map<const Process*, std::vector<WaitEdge>, ByName>;
+
 /// Extract one cycle from the wait-for graph, if any, into the report.
-void find_cycle(
-    const std::map<const Process*, std::vector<WaitEdge>>& adj,
-    DeadlockReport& report) {
+void find_cycle(const WaitGraph& adj, DeadlockReport& report) {
   // DFS with the classic three colours; the path stack remembers the
   // channel each hop came in on, so the cycle can be reported with the
   // channels that carry it.
-  std::map<const Process*, int> color;  // 0 white, 1 gray, 2 black
+  std::map<const Process*, int, ByName> color;  // 0 white, 1 gray, 2 black
   struct PathEntry {
     const Process* proc;
     const Channel* via_in;  ///< channel of the edge into `proc` (null at root)
@@ -82,7 +92,7 @@ DeadlockReport build_deadlock_report(const Scheduler& sched,
   DeadlockReport report;
   report.reason = std::move(reason);
 
-  std::map<const Process*, std::vector<WaitEdge>> adj;
+  WaitGraph adj;
   auto add_blocked = [&](const Process* p, const Channel* c,
                          const char* opname) {
     report.blocked.push_back(BlockedOpState{

@@ -455,6 +455,14 @@ std::vector<Response> Executor::handle_group(
 std::vector<Response> Executor::group_attempt(
     const std::vector<Request>& reqs) {
   const Request& proto = reqs.front();
+  if (proto.fail_attempts > 0) {
+    // The solo path's transient-failure hook (handle_run): the group
+    // attempt has no retry loop of its own, so an injected failure always
+    // faults the whole batch and exercises handle_group's fall-back —
+    // every member re-runs independently through the full retry
+    // machinery.
+    raise(ErrorKind::Io, "injected transient failure (test hook), group");
+  }
   auto ce = compiled_for(proto, nullptr);
   Env sizes = sizes_of(ce->design, proto);
 

@@ -149,6 +149,89 @@ std::string ExploreStats::to_string() const {
   return os.str();
 }
 
+std::vector<ArraySpec> enumerate_spec_candidates(const LoopNest& nest,
+                                                 Int coeff_range,
+                                                 std::size_t limit) {
+  const std::size_t r = nest.depth();
+  if (r < 2) {
+    raise(ErrorKind::Validation,
+          "spec enumeration needs a nesting depth of >= 2");
+  }
+  if (coeff_range < 1) {
+    raise(ErrorKind::Validation,
+          "spec enumeration needs a coefficient range >= 1");
+  }
+
+  std::vector<std::optional<IntVec>> stream_nulls;
+  for (const Stream& s : nest.streams()) {
+    stream_nulls.push_back(unique_null_generator(s.index_map()));
+  }
+
+  const std::vector<IntVec> steps = [&] {
+    std::vector<IntVec> out;
+    for (IntVec& v : all_vectors(r, coeff_range)) {
+      if (v.content() == 1) out.push_back(std::move(v));
+    }
+    return out;
+  }();
+  const std::vector<IntVec> rows = [&] {
+    std::vector<IntVec> out;
+    for (IntVec& v : all_vectors(r, coeff_range)) {
+      out.push_back(oriented(std::move(v)));
+    }
+    std::sort(out.begin(), out.end(), [](const IntVec& a, const IntVec& b) {
+      return b.comps() < a.comps();
+    });
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }();
+
+  std::vector<ArraySpec> survivors;
+  std::vector<std::size_t> pick(r - 1);
+  for (std::size_t i = 0; i < r - 1; ++i) pick[i] = i;
+  const std::size_t nrows = rows.size();
+  auto advance = [&]() -> bool {
+    std::size_t i = r - 1;
+    while (i-- > 0) {
+      if (pick[i] + (r - 1 - i) < nrows) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < r - 1; ++j) pick[j] = pick[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (nrows < r - 1) return survivors;
+
+  do {
+    IntMatrix pm(r - 1, r);
+    for (std::size_t i = 0; i < r - 1; ++i) {
+      for (std::size_t j = 0; j < r; ++j) pm.at(i, j) = rows[pick[i]][j];
+    }
+    if (pm.rank() != r - 1) continue;
+    const IntVec w = *unique_null_generator(pm);
+    PlaceFunction place(pm);
+
+    for (const IntVec& sc : steps) {
+      if (sc.dot(w) == 0) continue;  // Theorem 3
+      std::map<std::string, IntVec> loading;
+      for (std::size_t si = 0; si < nest.streams().size(); ++si) {
+        if (!stream_nulls[si].has_value()) continue;
+        const IntVec& n = *stream_nulls[si];
+        if (!place.apply(n).is_zero()) continue;  // moving
+        IntVec e0(r - 1);
+        e0[0] = 1;
+        loading[nest.streams()[si].name()] = e0;
+      }
+      ArraySpec spec(StepFunction(sc), place, loading);
+      if (!verify_spec(nest, spec).clean()) continue;
+      survivors.push_back(std::move(spec));
+      if (survivors.size() >= limit) return survivors;
+    }
+  } while (advance());
+  return survivors;
+}
+
 ExploreResult enumerate_designs(const LoopNest& nest, const ArraySpec* seed,
                                 const EnumerateOptions& options) {
   const std::size_t r = nest.depth();

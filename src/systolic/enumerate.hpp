@@ -103,4 +103,14 @@ struct ExploreResult {
                                               const ArraySpec* seed,
                                               const EnumerateOptions& options);
 
+/// The cheap front half of the pruning pipeline, exposed for the fuzzer:
+/// every canonical (step, place) pair with coefficients in [-K, K] that
+/// survives rank → Theorem 3 → spec-level verification, with loading &
+/// recovery vectors auto-supplied for stationary streams. No compile,
+/// cost scoring or plan expansion happens — candidates come back in
+/// deterministic enumeration order (at most `limit` of them), so a
+/// seeded RNG can pick one reproducibly.
+[[nodiscard]] std::vector<ArraySpec> enumerate_spec_candidates(
+    const LoopNest& nest, Int coeff_range, std::size_t limit);
+
 }  // namespace systolize

@@ -56,6 +56,38 @@ TEST(VerifyBroken, NonNeighbourFlowIsFlagged) {
   EXPECT_TRUE(has_rule(rep, "flow.neighbour")) << rep.to_string();
 }
 
+TEST(VerifyBroken, RankDeficientStreamMapIsFlagged) {
+  Design d = broken_design("rank_deficient");
+  VerifyReport rep = verify_spec(d.nest, d.spec);
+  EXPECT_TRUE(has_rule(rep, "stream.rank")) << rep.to_string();
+  EXPECT_GE(rep.errors(), 1u);
+}
+
+TEST(VerifyBroken, StationaryLoadingMustCoverExactlyTheImage) {
+  // Fuzzer-found defect class: a stationary stream whose declared dims
+  // box strictly contains the index-map image of the iteration domain.
+  // Spec-level rules are all clean — only the concrete loading-cover
+  // check (which needs sizes) catches it.
+  Design d = broken_design("loading_cover");
+  EXPECT_EQ(verify_spec(d.nest, d.spec).errors(), 0u);
+  CompiledProgram prog = compile(d.nest, d.spec);
+  Env sizes{{"n", Rational(2)}, {"m", Rational(2)}};
+  VerifyReport rep = verify_design(prog, d.nest, sizes);
+  EXPECT_TRUE(has_rule(rep, "flow.loading-cover")) << rep.to_string();
+}
+
+TEST(VerifyBroken, LoadingCoverAcceptsExactCover) {
+  // The same check passes every shipped design: stationary streams whose
+  // boxes are exactly the image (matmul1's c, convolution's y, ...).
+  for (const Design& d : all_designs()) {
+    CompiledProgram prog = compile(d.nest, d.spec);
+    Env sizes{{"n", Rational(3)}, {"m", Rational(2)}};
+    VerifyReport rep;
+    verify_loading_cover_into(rep, prog, d.nest, sizes);
+    EXPECT_EQ(rep.errors(), 0u) << d.nest.name() << "\n" << rep.to_string();
+  }
+}
+
 TEST(VerifyBroken, HandBuiltNonInjectiveSpec) {
   Design d = design_by_name("polyprod1");
   // place (i) with step i: step vanishes on null.place = (0, 1).

@@ -116,6 +116,65 @@ TEST(GuardedBody, ShippedMaskedDesignFileWorksEndToEnd) {
   EXPECT_EQ(actual.elements("c"), expected.elements("c"));
 }
 
+TEST(GuardedBody, ShippedBandedMatmulMasksOutsideTheBand) {
+  std::ifstream in(std::string(SYSTOLIZE_DESIGN_DIR) + "/banded_matmul.sa");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Design d = parse_design(buf.str());
+  Env sizes{{"n", Rational(4)}};
+  IndexedStore store;
+  store.fill(d.nest.stream("a"), sizes, [](const IntVec&) { return 1; });
+  store.fill(d.nest.stream("b"), sizes, [](const IntVec&) { return 1; });
+  store.fill(d.nest.stream("c"), sizes, [](const IntVec&) { return 0; });
+  run_sequential(d.nest, sizes, store);
+  // All-ones inputs: inside the band i <= j + 2 each c[i,j] accumulates
+  // all n+1 products; outside it stays untouched.
+  for (Int i = 0; i <= 4; ++i) {
+    for (Int j = 0; j <= 4; ++j) {
+      EXPECT_EQ(store.get("c", IntVec{i, j}), i <= j + 2 ? 5 : 0)
+          << "c[" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(GuardedBody, ShippedBandedMatmulDifferentialAcrossBackends) {
+  // The guard masks computation only; the protocol is full matmul1, so
+  // every backend must reproduce the masked sequential result exactly.
+  std::ifstream in(std::string(SYSTOLIZE_DESIGN_DIR) + "/banded_matmul.sa");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Design d = parse_design(buf.str());
+  CompiledProgram prog = compile(d.nest, d.spec);
+  Env sizes{{"n", Rational(3)}};
+  IndexedStore expected = make_initial_store(
+      d.nest, sizes, [](const std::string& v, const IntVec& p) {
+        return static_cast<Value>(v[0] % 5 + 2 * p[0] - p[p.dim() - 1]);
+      });
+  IndexedStore fast = expected;
+  IndexedStore inst = expected;
+  IndexedStore sharded = expected;
+  IndexedStore byte = expected;
+  run_sequential(d.nest, sizes, expected);
+
+  (void)execute(prog, d.nest, sizes, fast);
+  InstantiateOptions wd;
+  wd.watchdog.max_rounds = Int{1} << 40;
+  (void)execute(prog, d.nest, sizes, inst, wd);
+  InstantiateOptions par;
+  par.threads = 2;
+  (void)execute(prog, d.nest, sizes, sharded, par);
+  InstantiateOptions bc;
+  bc.backend = Backend::Bytecode;
+  (void)execute(prog, d.nest, sizes, byte, bc);
+
+  EXPECT_EQ(fast.elements("c"), expected.elements("c"));
+  EXPECT_EQ(inst.elements("c"), expected.elements("c"));
+  EXPECT_EQ(sharded.elements("c"), expected.elements("c"));
+  EXPECT_EQ(byte.elements("c"), expected.elements("c"));
+}
+
 TEST(GuardedBody, MalformedGuardRejected) {
   try {
     (void)parse_design(R"(

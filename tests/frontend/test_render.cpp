@@ -20,7 +20,7 @@ namespace {
 TEST(Render, CatalogDesignsRoundTrip) {
   for (const char* name : {"polyprod1", "polyprod2", "polyprod3", "matmul1",
                            "matmul2", "matmul3", "matmul4", "convolution",
-                           "correlation"}) {
+                           "correlation", "fir_bank", "closure"}) {
     Design original = design_by_name(name);
     std::string sa = frontend::render_design(original.nest, original.spec);
     Design reparsed = frontend::parse_design(sa);

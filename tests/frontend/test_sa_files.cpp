@@ -95,7 +95,8 @@ INSTANTIATE_TEST_SUITE_P(AllSaFiles, SaFiles,
                          ::testing::Values("polyprod1", "polyprod2",
                                            "polyprod3", "matmul1", "matmul2",
                                            "matmul3", "matmul4",
-                                           "convolution", "correlation"));
+                                           "convolution", "correlation",
+                                           "fir_bank", "closure"));
 
 }  // namespace
 }  // namespace systolize

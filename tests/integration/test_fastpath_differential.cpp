@@ -177,7 +177,8 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, FastPathDifferential,
                          ::testing::Values("polyprod1", "polyprod2",
                                            "polyprod3", "matmul1", "matmul2",
                                            "matmul3", "matmul4",
-                                           "convolution", "correlation"));
+                                           "convolution", "correlation",
+                                           "fir_bank", "closure"));
 
 TEST(ShardedValidation, RejectsIncompatibleAttachments) {
   Design design = design_by_name("polyprod1");

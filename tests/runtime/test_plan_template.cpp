@@ -20,7 +20,7 @@ namespace {
 const std::string kCatalog[] = {"polyprod1",   "polyprod2", "polyprod3",
                                 "matmul1",     "matmul2",   "matmul3",
                                 "matmul4",     "convolution",
-                                "correlation"};
+                                "correlation", "fir_bank",  "closure"};
 
 Env sizes_for(const Design& design, Int n) {
   Env env{{"n", Rational(n)}};

@@ -467,6 +467,37 @@ TEST(Executor, GroupDispatchFailureFallsBackToIndependentHandling) {
   EXPECT_EQ(bc->int_or("coalesced_groups", 0), 0);  // no shared dispatch
 }
 
+TEST(Executor, FaultedGroupFallsBackAndMembersRetryIndependently) {
+  // The queue never coalesces fail_attempts requests, but handle_group
+  // must still be safe if handed one (a caller-built group): the injected
+  // failure faults the shared dispatch, and each member re-runs through
+  // its own retry loop to an individual "retried-success".
+  Executor ex(fast_config());
+  std::vector<Request> reqs;
+  for (Int i = 0; i < 3; ++i) {
+    Request req = run_req("matmul2");
+    req.id = 20 + i;
+    req.tenant = "t" + std::to_string(i);
+    req.fail_attempts = 1;
+    reqs.push_back(req);
+  }
+  std::vector<Response> rs = ex.handle_group(reqs);
+  ASSERT_EQ(rs.size(), 3u);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].status, "ok") << rs[i].message;
+    EXPECT_EQ(rs[i].id, reqs[i].id);
+    EXPECT_EQ(rs[i].verdict, "retried-success");
+    EXPECT_EQ(rs[i].retries, 1);
+  }
+  Request stats;
+  stats.op = "stats";
+  Json doc = Json::parse(ex.handle(stats).data_json);
+  const Json* bc = doc.get("bytecode");
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->int_or("coalesced_groups", 0), 0);  // dispatch never landed
+  EXPECT_EQ(bc->int_or("coalesced_requests", 0), 0);
+}
+
 TEST(Executor, ConcurrentMixedRequestsAllGetDefiniteVerdicts) {
   // A miniature in-process soak: clean runs, faulted runs, bad designs
   // and retry-hook requests race on one executor; every one must come

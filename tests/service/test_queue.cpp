@@ -215,6 +215,66 @@ TEST(Coalescing, GroupCapBoundsTheSweep) {
   EXPECT_EQ(q.pop_group(2).size(), 1u);
 }
 
+TEST(Coalescing, GroupCapOfOneNeverSweeps) {
+  // max_group=1 degenerates to plain pop(): each job leaves alone even
+  // when the whole backlog would coalesce with the front.
+  RequestQueue q(16, 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.try_push(run_job("t" + std::to_string(i), "matmul2", 4))
+                    .admitted);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Job> group = q.pop_group(1);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0].req.tenant, "t" + std::to_string(i));
+  }
+}
+
+TEST(Coalescing, GroupCapEqualToMatchCountTakesAllInOneSweep) {
+  RequestQueue q(16, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(run_job("t" + std::to_string(i), "matmul2", 4))
+                    .admitted);
+  }
+  EXPECT_EQ(q.pop_group(4).size(), 4u);  // exactly at the cap — no split
+  for (int i = 0; i < 4; ++i) q.finish("t" + std::to_string(i));
+  q.close();
+  EXPECT_TRUE(q.pop_group(4).empty());  // nothing left behind
+}
+
+TEST(Coalescing, MixedBackendSweepSkipsNonAdjacentMismatches) {
+  // Interleave bytecode and interp requests for the same design/n. The
+  // sweep must gather the front's backend across gaps while the skipped
+  // interp jobs keep their relative order.
+  RequestQueue q(16, 0);
+  ASSERT_TRUE(q.try_push(run_job("a", "matmul2", 6, 1, "bytecode")).admitted);
+  ASSERT_TRUE(q.try_push(run_job("b", "matmul2", 6, 1, "interp")).admitted);
+  ASSERT_TRUE(q.try_push(run_job("c", "matmul2", 6, 1, "bytecode")).admitted);
+  ASSERT_TRUE(q.try_push(run_job("d", "matmul2", 6, 1, "interp")).admitted);
+  ASSERT_TRUE(q.try_push(run_job("e", "matmul2", 6, 1, "bytecode")).admitted);
+
+  std::vector<Job> group = q.pop_group(64);
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(group[0].req.tenant, "a");
+  EXPECT_EQ(group[1].req.tenant, "c");
+  EXPECT_EQ(group[2].req.tenant, "e");
+
+  std::vector<Job> rest = q.pop_group(64);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].req.tenant, "b");
+  EXPECT_EQ(rest[1].req.tenant, "d");
+}
+
+TEST(Coalescing, DefaultBackendDoesNotGroupWithExplicitInterp) {
+  // "" means "server picks"; it may resolve to interp, but the key must
+  // treat them as distinct engines — never merged into one dispatch.
+  RequestQueue q(16, 0);
+  ASSERT_TRUE(q.try_push(run_job("a", "matmul2", 6, 1, "")).admitted);
+  ASSERT_TRUE(q.try_push(run_job("b", "matmul2", 6, 1, "interp")).admitted);
+  EXPECT_EQ(q.pop_group(64).size(), 1u);
+  EXPECT_EQ(q.pop_group(64).size(), 1u);
+}
+
 TEST(Coalescing, NonCoalescibleFrontPopsAlone) {
   RequestQueue q(16, 0);
   Job faulted = run_job("a", "matmul2", 6);

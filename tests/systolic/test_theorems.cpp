@@ -135,7 +135,21 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, Theorems,
                          ::testing::Values("polyprod1", "polyprod2",
                                            "polyprod3", "matmul1", "matmul2",
                                            "matmul3", "matmul4",
-                                           "convolution", "correlation"));
+                                           "convolution", "correlation",
+                                           "fir_bank", "closure"));
+
+TEST(Catalog, NamesMatchAllDesignsInOrder) {
+  // catalog_names() is the user-facing key list (CLI `list`, serve ops);
+  // it must stay in lock-step with all_designs() as the gallery grows.
+  const std::vector<std::string> names = catalog_names();
+  const std::vector<Design> designs = all_designs();
+  ASSERT_EQ(names.size(), designs.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Design by_name = design_by_name(names[i]);
+    EXPECT_EQ(by_name.description, designs[i].description) << names[i];
+    EXPECT_EQ(by_name.nest.name(), designs[i].nest.name()) << names[i];
+  }
+}
 
 }  // namespace
 }  // namespace systolize

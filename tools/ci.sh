@@ -62,13 +62,15 @@ expect_rule() {
 expect_rule step_on_nullplace schedule.injectivity
 expect_rule dependence_clash schedule.dependence-step
 expect_rule wide_flow flow.neighbour
+expect_rule rank_deficient stream.rank
+expect_rule loading_cover flow.loading-cover
 
 echo "=== analyze: cost model over the catalog + broken fixtures ==="
 # Spot-check one golden number (matmul2's process count at n=4) and make
 # sure every broken fixture degrades to findings, not a crash.
 "${repo}/build/tools/systolize" analyze matmul2 --sizes=4 --format=json \
   | grep -q '"processes":191'
-for broken in step_on_nullplace dependence_clash wide_flow; do
+for broken in step_on_nullplace dependence_clash wide_flow rank_deficient; do
   if "${repo}/build/tools/systolize" analyze \
       "${repo}/designs/broken/${broken}.sa" > /dev/null; then
     echo "expected analyze to exit non-zero for ${broken}" >&2; exit 1
@@ -98,7 +100,7 @@ echo "=== bytecode differential: every design, interp vs VM vs batched ==="
 # results to the interpreted engine, solo and as an 8-lane SoA batch,
 # each lane verified against the sequential ground truth.
 for design in polyprod1 polyprod2 polyprod3 matmul1 matmul2 matmul3 \
-              matmul4 convolution correlation; do
+              matmul4 convolution correlation fir_bank closure; do
   "${repo}/build/tools/systolize" run "${design}" --n=4 \
     --backend=bytecode --verify | grep -q 'verify: OK' || {
     echo "bytecode run diverged from sequential for ${design}" >&2; exit 1; }
@@ -111,6 +113,44 @@ done
 # so a filtered CI invocation cannot silently skip it.
 ctest --test-dir "${repo}/build" --output-on-failure \
   -R 'BytecodeDifferential|BytecodeValidation|BytecodeCache'
+
+echo "=== fuzz smoke: bounded differential campaign, fixed seed ==="
+# The PR10 oracle gate (docs/static-analysis.md "Differential fuzzing"):
+# a fixed-seed campaign over the full backend matrix must end with zero
+# cross-backend disagreements. The seed pins the exact sample sequence,
+# so a failure here replays bit-for-bit on any machine.
+# Capture, then grep: grep -q on the live pipe closes it early and the
+# still-writing fuzzer dies of SIGPIPE, which pipefail reports as failure.
+fuzz_corpus="$(mktemp -d /tmp/systolize-ci-fuzz-XXXXXX)"
+fuzz_log="$(mktemp /tmp/systolize-ci-fuzz-log-XXXXXX)"
+"${repo}/build/tools/systolize" fuzz --seed=1 --count=100 \
+  --corpus-dir="${fuzz_corpus}" > "${fuzz_log}"
+grep -q ' 0 disagreement(s)' "${fuzz_log}" || {
+  echo "fuzz campaign found a verifier/runtime disagreement" >&2
+  tail -n 20 "${fuzz_log}" >&2
+  ls "${fuzz_corpus}" >&2
+  exit 1; }
+rm -rf "${fuzz_corpus}" "${fuzz_log}"
+
+echo "=== fuzz replay: checked-in corpus must stay clean ==="
+# Every reproducer under designs/fuzz-corpus re-runs the differential
+# oracle that found it; exit 1 means a past finding regressed.
+"${repo}/build/tools/systolize" fuzz --replay \
+  --corpus-dir="${repo}/designs/fuzz-corpus"
+
+echo "=== fuzz smoke under ASan/UBSan ==="
+# The generator's samples reach every substrate (parked-op scheduler,
+# work-stealing shards, bytecode VM) with hostile shapes the curated
+# suites never produce — a cheap way to hand the sanitizers fresh input.
+asan_fuzz_log="$(mktemp /tmp/systolize-ci-fuzz-asan-log-XXXXXX)"
+"${repo}/build-asan/tools/systolize" fuzz --seed=1 --count=40 \
+  --corpus-dir="$(mktemp -d /tmp/systolize-ci-fuzz-asan-XXXXXX)" \
+  > "${asan_fuzz_log}"
+grep -q ' 0 disagreement(s)' "${asan_fuzz_log}" || {
+  echo "sanitized fuzz campaign failed" >&2
+  tail -n 20 "${asan_fuzz_log}" >&2
+  exit 1; }
+rm -f "${asan_fuzz_log}"
 
 echo "=== bench smoke: substrate relay chain ==="
 "${repo}/build/bench/bench_endtoend" \
@@ -234,5 +274,14 @@ echo "=== bench smoke: bytecode backend + batch sweep ==="
 echo "=== bench gate: bytecode backend must hold the PR9 numbers ==="
 "${repo}/tools/bench.sh" --compare PR9-bytecode latest 10 \
   'BM_BytecodeVsInterp|BM_BatchSweep'
+
+echo "=== bench smoke: fuzz oracle throughput ==="
+# Doubles as a correctness assertion: the bench SkipWithError's (non-zero
+# exit) if any sampled design ever produces a cross-backend disagreement.
+"${repo}/build/bench/bench_endtoend" \
+  --benchmark_filter='BM_FuzzThroughput' --benchmark_min_time=0.05
+
+echo "=== bench gate: fuzz oracle must hold the PR10 numbers ==="
+"${repo}/tools/bench.sh" --compare PR10-fuzz latest 10 'BM_FuzzThroughput'
 
 echo "=== CI OK: plain and sanitizer configurations both green ==="

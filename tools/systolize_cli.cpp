@@ -46,6 +46,7 @@
 #include "designs/catalog.hpp"
 #include "frontend/parser.hpp"
 #include "frontend/render.hpp"
+#include "fuzz/fuzz.hpp"
 #include "runtime/instantiate.hpp"
 #include "systolic/enumerate.hpp"
 #include "scheme/compiler.hpp"
@@ -85,6 +86,10 @@ int usage() {
       "                   [--sizes=4] [--m=M] [--top=N] [--moving-only]\n"
       "                   [--same-projection] [--export=FILE]\n"
       "                   [--format=text|json]\n"
+      "  systolize fuzz   [--seed=S] [--count=N] [--no-shrink]\n"
+      "                   [--corpus-dir=DIR] [--keep-rejects] [--replay]\n"
+      "                   [--mutate-rate=P] [--coeff-range=K] [--threads=N]\n"
+      "                   [--batch=N] [--format=text|json]\n"
       "  systolize serve  --socket=PATH [--workers=N] [--queue-depth=N]\n"
       "                   [--tenant-cap=N] [--round-budget=N]\n"
       "                   [--wall-timeout-ms=N] [--max-retries=N]\n"
@@ -121,6 +126,32 @@ int cmd_help() {
       "  --wall-timeout-ms=N  abort the run N milliseconds after it starts\n"
       "                       (checked at round boundaries — a wedged run is\n"
       "                       cancelled cleanly, with forensics)\n"
+      "\n"
+      "differential fuzzing (docs/static-analysis.md):\n"
+      "  systolize fuzz samples random Appendix-A loop nests plus compatible\n"
+      "  (step, place) designs and cross-checks the static verifier against\n"
+      "  every execution backend (interp fast path, instrumented, threaded\n"
+      "  work-stealing, bytecode solo and batched) and the sequential\n"
+      "  baseline. Exit 0 = the oracles agreed on every sample.\n"
+      "  --seed=S         campaign seed; sample #i is a pure function of\n"
+      "                   (S, i), so any sample replays in isolation and the\n"
+      "                   same seed always yields the same samples and\n"
+      "                   verdicts\n"
+      "  --count=N        number of samples (default 100)\n"
+      "  --no-shrink      write findings un-minimized (default: greedy\n"
+      "                   structural shrinking toward a fixpoint first)\n"
+      "  --corpus-dir=DIR reproducer directory (default designs/fuzz-corpus);\n"
+      "                   disagreements are written there as .sa files with\n"
+      "                   the seed, index, probe sizes and finding embedded\n"
+      "                   as comments\n"
+      "  --keep-rejects   also write (shrunk) reproducers for consistent\n"
+      "                   static rejections — seeds the corpus with verifier\n"
+      "                   counterexamples\n"
+      "  --replay         re-run the differential oracle on every .sa file\n"
+      "                   under --corpus-dir instead of generating; exit 1\n"
+      "                   if any reproducer still witnesses a disagreement\n"
+      "  --mutate-rate=P  percent of samples given one deliberate breakage\n"
+      "                   (default 20), to test verifier/runtime agreement\n"
       "\n"
       "daemon mode (docs/service.md):\n"
       "  systolize serve  — long-running compile-and-run daemon on a Unix\n"
@@ -187,6 +218,14 @@ struct Options {
   bool moving_only = false;      ///< explore: no stationary streams
   bool same_projection = false;  ///< explore: keep the seed's null.place
   std::string export_path;       ///< explore: write the winner as .sa
+  // --- fuzz ---
+  std::uint64_t seed = 20260808;     ///< campaign seed
+  bool count_set = false;            ///< --count given (fuzz defaults to 100)
+  bool fuzz_shrink = true;           ///< minimize findings before writing
+  std::string corpus_dir = "designs/fuzz-corpus";
+  bool keep_rejects = false;         ///< corpus-ify consistent rejects too
+  bool replay = false;               ///< re-run the corpus instead
+  Int mutate_rate = 20;              ///< deliberate-breakage percentage
 };
 
 bool parse_flag(const std::string& arg, Options& opt) {
@@ -253,6 +292,19 @@ bool parse_flag(const std::string& arg, Options& opt) {
     opt.fail_attempts = std::stoll(value_of("--fail-attempts="));
   } else if (arg.rfind("--count=", 0) == 0) {
     opt.count = std::stoll(value_of("--count="));
+    opt.count_set = true;
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    opt.seed = std::stoull(value_of("--seed="));
+  } else if (arg == "--no-shrink") {
+    opt.fuzz_shrink = false;
+  } else if (arg.rfind("--corpus-dir=", 0) == 0) {
+    opt.corpus_dir = value_of("--corpus-dir=");
+  } else if (arg == "--keep-rejects") {
+    opt.keep_rejects = true;
+  } else if (arg == "--replay") {
+    opt.replay = true;
+  } else if (arg.rfind("--mutate-rate=", 0) == 0) {
+    opt.mutate_rate = std::stoll(value_of("--mutate-rate="));
   } else if (arg == "--retry") {
     opt.retry = true;
   } else if (arg == "--verify") {
@@ -291,8 +343,9 @@ int cmd_list() {
   for (const Design& d : all_designs()) {
     std::cout << d.nest.name() << ": " << d.description << "\n";
   }
-  std::cout << "\ncatalog names: polyprod1 polyprod2 polyprod3 matmul1 "
-               "matmul2 matmul3 matmul4 convolution correlation\n";
+  std::cout << "\ncatalog names:";
+  for (const std::string& name : catalog_names()) std::cout << " " << name;
+  std::cout << "\n";
   return 0;
 }
 
@@ -542,6 +595,10 @@ VerifyReport verify_one(const Design& design, const std::string& label,
     try {
       CompiledProgram prog = compile(design.nest, design.spec);
       verify_program_into(rep, prog, design.nest);
+      if (rep.errors() == 0) {
+        verify_loading_cover_into(rep, prog, design.nest,
+                                  sizes_of(design, opt));
+      }
       if (rep.errors() == 0) {
         PlanShape shape;
         shape.channel_capacity = opt.capacity;
@@ -807,6 +864,38 @@ int cmd_serve(const Options& opt) {
   return 0;
 }
 
+int cmd_fuzz(const Options& opt) {
+  fuzz::OracleOptions oracle;
+  oracle.threads =
+      opt.threads > 0 ? static_cast<unsigned>(opt.threads) : 2u;
+  oracle.batch = opt.batch > 1 ? static_cast<std::size_t>(opt.batch) : 3u;
+
+  if (opt.replay) {
+    const fuzz::ReplayResult result =
+        fuzz::replay_corpus(opt.corpus_dir, oracle);
+    std::cout << "fuzz replay: " << result.files << " reproducer(s), "
+              << result.disagreements << " disagreement(s)\n";
+    for (const std::string& v : result.violations) {
+      std::cout << "  " << v << "\n";
+    }
+    return result.clean() ? 0 : 1;
+  }
+
+  fuzz::FuzzOptions fo;
+  fo.seed = opt.seed;
+  fo.count = opt.count_set ? static_cast<std::size_t>(opt.count) : 100u;
+  fo.shrink = opt.fuzz_shrink;
+  fo.corpus_dir = opt.corpus_dir;
+  fo.keep_rejects = opt.keep_rejects;
+  fo.gen.coeff_range = opt.coeff_range;
+  fo.gen.mutate_percent = static_cast<unsigned>(opt.mutate_rate);
+  fo.oracle = oracle;
+  const fuzz::FuzzReport report = fuzz::run_campaign(fo);
+  std::cout << (opt.format == "json" ? report.to_json() : report.to_string())
+            << "\n";
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_client(const Options& opt) {
   service::Client client(opt.socket);
   std::vector<service::Request> reqs;
@@ -864,6 +953,15 @@ int main(int argc, char** argv) {
     std::string cmd = argv[1];
     if (cmd == "help") return cmd_help();
     if (cmd == "list") return cmd_list();
+    if (cmd == "fuzz") {
+      for (int i = 2; i < argc; ++i) {
+        if (!parse_flag(argv[i], opt)) {
+          std::cerr << "unknown flag '" << argv[i] << "'\n";
+          return usage();
+        }
+      }
+      return cmd_fuzz(opt);
+    }
     if (cmd == "serve" || cmd == "client") {
       for (int i = 2; i < argc; ++i) {
         if (!parse_flag(argv[i], opt)) {
